@@ -1,0 +1,143 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation and
+   prints them next to the paper's numbers (the reproduction itself — see
+   EXPERIMENTS.md for commentary).
+
+   Part 2 times the machinery with Bechamel: one Test.make per experiment,
+   sized so a timing run stays tractable (the full dynamic experiments run
+   once in part 1; timing re-runs use reduced workloads where noted).
+
+   Flags: --tables (reproduction only), --bench (timings only),
+   --with-benchmarks (also include the Table 11 trio in the dynamic
+   reference-pattern corpus; the paper kept them separate). *)
+
+open Bechamel
+
+let quick_corpus =
+  (* timing subset: representative, sub-second programs *)
+  [ "fib"; "sieve"; "strops"; "queens"; "expreval" ]
+
+let staged f = Staged.stage f
+
+let compile_entry name =
+  let e = Mips_corpus.Corpus.find name in
+  e.Mips_corpus.Corpus.source
+
+let bench_tests =
+  [ Test.make ~name:"table1_constants"
+      (staged (fun () -> ignore (Mips_analysis.Constants.of_corpus ())));
+    Test.make ~name:"table2_taxonomy"
+      (staged (fun () ->
+           ignore (List.map Mips_cc.Taxonomy.row Mips_cc.Taxonomy.machines)));
+    Test.make ~name:"table3_cc_savings"
+      (staged (fun () -> ignore (Mips_cc.Ccstats.of_corpus Mips_cc.Cc.vax_style)));
+    Test.make ~name:"table4_bool_shapes"
+      (staged (fun () -> ignore (Mips_analysis.Bool_stats.of_corpus ())));
+    Test.make ~name:"table5_bool_operators"
+      (staged (fun () -> ignore (Mips_analysis.Bool_cost.table5 ())));
+    Test.make ~name:"table6_bool_costs"
+      (staged
+         (let stats = Mips_analysis.Bool_stats.of_corpus () in
+          fun () -> ignore (Mips_analysis.Bool_cost.table6 ~stats ())));
+    Test.make ~name:"table7_word_refpatterns"
+      (staged (fun () ->
+           (* reduced workload: dynamic run of a quick subset *)
+           ignore
+             (Mips_analysis.Refpatterns.run Mips_ir.Config.default
+                (List.map Mips_corpus.Corpus.find quick_corpus))));
+    Test.make ~name:"table8_byte_refpatterns"
+      (staged (fun () ->
+           ignore
+             (Mips_analysis.Refpatterns.run Mips_ir.Config.byte_machine
+                (List.map Mips_corpus.Corpus.find quick_corpus))));
+    Test.make ~name:"table9_byte_op_costs"
+      (staged (fun () -> ignore (Mips_analysis.Byte_cost.table9 ())));
+    Test.make ~name:"table10_addressing_penalty"
+      (staged
+         (let wp = Mips_analysis.Refpatterns.word_allocated ~include_heavy:false () in
+          let bp = Mips_analysis.Refpatterns.byte_allocated ~include_heavy:false () in
+          fun () ->
+            ignore
+              (Mips_analysis.Byte_cost.table10 ~word_pattern:wp ~byte_pattern:bp)));
+    Test.make ~name:"table11_postpass_levels"
+      (staged (fun () -> ignore (Mips_analysis.Table11.run ())));
+    Test.make ~name:"fig1_3_boolean_figures"
+      (staged (fun () ->
+           ignore (Mips_analysis.Figures.figure1_full ());
+           ignore (Mips_analysis.Figures.figure1_early_out ());
+           ignore (Mips_analysis.Figures.figure2_cond_set ());
+           ignore (Mips_analysis.Figures.figure3_mips ())));
+    Test.make ~name:"fig4_reorganizer"
+      (staged (fun () -> ignore (Mips_analysis.Figures.figure4 ())));
+    (* machinery microbenchmarks *)
+    Test.make ~name:"compile_fib"
+      (staged
+         (let src = compile_entry "fib" in
+          fun () -> ignore (Mips_codegen.Compile.compile src)));
+    Test.make ~name:"compile_puzzle0"
+      (staged
+         (let src = compile_entry "puzzle0" in
+          fun () -> ignore (Mips_codegen.Compile.compile src)));
+    Test.make ~name:"reorganize_puzzle0"
+      (staged
+         (let asm = Mips_codegen.Compile.to_asm (compile_entry "puzzle0") in
+          fun () -> ignore (Mips_reorg.Pipeline.compile asm)));
+    Test.make ~name:"simulate_queens"
+      (staged
+         (let p = Mips_codegen.Compile.compile (compile_entry "queens") in
+          fun () ->
+            let res = Mips_machine.Hosted.run_program p in
+            assert res.Mips_machine.Hosted.halted));
+    Test.make ~name:"os_multiprogram_fib_sieve"
+      (staged
+         (let cfg =
+            { Mips_ir.Config.default with
+              Mips_ir.Config.stack_top = Mips_os.Kernel.user_stack_top }
+          in
+          let fib = Mips_codegen.Compile.compile ~config:cfg (compile_entry "fib") in
+          let sieve =
+            Mips_codegen.Compile.compile ~config:cfg (compile_entry "sieve")
+          in
+          fun () ->
+            let k = Mips_os.Kernel.create ~quantum:500 () in
+            Mips_os.Kernel.spawn k ~name:"fib" fib;
+            Mips_os.Kernel.spawn k ~name:"sieve" sieve;
+            ignore (Mips_os.Kernel.run k))) ]
+
+let run_benchmarks () =
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let analysis =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-34s %14.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-34s (no estimate)\n%!" name)
+        analysis)
+    bench_tests
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let tables = (not (List.mem "--bench" args)) || List.mem "--tables" args in
+  let bench = (not (List.mem "--tables" args)) || List.mem "--bench" args in
+  let include_heavy = List.mem "--with-benchmarks" args in
+  if tables then begin
+    Format.printf
+      "@[<v>Hardware/Software Tradeoffs for Increased Performance - reproduction@,%s@]@."
+      (String.make 72 '=');
+    Mips_analysis.Report.print_all ~include_heavy Format.std_formatter
+  end;
+  if bench then begin
+    print_endline "";
+    print_endline "=== Bechamel timings (one per experiment) ===";
+    run_benchmarks ()
+  end

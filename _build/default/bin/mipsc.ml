@@ -1,0 +1,166 @@
+(* mipsc — the command-line driver.
+
+   mipsc run FILE            compile and execute on the simulator
+   mipsc compile FILE        compile and print the final listing
+   mipsc asm FILE            print the symbolic assembly (before the postpass)
+   mipsc levels FILE         static counts at each postpass level (Table 11 view)
+   mipsc corpus [NAME]       run corpus programs
+   mipsc report              regenerate every table and figure of the paper
+
+   FILE may also name a corpus program (e.g. `mipsc run fib`). *)
+
+open Cmdliner
+
+let read_source path =
+  if Sys.file_exists path then In_channel.with_open_text path In_channel.input_all
+  else
+    match Mips_corpus.Corpus.find path with
+    | e -> e.Mips_corpus.Corpus.source
+    | exception Not_found ->
+        Printf.eprintf "mipsc: no such file or corpus program: %s\n" path;
+        exit 2
+
+let config_of ~byte ~early_out =
+  let base =
+    if byte then Mips_ir.Config.byte_machine else Mips_ir.Config.default
+  in
+  if early_out then
+    { base with Mips_ir.Config.bool_strategy = Mips_ir.Config.Early_out }
+  else base
+
+let level_of = function
+  | 0 -> Mips_reorg.Pipeline.Naive
+  | 1 -> Mips_reorg.Pipeline.Reorganized
+  | 2 -> Mips_reorg.Pipeline.Packed
+  | _ -> Mips_reorg.Pipeline.Delay_filled
+
+(* common flags *)
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Source file or corpus program name.")
+
+let byte_flag =
+  Arg.(value & flag & info [ "byte-addressed" ] ~doc:"Target the byte-addressed comparison machine.")
+
+let early_flag =
+  Arg.(value & flag & info [ "early-out" ] ~doc:"Early-out boolean evaluation instead of set-conditionally.")
+
+let level_flag =
+  Arg.(value & opt int 3 & info [ "O" ] ~docv:"N" ~doc:"Postpass level 0-3 (none/reorganize/pack/branch-delay).")
+
+let input_flag =
+  Arg.(value & opt string "" & info [ "input" ] ~docv:"TEXT" ~doc:"Input stream for the getchar monitor call.")
+
+let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+
+let run_cmd =
+  let run file byte early_out level input stats =
+    let config = config_of ~byte ~early_out in
+    let src = read_source file in
+    let input =
+      if input = "" then
+        match Mips_corpus.Corpus.find file with
+        | e -> e.Mips_corpus.Corpus.input
+        | exception Not_found -> ""
+      else input
+    in
+    let res, cpu =
+      Mips_codegen.Compile.run_with_machine ~config ~level:(level_of level)
+        ~fuel:500_000_000 ~input src
+    in
+    print_string res.Mips_machine.Hosted.output;
+    (match res.Mips_machine.Hosted.fault with
+    | Some (c, d) ->
+        Printf.eprintf "fault: %s (%d)\n" (Mips_machine.Cause.show c) d
+    | None -> ());
+    if stats then Format.eprintf "%a@." Mips_machine.Stats.pp (Mips_machine.Cpu.stats cpu);
+    if not res.Mips_machine.Hosted.halted then begin
+      prerr_endline "mipsc: out of fuel";
+      exit 3
+    end;
+    exit (Option.value ~default:0 res.Mips_machine.Hosted.exit_status)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program on the simulator.")
+    Term.(const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag $ stats_flag)
+
+let compile_cmd =
+  let compile file byte early_out level =
+    let config = config_of ~byte ~early_out in
+    let p =
+      Mips_codegen.Compile.compile ~config ~level:(level_of level)
+        (read_source file)
+    in
+    Format.printf "%a@." Mips_machine.Program.pp_listing p;
+    Format.printf "; %d instruction words@." (Mips_machine.Program.static_count p)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile and print the final machine listing.")
+    Term.(const compile $ file_arg $ byte_flag $ early_flag $ level_flag)
+
+let asm_cmd =
+  let asm file byte early_out =
+    let config = config_of ~byte ~early_out in
+    let a = Mips_codegen.Compile.to_asm ~config (read_source file) in
+    Format.printf "%a@." Mips_reorg.Asm.pp a
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Print the symbolic assembly before the reorganizer.")
+    Term.(const asm $ file_arg $ byte_flag $ early_flag)
+
+let levels_cmd =
+  let levels file byte =
+    let config = config_of ~byte ~early_out:false in
+    let asm = Mips_codegen.Compile.to_asm ~config (read_source file) in
+    List.iter
+      (fun level ->
+        let p = Mips_reorg.Pipeline.compile ~level asm in
+        Format.printf "%-24s %6d words@."
+          (Mips_reorg.Pipeline.level_name level)
+          (Mips_machine.Program.static_count p))
+      Mips_reorg.Pipeline.all_levels
+  in
+  Cmd.v
+    (Cmd.info "levels" ~doc:"Static instruction counts at each postpass level.")
+    Term.(const levels $ file_arg $ byte_flag)
+
+let corpus_cmd =
+  let corpus name =
+    let entries =
+      match name with
+      | Some n -> [ Mips_corpus.Corpus.find n ]
+      | None -> Mips_corpus.Corpus.all
+    in
+    List.iter
+      (fun (e : Mips_corpus.Corpus.entry) ->
+        Printf.printf "--- %s: %s\n%!" e.Mips_corpus.Corpus.name
+          e.Mips_corpus.Corpus.description;
+        let res =
+          Mips_codegen.Compile.run ~fuel:500_000_000
+            ~input:e.Mips_corpus.Corpus.input e.Mips_corpus.Corpus.source
+        in
+        print_string res.Mips_machine.Hosted.output)
+      entries
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"Run corpus programs.")
+    Term.(
+      const corpus
+      $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Corpus program (all when omitted)."))
+
+let report_cmd =
+  let report with_benchmarks =
+    Mips_analysis.Report.print_all ~include_heavy:with_benchmarks
+      Format.std_formatter
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Regenerate every table and figure of the paper's evaluation.")
+    Term.(
+      const report
+      $ Arg.(
+          value & flag
+          & info [ "with-benchmarks" ]
+              ~doc:
+                "Include the Table 11 benchmark trio in the dynamic                  reference-pattern corpus."))
+
+let () =
+  let doc = "compiler, reorganizer and simulator for the MIPS tradeoffs reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "mipsc" ~version:"1.0.0" ~doc)
+          [ run_cmd; compile_cmd; asm_cmd; levels_cmd; corpus_cmd; report_cmd ]))

@@ -1,0 +1,1 @@
+examples/boolean_strategies.ml: Format List Mips_analysis Mips_codegen Mips_corpus Mips_ir Mips_machine

@@ -1,0 +1,1 @@
+examples/byte_vs_word.ml: Format Mips_analysis Mips_codegen Mips_corpus Mips_ir Mips_machine

@@ -1,0 +1,1 @@
+examples/byte_vs_word.mli:

@@ -1,0 +1,1 @@
+examples/os_demo.ml: Format Kernel List Mips_codegen Mips_corpus Mips_ir Mips_os

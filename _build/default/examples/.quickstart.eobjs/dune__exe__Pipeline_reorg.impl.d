@@ -1,0 +1,1 @@
+examples/pipeline_reorg.ml: Format List Mips_analysis Mips_codegen Mips_corpus Mips_machine Mips_reorg

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mips_codegen Mips_machine Mips_reorg Printf

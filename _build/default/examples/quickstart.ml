@@ -1,0 +1,55 @@
+(* Quickstart: compile a Pascal-subset program for the MIPS-like machine,
+   run it on the simulator, and look at what the compiler produced.
+
+     dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+program greatest;
+const n = 8;
+var a : array [0..7] of integer;
+    i, best : integer;
+
+function max(x, y : integer) : integer;
+begin
+  if x > y then max := x else max := y
+end;
+
+begin
+  for i := 0 to n - 1 do a[i] := (i * 37 + 11) mod 50;
+  best := a[0];
+  for i := 1 to n - 1 do best := max(best, a[i]);
+  write('greatest of ');
+  write(n);
+  write(' values: ');
+  writeln(best)
+end.
+|}
+
+let () =
+  (* one call: parse, type check, lower, allocate registers, emit,
+     reorganize (schedule + pack + fill branch delays), assemble, load, run *)
+  let result, cpu = Mips_codegen.Compile.run_with_machine source in
+  print_string result.Mips_machine.Hosted.output;
+  Printf.printf "exit status: %s\n"
+    (match result.Mips_machine.Hosted.exit_status with
+    | Some s -> string_of_int s
+    | None -> "-");
+
+  (* the simulator kept statistics *)
+  let stats = Mips_machine.Cpu.stats cpu in
+  Format.printf "@.%a@." Mips_machine.Stats.pp stats;
+
+  (* the same program, at the four postpass levels of the paper's Table 11 *)
+  Format.printf "@.static instruction words per optimization level:@.";
+  List.iter
+    (fun level ->
+      let p = Mips_codegen.Compile.compile ~level source in
+      Format.printf "  %-24s %4d words@."
+        (Mips_reorg.Pipeline.level_name level)
+        (Mips_machine.Program.static_count p))
+    Mips_reorg.Pipeline.all_levels;
+
+  (* and the final machine code *)
+  Format.printf "@.final listing:@.%a@." Mips_machine.Program.pp_listing
+    (Mips_codegen.Compile.compile source)

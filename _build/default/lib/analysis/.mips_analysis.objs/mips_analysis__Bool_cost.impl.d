@@ -1,0 +1,1 @@
+lib/analysis/bool_cost.ml: Bool_stats Float List Mips_cc Printf Snippets

@@ -1,0 +1,1 @@
+lib/analysis/bool_cost.mli: Bool_stats Snippets

@@ -1,0 +1,1 @@
+lib/analysis/bool_stats.ml: List Mips_corpus Mips_frontend Semant Tast Types

@@ -1,0 +1,1 @@
+lib/analysis/bool_stats.mli: Mips_frontend

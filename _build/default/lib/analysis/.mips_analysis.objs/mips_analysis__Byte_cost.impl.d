@@ -1,0 +1,1 @@
+lib/analysis/byte_cost.ml: List Mem Mips_codegen Mips_ir Mips_isa Mips_reorg Note Piece Printf Refpatterns

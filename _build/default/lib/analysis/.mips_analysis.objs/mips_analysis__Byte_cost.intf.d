@@ -1,0 +1,1 @@
+lib/analysis/byte_cost.mli: Refpatterns

@@ -1,0 +1,1 @@
+lib/analysis/constants.ml: List Mips_codegen Mips_corpus

@@ -1,0 +1,1 @@
+lib/analysis/figures.ml: Alu Branch Cond Format List Mem Mips_cc Mips_codegen Mips_isa Mips_machine Mips_reorg Operand Piece Reg Snippets

@@ -1,0 +1,1 @@
+lib/analysis/refpatterns.ml: Cpu Hashtbl Hosted List Mips_codegen Mips_corpus Mips_ir Mips_machine Stats String

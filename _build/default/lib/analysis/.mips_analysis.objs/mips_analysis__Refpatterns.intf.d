@@ -1,0 +1,1 @@
+lib/analysis/refpatterns.mli: Mips_corpus Mips_ir

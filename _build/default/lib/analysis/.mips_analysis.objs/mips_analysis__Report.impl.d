@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Bool_cost Bool_stats Byte_cost Constants Figures Format List Mips_cc Mips_codegen Mips_corpus Mips_ir Mips_os Printf Refpatterns Snippets Table11

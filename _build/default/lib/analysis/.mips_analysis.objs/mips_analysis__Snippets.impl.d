@@ -1,0 +1,1 @@
+lib/analysis/snippets.ml: Alu Branch List Mem Mips_cc Mips_codegen Mips_frontend Mips_ir Mips_isa Mips_reorg Piece Printf Semant Tast

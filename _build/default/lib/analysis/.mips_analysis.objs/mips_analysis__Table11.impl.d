@@ -1,0 +1,1 @@
+lib/analysis/table11.ml: List Mips_codegen Mips_corpus Mips_machine Mips_reorg

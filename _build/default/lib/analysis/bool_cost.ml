@@ -1,0 +1,150 @@
+open Snippets
+
+type support = Mips_setcond | Cc_condset | Cc_branch_full | Cc_branch_early
+
+let support_name = function
+  | Mips_setcond -> "set conditionally, no CC (MIPS)"
+  | Cc_condset -> "CC and conditional set"
+  | Cc_branch_full -> "CC with only branch, full evaluation"
+  | Cc_branch_early -> "CC with only branch, early-out"
+
+let all_supports = [ Mips_setcond; Cc_condset; Cc_branch_full; Cc_branch_early ]
+
+type per_operator = {
+  static_classes : Snippets.classes;
+  dynamic_classes : Snippets.classes;
+}
+
+(* an or-chain with [n] boolean operators ((n+1) relations) *)
+let expr_text n =
+  let pairs = [ ("a", "b"); ("c", "d"); ("e", "f"); ("rec", "key") ] in
+  let rec go i acc =
+    if i > n then acc
+    else
+      let x, y = List.nth pairs i in
+      go (i + 1) (Printf.sprintf "%s or (%s = %s)" acc x y)
+  in
+  let x0, y0 = List.hd pairs in
+  go 1 (Printf.sprintf "(%s = %s)" x0 y0)
+
+let cc_config = function
+  | Cc_condset -> Some (Mips_cc.Cc.m68000_style, Mips_cc.Ccgen.Cond_set)
+  | Cc_branch_full -> Some (Mips_cc.Cc.vax_style, Mips_cc.Ccgen.Full_eval)
+  | Cc_branch_early -> Some (Mips_cc.Cc.vax_style, Mips_cc.Ccgen.Early_out)
+  | Mips_setcond -> None
+
+(* static classes of the store-context snippet with [n] operators *)
+let static_classes support n =
+  match cc_config support with
+  | None ->
+      let p = bool_store_program (expr_text n) in
+      sub_classes (mips_classes p) (mips_empty_classes ())
+  | Some (style, strategy) ->
+      let p = bool_store_program (expr_text n) in
+      classify_cc (Mips_cc.Ccgen.program ~style strategy p)
+
+(* truth-assignment environments for the first n+1 relations *)
+let environments n =
+  let pairs = [ ("a", "b"); ("c", "d"); ("e", "f"); ("rec", "key") ] in
+  let rec combos i =
+    if i > n then [ [] ]
+    else
+      let rest = combos (i + 1) in
+      let x, y = List.nth pairs i in
+      List.concat_map
+        (fun tail ->
+          [ (x, 1) :: (y, 1) :: tail;  (* relation true *)
+            (x, 1) :: (y, 2) :: tail ])
+        rest
+  in
+  combos 0
+
+let dynamic_classes support n =
+  match cc_config support with
+  | None ->
+      (* the MIPS set-conditionally code is branch-free: dynamic = static *)
+      static_classes support n
+  | Some (style, strategy) ->
+      let p = bool_store_program (expr_text n) in
+      let code = Mips_cc.Ccgen.program ~style strategy p in
+      let envs = environments n in
+      let totals =
+        List.fold_left
+          (fun (c, r, b) vars ->
+            let res = Mips_cc.Cceval.run ~style ~vars code in
+            ( c + res.Mips_cc.Cceval.compares,
+              r
+              + res.Mips_cc.Cceval.executed - res.Mips_cc.Cceval.compares
+                - res.Mips_cc.Cceval.branches,
+              b + res.Mips_cc.Cceval.branches ))
+          (0, 0, 0) envs
+      in
+      let c, r, b = totals in
+      let k = List.length envs in
+      (* rounded average, in instruction counts *)
+      { compares = c / k; regs = r / k; branches = b / k; mems = 0 }
+
+(* the paper charges a single-operator expression — both operand relations
+   and the connective — to "the operator"; the final store of the result is
+   not part of the evaluation, so one register-class instruction is
+   subtracted *)
+let drop_store c = { c with Snippets.regs = max 0 (c.Snippets.regs - 1) }
+
+let table5 () =
+  List.map
+    (fun s ->
+      ( s,
+        {
+          static_classes = drop_store (static_classes s 1);
+          dynamic_classes = drop_store (dynamic_classes s 1);
+        } ))
+    all_supports
+
+(* --- Table 6 ---------------------------------------------------------------- *)
+
+type cost_row = {
+  support : support;
+  store_cost : float;
+  jump_cost : float;
+  total_cost : float;
+}
+
+let weighted_f c = float_of_int (weighted c)
+
+let snippet_cost support ~jump n =
+  let build = if jump then bool_jump_program else bool_store_program in
+  match cc_config support with
+  | None ->
+      let p = build (expr_text n) in
+      weighted_f (sub_classes (mips_classes p) (mips_empty_classes ()))
+  | Some (style, strategy) ->
+      let p = build (expr_text n) in
+      weighted_f (classify_cc (Mips_cc.Ccgen.program ~style strategy p))
+
+(* linear interpolation to the measured fractional operator count *)
+let cost_at support ~jump e =
+  let w1 = snippet_cost support ~jump 1 in
+  let w2 = snippet_cost support ~jump 2 in
+  w1 +. ((e -. 1.) *. (w2 -. w1))
+
+let table6 ?stats () =
+  let stats = match stats with Some s -> s | None -> Bool_stats.of_corpus () in
+  let e = Float.max 1.0 (Bool_stats.avg_operators stats) in
+  let jf = Bool_stats.jump_fraction stats in
+  let sf = Bool_stats.store_fraction stats in
+  List.map
+    (fun support ->
+      let store_cost = cost_at support ~jump:false e in
+      let jump_cost = cost_at support ~jump:true e in
+      {
+        support;
+        store_cost;
+        jump_cost;
+        total_cost = (jf *. jump_cost) +. (sf *. store_cost);
+      })
+    all_supports
+
+let improvement rows better worse =
+  let find s = List.find (fun r -> r.support = s) rows in
+  let b = (find better).total_cost and w = (find worse).total_cost in
+  100. *. (w -. b) /. w

@@ -1,0 +1,156 @@
+open Mips_frontend
+
+type t = {
+  expressions : int;
+  ending_in_jumps : int;
+  ending_in_stores : int;
+  operators : int;
+  complex : int;
+}
+
+let zero =
+  { expressions = 0; ending_in_jumps = 0; ending_in_stores = 0; operators = 0;
+    complex = 0 }
+
+let add a b =
+  {
+    expressions = a.expressions + b.expressions;
+    ending_in_jumps = a.ending_in_jumps + b.ending_in_jumps;
+    ending_in_stores = a.ending_in_stores + b.ending_in_stores;
+    operators = a.operators + b.operators;
+    complex = a.complex + b.complex;
+  }
+
+(* operators inside one boolean expression *)
+let rec operator_count (e : Tast.expr) =
+  match e.Tast.e with
+  | Tast.Rel (_, a, b) -> 1 + subexpr_count a + subexpr_count b
+  | Tast.Log (_, a, b) -> 1 + operator_count a + operator_count b
+  | Tast.Not a -> 1 + operator_count a
+  | Tast.Lval _ | Tast.Boolean _ -> 0
+  | Tast.Call _ -> 0
+  | _ -> 0
+
+(* relations can nest boolean sub-expressions only via parenthesized
+   booleans compared with =/<>; count those too *)
+and subexpr_count (e : Tast.expr) =
+  match e.Tast.ty with Types.Bool -> operator_count e | _ -> 0
+
+let record acc ~jump e =
+  let ops = operator_count e in
+  if ops = 0 then acc  (* a bare variable/constant is not an expression to
+                          evaluate *)
+  else
+    add acc
+      {
+        expressions = 1;
+        ending_in_jumps = (if jump then 1 else 0);
+        ending_in_stores = (if jump then 0 else 1);
+        operators = ops;
+        complex = (if ops > 1 then 1 else 0);
+      }
+
+(* stored boolean values inside arbitrary expressions (arguments, operands
+   of comparisons, ...) *)
+let rec scan_expr acc (e : Tast.expr) =
+  match e.Tast.e with
+  | Tast.Num _ | Tast.Chr _ | Tast.Boolean _ -> acc
+  | Tast.Lval lv -> scan_lvalue acc lv
+  | Tast.Bin (_, a, b) -> scan_expr (scan_expr acc a) b
+  | Tast.Rel (_, a, b) -> scan_expr (scan_expr acc a) b
+  | Tast.Log (_, a, b) -> scan_expr (scan_expr acc a) b
+  | Tast.Not a | Tast.Neg a | Tast.Ord a | Tast.Chr_of a -> scan_expr acc a
+  | Tast.Call (_, args) ->
+      List.fold_left
+        (fun acc arg ->
+          match arg with
+          | Tast.By_value e ->
+              let acc =
+                if Types.equal_ty e.Tast.ty Types.Bool then record acc ~jump:false e
+                else acc
+              in
+              scan_expr acc e
+          | Tast.By_reference lv -> scan_lvalue acc lv)
+        acc args
+
+and scan_lvalue acc (lv : Tast.lvalue) =
+  List.fold_left
+    (fun acc sel ->
+      match sel with
+      | Tast.Index (e, _) -> scan_expr acc e
+      | Tast.Field _ -> acc)
+    acc lv.Tast.path
+
+let rec scan_stmt acc (s : Tast.stmt) =
+  match s with
+  | Tast.Assign (lv, e) ->
+      let acc = scan_lvalue acc lv in
+      let acc =
+        if Types.equal_ty e.Tast.ty Types.Bool then record acc ~jump:false e else acc
+      in
+      scan_expr acc e
+  | Tast.Assign_result e ->
+      let acc =
+        if Types.equal_ty e.Tast.ty Types.Bool then record acc ~jump:false e else acc
+      in
+      scan_expr acc e
+  | Tast.Call_stmt (_, args) ->
+      scan_expr acc
+        { Tast.e = Tast.Call ("", args); ty = Types.Int }
+  | Tast.If (c, a, b) ->
+      let acc = record acc ~jump:true c in
+      let acc = scan_expr acc c in
+      scan_stmts (scan_stmts acc a) b
+  | Tast.While (c, body) ->
+      let acc = record acc ~jump:true c in
+      let acc = scan_expr acc c in
+      scan_stmts acc body
+  | Tast.Repeat (body, c) ->
+      let acc = scan_stmts acc body in
+      let acc = record acc ~jump:true c in
+      scan_expr acc c
+  | Tast.For (_, lo, _, hi, body) ->
+      scan_stmts (scan_expr (scan_expr acc lo) hi) body
+  | Tast.Case (e, arms, default) ->
+      let acc = scan_expr acc e in
+      let acc = List.fold_left (fun a (_, b) -> scan_stmts a b) acc arms in
+      (match default with Some b -> scan_stmts acc b | None -> acc)
+  | Tast.Write (args, _) ->
+      List.fold_left
+        (fun acc arg ->
+          match arg with
+          | Tast.Wexpr e ->
+              let acc =
+                if Types.equal_ty e.Tast.ty Types.Bool then record acc ~jump:false e
+                else acc
+              in
+              scan_expr acc e
+          | Tast.Wstring _ -> acc)
+        acc args
+  | Tast.Read_char lv -> scan_lvalue acc lv
+  | Tast.Halt (Some e) -> scan_expr acc e
+  | Tast.Halt None -> acc
+
+and scan_stmts acc stmts = List.fold_left scan_stmt acc stmts
+
+let of_program (p : Tast.program) =
+  let acc = scan_stmts zero p.Tast.main in
+  List.fold_left (fun acc (f : Tast.func) -> scan_stmts acc f.Tast.body) acc p.Tast.funcs
+
+let of_corpus () =
+  List.fold_left
+    (fun acc (e : Mips_corpus.Corpus.entry) ->
+      add acc (of_program (Semant.check_string e.Mips_corpus.Corpus.source)))
+    zero Mips_corpus.Corpus.reference
+
+let avg_operators t =
+  if t.expressions = 0 then 0.
+  else float_of_int t.operators /. float_of_int t.expressions
+
+let jump_fraction t =
+  if t.expressions = 0 then 0.
+  else float_of_int t.ending_in_jumps /. float_of_int t.expressions
+
+let store_fraction t =
+  if t.expressions = 0 then 0.
+  else float_of_int t.ending_in_stores /. float_of_int t.expressions

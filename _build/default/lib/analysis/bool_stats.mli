@@ -1,0 +1,22 @@
+(** Table 4 — the shape of boolean expressions in the corpus.
+
+    "Average operators/boolean expression 1.66; Boolean expressions ending
+    in jumps 80.9%; ending in stores 19.1%."  An expression {e ends in a
+    jump} when it controls an if/while/repeat; it {e ends in a store} when
+    its 0/1 value is kept (assigned, passed, returned, written).  Operators
+    are the relational and logical connectives inside the expression. *)
+
+type t = {
+  expressions : int;
+  ending_in_jumps : int;
+  ending_in_stores : int;
+  operators : int;  (** relational + and/or/not, summed over expressions *)
+  complex : int;  (** expressions with more than one operator — where the
+                      conditional-set approach wins (Section 2.3.2) *)
+}
+
+val of_program : Mips_frontend.Tast.program -> t
+val of_corpus : unit -> t
+val avg_operators : t -> float
+val jump_fraction : t -> float
+val store_fraction : t -> float

@@ -1,0 +1,130 @@
+open Mips_isa
+
+type op = Load_array | Store_array | Load_byte | Store_byte | Load_word | Store_word
+
+let op_name = function
+  | Load_array -> "load from array"
+  | Store_array -> "store into array"
+  | Load_byte -> "load byte"
+  | Store_byte -> "store byte"
+  | Load_word -> "load word"
+  | Store_word -> "store word"
+
+let all_ops = [ Load_array; Store_array; Load_byte; Store_byte; Load_word; Store_word ]
+
+type op_cost = {
+  byte_machine : float;
+  byte_machine_overhead : float;
+  word_machine : float;
+}
+
+let overhead_pct = 15.
+
+(* the snippet procedure body for each operation; [i] and [v] are register
+   -resident parameters, [t] a register-resident local *)
+let body = function
+  | Load_array -> "t := a[i]"
+  | Store_array -> "a[i] := v"
+  | Load_byte -> "tc := s[i]"
+  | Store_byte -> "s[i] := vc"
+  | Load_word -> "t := y"
+  | Store_word -> "y := v"
+
+let snippet_program op_body =
+  Printf.sprintf
+    "program snippet; var a : array [0..63] of integer; s : packed array [0..63] \
+     of char; y : integer; procedure op(i, v : integer; vc : char); var t : \
+     integer; tc : char; begin %s end; begin end."
+    op_body
+
+(* weigh the pieces of the compiled operation: 4 cycles per data-memory
+   reference (times the fetch-overhead factor), 2 per ALU piece or long
+   immediate.  Synthetic references (the extra read inside a byte store's
+   read-modify-write) are excluded, exactly as the paper's accounting does:
+   "we ... ignore the extra read required to implement byte stores". *)
+let cost_lines ~factor lines =
+  List.fold_left
+    (fun acc line ->
+      match line with
+      | Mips_reorg.Asm.Label _ -> acc
+      | Mips_reorg.Asm.Ins { Mips_reorg.Asm.piece; note; _ } -> (
+          match piece with
+          | Piece.Mem (Mem.Load _ | Mem.Store _) ->
+              if note.Note.synthetic then acc else acc +. (4. *. factor)
+          | Piece.Mem (Mem.Limm _) -> acc +. 2.
+          | Piece.Alu _ -> acc +. 2.
+          | Piece.Branch _ | Piece.Nop -> acc))
+    0. lines
+
+(* the operation's cost is the whole-program cost minus an empty-bodied
+   twin's (prologue, parameter fetches and epilogue cancel) *)
+let op_cost_on config ~factor op =
+  let asm src = (Mips_codegen.Compile.to_asm ~config src).Mips_reorg.Asm.lines in
+  let with_op = asm (snippet_program (body op)) in
+  let empty = asm (snippet_program "") in
+  cost_lines ~factor with_op -. cost_lines ~factor empty
+
+let table9_for op =
+  {
+    word_machine = op_cost_on Mips_ir.Config.default ~factor:1.0 op;
+    byte_machine = op_cost_on Mips_ir.Config.byte_machine ~factor:1.0 op;
+    byte_machine_overhead =
+      op_cost_on Mips_ir.Config.byte_machine
+        ~factor:(1. +. (overhead_pct /. 100.))
+        op;
+  }
+
+let table9 () = List.map (fun op -> (op, table9_for op)) all_ops
+
+(* --- Table 10 ---------------------------------------------------------------- *)
+
+type machine_cost = {
+  m_byte_loads : float;
+  m_byte_stores : float;
+  m_word_loads : float;
+  m_word_stores : float;
+  m_total : float;
+}
+
+type table10 = {
+  word_alloc_on_mips : machine_cost;
+  byte_alloc_on_mips : machine_cost;
+  word_alloc_on_byte_machine : machine_cost;
+  byte_alloc_on_byte_machine : machine_cost;
+  penalty_word_alloc_pct : float;
+  penalty_byte_alloc_pct : float;
+}
+
+let mix_cost ~freqs ~cost_of =
+  let bl, bs, wl, ws = freqs in
+  let c_bl = bl *. cost_of Load_byte in
+  let c_bs = bs *. cost_of Store_byte in
+  let c_wl = wl *. cost_of Load_word in
+  let c_ws = ws *. cost_of Store_word in
+  {
+    m_byte_loads = c_bl;
+    m_byte_stores = c_bs;
+    m_word_loads = c_wl;
+    m_word_stores = c_ws;
+    m_total = c_bl +. c_bs +. c_wl +. c_ws;
+  }
+
+let table10 ~word_pattern ~byte_pattern =
+  let costs = table9 () in
+  let cost_mips op = (List.assoc op costs).word_machine in
+  let cost_byte op = (List.assoc op costs).byte_machine_overhead in
+  let wf = Refpatterns.frequencies word_pattern in
+  let bf = Refpatterns.frequencies byte_pattern in
+  let word_alloc_on_mips = mix_cost ~freqs:wf ~cost_of:cost_mips in
+  let byte_alloc_on_mips = mix_cost ~freqs:bf ~cost_of:cost_mips in
+  let word_alloc_on_byte_machine = mix_cost ~freqs:wf ~cost_of:cost_byte in
+  let byte_alloc_on_byte_machine = mix_cost ~freqs:bf ~cost_of:cost_byte in
+  let penalty a b = 100. *. ((a.m_total /. b.m_total) -. 1.) in
+  {
+    word_alloc_on_mips;
+    byte_alloc_on_mips;
+    word_alloc_on_byte_machine;
+    byte_alloc_on_byte_machine;
+    penalty_word_alloc_pct = penalty word_alloc_on_byte_machine word_alloc_on_mips;
+    penalty_byte_alloc_pct = penalty byte_alloc_on_byte_machine byte_alloc_on_mips;
+  }

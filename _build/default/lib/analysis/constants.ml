@@ -1,0 +1,55 @@
+type distribution = {
+  zero : int;
+  one : int;
+  two : int;
+  three_to_15 : int;
+  sixteen_to_255 : int;
+  above_255 : int;
+  total : int;
+}
+
+let of_constants cs =
+  let d =
+    ref { zero = 0; one = 0; two = 0; three_to_15 = 0; sixteen_to_255 = 0;
+          above_255 = 0; total = 0 }
+  in
+  List.iter
+    (fun c ->
+      let c = abs c in
+      let x = !d in
+      d :=
+        (if c = 0 then { x with zero = x.zero + 1 }
+         else if c = 1 then { x with one = x.one + 1 }
+         else if c = 2 then { x with two = x.two + 1 }
+         else if c <= 15 then { x with three_to_15 = x.three_to_15 + 1 }
+         else if c <= 255 then { x with sixteen_to_255 = x.sixteen_to_255 + 1 }
+         else { x with above_255 = x.above_255 + 1 });
+      d := { !d with total = !d.total + 1 })
+    cs;
+  !d
+
+let of_corpus () =
+  let all =
+    List.concat_map
+      (fun (e : Mips_corpus.Corpus.entry) ->
+        let asm = Mips_codegen.Compile.to_asm e.Mips_corpus.Corpus.source in
+        Mips_codegen.Emit.collect_constants asm)
+      Mips_corpus.Corpus.reference
+  in
+  of_constants all
+
+let percent d n = if d.total = 0 then 0. else 100. *. float_of_int n /. float_of_int d.total
+
+let coverage_imm4 d =
+  percent d (d.zero + d.one + d.two + d.three_to_15) /. 100.
+
+let coverage_imm8 d =
+  percent d (d.zero + d.one + d.two + d.three_to_15 + d.sixteen_to_255) /. 100.
+
+let rows d =
+  [ ("0", d.zero, percent d d.zero);
+    ("1", d.one, percent d d.one);
+    ("2", d.two, percent d d.two);
+    ("3 - 15", d.three_to_15, percent d d.three_to_15);
+    ("16 - 255", d.sixteen_to_255, percent d d.sixteen_to_255);
+    ("> 255", d.above_255, percent d d.above_255) ]

@@ -1,0 +1,38 @@
+(** Table 1 — distribution of constants in compiled programs.
+
+    "Table 1 contains the distribution of constants (in magnitudes) found in
+    a collection of Pascal programs."  We regenerate it by scanning every
+    immediate constant in the corpus's compiled code: inline 4-bit
+    constants, 8-bit move immediates, long immediates, and displacement
+    fields. *)
+
+type distribution = {
+  zero : int;
+  one : int;
+  two : int;
+  three_to_15 : int;
+  sixteen_to_255 : int;
+  above_255 : int;
+  total : int;
+}
+
+val of_constants : int list -> distribution
+(** Bucket a list of constant magnitudes. *)
+
+val of_corpus : unit -> distribution
+(** Scan the whole corpus (word-addressed machine, default strategy). *)
+
+val percent : distribution -> int -> float
+(** A bucket count as a percentage of the total. *)
+
+val coverage_imm4 : distribution -> float
+(** Fraction of constants expressible as the 4-bit inline immediate
+    (magnitude <= 15) — the paper: "a 4-bit constant should cover
+    approximately 70% of the cases". *)
+
+val coverage_imm8 : distribution -> float
+(** Fraction expressible by the 8-bit move immediate (<= 255) — the paper:
+    "the special 8-bit constant will catch all but 5%". *)
+
+val rows : distribution -> (string * int * float) list
+(** (bucket label, count, percentage) in the paper's order. *)

@@ -1,0 +1,138 @@
+(* Figures 1-4: the paper's worked examples, regenerated from our own
+   compilers.
+
+   Figures 1-3 evaluate the paper's expression
+       Found := (Rec = Key) OR (I = 13)
+   under full evaluation and early-out on the CC machine (Figure 1), with
+   the conditional-set instruction (Figure 2), and with the MIPS set
+   -conditionally instruction (Figure 3).  Figure 4 shows a fragment before
+   and after reorganization, packing and branch-delay filling. *)
+
+let paper_expr = "(rec = key) or (i = 13)"
+
+type bool_fig = {
+  title : string;
+  code : string;  (* pretty-printed instructions *)
+  static_instructions : int;
+  static_branches : int;
+  avg_dynamic : float;  (* averaged over the four truth combinations *)
+  avg_branches : float;
+}
+
+let truth_envs =
+  (* rec/key equal or not x i = 13 or not *)
+  [ [ ("rec", 1); ("key", 1); ("i", 13) ];
+    [ ("rec", 1); ("key", 1); ("i", 7) ];
+    [ ("rec", 1); ("key", 2); ("i", 13) ];
+    [ ("rec", 1); ("key", 2); ("i", 7) ] ]
+
+let cc_figure title style strategy =
+  let prog = Snippets.bool_store_program paper_expr in
+  let code = Mips_cc.Ccgen.program ~style strategy prog in
+  (* drop the trailing ret and leading label for counting, as the paper
+     shows just the evaluation sequence *)
+  let body =
+    List.filter
+      (fun i ->
+        match i with Mips_cc.Cc.Label _ | Mips_cc.Cc.Ret _ -> false | _ -> true)
+      code
+  in
+  let runnable =
+    List.filter (fun i -> match i with Mips_cc.Cc.Ret _ -> false | _ -> true) code
+  in
+  let dyn =
+    List.map (fun vars -> Mips_cc.Cceval.run ~style ~vars runnable) truth_envs
+  in
+  let avg f = List.fold_left (fun a r -> a +. f r) 0. dyn /. 4. in
+  {
+    title;
+    code = Format.asprintf "%a" Mips_cc.Cc.pp_program code;
+    static_instructions = List.length body;
+    static_branches =
+      List.length (List.filter Mips_cc.Cc.is_branch body);
+    avg_dynamic = avg (fun r -> float_of_int r.Mips_cc.Cceval.executed);
+    avg_branches = avg (fun r -> float_of_int r.Mips_cc.Cceval.branches);
+  }
+
+let figure1_full () =
+  cc_figure "Figure 1, full evaluation (CC, branch access only)"
+    Mips_cc.Cc.vax_style Mips_cc.Ccgen.Full_eval
+
+let figure1_early_out () =
+  cc_figure "Figure 1, early-out evaluation" Mips_cc.Cc.vax_style
+    Mips_cc.Ccgen.Early_out
+
+let figure2_cond_set () =
+  cc_figure "Figure 2, conditional set on the CC machine" Mips_cc.Cc.m68000_style
+    Mips_cc.Ccgen.Cond_set
+
+(* Figure 3: MIPS set-conditionally.  Branch-free, so dynamic = static. *)
+let figure3_mips () =
+  let prog = Snippets.bool_store_program paper_expr in
+  let asm = Mips_codegen.Compile.to_asm_checked prog in
+  let interesting =
+    List.filter
+      (fun line ->
+        match line with
+        | Mips_reorg.Asm.Ins
+            { Mips_reorg.Asm.piece =
+                Mips_isa.Piece.Alu (Mips_isa.Alu.Setc _ | Mips_isa.Alu.Binop _);
+              _ }
+        | Mips_reorg.Asm.Ins
+            { Mips_reorg.Asm.piece = Mips_isa.Piece.Mem (Mips_isa.Mem.Store _); _ }
+          ->
+            true
+        | _ -> false)
+      asm.Mips_reorg.Asm.lines
+  in
+  let classes = Snippets.classify_mips_lines interesting in
+  let n = classes.Snippets.compares + classes.Snippets.regs in
+  {
+    title = "Figure 3, MIPS set conditionally";
+    code =
+      Format.asprintf "@[<v>%a@]"
+        (Format.pp_print_list Mips_reorg.Asm.pp_line)
+        interesting;
+    static_instructions = n;
+    static_branches = 0;
+    avg_dynamic = float_of_int n;
+    avg_branches = 0.;
+  }
+
+(* Figure 4: reorganization, packing and branch delay on a fragment shaped
+   like the paper's (a load feeding a conditional branch over a subtract/
+   store, with an independent tail). *)
+let figure4_fragment =
+  let open Mips_isa in
+  let rr i = Operand.reg (Reg.r i) in
+  [ Mips_reorg.Asm.label "entry";
+    Mips_reorg.Asm.ins (Piece.Mem (Mem.Load (Mem.W32, Mem.Disp (Reg.fp, 2), Reg.r 0)));
+    Mips_reorg.Asm.ins (Piece.Branch (Branch.Cbr (Cond.Le, rr 0, Operand.imm4 1, "l1")));
+    Mips_reorg.Asm.ins (Piece.Alu (Alu.Binop (Alu.Sub, rr 0, Operand.imm4 1, Reg.r 2)));
+    Mips_reorg.Asm.ins (Piece.Mem (Mem.Store (Mem.W32, Reg.r 2, Mem.Disp (Reg.fp, 2))));
+    Mips_reorg.Asm.ins (Piece.Mem (Mem.Load (Mem.W32, Mem.Disp (Reg.fp, 3), Reg.r 5)));
+    Mips_reorg.Asm.ins (Piece.Alu (Alu.Binop (Alu.Add, rr 5, rr 0, Reg.r 0)));
+    Mips_reorg.Asm.ins (Piece.Alu (Alu.Binop (Alu.Add, Operand.imm4 1, rr 4, Reg.r 4)));
+    Mips_reorg.Asm.ins (Piece.Branch (Branch.Jump "l3"));
+    Mips_reorg.Asm.label "l1";
+    Mips_reorg.Asm.ins (Piece.Alu (Alu.Mov (Operand.imm4 0, Reg.r 4)));
+    Mips_reorg.Asm.label "l3";
+    Mips_reorg.Asm.ins (Piece.Branch (Branch.Trap 1)) ]
+
+type fig4 = {
+  before : string;  (* naive listing with no-ops *)
+  after : string;  (* fully reorganized listing *)
+  before_words : int;
+  after_words : int;
+}
+
+let figure4 () =
+  let prog = Mips_reorg.Asm.make ~entry:"entry" figure4_fragment in
+  let show level =
+    let p = Mips_reorg.Pipeline.compile ~level prog in
+    ( Format.asprintf "%a" Mips_machine.Program.pp_listing p,
+      Mips_machine.Program.static_count p )
+  in
+  let before, before_words = show Mips_reorg.Pipeline.Naive in
+  let after, after_words = show Mips_reorg.Pipeline.Delay_filled in
+  { before; after; before_words; after_words }

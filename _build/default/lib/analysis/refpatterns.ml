@@ -1,0 +1,113 @@
+open Mips_machine
+
+type pattern = {
+  loads : int;
+  stores : int;
+  byte_loads : int;
+  byte_stores : int;
+  word_loads : int;
+  word_stores : int;
+  char_loads : int;
+  char_stores : int;
+  char_byte_loads : int;
+  char_byte_stores : int;
+  free_cycle_fraction : float;
+  cycles : int;
+}
+
+let heavy (e : Mips_corpus.Corpus.entry) =
+  List.exists
+    (fun t -> String.equal t.Mips_corpus.Corpus.name e.Mips_corpus.Corpus.name)
+    Mips_corpus.Corpus.table11
+
+let run ?(include_heavy = true) config entries =
+  let z =
+    {
+      loads = 0; stores = 0; byte_loads = 0; byte_stores = 0; word_loads = 0;
+      word_stores = 0; char_loads = 0; char_stores = 0; char_byte_loads = 0;
+      char_byte_stores = 0; free_cycle_fraction = 0.; cycles = 0;
+    }
+  in
+  let free_weighted = ref 0. in
+  let acc =
+    List.fold_left
+      (fun acc (e : Mips_corpus.Corpus.entry) ->
+        if heavy e && not include_heavy then acc
+        else begin
+          let res, cpu =
+            Mips_codegen.Compile.run_with_machine ~config ~fuel:200_000_000
+              ~input:e.Mips_corpus.Corpus.input e.Mips_corpus.Corpus.source
+          in
+          if not res.Hosted.halted || res.Hosted.fault <> None then
+            invalid_arg ("Refpatterns: " ^ e.Mips_corpus.Corpus.name ^ " failed");
+          let s = Cpu.stats cpu in
+          free_weighted :=
+            !free_weighted +. (Stats.free_cycle_fraction s *. float_of_int s.Stats.cycles);
+          {
+            loads = acc.loads + Stats.total_loads s;
+            stores = acc.stores + Stats.total_stores s;
+            byte_loads =
+              acc.byte_loads + s.Stats.byte_refs.Stats.loads
+              + s.Stats.byte_char_refs.Stats.loads;
+            byte_stores =
+              acc.byte_stores + s.Stats.byte_refs.Stats.stores
+              + s.Stats.byte_char_refs.Stats.stores;
+            word_loads =
+              acc.word_loads + s.Stats.word_refs.Stats.loads
+              + s.Stats.word_char_refs.Stats.loads;
+            word_stores =
+              acc.word_stores + s.Stats.word_refs.Stats.stores
+              + s.Stats.word_char_refs.Stats.stores;
+            char_loads =
+              acc.char_loads + s.Stats.word_char_refs.Stats.loads
+              + s.Stats.byte_char_refs.Stats.loads;
+            char_stores =
+              acc.char_stores + s.Stats.word_char_refs.Stats.stores
+              + s.Stats.byte_char_refs.Stats.stores;
+            char_byte_loads = acc.char_byte_loads + s.Stats.byte_char_refs.Stats.loads;
+            char_byte_stores =
+              acc.char_byte_stores + s.Stats.byte_char_refs.Stats.stores;
+            free_cycle_fraction = 0.;
+            cycles = acc.cycles + s.Stats.cycles;
+          }
+        end)
+      z entries
+  in
+  {
+    acc with
+    free_cycle_fraction =
+      (if acc.cycles = 0 then 0. else !free_weighted /. float_of_int acc.cycles);
+  }
+
+(* these dominate wall-clock time (the Puzzle runs), so memoize: the corpus
+   is fixed and the simulator deterministic *)
+let cache : (string * bool, pattern) Hashtbl.t = Hashtbl.create 4
+
+let memo key thunk =
+  match Hashtbl.find_opt cache key with
+  | Some p -> p
+  | None ->
+      let p = thunk () in
+      Hashtbl.replace cache key p;
+      p
+
+let word_allocated ?(include_heavy = false) () =
+  memo ("word", include_heavy) (fun () ->
+      run ~include_heavy Mips_ir.Config.default Mips_corpus.Corpus.all)
+
+let byte_allocated ?(include_heavy = false) () =
+  memo ("byte", include_heavy) (fun () ->
+      run ~include_heavy Mips_ir.Config.byte_machine Mips_corpus.Corpus.all)
+
+let total p = p.loads + p.stores
+
+let pct p n =
+  let t = total p in
+  if t = 0 then 0. else 100. *. float_of_int n /. float_of_int t
+
+let frequencies p =
+  let t = float_of_int (total p) in
+  ( float_of_int p.byte_loads /. t,
+    float_of_int p.byte_stores /. t,
+    float_of_int p.word_loads /. t,
+    float_of_int p.word_stores /. t )

@@ -1,0 +1,46 @@
+(** Tables 7 and 8 — dynamic data-reference patterns.
+
+    The corpus is executed to completion on the simulator and every data
+    reference is classified by the compiler's annotations: load vs store,
+    byte-sized vs word-sized object, character vs other data.  Table 7 is
+    the word-allocated world (the word-addressed MIPS: characters take full
+    words unless packed); Table 8 is the byte-allocated world (the
+    byte-addressed machine: all characters and booleans are bytes). *)
+
+type pattern = {
+  loads : int;
+  stores : int;
+  byte_loads : int;
+  byte_stores : int;
+  word_loads : int;
+  word_stores : int;
+  char_loads : int;
+  char_stores : int;
+  char_byte_loads : int;
+  char_byte_stores : int;
+  free_cycle_fraction : float;  (** Section 3.1's measurement, as a bonus *)
+  cycles : int;
+}
+
+val run :
+  ?include_heavy:bool -> Mips_ir.Config.t -> Mips_corpus.Corpus.entry list -> pattern
+(** Execute the programs under the given code-generation configuration and
+    aggregate.  [include_heavy] additionally includes the Table 11
+    benchmark trio (fib and the Puzzles) — the paper kept those out of its
+    reference-pattern corpus, and their boolean-array scans dominate the
+    mix when let in. *)
+
+val word_allocated : ?include_heavy:bool -> unit -> pattern
+(** Table 7: the reference corpus on the word-addressed machine
+    ([include_heavy] defaults to false). *)
+
+val byte_allocated : ?include_heavy:bool -> unit -> pattern
+(** Table 8: the reference corpus on the byte-addressed machine. *)
+
+val total : pattern -> int
+val pct : pattern -> int -> float
+(** Count as a percentage of all data references. *)
+
+val frequencies : pattern -> float * float * float * float
+(** (byte loads, byte stores, word loads, word stores) as fractions of all
+    references — the inputs to Table 10. *)

@@ -1,0 +1,285 @@
+let line ppf fmt = Format.fprintf ppf (fmt ^^ "@,")
+let header ppf title = Format.fprintf ppf "@,=== %s ===@," title
+let vbox ppf f =
+  Format.fprintf ppf "@[<v>";
+  f ();
+  Format.fprintf ppf "@]@."
+
+(* --- Table 1 ----------------------------------------------------------- *)
+
+let table1 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 1: Constant distribution in compiled programs";
+      let d = Constants.of_corpus () in
+      line ppf "%-12s %10s %10s" "magnitude" "count" "percent";
+      List.iter
+        (fun (label, n, p) -> line ppf "%-12s %10d %9.1f%%" label n p)
+        (Constants.rows d);
+      line ppf "total constants: %d" d.Constants.total;
+      line ppf "4-bit inline immediate covers  %5.1f%%  (paper: ~70%%)"
+        (100. *. Constants.coverage_imm4 d);
+      line ppf "8-bit move immediate covers    %5.1f%%  (paper: ~95%%)"
+        (100. *. Constants.coverage_imm8 d))
+
+(* --- Table 2 ----------------------------------------------------------- *)
+
+let table2 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 2: Condition code operations (taxonomy)";
+      line ppf "%-10s %-30s %-20s" "machine" "condition code" "access";
+      List.iter
+        (fun m ->
+          let name, cc, access = Mips_cc.Taxonomy.row m in
+          line ppf "%-10s %-30s %-20s" name cc access)
+        Mips_cc.Taxonomy.machines)
+
+(* --- Table 3 ----------------------------------------------------------- *)
+
+let table3 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 3: Use of condition codes (static, over the corpus)";
+      let s = Mips_cc.Ccstats.of_corpus Mips_cc.Cc.vax_style in
+      let pct n =
+        100. *. float_of_int n /. float_of_int (max 1 s.Mips_cc.Ccstats.compares)
+      in
+      line ppf "compares without condition codes        %6d"
+        s.Mips_cc.Ccstats.compares;
+      line ppf "compares saved, CC set by operators     %6d  (%.1f%%; paper: 1.1%%)"
+        s.Mips_cc.Ccstats.saved_by_ops
+        (pct s.Mips_cc.Ccstats.saved_by_ops);
+      line ppf "compares saved, CC set by ops and moves %6d"
+        s.Mips_cc.Ccstats.saved_by_ops_and_moves;
+      line ppf "moves used only to set condition code   %6d"
+        s.Mips_cc.Ccstats.moves_only_for_cc;
+      line ppf "total compares genuinely saved          %6d  (%.1f%%; paper: 2.1%%)"
+        s.Mips_cc.Ccstats.genuinely_saved
+        (pct s.Mips_cc.Ccstats.genuinely_saved))
+
+(* --- Table 4 ----------------------------------------------------------- *)
+
+let table4 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 4: Boolean expressions (corpus shape)";
+      let b = Bool_stats.of_corpus () in
+      line ppf "boolean expressions                     %6d" b.Bool_stats.expressions;
+      line ppf "average operators/boolean expression    %6.2f  (paper: 1.66)"
+        (Bool_stats.avg_operators b);
+      line ppf "ending in jumps                         %5.1f%%  (paper: 80.9%%)"
+        (100. *. Bool_stats.jump_fraction b);
+      line ppf "ending in stores                        %5.1f%%  (paper: 19.1%%)"
+        (100. *. Bool_stats.store_fraction b);
+      line ppf "complex (more than one operator)        %6d" b.Bool_stats.complex)
+
+(* --- Tables 5 and 6 ------------------------------------------------------ *)
+
+let table5 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 5: Compare/Register/Branch instructions per boolean operator";
+      line ppf "%-44s %-10s %-10s" "support" "static" "dynamic";
+      List.iter
+        (fun (s, p) ->
+          let f (c : Snippets.classes) =
+            Printf.sprintf "%d/%d/%d" c.Snippets.compares c.Snippets.regs
+              c.Snippets.branches
+          in
+          line ppf "%-44s %-10s %-10s" (Bool_cost.support_name s)
+            (f p.Bool_cost.static_classes)
+            (f p.Bool_cost.dynamic_classes))
+        (Bool_cost.table5 ()))
+
+let table6 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 6: Cost of evaluating boolean expressions (reg=1 cmp=2 br=4)";
+      let stats = Bool_stats.of_corpus () in
+      let rows = Bool_cost.table6 ~stats () in
+      line ppf "%-44s %8s %8s %8s" "support" "store" "jump" "total";
+      List.iter
+        (fun (r : Bool_cost.cost_row) ->
+          line ppf "%-44s %8.1f %8.1f %8.1f"
+            (Bool_cost.support_name r.Bool_cost.support)
+            r.Bool_cost.store_cost r.Bool_cost.jump_cost r.Bool_cost.total_cost)
+        rows;
+      line ppf "improvement, conditional set over CC+branch:  %5.1f%%  (paper: 33.0%%)"
+        (Bool_cost.improvement rows Bool_cost.Cc_condset Bool_cost.Cc_branch_full);
+      line ppf "improvement, set conditionally over CC+branch: %5.1f%% (paper: 53.5%%)"
+        (Bool_cost.improvement rows Bool_cost.Mips_setcond Bool_cost.Cc_branch_full);
+      line ppf "improvement, set conditionally over early-out: %5.1f%% (paper: 36.5%%)"
+        (Bool_cost.improvement rows Bool_cost.Mips_setcond Bool_cost.Cc_branch_early))
+
+(* --- Tables 7 and 8 ------------------------------------------------------ *)
+
+let pattern_table title paper_lines ppf (p : Refpatterns.pattern) =
+  header ppf title;
+  let pct = Refpatterns.pct p in
+  line ppf "all data references: %.1f%% loads, %.1f%% stores  (paper: 71.2 / 28.7)"
+    (pct p.Refpatterns.loads) (pct p.Refpatterns.stores);
+  line ppf "  8-bit loads   %5.1f%%    32-bit loads   %5.1f%%"
+    (pct p.Refpatterns.byte_loads) (pct p.Refpatterns.word_loads);
+  line ppf "  8-bit stores  %5.1f%%    32-bit stores  %5.1f%%"
+    (pct p.Refpatterns.byte_stores) (pct p.Refpatterns.word_stores);
+  let creftotal = p.Refpatterns.char_loads + p.Refpatterns.char_stores in
+  if creftotal > 0 then begin
+    let cpct n = 100. *. float_of_int n /. float_of_int creftotal in
+    line ppf "character references: %.1f%% loads, %.1f%% stores"
+      (cpct p.Refpatterns.char_loads) (cpct p.Refpatterns.char_stores);
+    line ppf "  8-bit char loads  %5.1f%%   32-bit char loads  %5.1f%% (of all refs)"
+      (pct p.Refpatterns.char_byte_loads)
+      (pct (p.Refpatterns.char_loads - p.Refpatterns.char_byte_loads));
+    line ppf "  8-bit char stores %5.1f%%   32-bit char stores %5.1f%%"
+      (pct p.Refpatterns.char_byte_stores)
+      (pct (p.Refpatterns.char_stores - p.Refpatterns.char_byte_stores))
+  end;
+  line ppf "%s" paper_lines
+
+let table7 ?include_heavy ppf =
+  vbox ppf (fun () ->
+      pattern_table "Table 7: Data reference patterns, word-allocated programs"
+        "(paper: 8-bit loads 2.6%, 32-bit loads 68.6%, 8-bit stores 2.6%, 32-bit stores 26.2%)"
+        ppf
+        (Refpatterns.word_allocated ?include_heavy ()))
+
+let table8 ?include_heavy ppf =
+  vbox ppf (fun () ->
+      pattern_table "Table 8: Data reference patterns, byte-allocated programs"
+        "(paper: 8-bit loads 6.6%, 32-bit loads 64.6%, 8-bit stores 5.9%, 32-bit stores 22.9%)"
+        ppf
+        (Refpatterns.byte_allocated ?include_heavy ()))
+
+(* --- Tables 9 and 10 ------------------------------------------------------ *)
+
+let table9 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 9: Cost of byte operations (cycles; mem=4, alu=2)";
+      line ppf "%-18s %12s %12s %12s" "operation" "byte machine" "byte +15%"
+        "MIPS (word)";
+      List.iter
+        (fun (op, (c : Byte_cost.op_cost)) ->
+          line ppf "%-18s %12.1f %12.1f %12.1f" (Byte_cost.op_name op)
+            c.Byte_cost.byte_machine c.Byte_cost.byte_machine_overhead
+            c.Byte_cost.word_machine)
+        (Byte_cost.table9 ()))
+
+let table10 ?include_heavy ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 10: Cost per average data reference, word vs byte addressing";
+      let wp = Refpatterns.word_allocated ?include_heavy () in
+      let bp = Refpatterns.byte_allocated ?include_heavy () in
+      let t = Byte_cost.table10 ~word_pattern:wp ~byte_pattern:bp in
+      let row name (m : Byte_cost.machine_cost) =
+        line ppf "%-34s %6.3f + %6.3f + %6.3f + %6.3f = %6.3f" name
+          m.Byte_cost.m_byte_loads m.Byte_cost.m_byte_stores
+          m.Byte_cost.m_word_loads m.Byte_cost.m_word_stores m.Byte_cost.m_total
+      in
+      line ppf "%-34s %s" ""
+        "byte-lds  byte-sts  word-lds  word-sts   total";
+      row "word-allocated mix on MIPS" t.Byte_cost.word_alloc_on_mips;
+      row "byte-allocated mix on MIPS" t.Byte_cost.byte_alloc_on_mips;
+      row "word-allocated mix on byte machine" t.Byte_cost.word_alloc_on_byte_machine;
+      row "byte-allocated mix on byte machine" t.Byte_cost.byte_alloc_on_byte_machine;
+      line ppf "byte-addressing penalty, word-allocated mix: %5.1f%%  (paper: 9 - 11.8%%)"
+        t.Byte_cost.penalty_word_alloc_pct;
+      line ppf "byte-addressing penalty, byte-allocated mix: %5.1f%%  (paper: 7.7 - 14.6%%)"
+        t.Byte_cost.penalty_byte_alloc_pct)
+
+(* --- Table 11 ------------------------------------------------------------- *)
+
+let table11 ppf =
+  vbox ppf (fun () ->
+      header ppf "Table 11: Cumulative static improvements with postpass optimization";
+      line ppf "%-12s %8s %8s %8s %8s %12s" "program" "none" "reorg" "pack"
+        "delay" "improvement";
+      List.iter
+        (fun (r : Table11.row) ->
+          match List.map snd r.Table11.counts with
+          | [ a; b; c; d ] ->
+              line ppf "%-12s %8d %8d %8d %8d %11.1f%%" r.Table11.program a b c d
+                r.Table11.improvement_pct
+          | _ -> ())
+        (Table11.run ());
+      line ppf "(paper: fib 20.6%%, puzzle-subscript 24.8%%, puzzle-pointer 35.1%%)")
+
+(* --- figures ---------------------------------------------------------------- *)
+
+let bool_fig ppf (f : Figures.bool_fig) =
+  header ppf f.Figures.title;
+  line ppf "%s" f.Figures.code;
+  line ppf "%d static instructions, %d static branches" f.Figures.static_instructions
+    f.Figures.static_branches;
+  line ppf "average %.2f instructions, %.2f branches executed" f.Figures.avg_dynamic
+    f.Figures.avg_branches
+
+let figures1to3 ppf =
+  vbox ppf (fun () ->
+      bool_fig ppf (Figures.figure1_full ());
+      line ppf "(paper: 8 static, 2 branches, average 7 executed)";
+      bool_fig ppf (Figures.figure1_early_out ());
+      line ppf "(paper: 6 static, average 4.25 executed, one branch on average)";
+      bool_fig ppf (Figures.figure2_cond_set ());
+      line ppf "(paper: 5 instructions, no branches)";
+      bool_fig ppf (Figures.figure3_mips ());
+      line ppf "(paper: 3 instructions, no branches)")
+
+let figure4 ppf =
+  vbox ppf (fun () ->
+      header ppf "Figure 4: Reorganization, packing, and branch delay";
+      let f = Figures.figure4 () in
+      line ppf "-- legal code with no-ops (%d words):" f.Figures.before_words;
+      line ppf "%s" f.Figures.before;
+      line ppf "-- reorganized code (%d words):" f.Figures.after_words;
+      line ppf "%s" f.Figures.after)
+
+(* --- systems measurements ------------------------------------------------------ *)
+
+let free_cycles ?include_heavy ppf =
+  vbox ppf (fun () ->
+      header ppf "Section 3.1: free memory cycles";
+      let p = Refpatterns.word_allocated ?include_heavy () in
+      line ppf "fraction of issue slots with an idle data-memory port: %.1f%%"
+        (100. *. p.Refpatterns.free_cycle_fraction);
+      line ppf "(paper: \"the wasted bandwidth came close to 40%%\")")
+
+let context_switches ppf =
+  vbox ppf (fun () ->
+      header ppf "Section 3.2: context switches";
+      let os_config =
+        { Mips_ir.Config.default with
+          Mips_ir.Config.stack_top = Mips_os.Kernel.user_stack_top }
+      in
+      let k = Mips_os.Kernel.create ~quantum:400 () in
+      List.iter
+        (fun name ->
+          let e = Mips_corpus.Corpus.find name in
+          Mips_os.Kernel.spawn k ~input:e.Mips_corpus.Corpus.input ~name
+            (Mips_codegen.Compile.compile ~config:os_config
+               e.Mips_corpus.Corpus.source))
+        [ "fib"; "sieve"; "strops" ];
+      let r = Mips_os.Kernel.run k in
+      line ppf "processes run to completion: %d" (List.length r.Mips_os.Kernel.procs);
+      line ppf "context switches: %d (timer interrupts %d)" r.Mips_os.Kernel.switches
+        r.Mips_os.Kernel.interrupts;
+      line ppf "page faults: %d, evictions: %d" r.Mips_os.Kernel.page_faults
+        r.Mips_os.Kernel.evictions;
+      line ppf "cycles per switch (16 saves + 16 restores at full bandwidth + dispatch): %d"
+        r.Mips_os.Kernel.switch_cycle_cost;
+      line ppf "page-map changes performed during switches: %d"
+        r.Mips_os.Kernel.map_changes_during_switches;
+      line ppf
+        "(paper: \"the on-chip segmentation means that most context switches do \
+         not require changes to the memory map\")")
+
+let print_all ?include_heavy ppf =
+  table1 ppf;
+  table2 ppf;
+  table3 ppf;
+  table4 ppf;
+  table5 ppf;
+  table6 ppf;
+  table7 ?include_heavy ppf;
+  table8 ?include_heavy ppf;
+  table9 ppf;
+  table10 ?include_heavy ppf;
+  table11 ppf;
+  figures1to3 ppf;
+  figure4 ppf;
+  free_cycles ?include_heavy ppf;
+  context_switches ppf

@@ -1,0 +1,32 @@
+(** Paper-style printing of every reproduced table and figure.
+
+    Each printer takes a formatter and regenerates its experiment from
+    scratch (corpus compilation and, for the dynamic tables, simulation), so
+    [print_all] is the one-stop reproduction of the paper's evaluation.
+    The bench harness and the [mipsc report] command both use these. *)
+
+val table1 : Format.formatter -> unit
+val table2 : Format.formatter -> unit
+val table3 : Format.formatter -> unit
+val table4 : Format.formatter -> unit
+val table5 : Format.formatter -> unit
+val table6 : Format.formatter -> unit
+
+val table7 : ?include_heavy:bool -> Format.formatter -> unit
+val table8 : ?include_heavy:bool -> Format.formatter -> unit
+
+val table9 : Format.formatter -> unit
+val table10 : ?include_heavy:bool -> Format.formatter -> unit
+val table11 : Format.formatter -> unit
+
+val figures1to3 : Format.formatter -> unit
+val figure4 : Format.formatter -> unit
+
+val free_cycles : ?include_heavy:bool -> Format.formatter -> unit
+(** Section 3.1's free-memory-cycle measurement. *)
+
+val context_switches : Format.formatter -> unit
+(** Section 3.2: context-switch traffic and the map-untouched property,
+    measured on a small multi-programmed OS run. *)
+
+val print_all : ?include_heavy:bool -> Format.formatter -> unit

@@ -1,0 +1,36 @@
+(* Table 11 — cumulative static-instruction-count improvements from the
+   postpass reorganizer, on the paper's three benchmarks. *)
+
+type row = {
+  program : string;
+  counts : (Mips_reorg.Pipeline.level * int) list;  (* static words per level *)
+  improvement_pct : float;  (* none -> branch delay *)
+}
+
+let analyze_program name source =
+  let asm = Mips_codegen.Compile.to_asm source in
+  let counts =
+    List.map
+      (fun level ->
+        (level, Mips_machine.Program.static_count (Mips_reorg.Pipeline.compile ~level asm)))
+      Mips_reorg.Pipeline.all_levels
+  in
+  let naive = List.assoc Mips_reorg.Pipeline.Naive counts in
+  let final = List.assoc Mips_reorg.Pipeline.Delay_filled counts in
+  {
+    program = name;
+    counts;
+    improvement_pct = 100. *. float_of_int (naive - final) /. float_of_int naive;
+  }
+
+let run () =
+  List.map
+    (fun (e : Mips_corpus.Corpus.entry) ->
+      analyze_program e.Mips_corpus.Corpus.name e.Mips_corpus.Corpus.source)
+    Mips_corpus.Corpus.table11
+
+let run_full_corpus () =
+  List.map
+    (fun (e : Mips_corpus.Corpus.entry) ->
+      analyze_program e.Mips_corpus.Corpus.name e.Mips_corpus.Corpus.source)
+    Mips_corpus.Corpus.all

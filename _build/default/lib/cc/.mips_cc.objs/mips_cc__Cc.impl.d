@@ -1,0 +1,1 @@
+lib/cc/cc.pp.ml: Format List Mips_isa Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/cc/cc.pp.mli: Format Mips_isa Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/cc/cceval.pp.ml: Array Cc Hashtbl List Mips_isa

@@ -1,0 +1,1 @@
+lib/cc/cceval.pp.mli: Cc

@@ -1,0 +1,1 @@
+lib/cc/ccgen.pp.ml: Cc Char List Mips_frontend Mips_isa Printf Tast

@@ -1,0 +1,1 @@
+lib/cc/ccgen.pp.mli: Cc Mips_frontend

@@ -1,0 +1,1 @@
+lib/cc/ccstats.pp.ml: Array Cc Ccgen List Mips_corpus Mips_frontend

@@ -1,0 +1,1 @@
+lib/cc/ccstats.pp.mli: Cc Ccgen

@@ -1,0 +1,126 @@
+open Cc
+
+type result = {
+  env : (string * int) list;
+  executed : int;
+  branches : int;
+  compares : int;
+  cost : int;
+}
+
+exception Unsupported of Cc.instr
+
+type state = {
+  regs : (int, int) Hashtbl.t;
+  vars : (string, int) Hashtbl.t;
+  mutable cc : int;  (* the last comparison result, as a signum *)
+  mutable executed : int;
+  mutable branches : int;
+  mutable compares : int;
+  mutable cost : int;
+}
+
+let read st = function
+  | Imm n -> n
+  | Reg r -> ( match Hashtbl.find_opt st.regs r with Some v -> v | None -> 0)
+  | Var v -> ( match Hashtbl.find_opt st.vars v with Some v -> v | None -> 0)
+
+let write st dst v =
+  match dst with
+  | Reg r -> Hashtbl.replace st.regs r v
+  | Var name -> Hashtbl.replace st.vars name v
+  | Imm _ -> invalid_arg "Cceval: store to immediate"
+
+let test_cc st c =
+  (* the condition code remembers the sign of (a - b) *)
+  let open Mips_isa.Cond in
+  match c with
+  | Eq -> st.cc = 0
+  | Ne -> st.cc <> 0
+  | Lt | Ltu -> st.cc < 0
+  | Le | Leu -> st.cc <= 0
+  | Gt | Gtu -> st.cc > 0
+  | Ge | Geu -> st.cc >= 0
+  | Neg -> st.cc < 0
+  | Nonneg -> st.cc >= 0
+  | Even | Odd -> invalid_arg "Cceval: parity conditions are not CC tests"
+  | Always -> true
+  | Never -> false
+
+let alu_eval op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> a / b
+  | Rem -> a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+
+let run ?(style = m68000_style) ?(fuel = 100_000) ~vars prog =
+  let code = Array.of_list prog in
+  let labels = Hashtbl.create 8 in
+  Array.iteri
+    (fun i ins -> match ins with Label l -> Hashtbl.replace labels l i | _ -> ())
+    code;
+  let st =
+    {
+      regs = Hashtbl.create 8;
+      vars = Hashtbl.create 8;
+      cc = 0;
+      executed = 0;
+      branches = 0;
+      compares = 0;
+      cost = 0;
+    }
+  in
+  List.iter (fun (n, v) -> Hashtbl.replace st.vars n v) vars;
+  let compare_signum a b = compare a b in
+  let rec step pc fuel =
+    if fuel = 0 then failwith "Cceval: out of fuel"
+    else if pc >= Array.length code then ()
+    else
+      let ins = code.(pc) in
+      (match ins with
+      | Label _ -> ()
+      | _ ->
+          st.executed <- st.executed + 1;
+          st.cost <- st.cost + cost ins);
+      match ins with
+      | Label _ -> step (pc + 1) (fuel - 1)
+      | Mov (src, dst) ->
+          let v = read st src in
+          write st dst v;
+          if style.set_on_moves then st.cc <- compare_signum v 0;
+          step (pc + 1) (fuel - 1)
+      | Alu (op, src, dst) ->
+          let v = alu_eval op (read st dst) (read st src) in
+          write st dst v;
+          st.cc <- compare_signum v 0;
+          step (pc + 1) (fuel - 1)
+      | Cmp (a, b) ->
+          st.compares <- st.compares + 1;
+          st.cc <- compare_signum (read st a) (read st b);
+          step (pc + 1) (fuel - 1)
+      | Bcc (c, l) ->
+          st.branches <- st.branches + 1;
+          if test_cc st c then step (Hashtbl.find labels l) (fuel - 1)
+          else step (pc + 1) (fuel - 1)
+      | Scc (c, dst) ->
+          write st dst (if test_cc st c then 1 else 0);
+          step (pc + 1) (fuel - 1)
+      | Jmp l ->
+          st.branches <- st.branches + 1;
+          step (Hashtbl.find labels l) (fuel - 1)
+      | Ret _ -> ()
+      | Call _ -> raise (Unsupported ins)
+  in
+  step 0 fuel;
+  {
+    env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.vars [];
+    executed = st.executed;
+    branches = st.branches;
+    compares = st.compares;
+    cost = st.cost;
+  }

@@ -1,0 +1,20 @@
+(** A small interpreter for condition-code machine snippets.
+
+    Executes straight-line + branching code (no calls): enough to reproduce
+    the {e dynamic} instruction counts of Figures 1 and 2 ("Average of 7
+    instructions executed", "Executes one branch on average").  Variables
+    live in an environment the caller seeds. *)
+
+type result = {
+  env : (string * int) list;  (** final variable bindings *)
+  executed : int;  (** instructions executed (labels excluded) *)
+  branches : int;  (** conditional branches and jumps executed *)
+  compares : int;  (** compare instructions executed *)
+  cost : int;  (** executed instructions weighted by {!Cc.cost} *)
+}
+
+exception Unsupported of Cc.instr
+
+val run :
+  ?style:Cc.style -> ?fuel:int -> vars:(string * int) list -> Cc.instr list -> result
+(** @raise Unsupported on [Call]; [Ret] stops execution. *)

@@ -1,0 +1,119 @@
+open Cc
+
+type t = {
+  compares : int;
+  saved_by_ops : int;
+  saved_by_ops_and_moves : int;
+  moves_only_for_cc : int;
+  genuinely_saved : int;
+}
+
+(* the operand an instruction leaves both in its destination and in the
+   condition code *)
+let cc_result style = function
+  | Alu (_, _, dst) -> Some (dst, `Op)
+  | Mov (_, dst) when style.set_on_moves -> Some (dst, `Move)
+  | Mov _ | Cmp _ | Bcc _ | Scc _ | Jmp _ | Label _ | Call _ | Ret _ -> None
+
+let reads_operand op = function
+  | Mov (src, _) -> equal_operand src op
+  | Alu (_, src, dst) -> equal_operand src op || equal_operand dst op
+  | Cmp (a, b) -> equal_operand a op || equal_operand b op
+  | Call (_, args, _) -> List.exists (equal_operand op) args
+  | Ret (Some r) -> equal_operand r op
+  | Bcc _ | Scc _ | Jmp _ | Label _ | Ret None -> false
+
+let writes_operand op = function
+  | Mov (_, dst) | Alu (_, _, dst) | Scc (_, dst) -> equal_operand dst op
+  | Call (_, _, Some dst) -> equal_operand dst op
+  | Cmp _ | Bcc _ | Jmp _ | Label _ | Call (_, _, None) | Ret _ -> false
+
+(* is [op] read after position [i] before being overwritten (within the
+   block — a label or unconditional transfer ends the scan pessimistically
+   as "used")? *)
+let used_later code i op =
+  let n = Array.length code in
+  let rec scan j =
+    if j >= n then false
+    else
+      match code.(j) with
+      | Label _ | Jmp _ | Ret _ | Call _ -> true  (* escapes analysis *)
+      | ins ->
+          if reads_operand op ins then true
+          else if writes_operand op ins then false
+          else scan (j + 1)
+  in
+  scan (i + 1)
+
+let analyze style prog =
+  let code = Array.of_list prog in
+  let n = Array.length code in
+  let compares = ref 0 in
+  let saved_ops = ref 0 in
+  let saved_moves = ref 0 in
+  let dead_moves = ref 0 in
+  (* last CC-setting instruction still valid at this point *)
+  let last_cc = ref None in
+  for i = 0 to n - 1 do
+    let ins = code.(i) in
+    (match ins with
+    | Label _ ->
+        (* join point: the condition code is unknown *)
+        last_cc := None
+    | Cmp (a, b) ->
+        incr compares;
+        let zero_test op other = equal_operand other (Imm 0) && Some op <> None in
+        let tested =
+          if equal_operand b (Imm 0) then Some a
+          else if equal_operand a (Imm 0) then Some b
+          else None
+        in
+        ignore zero_test;
+        (match (tested, !last_cc) with
+        | Some op, Some (res, kind) when equal_operand op res -> (
+            match kind with
+            | `Op -> incr saved_ops
+            | `Move ->
+                incr saved_moves;
+                if not (used_later code i res) then incr dead_moves)
+        | _ -> ())
+    | _ -> ());
+    match cc_result style ins with
+    | Some r -> last_cc := Some r
+    | None -> (
+        match ins with
+        | Cmp _ | Call _ -> last_cc := None  (* calls clobber; compares replace *)
+        | _ -> ())
+  done;
+  let saved_by_ops_and_moves = !saved_ops + !saved_moves in
+  {
+    compares = !compares;
+    saved_by_ops = !saved_ops;
+    saved_by_ops_and_moves;
+    moves_only_for_cc = !dead_moves;
+    genuinely_saved = saved_by_ops_and_moves - !dead_moves;
+  }
+
+let of_corpus ?(strategy = Ccgen.Early_out) style =
+  let zero =
+    {
+      compares = 0;
+      saved_by_ops = 0;
+      saved_by_ops_and_moves = 0;
+      moves_only_for_cc = 0;
+      genuinely_saved = 0;
+    }
+  in
+  List.fold_left
+    (fun acc (e : Mips_corpus.Corpus.entry) ->
+      let tast = Mips_frontend.Semant.check_string e.Mips_corpus.Corpus.source in
+      let prog = Ccgen.program ~style strategy tast in
+      let s = analyze style prog in
+      {
+        compares = acc.compares + s.compares;
+        saved_by_ops = acc.saved_by_ops + s.saved_by_ops;
+        saved_by_ops_and_moves = acc.saved_by_ops_and_moves + s.saved_by_ops_and_moves;
+        moves_only_for_cc = acc.moves_only_for_cc + s.moves_only_for_cc;
+        genuinely_saved = acc.genuinely_saved + s.genuinely_saved;
+      })
+    zero Mips_corpus.Corpus.reference

@@ -1,0 +1,26 @@
+(** The static condition-code accounting behind Table 3.
+
+    A compare instruction is {e saved by condition codes} when the value it
+    tests against zero was left in the condition code by the immediately
+    preceding CC-setting instruction inside the same basic block — that is
+    when "branches [can] use the results of computations that are already
+    done".  Two regimes are counted, matching the table's rows: CC set by
+    operators only (the 360 style), and by operators and moves (the VAX
+    style).  Among the move-saved compares, those whose move target is never
+    read afterwards are "moves used only to set the condition code" — the
+    move itself would have to be charged to the saving, so the paper
+    subtracts them. *)
+
+type t = {
+  compares : int;  (** explicit compares in the program *)
+  saved_by_ops : int;
+  saved_by_ops_and_moves : int;
+  moves_only_for_cc : int;
+  genuinely_saved : int;  (** saved_by_ops_and_moves - moves_only_for_cc *)
+}
+
+val analyze : Cc.style -> Cc.instr list -> t
+
+val of_corpus : ?strategy:Ccgen.strategy -> Cc.style -> t
+(** Compile every corpus program for the CC machine (default strategy:
+    early-out, the idiomatic CC-machine code) and aggregate. *)

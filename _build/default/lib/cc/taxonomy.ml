@@ -1,0 +1,26 @@
+type cc_features =
+  | No_condition_code
+  | Set_on_operations of { conditional_set : bool }
+  | Set_on_operations_and_moves of { conditional_set : bool }
+
+type machine = { mname : string; features : cc_features }
+
+let machines =
+  [ { mname = "MIPS"; features = No_condition_code };
+    { mname = "M68000";
+      features = Set_on_operations_and_moves { conditional_set = true } };
+    { mname = "VAX"; features = Set_on_operations_and_moves { conditional_set = false } };
+    { mname = "IBM 360"; features = Set_on_operations { conditional_set = false } };
+    { mname = "PDP-10"; features = No_condition_code } ]
+
+let row m =
+  match m.features with
+  | No_condition_code -> (m.mname, "no condition code", "compare-and-branch")
+  | Set_on_operations { conditional_set } ->
+      ( m.mname,
+        "set on operations",
+        if conditional_set then "conditional set" else "branch access" )
+  | Set_on_operations_and_moves { conditional_set } ->
+      ( m.mname,
+        "set on operations and moves",
+        if conditional_set then "conditional set" else "branch access" )

@@ -1,0 +1,1 @@
+lib/codegen/compile.pp.ml: Config Emit Irgen Mips_frontend Mips_ir Mips_machine Mips_reorg

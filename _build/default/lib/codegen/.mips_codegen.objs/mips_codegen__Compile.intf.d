@@ -1,0 +1,1 @@
+lib/codegen/compile.pp.mli: Config Mips_frontend Mips_ir Mips_machine Mips_reorg

@@ -1,0 +1,1 @@
+lib/codegen/emit.pp.ml: Alu Branch Config Ir Irgen Layout List Mem Mips_ir Mips_isa Mips_reorg Note Operand Piece Reg Regalloc String Word32

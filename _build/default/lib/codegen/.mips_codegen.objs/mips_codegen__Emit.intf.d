@@ -1,0 +1,1 @@
+lib/codegen/emit.pp.mli: Config Ir Irgen Mips_ir Mips_reorg Regalloc

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.pp.ml: Array Hashtbl Int Ir List Mips_ir Mips_isa Option Set

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.pp.mli: Ir Mips_ir Mips_isa

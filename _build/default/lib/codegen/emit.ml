@@ -1,0 +1,341 @@
+open Mips_isa
+open Mips_ir
+open Ir
+module Asm = Mips_reorg.Asm
+
+type ctx = {
+  cfg : Config.t;
+  color : Ir.vreg -> Reg.t;
+  u : int;  (* address units per word: 1 or 4 *)
+  frame_units : int;  (* locals + spill area size below fp, in units *)
+  local_base : int;  (* offset of the locals area start relative to fp - frame_units *)
+  spill_base : int;  (* unit offset of spill slot 0 within the frame area *)
+  nparams : int;
+  is_main : bool;
+  mutable out : Asm.line list;  (* reversed *)
+}
+
+let emit ctx p = ctx.out <- Asm.ins p :: ctx.out
+let emit_note ctx note p = ctx.out <- Asm.ins ~note p :: ctx.out
+let emit_label ctx l = ctx.out <- Asm.label l :: ctx.out
+
+let reg_of ctx v = ctx.color v
+
+(* materialize a constant into a specific register *)
+let materialize_into ctx reg c =
+  if c >= 0 && c <= 15 then emit ctx (Piece.Alu (Alu.Mov (Operand.imm4 c, reg)))
+  else if c >= 0 && c <= 255 then emit ctx (Piece.Alu (Alu.Movi8 (c, reg)))
+  else emit ctx (Piece.Mem (Mem.Limm (Word32.norm c, reg)))
+
+(* an ALU operand; big constants go through a scratch register *)
+let operand ctx ~scratch = function
+  | V v -> Operand.reg (reg_of ctx v)
+  | C c ->
+      if Operand.fits_imm4 c then Operand.imm4 c
+      else begin
+        materialize_into ctx scratch c;
+        Operand.reg scratch
+      end
+
+(* an operand that must be a register *)
+let operand_reg ctx ~scratch = function
+  | V v -> reg_of ctx v
+  | C c ->
+      materialize_into ctx scratch c;
+      scratch
+
+let frame_offset ctx = function
+  | Local_slot off -> off - ctx.frame_units
+  | Param_slot i -> (2 + i) * ctx.u
+  | Spill_slot k -> ctx.spill_base + (k * ctx.u) - ctx.frame_units
+
+(* translate an IR address to a machine addressing mode; may emit scratch
+   setup.  scratch0 is reserved for the source value of stores, so address
+   materialization uses scratch1. *)
+let mem_addr ctx addr =
+  let s1 = Reg.scratch1 in
+  match addr with
+  | Abs_a a -> Mem.Abs a
+  | Based (V v, 0) -> Mem.Disp (reg_of ctx v, 0)
+  | Based (V v, d) ->
+      if Mem.disp_fits d then Mem.Disp (reg_of ctx v, d)
+      else begin
+        materialize_into ctx s1 d;
+        Mem.Idx (reg_of ctx v, s1)
+      end
+  | Based (C c, d) -> Mem.Abs (c + d)
+  | Indexed (V a, V b) -> Mem.Idx (reg_of ctx a, reg_of ctx b)
+  | Indexed (V a, C c) | Indexed (C c, V a) ->
+      if Mem.disp_fits c then Mem.Disp (reg_of ctx a, c)
+      else begin
+        materialize_into ctx s1 c;
+        Mem.Idx (reg_of ctx a, s1)
+      end
+  | Indexed (C a, C b) -> Mem.Abs (a + b)
+  | Shifted_a (base, idx, n) -> (
+      match idx with
+      | C c -> (
+          let off = Word32.to_unsigned (Word32.norm c) lsr n in
+          match base with
+          | C b -> Mem.Abs (b + off)
+          | V v ->
+              if Mem.disp_fits off then Mem.Disp (reg_of ctx v, off)
+              else begin
+                materialize_into ctx s1 off;
+                Mem.Idx (reg_of ctx v, s1)
+              end)
+      | V iv -> (
+          match base with
+          | V bv -> Mem.Shifted (reg_of ctx bv, reg_of ctx iv, n)
+          | C b ->
+              materialize_into ctx s1 b;
+              Mem.Shifted (s1, reg_of ctx iv, n)))
+  | Scaled_a (base, idx, n) -> (
+      match idx with
+      | C c -> (
+          let off = c lsl n in
+          match base with
+          | C b -> Mem.Abs (b + off)
+          | V v ->
+              if Mem.disp_fits off then Mem.Disp (reg_of ctx v, off)
+              else begin
+                materialize_into ctx s1 off;
+                Mem.Idx (reg_of ctx v, s1)
+              end)
+      | V iv -> (
+          match base with
+          | V bv -> Mem.Scaled (reg_of ctx bv, reg_of ctx iv, n)
+          | C b ->
+              materialize_into ctx s1 b;
+              Mem.Scaled (s1, reg_of ctx iv, n)))
+  | Frame r -> Mem.Disp (Reg.fp, frame_offset ctx r)
+
+let mem_width = function W32 -> Mem.W32 | W8 -> Mem.W8
+
+(* dst <- src + const, signed, any magnitude *)
+let add_const_into ctx dst src c =
+  if c = 0 then begin
+    if not (Reg.equal dst src) then emit ctx (Piece.Alu (Alu.Mov (Operand.reg src, dst)))
+  end
+  else if c > 0 && c <= 15 then
+    emit ctx (Piece.Alu (Alu.Binop (Alu.Add, Operand.reg src, Operand.imm4 c, dst)))
+  else if c < 0 && -c <= 15 then
+    emit ctx (Piece.Alu (Alu.Binop (Alu.Sub, Operand.reg src, Operand.imm4 (-c), dst)))
+  else begin
+    materialize_into ctx Reg.scratch1 c;
+    emit ctx (Piece.Alu (Alu.Binop (Alu.Add, Operand.reg src, Operand.reg Reg.scratch1, dst)))
+  end
+
+let adjust_sp ctx delta = add_const_into ctx Reg.sp Reg.sp delta
+
+let sync_note = Note.make ~synthetic:true ~char_data:false ~byte_sized:false ()
+
+let prologue ctx name =
+  emit_label ctx name;
+  if ctx.is_main then begin
+    emit ctx (Piece.Mem (Mem.Limm (ctx.cfg.Config.stack_top, Reg.sp)));
+    emit ctx (Piece.Alu (Alu.Mov (Operand.reg Reg.sp, Reg.fp)))
+  end
+  else begin
+    adjust_sp ctx (-2 * ctx.u);
+    emit_note ctx sync_note
+      (Piece.Mem (Mem.Store (Mem.W32, Reg.link, Mem.Disp (Reg.sp, ctx.u))));
+    emit_note ctx sync_note
+      (Piece.Mem (Mem.Store (Mem.W32, Reg.fp, Mem.Disp (Reg.sp, 0))));
+    emit ctx (Piece.Alu (Alu.Mov (Operand.reg Reg.sp, Reg.fp)))
+  end;
+  if ctx.frame_units > 0 then adjust_sp ctx (-ctx.frame_units)
+
+let epilogue ctx ret =
+  (match ret with
+  | Some op ->
+      let o = operand ctx ~scratch:Reg.scratch0 op in
+      emit ctx (Piece.Alu (Alu.Mov (o, Reg.result)))
+  | None -> ());
+  if ctx.is_main then begin
+    (* the program body never reaches here (it exits via the halt monitor
+       call irgen appends), but be safe: exit with status 0 *)
+    materialize_into ctx Reg.scratch0 0;
+    emit ctx (Piece.Branch (Branch.Trap 1))
+  end
+  else begin
+    emit ctx (Piece.Alu (Alu.Mov (Operand.reg Reg.fp, Reg.sp)));
+    emit_note ctx sync_note
+      (Piece.Mem (Mem.Load (Mem.W32, Mem.Disp (Reg.sp, 0), Reg.fp)));
+    emit_note ctx sync_note
+      (Piece.Mem (Mem.Load (Mem.W32, Mem.Disp (Reg.sp, ctx.u), Reg.link)));
+    adjust_sp ctx (2 * ctx.u);
+    emit ctx (Piece.Branch (Branch.Jind Reg.link))
+  end
+
+let emit_instr ctx ins =
+  match ins with
+  | Bin (op, a, b, d) ->
+      let oa = operand ctx ~scratch:Reg.scratch0 a in
+      let ob = operand ctx ~scratch:Reg.scratch1 b in
+      emit ctx (Piece.Alu (Alu.Binop (op, oa, ob, reg_of ctx d)))
+  | Setcond (c, a, b, d) ->
+      let oa = operand ctx ~scratch:Reg.scratch0 a in
+      let ob = operand ctx ~scratch:Reg.scratch1 b in
+      emit ctx (Piece.Alu (Alu.Setc (c, oa, ob, reg_of ctx d)))
+  | Mov (V v, d) ->
+      if not (Reg.equal (reg_of ctx v) (reg_of ctx d)) then
+        emit ctx (Piece.Alu (Alu.Mov (Operand.reg (reg_of ctx v), reg_of ctx d)))
+  | Mov (C c, d) -> materialize_into ctx (reg_of ctx d) c
+  | Lea (addr, d) -> (
+      let dst = reg_of ctx d in
+      match addr with
+      | Abs_a a -> materialize_into ctx dst a
+      | Based (op, off) ->
+          let r = operand_reg ctx ~scratch:Reg.scratch0 op in
+          add_const_into ctx dst r off
+      | Indexed (a, b) ->
+          let oa = operand ctx ~scratch:Reg.scratch0 a in
+          let ob = operand ctx ~scratch:Reg.scratch1 b in
+          emit ctx (Piece.Alu (Alu.Binop (Alu.Add, oa, ob, dst)))
+      | Shifted_a (base, idx, n) ->
+          let oi = operand ctx ~scratch:Reg.scratch0 idx in
+          emit ctx (Piece.Alu (Alu.Binop (Alu.Srl, oi, Operand.imm4 n, Reg.scratch0)));
+          let ob = operand ctx ~scratch:Reg.scratch1 base in
+          emit ctx
+            (Piece.Alu (Alu.Binop (Alu.Add, ob, Operand.reg Reg.scratch0, dst)))
+      | Scaled_a (base, idx, n) ->
+          let oi = operand ctx ~scratch:Reg.scratch0 idx in
+          emit ctx (Piece.Alu (Alu.Binop (Alu.Sll, oi, Operand.imm4 n, Reg.scratch0)));
+          let ob = operand ctx ~scratch:Reg.scratch1 base in
+          emit ctx
+            (Piece.Alu (Alu.Binop (Alu.Add, ob, Operand.reg Reg.scratch0, dst)))
+      | Frame r -> add_const_into ctx dst Reg.fp (frame_offset ctx r))
+  | Load { addr; dst; width; note } ->
+      let a = mem_addr ctx addr in
+      emit_note ctx note (Piece.Mem (Mem.Load (mem_width width, a, reg_of ctx dst)))
+  | Store { src; addr; width; note } ->
+      let s = operand_reg ctx ~scratch:Reg.scratch0 src in
+      let a = mem_addr ctx addr in
+      emit_note ctx note (Piece.Mem (Mem.Store (mem_width width, s, a)))
+  | Xbyte (p, w, d) ->
+      let op = operand ctx ~scratch:Reg.scratch0 p in
+      let ow = operand ctx ~scratch:Reg.scratch1 w in
+      emit ctx (Piece.Alu (Alu.Xbyte (op, ow, reg_of ctx d)))
+  | Set_bs op ->
+      let o = operand ctx ~scratch:Reg.scratch0 op in
+      emit ctx (Piece.Alu (Alu.Wr_special (Alu.Byte_select, o)))
+  | Ibyte (s, w) ->
+      let os = operand ctx ~scratch:Reg.scratch0 s in
+      emit ctx (Piece.Alu (Alu.Ibyte (os, reg_of ctx w)))
+  | Lbl l -> emit_label ctx l
+  | Br (c, a, b, l) ->
+      let oa = operand ctx ~scratch:Reg.scratch0 a in
+      let ob = operand ctx ~scratch:Reg.scratch1 b in
+      emit ctx (Piece.Branch (Branch.Cbr (c, oa, ob, l)))
+  | Jmp l -> emit ctx (Piece.Branch (Branch.Jump l))
+  | Call { func; args; dst } ->
+      let n = List.length args in
+      if n > 0 then begin
+        adjust_sp ctx (-n * ctx.u);
+        List.iteri
+          (fun i a ->
+            let r = operand_reg ctx ~scratch:Reg.scratch0 a in
+            emit ctx
+              (Piece.Mem (Mem.Store (Mem.W32, r, Mem.Disp (Reg.sp, i * ctx.u)))))
+          args
+      end;
+      emit ctx (Piece.Branch (Branch.Jal (func, Reg.link)));
+      if n > 0 then adjust_sp ctx (n * ctx.u);
+      (match dst with
+      | Some d ->
+          emit ctx (Piece.Alu (Alu.Mov (Operand.reg Reg.result, reg_of ctx d)))
+      | None -> ())
+  | Trapcall { code; args; dst } ->
+      List.iteri
+        (fun i a ->
+          let target = if i = 0 then Reg.scratch0 else Reg.scratch1 in
+          match a with
+          | V v ->
+              if not (Reg.equal (reg_of ctx v) target) then
+                emit ctx (Piece.Alu (Alu.Mov (Operand.reg (reg_of ctx v), target)))
+          | C c -> materialize_into ctx target c)
+        args;
+      emit ctx (Piece.Branch (Branch.Trap code));
+      (match dst with
+      | Some d ->
+          emit ctx (Piece.Alu (Alu.Mov (Operand.reg Reg.result, reg_of ctx d)))
+      | None -> ())
+  | Ret op -> epilogue ctx op
+
+let align_up n a = (n + a - 1) / a * a
+
+let emit_func cfg (f : Ir.func) (alloc : Regalloc.t) =
+  let u = Config.word_units cfg in
+  let spill_base = align_up f.local_units u in
+  let frame_units = spill_base + (alloc.Regalloc.spill_words * u) in
+  let ctx =
+    {
+      cfg;
+      color = alloc.Regalloc.color;
+      u;
+      frame_units;
+      local_base = 0;
+      spill_base;
+      nparams = f.nparams;
+      is_main = String.equal f.name "$main";
+      out = [];
+    }
+  in
+  prologue ctx f.name;
+  List.iter (emit_instr ctx) alloc.Regalloc.body;
+  List.rev ctx.out
+
+let emit_program cfg (r : Irgen.result) =
+  let lines =
+    List.concat_map
+      (fun f ->
+        let alloc = Regalloc.allocate f in
+        emit_func cfg f alloc)
+      r.Irgen.funcs
+  in
+  Asm.make
+    ~data:(Layout.data_init r.Irgen.layout)
+    ~data_words:(Layout.data_words r.Irgen.layout)
+    ~entry:"$main" lines
+
+(* --- Table 1 raw data ----------------------------------------------------- *)
+
+let constants_of_operand acc = function
+  | Operand.I4 n -> n :: acc
+  | Operand.R _ -> acc
+
+let constants_of_alu acc = function
+  | Alu.Binop (_, a, b, _) | Alu.Setc (_, a, b, _) | Alu.Xbyte (a, b, _) ->
+      constants_of_operand (constants_of_operand acc a) b
+  | Alu.Mov (a, _) | Alu.Wr_special (_, a) | Alu.Ibyte (a, _) ->
+      constants_of_operand acc a
+  | Alu.Movi8 (c, _) -> c :: acc
+  | Alu.Rd_special _ | Alu.Rfe -> acc
+
+let constants_of_mem acc = function
+  | Mem.Limm (c, _) -> abs c :: acc
+  | Mem.Load (_, a, _) | Mem.Store (_, _, a) -> (
+      match a with
+      | Mem.Disp (_, d) when d <> 0 -> abs d :: acc
+      | Mem.Abs _ | Mem.Disp _ | Mem.Idx _ | Mem.Shifted _ | Mem.Scaled _ -> acc)
+
+let constants_of_branch acc = function
+  | Branch.Cbr (_, a, b, _) ->
+      constants_of_operand (constants_of_operand acc a) b
+  | Branch.Jump _ | Branch.Jal _ | Branch.Jind _ | Branch.Jalind _ | Branch.Trap _
+    ->
+      acc
+
+let collect_constants (p : Asm.program) =
+  List.fold_left
+    (fun acc line ->
+      match line with
+      | Asm.Label _ -> acc
+      | Asm.Ins { Asm.piece; _ } -> (
+          match piece with
+          | Piece.Alu a -> constants_of_alu acc a
+          | Piece.Mem m -> constants_of_mem acc m
+          | Piece.Branch b -> constants_of_branch acc b
+          | Piece.Nop -> acc))
+    [] p.Asm.lines

@@ -1,0 +1,31 @@
+(* The one-stop facade: everything a downstream user needs, re-exported
+   under short names.  See README.md for the tour; each module's own
+   interface carries the detailed documentation.
+
+   {[
+     let result = Repro.run "program p; begin writeln(6 * 7) end." in
+     print_string result.Repro.Machine.Hosted.output
+   ]} *)
+
+module Isa = Mips_isa
+module Machine = Mips_machine
+module Reorg = Mips_reorg
+module Frontend = Mips_frontend
+module Ir = Mips_ir
+module Codegen = Mips_codegen
+module Cc = Mips_cc
+module Os = Mips_os
+module Corpus = Mips_corpus
+module Analysis = Mips_analysis
+
+(* the pipeline at a glance *)
+
+let compile = Mips_codegen.Compile.compile
+(* source text -> loadable program image (parse, check, lower, color,
+   emit, reorganize, assemble) *)
+
+let run = Mips_codegen.Compile.run
+(* compile and execute on a fresh simulator *)
+
+let report = Mips_analysis.Report.print_all
+(* regenerate the paper's whole evaluation *)

@@ -1,0 +1,1 @@
+lib/corpus/corpus.ml: List Numeric String Systems Table11 Text

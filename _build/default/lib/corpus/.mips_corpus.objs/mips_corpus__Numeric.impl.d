@@ -1,0 +1,1 @@
+lib/corpus/numeric.ml:

@@ -1,0 +1,1 @@
+lib/corpus/table11.ml:

@@ -1,0 +1,49 @@
+type entry = {
+  name : string;
+  description : string;
+  source : string;
+  input : string;
+  text_heavy : bool;
+}
+
+let mk ?(input = "") ?(text_heavy = false) name description source =
+  { name; description; source; input; text_heavy }
+
+let table11 =
+  [ mk "fib" "recursive Fibonacci numbers (Table 11)" Table11.fib;
+    mk "puzzle0" "Baskett's Puzzle, subscript version (Table 11)" Table11.puzzle0;
+    mk "puzzle1" "Baskett's Puzzle, pointer-style version (Table 11)"
+      Table11.puzzle1 ]
+
+let all =
+  table11
+  @ [ mk "sieve" "sieve of Eratosthenes" Numeric.sieve;
+      mk "qsort" "recursive quicksort on pseudo-random data" Numeric.qsort;
+      mk "matmul" "integer matrix multiply" Numeric.matmul;
+      mk "hanoi" "towers of Hanoi move counter" Numeric.hanoi;
+      mk "queens" "eight queens backtracking" Numeric.queens;
+      mk "ackermann" "Ackermann function" Numeric.ackermann;
+      mk "bubble" "bubble sort" Numeric.bubble;
+      mk "numbers" "gcd and modular exponentiation" Numeric.intmm_gcd;
+      mk "wordcount" "character/word/line counter" Text.wordcount
+        ~input:(String.concat "" (List.init 15 (fun _ -> Text.wordcount_input)))
+        ~text_heavy:true;
+      mk "strops" "packed-string copy/compare/upcase" Text.strops ~text_heavy:true;
+      mk "banner" "character graphics" Text.banner ~text_heavy:true;
+      mk "greplite" "pattern search over text lines" Text.greplite
+        ~input:(String.concat "" (List.init 8 (fun _ -> Text.greplite_input)))
+        ~text_heavy:true;
+      mk "calendar" "calendar arithmetic with case dispatch" Text.calendar;
+      mk "sorttext" "insertion sort of packed characters" Text.sorttext
+        ~text_heavy:true;
+      mk "symtab" "chained hash symbol table (compiler-like)" Systems.symtab
+        ~text_heavy:true;
+      mk "expreval" "recursive-descent expression evaluator (compiler-like)"
+        Systems.expreval ~text_heavy:true ]
+
+let reference =
+  List.filter
+    (fun e -> not (List.exists (fun t -> String.equal t.name e.name) table11))
+    all
+
+let find name = List.find (fun e -> String.equal e.name name) all

@@ -1,0 +1,33 @@
+(** The program corpus.
+
+    Stands in for the paper's "collection of Pascal programs including
+    compilers, optimizers, and VLSI design aid software; the programs are
+    reasonably involved with text handling, and little or no compute
+    intensive (e.g., floating point) tasks are included".  Every program is
+    deterministic: same input, same output, on every machine variant and at
+    every optimization level (the integration tests enforce this). *)
+
+type entry = {
+  name : string;
+  description : string;
+  source : string;  (** Pascal-subset source text *)
+  input : string;  (** monitor-call input stream *)
+  text_heavy : bool;  (** dominated by character handling (Tables 7/8) *)
+}
+
+val all : entry list
+(** The full corpus, including the Table 11 benchmarks. *)
+
+val table11 : entry list
+(** Exactly the paper's Table 11 programs: Fibonacci, Puzzle (subscript
+    version), Puzzle (pointer version).  In the paper these are C programs
+    compiled by the Portable C Compiler, measured only for static
+    instruction counts. *)
+
+val reference : entry list
+(** The reference corpus behind Tables 1, 3, 4, 7 and 8 — the paper's
+    "collection of Pascal programs ... reasonably involved with text
+    handling".  Everything except the Table 11 benchmark trio. *)
+
+val find : string -> entry
+(** @raise Not_found *)

@@ -1,0 +1,241 @@
+(* Compute-bound corpus programs: classic integer benchmarks. *)
+
+let sieve =
+  {|
+program sieve;
+const limit = 1000;
+var flags : array [0..1000] of boolean;
+    i, k, count : integer;
+begin
+  count := 0;
+  for i := 0 to limit do flags[i] := true;
+  for i := 2 to limit do
+    if flags[i] then begin
+      k := i + i;
+      while k <= limit do begin
+        flags[k] := false;
+        k := k + i
+      end;
+      count := count + 1
+    end;
+  write('primes below ');
+  write(limit);
+  write(': ');
+  writeln(count)
+end.
+|}
+
+let qsort =
+  {|
+program quicksort;
+const n = 200;
+var a : array [1..200] of integer;
+    i, seed : integer;
+
+function nextrand : integer;
+begin
+  seed := (seed * 137 + 220 + 1) mod 10007;
+  nextrand := seed
+end;
+
+procedure sort(l, r : integer);
+var i, j, x, t : integer;
+begin
+  i := l; j := r;
+  x := a[(l + r) div 2];
+  repeat
+    while a[i] < x do i := i + 1;
+    while x < a[j] do j := j - 1;
+    if i <= j then begin
+      t := a[i]; a[i] := a[j]; a[j] := t;
+      i := i + 1; j := j - 1
+    end
+  until i > j;
+  if l < j then sort(l, j);
+  if i < r then sort(i, r)
+end;
+
+begin
+  seed := 74755;
+  for i := 1 to n do a[i] := nextrand;
+  sort(1, n);
+  seed := 0;
+  for i := 2 to n do
+    if a[i - 1] > a[i] then seed := seed + 1;
+  write('inversions after sort: ');
+  writeln(seed);
+  write('a[1]='); write(a[1]);
+  write(' a[n]='); writeln(a[n])
+end.
+|}
+
+let matmul =
+  {|
+program matmul;
+const n = 12;
+type matrix = array [1..12] of array [1..12] of integer;
+var a, b, c : matrix;
+    i, j, k, s, trace : integer;
+begin
+  for i := 1 to n do
+    for j := 1 to n do begin
+      a[i][j] := i + j;
+      b[i][j] := i - j + 2
+    end;
+  for i := 1 to n do
+    for j := 1 to n do begin
+      s := 0;
+      for k := 1 to n do s := s + a[i][k] * b[k][j];
+      c[i][j] := s
+    end;
+  trace := 0;
+  for i := 1 to n do trace := trace + c[i][i];
+  write('trace=');
+  writeln(trace)
+end.
+|}
+
+let hanoi =
+  {|
+program hanoi;
+var moves : integer;
+
+procedure move(n, src, dst, via : integer);
+begin
+  if n > 0 then begin
+    move(n - 1, src, via, dst);
+    moves := moves + 1;
+    move(n - 1, via, dst, src)
+  end
+end;
+
+begin
+  moves := 0;
+  move(12, 1, 3, 2);
+  write('moves=');
+  writeln(moves)
+end.
+|}
+
+let queens =
+  {|
+program queens;
+const n = 8;
+var row : array [1..8] of integer;
+    solutions : integer;
+
+function safe(r, c : integer) : boolean;
+var i : integer; ok : boolean;
+begin
+  ok := true;
+  for i := 1 to r - 1 do begin
+    ok := ok and (row[i] <> c);
+    ok := ok and (row[i] - i <> c - r);
+    ok := ok and (row[i] + i <> c + r)
+  end;
+  safe := ok
+end;
+
+procedure place(r : integer);
+var c : integer;
+begin
+  if r > n then solutions := solutions + 1
+  else
+    for c := 1 to n do
+      if safe(r, c) then begin
+        row[r] := c;
+        place(r + 1)
+      end
+end;
+
+begin
+  solutions := 0;
+  place(1);
+  write('solutions=');
+  writeln(solutions)
+end.
+|}
+
+let ackermann =
+  {|
+program ackermann;
+var r : integer;
+
+function ack(m, n : integer) : integer;
+begin
+  if m = 0 then ack := n + 1
+  else if n = 0 then ack := ack(m - 1, 1)
+  else ack := ack(m - 1, ack(m, n - 1))
+end;
+
+begin
+  r := ack(2, 6);
+  write('ack(2,6)=');
+  writeln(r)
+end.
+|}
+
+let bubble =
+  {|
+program bubble;
+const n = 60;
+var a : array [0..59] of integer;
+    i, j, t, swaps : integer;
+begin
+  for i := 0 to n - 1 do a[i] := (n - i) * 7 mod 101;
+  swaps := 0;
+  for i := 0 to n - 2 do
+    for j := 0 to n - 2 - i do
+      if a[j] > a[j + 1] then begin
+        t := a[j]; a[j] := a[j + 1]; a[j + 1] := t;
+        swaps := swaps + 1
+      end;
+  write('swaps=');
+  write(swaps);
+  write(' min=');
+  write(a[0]);
+  write(' max=');
+  writeln(a[n - 1])
+end.
+|}
+
+let intmm_gcd =
+  {|
+program numbers;
+var i, g, total : integer;
+
+function gcd(a, b : integer) : integer;
+var t : integer;
+begin
+  while b <> 0 do begin
+    t := a mod b;
+    a := b;
+    b := t
+  end;
+  gcd := a
+end;
+
+function power(base, e : integer) : integer;
+var r : integer;
+begin
+  r := 1;
+  while e > 0 do begin
+    if e mod 2 = 1 then r := r * base;
+    base := base * base;
+    e := e div 2
+  end;
+  power := r
+end;
+
+begin
+  total := 0;
+  for i := 1 to 50 do begin
+    g := gcd(i * 35, 49 + i);
+    total := total + g
+  end;
+  write('gcdsum=');
+  write(total);
+  write(' pow=');
+  writeln(power(3, 9))
+end.
+|}

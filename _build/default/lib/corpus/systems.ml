@@ -1,0 +1,189 @@
+(* Systems-style corpus programs: the hash-table symbol manager and the
+   little expression evaluator stand in for the "compilers, optimizers, and
+   VLSI design aid software" of the paper's corpus. *)
+
+let symtab =
+  {|
+program symtab;
+const hsize = 127; maxsyms = 200; namelen = 8;
+type name = packed array [0..7] of char;
+var
+  heads : array [0..126] of integer;  { 0 = empty, else symbol index + 1 }
+  nexts : array [1..200] of integer;
+  names : array [1..200] of name;
+  values : array [1..200] of integer;
+  nsyms, i, v, probes : integer;
+  cur : name;
+
+procedure makename(seed : integer; var n : name);
+var i, x : integer;
+begin
+  x := seed;
+  for i := 0 to namelen - 1 do begin
+    x := (x * 31 + 7) mod 26;
+    n[i] := chr(ord('a') + x)
+  end
+end;
+
+function hash(var n : name) : integer;
+var i, h : integer;
+begin
+  h := 0;
+  for i := 0 to namelen - 1 do
+    h := (h * 3 + ord(n[i])) mod hsize;
+  hash := h
+end;
+
+function equalname(var a, b : name) : boolean;
+var i : integer; ok : boolean;
+begin
+  ok := true;
+  for i := 0 to namelen - 1 do
+    ok := ok and (a[i] = b[i]);
+  equalname := ok
+end;
+
+function lookup(var n : name) : integer;
+var s, found : integer;
+begin
+  s := heads[hash(n)];
+  found := 0;
+  while (s <> 0) and (found = 0) do begin
+    probes := probes + 1;
+    if equalname(names[s], n) then found := s;
+    s := nexts[s]
+  end;
+  lookup := found
+end;
+
+procedure insert(var n : name; v : integer);
+var h, i, s : integer;
+begin
+  s := lookup(n);
+  if s <> 0 then values[s] := v
+  else begin
+    nsyms := nsyms + 1;
+    h := hash(n);
+    for i := 0 to namelen - 1 do names[nsyms][i] := n[i];
+    values[nsyms] := v;
+    nexts[nsyms] := heads[h];
+    heads[h] := nsyms
+  end
+end;
+
+begin
+  nsyms := 0;
+  probes := 0;
+  for i := 0 to hsize - 1 do heads[i] := 0;
+  for i := 1 to 150 do begin
+    makename(i mod 100, cur);   { duplicates past 100 }
+    insert(cur, i)
+  end;
+  v := 0;
+  for i := 1 to 150 do begin
+    makename(i mod 100, cur);
+    v := v + values[lookup(cur)]
+  end;
+  write('symbols=');
+  write(nsyms);
+  write(' probes=');
+  write(probes);
+  write(' sum=');
+  writeln(v)
+end.
+|}
+
+let expreval =
+  {|
+program expreval;
+{ a tiny recursive-descent evaluator over a character expression,
+  the shape of a compiler front end }
+const explen = 33;
+var expr : packed array [0..39] of char;
+    pos : integer;
+
+function peek : char;
+begin
+  peek := expr[pos]
+end;
+
+{ note: procedures may call procedures defined later in the file — all
+  signatures are registered before bodies are checked, so the classic
+  Pascal 'forward' declaration is unnecessary in this subset }
+
+function isdigit(c : char) : boolean;
+begin
+  isdigit := (c >= '0') and (c <= '9')
+end;
+
+function parsenum : integer;
+var v : integer;
+begin
+  v := 0;
+  while isdigit(peek) do begin
+    v := v * 10 + (ord(peek) - ord('0'));
+    pos := pos + 1
+  end;
+  parsenum := v
+end;
+
+function parsefactor : integer;
+var v : integer;
+begin
+  if peek = '(' then begin
+    pos := pos + 1;
+    v := parseexpr;
+    pos := pos + 1  { skip ')' }
+  end
+  else v := parsenum;
+  parsefactor := v
+end;
+
+function parseterm : integer;
+var v : integer;
+begin
+  v := parsefactor;
+  while (peek = '*') or (peek = '/') do begin
+    if peek = '*' then begin
+      pos := pos + 1;
+      v := v * parsefactor
+    end
+    else begin
+      pos := pos + 1;
+      v := v div parsefactor
+    end
+  end;
+  parseterm := v
+end;
+
+function parseexpr : integer;
+var v : integer;
+begin
+  v := parseterm;
+  while (peek = '+') or (peek = '-') do begin
+    if peek = '+' then begin
+      pos := pos + 1;
+      v := v + parseterm
+    end
+    else begin
+      pos := pos + 1;
+      v := v - parseterm
+    end
+  end;
+  parseexpr := v
+end;
+
+begin
+  { (12+34)*2-(100/5)+7*(3+1) }
+  expr[0] := '('; expr[1] := '1'; expr[2] := '2'; expr[3] := '+';
+  expr[4] := '3'; expr[5] := '4'; expr[6] := ')'; expr[7] := '*';
+  expr[8] := '2'; expr[9] := '-'; expr[10] := '('; expr[11] := '1';
+  expr[12] := '0'; expr[13] := '0'; expr[14] := '/'; expr[15] := '5';
+  expr[16] := ')'; expr[17] := '+'; expr[18] := '7'; expr[19] := '*';
+  expr[20] := '('; expr[21] := '3'; expr[22] := '+'; expr[23] := '1';
+  expr[24] := ')'; expr[25] := '$';
+  pos := 0;
+  write('value=');
+  writeln(parseexpr)
+end.
+|}

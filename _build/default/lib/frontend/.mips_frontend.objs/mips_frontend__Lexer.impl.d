@@ -1,0 +1,1 @@
+lib/frontend/lexer.pp.ml: Buffer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/frontend/loc.pp.ml: Format Ppx_deriving_runtime

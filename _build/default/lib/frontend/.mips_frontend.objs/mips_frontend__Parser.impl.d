@@ -1,0 +1,1 @@
+lib/frontend/parser.pp.ml: Ast Lexer List Loc Printf Token

@@ -1,0 +1,1 @@
+lib/frontend/parser.pp.mli: Ast Loc

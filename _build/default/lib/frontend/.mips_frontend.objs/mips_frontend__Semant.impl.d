@@ -1,0 +1,1 @@
+lib/frontend/semant.pp.ml: Array Ast Char Format Hashtbl List Loc Option Parser String Tast Types

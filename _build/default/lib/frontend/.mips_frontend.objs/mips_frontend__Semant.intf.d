@@ -1,0 +1,1 @@
+lib/frontend/semant.pp.mli: Ast Loc Tast

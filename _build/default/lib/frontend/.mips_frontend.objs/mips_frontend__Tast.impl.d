@@ -1,0 +1,1 @@
+lib/frontend/tast.pp.ml: Array Ast List Ppx_deriving_runtime String Types

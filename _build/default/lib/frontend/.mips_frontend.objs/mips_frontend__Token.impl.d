@@ -1,0 +1,1 @@
+lib/frontend/token.pp.ml: List Ppx_deriving_runtime Printf

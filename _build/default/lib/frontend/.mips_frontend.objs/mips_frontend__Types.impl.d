@@ -1,0 +1,1 @@
+lib/frontend/types.pp.ml: Format List Ppx_deriving_runtime String

@@ -1,0 +1,67 @@
+(* Raw (untyped) abstract syntax, as produced by the parser. *)
+
+type binop = Add | Sub | Mul | Div | Mod [@@deriving eq, show]
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge [@@deriving eq, show]
+type logop = Land | Lor [@@deriving eq, show]
+
+type ty_expr =
+  | Tname of string  (* integer, char, boolean, or a declared type *)
+  | Tarray of { packed : bool; lo : expr; hi : expr; elem : ty_expr }
+  | Trecord of (string list * ty_expr) list
+[@@deriving eq, show]
+
+and expr = { e : expr_kind; loc : Loc.t [@equal fun _ _ -> true] }
+[@@deriving eq, show]
+
+and expr_kind =
+  | Enum of int
+  | Echar of char
+  | Ebool of bool
+  | Estring of string
+  | Ename of string  (* variable, constant, or nullary function call *)
+  | Eindex of expr * expr
+  | Efield of expr * string
+  | Ecall of string * expr list
+  | Ebin of binop * expr * expr
+  | Erel of relop * expr * expr
+  | Elog of logop * expr * expr
+  | Enot of expr
+  | Eneg of expr
+[@@deriving eq, show]
+
+type stmt = { s : stmt_kind; sloc : Loc.t [@equal fun _ _ -> true] }
+[@@deriving eq, show]
+
+and stmt_kind =
+  | Sassign of expr * expr  (* lvalue := expr *)
+  | Scall of string * expr list
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Srepeat of stmt list * expr
+  | Sfor of string * expr * bool * expr * stmt list  (* true = upward *)
+  | Scase of expr * (expr list * stmt list) list * stmt list option
+  | Sblock of stmt list
+[@@deriving eq, show]
+
+type param = { pnames : string list; pty : ty_expr; by_ref : bool }
+[@@deriving eq, show]
+
+type decl =
+  | Dconst of string * expr
+  | Dtype of string * ty_expr
+  | Dvar of string list * ty_expr
+  | Dproc of proc
+[@@deriving eq, show]
+
+and proc = {
+  name : string;
+  params : param list;
+  result : ty_expr option;  (* None for procedures *)
+  decls : decl list;
+  body : stmt list;
+  ploc : Loc.t; [@equal fun _ _ -> true]
+}
+[@@deriving eq, show]
+
+type program = { pname : string; decls : decl list; main : stmt list }
+[@@deriving eq, show]

@@ -1,0 +1,11 @@
+(** Hand-written lexer for the Pascal subset.
+
+    Identifiers and keywords are case-insensitive (folded to lower case).
+    Comments are [{ ... }] and [(* ... *)].  Character literals are single
+    -character strings ['x']; longer quoted text is a string literal, with
+    [''] as the escaped quote. *)
+
+exception Error of Loc.t * string
+
+val tokenize : string -> (Token.t * Loc.t) list
+(** The token stream, ending with [Eof].  @raise Error on bad input. *)

@@ -1,0 +1,6 @@
+(* Source positions for error reporting. *)
+
+type t = { line : int; col : int } [@@deriving eq, show]
+
+let dummy = { line = 0; col = 0 }
+let pp ppf t = Format.fprintf ppf "%d:%d" t.line t.col

@@ -1,0 +1,438 @@
+exception Error of Loc.t * string
+
+type state = { mutable toks : (Token.t * Loc.t) list }
+
+let cur st = match st.toks with [] -> (Token.Eof, Loc.dummy) | t :: _ -> t
+let cur_tok st = fst (cur st)
+let cur_loc st = snd (cur st)
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg = raise (Error (cur_loc st, msg))
+
+let expect st tok =
+  if Token.equal (cur_tok st) tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Token.describe tok)
+         (Token.describe (cur_tok st)))
+
+let accept st tok =
+  if Token.equal (cur_tok st) tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match cur_tok st with
+  | Token.Ident s ->
+      advance st;
+      s
+  | t -> fail st ("expected an identifier but found " ^ Token.describe t)
+
+(* --- expressions -------------------------------------------------------- *)
+
+let mk loc e = { Ast.e; loc }
+
+let relop_of_tok = function
+  | Token.Eq -> Some Ast.Req
+  | Token.Ne -> Some Ast.Rne
+  | Token.Lt -> Some Ast.Rlt
+  | Token.Le -> Some Ast.Rle
+  | Token.Gt -> Some Ast.Rgt
+  | Token.Ge -> Some Ast.Rge
+  | _ -> None
+
+let rec expr st =
+  let loc = cur_loc st in
+  let lhs = simple st in
+  match relop_of_tok (cur_tok st) with
+  | Some op ->
+      advance st;
+      let rhs = simple st in
+      mk loc (Ast.Erel (op, lhs, rhs))
+  | None -> lhs
+
+and simple st =
+  let loc = cur_loc st in
+  let rec go lhs =
+    match cur_tok st with
+    | Token.Plus ->
+        advance st;
+        go (mk loc (Ast.Ebin (Ast.Add, lhs, term st)))
+    | Token.Minus ->
+        advance st;
+        go (mk loc (Ast.Ebin (Ast.Sub, lhs, term st)))
+    | Token.Or ->
+        advance st;
+        go (mk loc (Ast.Elog (Ast.Lor, lhs, term st)))
+    | _ -> lhs
+  in
+  go (term st)
+
+and term st =
+  let loc = cur_loc st in
+  let rec go lhs =
+    match cur_tok st with
+    | Token.Star ->
+        advance st;
+        go (mk loc (Ast.Ebin (Ast.Mul, lhs, factor st)))
+    | Token.Div ->
+        advance st;
+        go (mk loc (Ast.Ebin (Ast.Div, lhs, factor st)))
+    | Token.Mod ->
+        advance st;
+        go (mk loc (Ast.Ebin (Ast.Mod, lhs, factor st)))
+    | Token.And ->
+        advance st;
+        go (mk loc (Ast.Elog (Ast.Land, lhs, factor st)))
+    | _ -> lhs
+  in
+  go (factor st)
+
+and factor st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.Num n ->
+      advance st;
+      mk loc (Ast.Enum n)
+  | Token.CharLit c ->
+      advance st;
+      mk loc (Ast.Echar c)
+  | Token.StrLit s ->
+      advance st;
+      mk loc (Ast.Estring s)
+  | Token.True ->
+      advance st;
+      mk loc (Ast.Ebool true)
+  | Token.False ->
+      advance st;
+      mk loc (Ast.Ebool false)
+  | Token.Not ->
+      advance st;
+      mk loc (Ast.Enot (factor st))
+  | Token.Minus ->
+      advance st;
+      mk loc (Ast.Eneg (factor st))
+  | Token.Lparen ->
+      advance st;
+      let e = expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Ident name ->
+      advance st;
+      if Token.equal (cur_tok st) Token.Lparen then begin
+        advance st;
+        let args = call_args st in
+        mk loc (Ast.Ecall (name, args))
+      end
+      else suffixes st (mk loc (Ast.Ename name))
+  | t -> fail st ("expected an expression but found " ^ Token.describe t)
+
+and suffixes st base =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.Lbracket ->
+      advance st;
+      let idx = expr st in
+      expect st Token.Rbracket;
+      suffixes st (mk loc (Ast.Eindex (base, idx)))
+  | Token.Dot -> (
+      (* careful: the final '.' of the program follows 'end', never an
+         expression, so a dot here is always a field selection *)
+      advance st;
+      let f = ident st in
+      suffixes st (mk loc (Ast.Efield (base, f))))
+  | _ -> base
+
+and call_args st =
+  if accept st Token.Rparen then []
+  else
+    let rec go acc =
+      let e = expr st in
+      if accept st Token.Comma then go (e :: acc)
+      else begin
+        expect st Token.Rparen;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+
+(* --- types -------------------------------------------------------------- *)
+
+let rec type_expr st =
+  match cur_tok st with
+  | Token.Packed ->
+      advance st;
+      (match type_expr st with
+      | Ast.Tarray { packed = _; lo; hi; elem } ->
+          Ast.Tarray { packed = true; lo; hi; elem }
+      | _ -> fail st "'packed' must be followed by an array type")
+  | Token.Array ->
+      advance st;
+      expect st Token.Lbracket;
+      let lo = expr st in
+      expect st Token.Dotdot;
+      let hi = expr st in
+      expect st Token.Rbracket;
+      expect st Token.Of;
+      let elem = type_expr st in
+      Ast.Tarray { packed = false; lo; hi; elem }
+  | Token.Record ->
+      advance st;
+      let fields = ref [] in
+      let rec go () =
+        match cur_tok st with
+        | Token.End -> advance st
+        | Token.Semi ->
+            advance st;
+            go ()
+        | _ ->
+            let names = ident_list st in
+            expect st Token.Colon;
+            let t = type_expr st in
+            fields := (names, t) :: !fields;
+            go ()
+      in
+      go ();
+      Ast.Trecord (List.rev !fields)
+  | Token.Ident _ -> Ast.Tname (ident st)
+  | t -> fail st ("expected a type but found " ^ Token.describe t)
+
+and ident_list st =
+  let rec go acc =
+    let n = ident st in
+    if accept st Token.Comma then go (n :: acc) else List.rev (n :: acc)
+  in
+  go []
+
+(* --- statements ---------------------------------------------------------- *)
+
+let rec stmt st =
+  let sloc = cur_loc st in
+  let k =
+    match cur_tok st with
+    | Token.Begin ->
+        advance st;
+        let body = stmt_list st in
+        expect st Token.End;
+        Ast.Sblock body
+    | Token.If ->
+        advance st;
+        let c = expr st in
+        expect st Token.Then;
+        let then_ = [ stmt st ] in
+        let else_ = if accept st Token.Else then [ stmt st ] else [] in
+        Ast.Sif (c, then_, else_)
+    | Token.While ->
+        advance st;
+        let c = expr st in
+        expect st Token.Do;
+        Ast.Swhile (c, [ stmt st ])
+    | Token.Repeat ->
+        advance st;
+        let body = stmt_list st in
+        expect st Token.Until;
+        Ast.Srepeat (body, expr st)
+    | Token.For ->
+        advance st;
+        let v = ident st in
+        expect st Token.Assign;
+        let lo = expr st in
+        let up =
+          match cur_tok st with
+          | Token.To ->
+              advance st;
+              true
+          | Token.Downto ->
+              advance st;
+              false
+          | t -> fail st ("expected 'to' or 'downto' but found " ^ Token.describe t)
+        in
+        let hi = expr st in
+        expect st Token.Do;
+        Ast.Sfor (v, lo, up, hi, [ stmt st ])
+    | Token.Case ->
+        advance st;
+        let scrutinee = expr st in
+        expect st Token.Of;
+        let arms = ref [] in
+        let default = ref None in
+        let rec go () =
+          match cur_tok st with
+          | Token.End -> advance st
+          | Token.Semi ->
+              advance st;
+              go ()
+          | Token.Else ->
+              advance st;
+              default := Some (stmt_list st);
+              expect st Token.End
+          | _ ->
+              let labels =
+                let rec labs acc =
+                  let e = expr st in
+                  if accept st Token.Comma then labs (e :: acc)
+                  else List.rev (e :: acc)
+                in
+                labs []
+              in
+              expect st Token.Colon;
+              arms := (labels, [ stmt st ]) :: !arms;
+              go ()
+        in
+        go ();
+        Ast.Scase (scrutinee, List.rev !arms, !default)
+    | Token.Ident name -> (
+        advance st;
+        match cur_tok st with
+        | Token.Lparen ->
+            advance st;
+            Ast.Scall (name, call_args st)
+        | Token.Assign | Token.Lbracket | Token.Dot ->
+            let lv = suffixes st (mk sloc (Ast.Ename name)) in
+            expect st Token.Assign;
+            Ast.Sassign (lv, expr st)
+        | _ -> Ast.Scall (name, []))
+    | t -> fail st ("expected a statement but found " ^ Token.describe t)
+  in
+  { Ast.s = k; sloc }
+
+and stmt_list st =
+  (* statements separated by semicolons; empty statements tolerated *)
+  let rec go acc =
+    match cur_tok st with
+    | Token.End | Token.Until | Token.Else -> List.rev acc
+    | Token.Semi ->
+        advance st;
+        go acc
+    | _ ->
+        let s = stmt st in
+        if accept st Token.Semi then go (s :: acc)
+        else List.rev (s :: acc)
+  in
+  go []
+
+(* --- declarations -------------------------------------------------------- *)
+
+let rec decls st =
+  let out = ref [] in
+  let rec go () =
+    match cur_tok st with
+    | Token.Const ->
+        advance st;
+        let rec consts () =
+          match cur_tok st with
+          | Token.Ident _ ->
+              let n = ident st in
+              expect st Token.Eq;
+              let e = expr st in
+              expect st Token.Semi;
+              out := Ast.Dconst (n, e) :: !out;
+              consts ()
+          | _ -> ()
+        in
+        consts ();
+        go ()
+    | Token.Type ->
+        advance st;
+        let rec types () =
+          match cur_tok st with
+          | Token.Ident _ ->
+              let n = ident st in
+              expect st Token.Eq;
+              let t = type_expr st in
+              expect st Token.Semi;
+              out := Ast.Dtype (n, t) :: !out;
+              types ()
+          | _ -> ()
+        in
+        types ();
+        go ()
+    | Token.Var ->
+        advance st;
+        let rec vars () =
+          match cur_tok st with
+          | Token.Ident _ ->
+              let names = ident_list st in
+              expect st Token.Colon;
+              let t = type_expr st in
+              expect st Token.Semi;
+              out := Ast.Dvar (names, t) :: !out;
+              vars ()
+          | _ -> ()
+        in
+        vars ();
+        go ()
+    | Token.Procedure | Token.Function ->
+        out := Ast.Dproc (proc st) :: !out;
+        go ()
+    | _ -> List.rev !out
+  in
+  go ()
+
+and proc st =
+  let ploc = cur_loc st in
+  let is_function = Token.equal (cur_tok st) Token.Function in
+  advance st;
+  let name = ident st in
+  let params =
+    if accept st Token.Lparen then begin
+      let rec go acc =
+        let by_ref = accept st Token.Var in
+        let pnames = ident_list st in
+        expect st Token.Colon;
+        let pty = type_expr st in
+        let p = { Ast.pnames; pty; by_ref } in
+        if accept st Token.Semi then go (p :: acc)
+        else begin
+          expect st Token.Rparen;
+          List.rev (p :: acc)
+        end
+      in
+      if accept st Token.Rparen then [] else go []
+    end
+    else []
+  in
+  let result =
+    if is_function then begin
+      expect st Token.Colon;
+      Some (type_expr st)
+    end
+    else None
+  in
+  expect st Token.Semi;
+  let inner = decls st in
+  expect st Token.Begin;
+  let body = stmt_list st in
+  expect st Token.End;
+  expect st Token.Semi;
+  { Ast.name; params; result; decls = inner; body; ploc }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  expect st Token.Program;
+  let pname = ident st in
+  (* an optional file-parameter list, as in program p(output); *)
+  if accept st Token.Lparen then begin
+    let rec skip () =
+      if not (accept st Token.Rparen) then begin
+        advance st;
+        skip ()
+      end
+    in
+    skip ()
+  end;
+  expect st Token.Semi;
+  let ds = decls st in
+  expect st Token.Begin;
+  let main = stmt_list st in
+  expect st Token.End;
+  expect st Token.Dot;
+  { Ast.pname; decls = ds; main }
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = expr st in
+  expect st Token.Eof;
+  e

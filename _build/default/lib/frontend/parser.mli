@@ -1,0 +1,27 @@
+(** Recursive-descent parser for the Pascal subset.
+
+    Grammar (informally):
+    {v
+    program   ::= PROGRAM ident ; decls BEGIN stmts END .
+    decls     ::= (CONST (ident = const ;)+ | TYPE (ident = type ;)+
+                 | VAR (idents : type ;)+ | proc | func)*
+    proc      ::= PROCEDURE ident params? ; decls block ;
+    func      ::= FUNCTION ident params? : ident ; decls block ;
+    type      ::= ident | PACKED? ARRAY [ const .. const ] OF type
+                 | RECORD (idents : type ;...) END
+    stmt      ::= lvalue := expr | ident ( exprs )? | IF | WHILE | REPEAT
+                 | FOR | CASE | block
+    expr      ::= simple (relop simple)?
+    simple    ::= term ((+|-|OR) term)*
+    term      ::= factor ((MUL|DIV|MOD|AND) factor)*
+    factor    ::= literal | lvalue | ident(exprs) | (expr) | NOT factor | - factor
+    v} *)
+
+exception Error of Loc.t * string
+
+val parse : string -> Ast.program
+(** @raise Error (or {!Lexer.Error}) on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression — used by tests and the boolean-strategy
+    demos. *)

@@ -1,0 +1,492 @@
+open Types
+
+exception Error of Loc.t * string
+
+let err loc fmt = Format.kasprintf (fun s -> raise (Error (loc, s))) fmt
+
+type const_value = Cint of int | Cchar of char | Cbool of bool
+
+type func_sig = {
+  sig_params : (ty * bool) list;  (* type, by_ref *)
+  sig_result : ty option;
+}
+
+type env = {
+  consts : (string, const_value) Hashtbl.t;
+  types : (string, ty) Hashtbl.t;
+  funcs : (string, func_sig) Hashtbl.t;
+  globals : (string, Tast.var_id) Hashtbl.t;
+  mutable scope : (string * Tast.var_id) list;  (* current function's vars *)
+  mutable vars : Tast.var_info list;  (* reversed accumulation *)
+  mutable next_vid : int;
+  mutable current : (string * ty option) option;  (* enclosing function *)
+}
+
+let new_env () =
+  {
+    consts = Hashtbl.create 16;
+    types = Hashtbl.create 16;
+    funcs = Hashtbl.create 16;
+    globals = Hashtbl.create 16;
+    scope = [];
+    vars = [];
+    next_vid = 0;
+    current = None;
+  }
+
+let fresh_var env ~name ~ty ~storage ~by_ref ~owner =
+  let vid = env.next_vid in
+  env.next_vid <- vid + 1;
+  env.vars <-
+    { Tast.vid; vname = name; ty; storage; by_ref; owner } :: env.vars;
+  vid
+
+let lookup_var env loc name =
+  match List.assoc_opt name env.scope with
+  | Some vid -> Some vid
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some vid -> Some vid
+      | None ->
+          ignore loc;
+          None)
+
+let var_info env vid = List.find (fun v -> v.Tast.vid = vid) env.vars
+
+(* --- constant expressions ------------------------------------------------ *)
+
+let rec const_eval env (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Enum n -> Cint n
+  | Ast.Echar c -> Cchar c
+  | Ast.Ebool b -> Cbool b
+  | Ast.Ename n -> (
+      match Hashtbl.find_opt env.consts n with
+      | Some v -> v
+      | None -> err e.Ast.loc "%s is not a constant" n)
+  | Ast.Eneg e' -> (
+      match const_eval env e' with
+      | Cint n -> Cint (-n)
+      | _ -> err e.Ast.loc "cannot negate a non-integer constant")
+  | Ast.Ebin (op, a, b) -> (
+      match (const_eval env a, const_eval env b) with
+      | Cint x, Cint y ->
+          let f =
+            match op with
+            | Ast.Add -> ( + )
+            | Ast.Sub -> ( - )
+            | Ast.Mul -> ( * )
+            | Ast.Div -> ( / )
+            | Ast.Mod -> fun a b -> a mod b
+          in
+          Cint (f x y)
+      | _ -> err e.Ast.loc "non-integer constant arithmetic")
+  | _ -> err e.Ast.loc "expression is not constant"
+
+let const_int env (e : Ast.expr) =
+  match const_eval env e with
+  | Cint n -> n
+  | Cchar c -> Char.code c
+  | Cbool _ -> err e.Ast.loc "expected an integer constant"
+
+(* --- types ---------------------------------------------------------------- *)
+
+let rec resolve_type env loc = function
+  | Ast.Tname "integer" -> Int
+  | Ast.Tname "char" -> Char
+  | Ast.Tname "boolean" -> Bool
+  | Ast.Tname n -> (
+      match Hashtbl.find_opt env.types n with
+      | Some t -> t
+      | None -> err loc "unknown type %s" n)
+  | Ast.Tarray { packed; lo; hi; elem } ->
+      let lo = const_int env lo and hi = const_int env hi in
+      if hi < lo then err loc "array bounds [%d..%d] are empty" lo hi;
+      let elem = resolve_type env loc elem in
+      if packed && not (byte_packable elem) then
+        err loc "only char and boolean arrays can be packed";
+      Array { lo; hi; elem; packed }
+  | Ast.Trecord fields ->
+      let resolved =
+        List.concat_map
+          (fun (names, t) ->
+            let t = resolve_type env loc t in
+            List.map (fun n -> (n, t)) names)
+          fields
+      in
+      Record resolved
+
+(* --- expressions ----------------------------------------------------------- *)
+
+let tint = { Tast.e = Tast.Num 0; ty = Int }  (* placeholder, never used *)
+let _ = tint
+
+let expect_ty loc ~what expected actual =
+  if not (equal_ty expected actual) then
+    err loc "%s has type %a but %a was expected" what Types.pp actual Types.pp
+      expected
+
+let rec check_expr env (e : Ast.expr) : Tast.expr =
+  let loc = e.Ast.loc in
+  match e.Ast.e with
+  | Ast.Enum n -> { Tast.e = Tast.Num n; ty = Int }
+  | Ast.Echar c -> { Tast.e = Tast.Chr c; ty = Char }
+  | Ast.Ebool b -> { Tast.e = Tast.Boolean b; ty = Bool }
+  | Ast.Estring _ -> err loc "string literals may only appear in write/writeln"
+  | Ast.Ename n -> check_name env loc n
+  | Ast.Eindex _ | Ast.Efield _ ->
+      let lv = check_lvalue env e in
+      { Tast.e = Tast.Lval lv; ty = lv.Tast.lty }
+  | Ast.Ecall ("ord", [ a ]) ->
+      let a = check_expr env a in
+      (match a.Tast.ty with
+      | Char | Bool | Int -> { Tast.e = Tast.Ord a; ty = Int }
+      | t -> err loc "ord of %a" Types.pp t)
+  | Ast.Ecall ("chr", [ a ]) ->
+      let a = check_expr env a in
+      expect_ty loc ~what:"chr argument" Int a.Tast.ty;
+      { Tast.e = Tast.Chr_of a; ty = Char }
+  | Ast.Ecall (f, args) -> check_call env loc f args ~as_expr:true
+  | Ast.Ebin (op, a, b) ->
+      let a = check_expr env a and b = check_expr env b in
+      expect_ty loc ~what:"left operand" Int a.Tast.ty;
+      expect_ty loc ~what:"right operand" Int b.Tast.ty;
+      { Tast.e = Tast.Bin (op, a, b); ty = Int }
+  | Ast.Erel (op, a, b) ->
+      let a = check_expr env a and b = check_expr env b in
+      if not (equal_ty a.Tast.ty b.Tast.ty) then
+        err loc "comparison of %a and %a" Types.pp a.Tast.ty Types.pp b.Tast.ty;
+      if not (is_scalar a.Tast.ty) then err loc "comparison of non-scalar values";
+      { Tast.e = Tast.Rel (op, a, b); ty = Bool }
+  | Ast.Elog (op, a, b) ->
+      let a = check_expr env a and b = check_expr env b in
+      expect_ty loc ~what:"left operand" Bool a.Tast.ty;
+      expect_ty loc ~what:"right operand" Bool b.Tast.ty;
+      { Tast.e = Tast.Log (op, a, b); ty = Bool }
+  | Ast.Enot a ->
+      let a = check_expr env a in
+      expect_ty loc ~what:"not operand" Bool a.Tast.ty;
+      { Tast.e = Tast.Not a; ty = Bool }
+  | Ast.Eneg a ->
+      let a = check_expr env a in
+      expect_ty loc ~what:"negation operand" Int a.Tast.ty;
+      { Tast.e = Tast.Neg a; ty = Int }
+
+and check_name env loc n : Tast.expr =
+  match Hashtbl.find_opt env.consts n with
+  | Some (Cint v) -> { Tast.e = Tast.Num v; ty = Int }
+  | Some (Cchar c) -> { Tast.e = Tast.Chr c; ty = Char }
+  | Some (Cbool b) -> { Tast.e = Tast.Boolean b; ty = Bool }
+  | None -> (
+      match lookup_var env loc n with
+      | Some vid ->
+          let v = var_info env vid in
+          { Tast.e = Tast.Lval { Tast.base = vid; path = []; lty = v.Tast.ty };
+            ty = v.Tast.ty }
+      | None ->
+          if Hashtbl.mem env.funcs n then check_call env loc n [] ~as_expr:true
+          else err loc "unknown identifier %s" n)
+
+and check_call env loc f args ~as_expr : Tast.expr =
+  match Hashtbl.find_opt env.funcs f with
+  | None -> err loc "unknown function or procedure %s" f
+  | Some fsig ->
+      (if as_expr && fsig.sig_result = None then
+         err loc "procedure %s used as a function" f);
+      let nformal = List.length fsig.sig_params in
+      if List.length args <> nformal then
+        err loc "%s expects %d argument(s), got %d" f nformal (List.length args);
+      let targs =
+        List.map2
+          (fun (pty, by_ref) (arg : Ast.expr) ->
+            if by_ref then begin
+              let lv = check_lvalue env arg in
+              expect_ty arg.Ast.loc ~what:"var argument" pty lv.Tast.lty;
+              Tast.By_reference lv
+            end
+            else begin
+              let e = check_expr env arg in
+              expect_ty arg.Ast.loc ~what:"argument" pty e.Tast.ty;
+              Tast.By_value e
+            end)
+          fsig.sig_params args
+      in
+      let ty = match fsig.sig_result with Some t -> t | None -> Int in
+      { Tast.e = Tast.Call (f, targs); ty }
+
+and check_lvalue env (e : Ast.expr) : Tast.lvalue =
+  let loc = e.Ast.loc in
+  match e.Ast.e with
+  | Ast.Ename n -> (
+      match lookup_var env loc n with
+      | Some vid ->
+          let v = var_info env vid in
+          { Tast.base = vid; path = []; lty = v.Tast.ty }
+      | None -> err loc "unknown variable %s" n)
+  | Ast.Eindex (base, idx) -> (
+      let lv = check_lvalue env base in
+      let idx = check_expr env idx in
+      (match idx.Tast.ty with
+      | Int | Char -> ()
+      | t -> err loc "array index has type %a" Types.pp t);
+      match lv.Tast.lty with
+      | Array a ->
+          {
+            Tast.base = lv.Tast.base;
+            path = lv.Tast.path @ [ Tast.Index (idx, a) ];
+            lty = a.elem;
+          }
+      | t -> err loc "indexing a non-array of type %a" Types.pp t)
+  | Ast.Efield (base, fname) -> (
+      let lv = check_lvalue env base in
+      match lv.Tast.lty with
+      | Record fields -> (
+          let rec ordinal i = function
+            | [] -> err loc "record has no field %s" fname
+            | (n, t) :: rest ->
+                if String.equal n fname then (i, t) else ordinal (i + 1) rest
+          in
+          match ordinal 0 fields with
+          | i, t ->
+              {
+                Tast.base = lv.Tast.base;
+                path = lv.Tast.path @ [ Tast.Field (fname, i, t) ];
+                lty = t;
+              })
+      | t -> err loc "selecting a field of a non-record of type %a" Types.pp t)
+  | _ -> err loc "expression is not assignable"
+
+(* --- statements ------------------------------------------------------------ *)
+
+let rec check_stmt env (s : Ast.stmt) : Tast.stmt =
+  let loc = s.Ast.sloc in
+  match s.Ast.s with
+  | Ast.Sblock body ->
+      (* flattened by the caller; represent as If(true) to keep one type *)
+      Tast.If ({ Tast.e = Tast.Boolean true; ty = Bool }, check_stmts env body, [])
+  | Ast.Sassign ({ Ast.e = Ast.Ename n; _ }, rhs)
+    when (match env.current with Some (f, Some _) -> String.equal f n | _ -> false)
+    ->
+      let rty = match env.current with Some (_, Some t) -> t | _ -> assert false in
+      let rhs = check_expr env rhs in
+      expect_ty loc ~what:"function result" rty rhs.Tast.ty;
+      Tast.Assign_result rhs
+  | Ast.Sassign (lhs, rhs) ->
+      let lv = check_lvalue env lhs in
+      if not (is_scalar lv.Tast.lty) then
+        err loc "assignment of non-scalar values is not supported";
+      let rhs = check_expr env rhs in
+      expect_ty loc ~what:"assignment" lv.Tast.lty rhs.Tast.ty;
+      Tast.Assign (lv, rhs)
+  | Ast.Scall ("write", args) -> Tast.Write (check_write_args env args, false)
+  | Ast.Scall ("writeln", args) -> Tast.Write (check_write_args env args, true)
+  | Ast.Scall ("read", [ arg ]) ->
+      let lv = check_lvalue env arg in
+      expect_ty loc ~what:"read argument" Char lv.Tast.lty;
+      Tast.Read_char lv
+  | Ast.Scall ("halt", []) -> Tast.Halt None
+  | Ast.Scall ("halt", [ code ]) ->
+      let e = check_expr env code in
+      expect_ty loc ~what:"halt code" Int e.Tast.ty;
+      Tast.Halt (Some e)
+  | Ast.Scall (f, args) -> (
+      match check_call env loc f args ~as_expr:false with
+      | { Tast.e = Tast.Call (f, targs); _ } -> Tast.Call_stmt (f, targs)
+      | _ -> assert false)
+  | Ast.Sif (c, then_, else_) ->
+      let c = check_expr env c in
+      expect_ty loc ~what:"if condition" Bool c.Tast.ty;
+      Tast.If (c, check_stmts env then_, check_stmts env else_)
+  | Ast.Swhile (c, body) ->
+      let c = check_expr env c in
+      expect_ty loc ~what:"while condition" Bool c.Tast.ty;
+      Tast.While (c, check_stmts env body)
+  | Ast.Srepeat (body, c) ->
+      let body = check_stmts env body in
+      let c = check_expr env c in
+      expect_ty loc ~what:"until condition" Bool c.Tast.ty;
+      Tast.Repeat (body, c)
+  | Ast.Sfor (v, lo, up, hi, body) -> (
+      match lookup_var env loc v with
+      | None -> err loc "unknown loop variable %s" v
+      | Some vid ->
+          let vi = var_info env vid in
+          if not (equal_ty vi.Tast.ty Int || equal_ty vi.Tast.ty Char) then
+            err loc "loop variable must be integer or char";
+          if vi.Tast.by_ref then err loc "loop variable may not be a var parameter";
+          let lo = check_expr env lo and hi = check_expr env hi in
+          expect_ty loc ~what:"for bound" vi.Tast.ty lo.Tast.ty;
+          expect_ty loc ~what:"for bound" vi.Tast.ty hi.Tast.ty;
+          Tast.For (vid, lo, up, hi, check_stmts env body))
+  | Ast.Scase (scrutinee, arms, default) ->
+      let scrutinee = check_expr env scrutinee in
+      (match scrutinee.Tast.ty with
+      | Int | Char -> ()
+      | t -> err loc "case selector has type %a" Types.pp t);
+      let arms =
+        List.map
+          (fun (labels, body) ->
+            let labels =
+              List.map
+                (fun l ->
+                  match const_eval env l with
+                  | Cint n -> n
+                  | Cchar c -> Char.code c
+                  | Cbool _ -> err loc "boolean case labels are not supported")
+                labels
+            in
+            (labels, check_stmts env body))
+          arms
+      in
+      let default = Option.map (check_stmts env) default in
+      Tast.Case (scrutinee, arms, default)
+
+and check_stmts env stmts =
+  List.concat_map
+    (fun (s : Ast.stmt) ->
+      match s.Ast.s with
+      | Ast.Sblock body -> check_stmts env body
+      | _ -> [ check_stmt env s ])
+    stmts
+
+and check_write_args env args =
+  List.map
+    (fun (a : Ast.expr) ->
+      match a.Ast.e with
+      | Ast.Estring s -> Tast.Wstring s
+      | _ ->
+          let e = check_expr env a in
+          (match e.Tast.ty with
+          | Int | Char | Bool -> ()
+          | t -> err a.Ast.loc "cannot write a value of type %a" Types.pp t);
+          Tast.Wexpr e)
+    args
+
+(* --- declarations ----------------------------------------------------------- *)
+
+let check_decl_nonproc env ~owner = function
+  | Ast.Dconst (n, e) -> Hashtbl.replace env.consts n (const_eval env e)
+  | Ast.Dtype (n, t) -> Hashtbl.replace env.types n (resolve_type env Loc.dummy t)
+  | Ast.Dvar (names, t) ->
+      let ty = resolve_type env Loc.dummy t in
+      List.iter
+        (fun n ->
+          match owner with
+          | None ->
+              let vid =
+                fresh_var env ~name:n ~ty ~storage:Tast.Global ~by_ref:false
+                  ~owner:None
+              in
+              Hashtbl.replace env.globals n vid
+          | Some _ ->
+              (* local ordinal assigned later *)
+              let vid =
+                fresh_var env ~name:n ~ty ~storage:(Tast.Local (-1)) ~by_ref:false
+                  ~owner
+              in
+              env.scope <- (n, vid) :: env.scope)
+        names
+  | Ast.Dproc _ -> ()
+
+let check_proc env (p : Ast.proc) : Tast.func =
+  if List.exists (fun d -> match d with Ast.Dproc _ -> true | _ -> false) p.Ast.decls
+  then err p.Ast.ploc "nested procedures are not supported";
+  let result =
+    Option.map (fun t -> resolve_type env p.Ast.ploc t) p.Ast.result
+  in
+  (match result with
+  | Some t when not (is_scalar t) ->
+      err p.Ast.ploc "functions must return scalar values"
+  | _ -> ());
+  env.current <- Some (p.Ast.name, result);
+  env.scope <- [];
+  (* parameters *)
+  let params =
+    List.concat_map
+      (fun (prm : Ast.param) ->
+        let ty = resolve_type env p.Ast.ploc prm.Ast.pty in
+        if (not prm.Ast.by_ref) && not (is_scalar ty) then
+          err p.Ast.ploc
+            "arrays and records must be passed as var parameters (in %s)"
+            p.Ast.name;
+        List.map
+          (fun n ->
+            let vid =
+              fresh_var env ~name:n ~ty ~storage:(Tast.Param (-1))
+                ~by_ref:prm.Ast.by_ref ~owner:(Some p.Ast.name)
+            in
+            env.scope <- (n, vid) :: env.scope;
+            vid)
+          prm.Ast.pnames)
+      p.Ast.params
+  in
+  (* local declarations (consts/types share the global tables; acceptable for
+     the subset — shadowing across procedures is not supported) *)
+  List.iter (check_decl_nonproc env ~owner:(Some p.Ast.name)) p.Ast.decls;
+  let locals =
+    List.filter_map
+      (fun (_, vid) ->
+        let v = var_info env vid in
+        match v.Tast.storage with Tast.Local _ -> Some vid | _ -> None)
+      env.scope
+    |> List.rev
+  in
+  (* assign ordinals *)
+  List.iteri
+    (fun i vid ->
+      env.vars <-
+        List.map
+          (fun v ->
+            if v.Tast.vid = vid then { v with Tast.storage = Tast.Param i } else v)
+          env.vars)
+    params;
+  List.iteri
+    (fun i vid ->
+      env.vars <-
+        List.map
+          (fun v ->
+            if v.Tast.vid = vid then { v with Tast.storage = Tast.Local i } else v)
+          env.vars)
+    locals;
+  let body = check_stmts env p.Ast.body in
+  env.current <- None;
+  env.scope <- [];
+  { Tast.fname = p.Ast.name; params; result; locals; body }
+
+let register_proc_sig env (p : Ast.proc) =
+  let params =
+    List.concat_map
+      (fun (prm : Ast.param) ->
+        let ty = resolve_type env p.Ast.ploc prm.Ast.pty in
+        List.map (fun _ -> (ty, prm.Ast.by_ref)) prm.Ast.pnames)
+      p.Ast.params
+  in
+  let result = Option.map (fun t -> resolve_type env p.Ast.ploc t) p.Ast.result in
+  Hashtbl.replace env.funcs p.Ast.name { sig_params = params; sig_result = result }
+
+let check (prog : Ast.program) : Tast.program =
+  let env = new_env () in
+  (* first pass: globals, consts, types, and procedure signatures *)
+  List.iter
+    (fun d ->
+      check_decl_nonproc env ~owner:None d;
+      match d with Ast.Dproc p -> register_proc_sig env p | _ -> ())
+    prog.Ast.decls;
+  (* second pass: procedure bodies *)
+  let funcs =
+    List.filter_map
+      (function Ast.Dproc p -> Some (check_proc env p) | _ -> None)
+      prog.Ast.decls
+  in
+  let main = check_stmts env prog.Ast.main in
+  let vars =
+    List.sort (fun a b -> compare a.Tast.vid b.Tast.vid) env.vars |> Array.of_list
+  in
+  let globals =
+    Array.to_list vars
+    |> List.filter_map (fun v ->
+           match v.Tast.storage with Tast.Global -> Some v.Tast.vid | _ -> None)
+  in
+  { Tast.prog_name = prog.Ast.pname; vars; globals; funcs; main }
+
+let check_string src = check (Parser.parse src)

@@ -1,0 +1,17 @@
+(** Semantic analysis: name resolution, constant folding of declarations,
+    and type checking.  Produces the typed AST consumed by the code
+    generators.
+
+    Divergences from full Pascal (documented in DESIGN.md): procedures do
+    not nest; arrays and records can only be passed as [var] parameters and
+    cannot be assigned wholesale; [read] reads a single character;
+    [write]/[writeln] accept integer, char and boolean expressions and
+    string literals; booleans print as 0/1. *)
+
+exception Error of Loc.t * string
+
+val check : Ast.program -> Tast.program
+(** @raise Error on any semantic violation. *)
+
+val check_string : string -> Tast.program
+(** Parse and check a source string. *)

@@ -1,0 +1,86 @@
+(* Typed abstract syntax — the result of semantic analysis and the input to
+   both code generators (MIPS and the condition-code comparison machine). *)
+
+open Types
+
+type var_id = int
+
+type storage =
+  | Global
+  | Local of int  (* ordinal among the function's locals *)
+  | Param of int  (* ordinal among the function's parameters *)
+[@@deriving eq, show]
+
+type var_info = {
+  vid : var_id;
+  vname : string;
+  ty : ty;
+  storage : storage;
+  by_ref : bool;  (* var parameter: the slot holds an address *)
+  owner : string option;  (* enclosing function, None for globals *)
+}
+
+type relop = Ast.relop = Req | Rne | Rlt | Rle | Rgt | Rge [@@deriving eq, show]
+type binop = Ast.binop = Add | Sub | Mul | Div | Mod [@@deriving eq, show]
+type logop = Ast.logop = Land | Lor [@@deriving eq, show]
+
+type expr = { e : expr_kind; ty : ty }
+
+and expr_kind =
+  | Num of int
+  | Chr of char
+  | Boolean of bool
+  | Lval of lvalue
+  | Bin of binop * expr * expr
+  | Rel of relop * expr * expr
+  | Log of logop * expr * expr
+  | Not of expr
+  | Neg of expr
+  | Call of string * arg list
+  | Ord of expr  (* char/bool -> int, a no-op at machine level *)
+  | Chr_of of expr  (* int -> char *)
+
+(* An lvalue: a variable plus a path of selections. *)
+and lvalue = { base : var_id; path : selector list; lty : ty }
+
+and selector =
+  | Index of expr * array_ty  (* the array type being indexed *)
+  | Field of string * int * ty  (* name, field ordinal, field type *)
+
+and arg = By_value of expr | By_reference of lvalue
+
+type write_arg = Wexpr of expr | Wstring of string
+
+type stmt =
+  | Assign of lvalue * expr
+  | Assign_result of expr  (* fname := e inside function fname *)
+  | Call_stmt of string * arg list
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Repeat of stmt list * expr
+  | For of var_id * expr * bool * expr * stmt list
+  | Case of expr * (int list * stmt list) list * stmt list option
+  | Write of write_arg list * bool  (* true = writeln *)
+  | Read_char of lvalue
+  | Halt of expr option
+
+type func = {
+  fname : string;
+  params : var_id list;
+  result : ty option;
+  locals : var_id list;
+  body : stmt list;
+}
+
+type program = {
+  prog_name : string;
+  vars : var_info array;  (* indexed by var_id *)
+  globals : var_id list;
+  funcs : func list;
+  main : stmt list;
+}
+
+let var p vid = p.vars.(vid)
+
+let func p name =
+  List.find_opt (fun f -> String.equal f.fname name) p.funcs

@@ -1,0 +1,36 @@
+(* Resolved types of the Pascal subset. *)
+
+type ty =
+  | Int
+  | Char
+  | Bool
+  | Array of array_ty
+  | Record of (string * ty) list
+
+and array_ty = { lo : int; hi : int; elem : ty; packed : bool }
+[@@deriving eq, show]
+
+let rec pp ppf = function
+  | Int -> Format.pp_print_string ppf "integer"
+  | Char -> Format.pp_print_string ppf "char"
+  | Bool -> Format.pp_print_string ppf "boolean"
+  | Array a ->
+      Format.fprintf ppf "%sarray [%d..%d] of %a"
+        (if a.packed then "packed " else "")
+        a.lo a.hi pp a.elem
+  | Record fields ->
+      Format.fprintf ppf "record ";
+      List.iter (fun (n, t) -> Format.fprintf ppf "%s: %a; " n pp t) fields;
+      Format.fprintf ppf "end"
+
+let is_scalar = function Int | Char | Bool -> true | Array _ | Record _ -> false
+
+(* Whether elements of a packed array of this type occupy one byte. *)
+let byte_packable = function Char | Bool -> true | Int | Array _ | Record _ -> false
+
+let array_length a = a.hi - a.lo + 1
+
+let rec field_type fields name =
+  match fields with
+  | [] -> None
+  | (n, t) :: rest -> if String.equal n name then Some t else field_type rest name

@@ -1,0 +1,1 @@
+lib/ir/config.pp.ml: Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/ir.pp.ml: Alu Cond Format List Mips_isa Note Option Ppx_deriving_runtime

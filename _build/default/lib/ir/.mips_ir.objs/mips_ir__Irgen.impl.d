@@ -1,0 +1,1 @@
+lib/ir/irgen.pp.ml: Alu Char Cond Config Hashtbl Ir Layout List Mips_frontend Mips_isa Note Option Printf Tast Types

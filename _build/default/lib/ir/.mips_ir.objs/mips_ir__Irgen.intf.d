@@ -1,0 +1,1 @@
+lib/ir/irgen.pp.mli: Config Ir Layout Mips_frontend Tast

@@ -1,0 +1,1 @@
+lib/ir/layout.pp.ml: Char Config Hashtbl List Mips_frontend String Tast Types

@@ -1,0 +1,1 @@
+lib/ir/layout.pp.mli: Config Mips_frontend Tast Types

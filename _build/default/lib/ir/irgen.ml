@@ -1,0 +1,654 @@
+open Mips_isa
+open Mips_frontend
+open Ir
+
+type result = { funcs : Ir.func list; layout : Layout.t }
+
+let entry_label = function "$main" -> "$main" | f -> "f$" ^ f
+
+type mem_home =
+  | Gmem of int  (* absolute unit address *)
+  | Lmem of int  (* unit offset within the locals area *)
+  | Pmem of int  (* parameter ordinal (scalars only) *)
+
+type place = In_vreg of vreg | In_mem of mem_home
+
+type fenv = {
+  prog : Tast.program;
+  layout : Layout.t;
+  cfg : Config.t;
+  mutable code : instr list;  (* reversed *)
+  mutable nv : int;
+  nl : int ref;  (* label counter, shared program-wide *)
+  places : (Tast.var_id, place) Hashtbl.t;
+  mutable local_units : int;
+  ret_vreg : vreg option;
+}
+
+let emit env i = env.code <- i :: env.code
+
+let fresh_v env =
+  let v = env.nv in
+  env.nv <- v + 1;
+  v
+
+let fresh_l env prefix =
+  let n = !(env.nl) in
+  incr env.nl;
+  Printf.sprintf ".L%s%d" prefix n
+
+let on_byte_machine env = env.cfg.Config.target = Config.Byte_addressed
+
+(* monitor-call codes (same values as Mips_machine.Monitor; keeping this
+   library independent of the machine — agreement is checked by a test) *)
+let trap_exit = 1
+let trap_putchar = 2
+let trap_putint = 3
+let trap_getchar = 4
+let trap_putstr = 6
+
+let trap_codes =
+  [ ("exit", trap_exit); ("putchar", trap_putchar); ("putint", trap_putint);
+    ("getchar", trap_getchar); ("putstr", trap_putstr) ]
+
+let cond_of_relop = function
+  | Tast.Req -> Cond.Eq
+  | Tast.Rne -> Cond.Ne
+  | Tast.Rlt -> Cond.Lt
+  | Tast.Rle -> Cond.Le
+  | Tast.Rgt -> Cond.Gt
+  | Tast.Rge -> Cond.Ge
+
+let binop_of = function
+  | Tast.Add -> Alu.Add
+  | Tast.Sub -> Alu.Sub
+  | Tast.Mul -> Alu.Mul
+  | Tast.Div -> Alu.Div
+  | Tast.Mod -> Alu.Rem
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+(* add a constant number of units to an address operand *)
+let add_const env op c =
+  if c = 0 then op
+  else
+    match op with
+    | C base -> C (base + c)
+    | V _ ->
+        let d = fresh_v env in
+        emit env (Bin (Alu.Add, op, C c, d));
+        V d
+
+(* multiply an operand by a constant stride, folding and strength-reducing *)
+let scale env op stride =
+  if stride = 1 then op
+  else
+    match op with
+    | C n -> C (n * stride)
+    | V _ ->
+        let d = fresh_v env in
+        if is_pow2 stride then emit env (Bin (Alu.Sll, op, C (log2 stride), d))
+        else emit env (Bin (Alu.Mul, op, C stride, d));
+        V d
+
+let note_for ?(synthetic = false) env ty =
+  let byte_sized =
+    match ty with
+    | Types.Char | Types.Bool -> on_byte_machine env
+    | _ -> false
+  in
+  Note.make ~synthetic
+    ~char_data:(Types.equal_ty ty Types.Char)
+    ~byte_sized ()
+
+(* --- resolved lvalue accesses ------------------------------------------- *)
+
+type access =
+  | Direct_vreg of vreg
+  | Word_mem of addr * Note.t
+  | Byte_mem of addr * Note.t
+  | Packed_byte of { word_base : operand; byte_idx : operand; note : Note.t }
+
+(* an address being accumulated: constant + optional register part *)
+type addr_acc = { areg : vreg option; aoff : int }
+
+let acc_addr acc =
+  match acc.areg with
+  | None -> Abs_a acc.aoff
+  | Some r -> Based (V r, acc.aoff)
+
+let acc_operand env acc =
+  match acc.areg with
+  | None -> C acc.aoff
+  | Some r -> (
+      match acc.aoff with
+      | 0 -> V r
+      | off ->
+          let d = fresh_v env in
+          emit env (Bin (Alu.Add, V r, C off, d));
+          V d)
+
+let acc_add_dynamic env acc op =
+  match op with
+  | C c -> { acc with aoff = acc.aoff + c }
+  | V v -> (
+      match acc.areg with
+      | None -> { acc with areg = Some v }
+      | Some r ->
+          let d = fresh_v env in
+          emit env (Bin (Alu.Add, V r, V v, d));
+          { acc with areg = Some d })
+
+let rec resolve_lvalue env (lv : Tast.lvalue) : access =
+  let vi = Tast.var env.prog lv.Tast.base in
+  let scalar_note () = note_for env lv.Tast.lty in
+  match (Hashtbl.find_opt env.places lv.Tast.base, lv.Tast.path) with
+  | Some (In_vreg v), [] when not vi.Tast.by_ref -> Direct_vreg v
+  | Some (In_vreg v), path ->
+      (* a by-ref parameter: the vreg holds the object's address *)
+      assert vi.Tast.by_ref;
+      if path = [] then
+        if Types.equal_ty lv.Tast.lty Types.Char && on_byte_machine env then
+          Byte_mem (Based (V v, 0), scalar_note ())
+        else if Types.equal_ty lv.Tast.lty Types.Bool && on_byte_machine env then
+          Byte_mem (Based (V v, 0), scalar_note ())
+        else Word_mem (Based (V v, 0), scalar_note ())
+      else walk_path env { areg = Some v; aoff = 0 } vi.Tast.ty path lv.Tast.lty
+  | Some (In_mem (Gmem a)), path ->
+      if path = [] then scalar_mem env (Abs_a a) lv.Tast.lty
+      else walk_path env { areg = None; aoff = a } vi.Tast.ty path lv.Tast.lty
+  | Some (In_mem (Lmem off)), path ->
+      if path = [] then scalar_mem env (Frame (Local_slot off)) lv.Tast.lty
+      else
+        let base = fresh_v env in
+        emit env (Lea (Frame (Local_slot off), base));
+        walk_path env { areg = Some base; aoff = 0 } vi.Tast.ty path lv.Tast.lty
+  | Some (In_mem (Pmem i)), path ->
+      assert (path = []);
+      scalar_mem env (Frame (Param_slot i)) lv.Tast.lty
+  | None, _ -> invalid_arg ("Irgen: variable without a place: " ^ vi.Tast.vname)
+
+and scalar_mem env addr ty =
+  match ty with
+  | (Types.Char | Types.Bool) when on_byte_machine env ->
+      Byte_mem (addr, note_for env ty)
+  | _ -> Word_mem (addr, note_for env ty)
+
+and walk_path env acc cur_ty path final_ty =
+  match path with
+  | [] -> scalar_mem env (acc_addr acc) final_ty
+  | Tast.Field (_, ord, fty) :: rest -> (
+      match cur_ty with
+      | Types.Record fields ->
+          let off = Layout.field_offset env.layout fields ord in
+          walk_path env { acc with aoff = acc.aoff + off } fty rest final_ty
+      | _ -> assert false)
+  | Tast.Index (idx_e, arr) :: rest ->
+      if Layout.is_packed_byte env.layout arr then begin
+        (* last selector: element is a packed byte *)
+        assert (rest = []);
+        let idx = eval env idx_e in
+        let bidx = add_const env idx (-arr.Types.lo) in
+        let note = note_for env arr.Types.elem in
+        let note = { note with Note.byte_sized = true } in
+        if on_byte_machine env then
+          match bidx with
+          | C c -> scalar_byte env { acc with aoff = acc.aoff + c } note
+          | V _ ->
+              let acc = acc_add_dynamic env acc bidx in
+              scalar_byte env acc note
+        else
+          Packed_byte { word_base = acc_operand env acc; byte_idx = bidx; note }
+      end
+      else begin
+        let stride = Layout.elem_stride env.layout arr in
+        let idx = eval env idx_e in
+        let rel = add_const env idx (-arr.Types.lo) in
+        match rel with
+        | V _ when rest = [] && stride > 1 && is_pow2 stride && on_byte_machine env
+          ->
+            (* final word-element subscript on the byte machine: use the
+               scaled-index addressing mode instead of an explicit shift *)
+            scalar_mem env
+              (Scaled_a (acc_operand env acc, rel, log2 stride))
+              final_ty
+        | _ ->
+            let scaled = scale env rel stride in
+            let acc = acc_add_dynamic env acc scaled in
+            walk_path env acc arr.Types.elem rest final_ty
+      end
+
+and scalar_byte _env acc note = Byte_mem (acc_addr acc, note)
+
+(* --- reading and writing accesses ---------------------------------------- *)
+
+and load_access env access : operand =
+  match access with
+  | Direct_vreg v -> V v
+  | Word_mem (addr, note) ->
+      let d = fresh_v env in
+      emit env (Load { addr; dst = d; width = W32; note });
+      V d
+  | Byte_mem (addr, note) ->
+      let d = fresh_v env in
+      emit env (Load { addr; dst = d; width = W8; note });
+      V d
+  | Packed_byte { word_base; byte_idx; note } ->
+      let w = fresh_v env in
+      emit env
+        (Load
+           { addr = Shifted_a (word_base, byte_idx, 2); dst = w; width = W32; note });
+      let d = fresh_v env in
+      emit env (Xbyte (byte_idx, V w, d));
+      V d
+
+and store_access env access (src : operand) =
+  match access with
+  | Direct_vreg v -> emit env (Mov (src, v))
+  | Word_mem (addr, note) -> emit env (Store { src; addr; width = W32; note })
+  | Byte_mem (addr, note) -> emit env (Store { src; addr; width = W8; note })
+  | Packed_byte { word_base; byte_idx; note } ->
+      (* read-modify-write: the word load is a machine artifact *)
+      let w = fresh_v env in
+      emit env
+        (Load
+           {
+             addr = Shifted_a (word_base, byte_idx, 2);
+             dst = w;
+             width = W32;
+             note = { note with Note.synthetic = true };
+           });
+      emit env (Set_bs byte_idx);
+      emit env (Ibyte (src, w));
+      emit env
+        (Store { src = V w; addr = Shifted_a (word_base, byte_idx, 2); width = W32; note })
+
+(* --- expressions ----------------------------------------------------------- *)
+
+and eval env (e : Tast.expr) : operand =
+  match e.Tast.e with
+  | Tast.Num n -> C n
+  | Tast.Chr c -> C (Char.code c)
+  | Tast.Boolean b -> C (if b then 1 else 0)
+  | Tast.Ord a | Tast.Chr_of a -> eval env a
+  | Tast.Lval lv -> load_access env (resolve_lvalue env lv)
+  | Tast.Neg a -> (
+      match eval env a with
+      | C c -> C (-c)
+      | op ->
+          let d = fresh_v env in
+          emit env (Bin (Alu.Rsub, op, C 0, d));
+          V d)
+  | Tast.Bin (op, a, b) -> (
+      let va = eval env a in
+      let vb = eval env b in
+      match (va, vb, op) with
+      | C x, C y, Tast.Add -> C (x + y)
+      | C x, C y, Tast.Sub -> C (x - y)
+      | C x, C y, Tast.Mul -> C (x * y)
+      | C x, C y, Tast.Div when y <> 0 -> C (x / y)
+      | C x, C y, Tast.Mod when y <> 0 -> C (x mod y)
+      | _ ->
+          let d = fresh_v env in
+          emit env (Bin (binop_of op, va, vb, d));
+          V d)
+  | Tast.Rel (op, a, b) -> eval_bool env e (fun () ->
+      let va = eval env a and vb = eval env b in
+      let d = fresh_v env in
+      emit env (Setcond (cond_of_relop op, va, vb, d));
+      V d)
+  | Tast.Log (op, a, b) -> eval_bool env e (fun () ->
+      let va = eval env a in
+      let vb = eval env b in
+      let d = fresh_v env in
+      let alu = match op with Tast.Land -> Alu.And | Tast.Lor -> Alu.Or in
+      emit env (Bin (alu, va, vb, d));
+      V d)
+  | Tast.Not a -> eval_bool env e (fun () ->
+      let va = eval env a in
+      let d = fresh_v env in
+      emit env (Bin (Alu.Xor, va, C 1, d));
+      V d)
+  | Tast.Call (f, args) ->
+      let ops = List.map (eval_arg env) args in
+      let d = fresh_v env in
+      emit env (Call { func = entry_label f; args = ops; dst = Some d });
+      V d
+
+(* boolean-valued expression: dispatch on the configured strategy *)
+and eval_bool env (e : Tast.expr) setcond_path =
+  match env.cfg.Config.bool_strategy with
+  | Config.Setcond -> setcond_path ()
+  | Config.Early_out ->
+      (* jumping code producing 0/1 (Figure 1, early-out column) *)
+      let d = fresh_v env in
+      let l_false = fresh_l env "bf" and l_done = fresh_l env "bd" in
+      gen_cond env e ~t:None ~f:(Some l_false);
+      emit env (Mov (C 1, d));
+      emit env (Jmp l_done);
+      emit env (Lbl l_false);
+      emit env (Mov (C 0, d));
+      emit env (Lbl l_done);
+      V d
+
+and eval_arg env = function
+  | Tast.By_value e -> eval env e
+  | Tast.By_reference lv -> (
+      (* pass the object's address *)
+      match resolve_lvalue env lv with
+      | Direct_vreg _ -> assert false  (* semantic pass keeps these in memory *)
+      | Word_mem (addr, _) | Byte_mem (addr, _) ->
+          let d = fresh_v env in
+          emit env (Lea (addr, d));
+          V d
+      | Packed_byte _ ->
+          invalid_arg "Irgen: packed array elements cannot be var arguments")
+
+(* conditional control flow: branch to [t] when true, [f] when false; a
+   [None] label means fall through.  Exactly one of the two is None. *)
+and gen_cond env (e : Tast.expr) ~t ~f =
+  match e.Tast.e with
+  | Tast.Boolean true -> ( match t with Some l -> emit env (Jmp l) | None -> ())
+  | Tast.Boolean false -> ( match f with Some l -> emit env (Jmp l) | None -> ())
+  | Tast.Not a -> gen_cond env a ~t:f ~f:t
+  | Tast.Rel (op, a, b) -> (
+      let va = eval env a and vb = eval env b in
+      let c = cond_of_relop op in
+      match (t, f) with
+      | Some lt, None -> emit env (Br (c, va, vb, lt))
+      | None, Some lf -> emit env (Br (Cond.negate c, va, vb, lf))
+      | Some lt, Some lf ->
+          emit env (Br (c, va, vb, lt));
+          emit env (Jmp lf)
+      | None, None -> ())
+  | Tast.Log (lop, a, b)
+    when env.cfg.Config.bool_strategy = Config.Early_out -> (
+      (* short-circuit control flow *)
+      match lop with
+      | Tast.Lor ->
+          let lt = match t with Some l -> l | None -> fresh_l env "or" in
+          gen_cond env a ~t:(Some lt) ~f:None;
+          gen_cond env b ~t ~f;
+          if t = None then emit env (Lbl lt)
+      | Tast.Land ->
+          let lf = match f with Some l -> l | None -> fresh_l env "and" in
+          gen_cond env a ~t:None ~f:(Some lf);
+          gen_cond env b ~t ~f;
+          if f = None then emit env (Lbl lf))
+  | _ -> (
+      (* evaluate to a value, branch once (the set-conditionally style) *)
+      let v = eval env e in
+      match (t, f) with
+      | Some lt, None -> emit env (Br (Cond.Ne, v, C 0, lt))
+      | None, Some lf -> emit env (Br (Cond.Eq, v, C 0, lf))
+      | Some lt, Some lf ->
+          emit env (Br (Cond.Ne, v, C 0, lt));
+          emit env (Jmp lf)
+      | None, None -> ())
+
+(* --- statements -------------------------------------------------------------- *)
+
+let read_scalar_var env vid =
+  let vi = Tast.var env.prog vid in
+  load_access env
+    (resolve_lvalue env { Tast.base = vid; path = []; lty = vi.Tast.ty })
+
+let write_scalar_var env vid op =
+  let vi = Tast.var env.prog vid in
+  store_access env
+    (resolve_lvalue env { Tast.base = vid; path = []; lty = vi.Tast.ty })
+    op
+
+let rec gen_stmt env (s : Tast.stmt) =
+  match s with
+  | Tast.Assign (lv, e) ->
+      let v = eval env e in
+      store_access env (resolve_lvalue env lv) v
+  | Tast.Assign_result e -> (
+      let v = eval env e in
+      match env.ret_vreg with
+      | Some r -> emit env (Mov (v, r))
+      | None -> invalid_arg "Irgen: result assignment outside a function")
+  | Tast.Call_stmt (f, args) ->
+      let ops = List.map (eval_arg env) args in
+      emit env (Call { func = entry_label f; args = ops; dst = None })
+  | Tast.If (c, then_, else_) ->
+      if else_ = [] then begin
+        let l_end = fresh_l env "fi" in
+        gen_cond env c ~t:None ~f:(Some l_end);
+        gen_stmts env then_;
+        emit env (Lbl l_end)
+      end
+      else begin
+        let l_else = fresh_l env "el" and l_end = fresh_l env "fi" in
+        gen_cond env c ~t:None ~f:(Some l_else);
+        gen_stmts env then_;
+        emit env (Jmp l_end);
+        emit env (Lbl l_else);
+        gen_stmts env else_;
+        emit env (Lbl l_end)
+      end
+  | Tast.While (c, body) ->
+      let l_test = fresh_l env "wt" and l_body = fresh_l env "wb" in
+      emit env (Jmp l_test);
+      emit env (Lbl l_body);
+      gen_stmts env body;
+      emit env (Lbl l_test);
+      gen_cond env c ~t:(Some l_body) ~f:None
+  | Tast.Repeat (body, c) ->
+      let l_top = fresh_l env "rp" in
+      emit env (Lbl l_top);
+      gen_stmts env body;
+      gen_cond env c ~t:None ~f:(Some l_top)
+  | Tast.For (vid, lo, up, hi, body) ->
+      let vlo = eval env lo in
+      write_scalar_var env vid vlo;
+      (* the bound is evaluated once *)
+      let vhi =
+        match eval env hi with
+        | C c -> C c
+        | V v -> V v
+      in
+      let l_test = fresh_l env "ft" and l_body = fresh_l env "fb" in
+      emit env (Jmp l_test);
+      emit env (Lbl l_body);
+      gen_stmts env body;
+      let cur = read_scalar_var env vid in
+      let next = fresh_v env in
+      emit env
+        (Bin ((if up then Alu.Add else Alu.Sub), cur, C 1, next));
+      write_scalar_var env vid (V next);
+      emit env (Lbl l_test);
+      let cur = read_scalar_var env vid in
+      emit env (Br ((if up then Cond.Le else Cond.Ge), cur, vhi, l_body))
+  | Tast.Case (e, arms, default) ->
+      let v = eval env e in
+      let l_end = fresh_l env "ce" in
+      let arm_labels = List.map (fun _ -> fresh_l env "ca") arms in
+      List.iter2
+        (fun (labels, _) l ->
+          List.iter (fun n -> emit env (Br (Cond.Eq, v, C n, l))) labels)
+        arms arm_labels;
+      (match default with
+      | Some body ->
+          gen_stmts env body;
+          emit env (Jmp l_end)
+      | None -> emit env (Jmp l_end));
+      List.iter2
+        (fun (_, body) l ->
+          emit env (Lbl l);
+          gen_stmts env body;
+          emit env (Jmp l_end))
+        arms arm_labels;
+      emit env (Lbl l_end)
+  | Tast.Write (args, ln) ->
+      List.iter
+        (fun arg ->
+          match arg with
+          | Tast.Wstring s ->
+              let addr, len = Layout.intern_string env.layout s in
+              emit env
+                (Trapcall { code = trap_putstr; args = [ C addr; C len ]; dst = None })
+          | Tast.Wexpr e -> (
+              let v = eval env e in
+              match e.Tast.ty with
+              | Types.Char ->
+                  emit env (Trapcall { code = trap_putchar; args = [ v ]; dst = None })
+              | Types.Int | Types.Bool ->
+                  emit env (Trapcall { code = trap_putint; args = [ v ]; dst = None })
+              | _ -> assert false))
+        args;
+      if ln then
+        emit env (Trapcall { code = trap_putchar; args = [ C 10 ]; dst = None })
+  | Tast.Read_char lv ->
+      let d = fresh_v env in
+      emit env (Trapcall { code = trap_getchar; args = []; dst = Some d });
+      store_access env (resolve_lvalue env lv) (V d)
+  | Tast.Halt e ->
+      let v = match e with Some e -> eval env e | None -> C 0 in
+      emit env (Trapcall { code = trap_exit; args = [ v ]; dst = None })
+
+and gen_stmts env stmts = List.iter (gen_stmt env) stmts
+
+(* --- functions ------------------------------------------------------------- *)
+
+(* variables whose address escapes (passed as a var argument) *)
+let rec addr_taken_stmts acc stmts = List.fold_left addr_taken_stmt acc stmts
+
+and addr_taken_stmt acc = function
+  | Tast.Assign (_, e) | Tast.Assign_result e -> addr_taken_expr acc e
+  | Tast.Call_stmt (_, args) -> List.fold_left addr_taken_arg acc args
+  | Tast.If (c, a, b) ->
+      addr_taken_stmts (addr_taken_stmts (addr_taken_expr acc c) a) b
+  | Tast.While (c, b) -> addr_taken_stmts (addr_taken_expr acc c) b
+  | Tast.Repeat (b, c) -> addr_taken_expr (addr_taken_stmts acc b) c
+  | Tast.For (_, lo, _, hi, b) ->
+      addr_taken_stmts (addr_taken_expr (addr_taken_expr acc lo) hi) b
+  | Tast.Case (e, arms, default) ->
+      let acc = addr_taken_expr acc e in
+      let acc = List.fold_left (fun a (_, b) -> addr_taken_stmts a b) acc arms in
+      (match default with Some b -> addr_taken_stmts acc b | None -> acc)
+  | Tast.Write (args, _) ->
+      List.fold_left
+        (fun a -> function Tast.Wexpr e -> addr_taken_expr a e | Tast.Wstring _ -> a)
+        acc args
+  | Tast.Read_char _ -> acc
+  | Tast.Halt (Some e) -> addr_taken_expr acc e
+  | Tast.Halt None -> acc
+
+and addr_taken_expr acc (e : Tast.expr) =
+  match e.Tast.e with
+  | Tast.Num _ | Tast.Chr _ | Tast.Boolean _ -> acc
+  | Tast.Lval lv -> addr_taken_lv acc lv
+  | Tast.Bin (_, a, b) | Tast.Rel (_, a, b) | Tast.Log (_, a, b) ->
+      addr_taken_expr (addr_taken_expr acc a) b
+  | Tast.Not a | Tast.Neg a | Tast.Ord a | Tast.Chr_of a -> addr_taken_expr acc a
+  | Tast.Call (_, args) -> List.fold_left addr_taken_arg acc args
+
+and addr_taken_arg acc = function
+  | Tast.By_value e -> addr_taken_expr acc e
+  | Tast.By_reference lv ->
+      let acc = if lv.Tast.path = [] then lv.Tast.base :: acc else acc in
+      addr_taken_lv acc lv
+
+and addr_taken_lv acc (lv : Tast.lvalue) =
+  List.fold_left
+    (fun a sel ->
+      match sel with Tast.Index (e, _) -> addr_taken_expr a e | Tast.Field _ -> a)
+    acc lv.Tast.path
+
+let lower_func prog layout cfg ~labels ~name ~params ~locals ~result ~stmts
+    ~is_main =
+  let env =
+    {
+      prog;
+      layout;
+      cfg;
+      code = [];
+      nv = 0;
+      nl = labels;
+      places = Hashtbl.create 32;
+      local_units = 0;
+      ret_vreg = (match result with Some _ -> Some 0 | None -> None);
+    }
+  in
+  if env.ret_vreg <> None then env.nv <- 1;
+  let escaped = addr_taken_stmts [] stmts in
+  (* globals *)
+  List.iter
+    (fun vid ->
+      Hashtbl.replace env.places vid (In_mem (Gmem (Layout.global_addr layout vid))))
+    prog.Tast.globals;
+  (* parameters *)
+  List.iteri
+    (fun i vid ->
+      let vi = Tast.var prog vid in
+      if vi.Tast.by_ref then begin
+        let v = fresh_v env in
+        emit env (Load { addr = Frame (Param_slot i); dst = v; width = W32; note = Note.plain });
+        Hashtbl.replace env.places vid (In_vreg v)
+      end
+      else if List.mem vid escaped then
+        Hashtbl.replace env.places vid (In_mem (Pmem i))
+      else begin
+        let v = fresh_v env in
+        let note = note_for env vi.Tast.ty in
+        (* the parameter slot always holds a full word *)
+        emit env (Load { addr = Frame (Param_slot i); dst = v; width = W32; note });
+        Hashtbl.replace env.places vid (In_vreg v)
+      end)
+    params;
+  (* locals *)
+  List.iter
+    (fun vid ->
+      let vi = Tast.var prog vid in
+      let scalar = Types.is_scalar vi.Tast.ty in
+      if scalar && not (List.mem vid escaped) then
+        Hashtbl.replace env.places vid (In_vreg (fresh_v env))
+      else begin
+        let align_units =
+          if Config.word_units cfg = 4 && not (Types.equal_ty vi.Tast.ty Types.Char)
+          then 4
+          else 1
+        in
+        let off = (env.local_units + align_units - 1) / align_units * align_units in
+        Hashtbl.replace env.places vid (In_mem (Lmem off));
+        env.local_units <- off + Layout.size_of layout vi.Tast.ty
+      end)
+    locals;
+  gen_stmts env stmts;
+  if is_main then
+    emit env (Trapcall { code = trap_exit; args = [ C 0 ]; dst = None });
+  emit env (Ret (Option.map (fun r -> V r) env.ret_vreg));
+  {
+    Ir.name;
+    body = List.rev env.code;
+    nparams = List.length params;
+    local_units = env.local_units;
+    ret_vreg = env.ret_vreg;
+    vreg_count = env.nv;
+  }
+
+let lower cfg (prog : Tast.program) =
+  let layout = Layout.create cfg in
+  let labels = ref 0 in
+  List.iter
+    (fun vid ->
+      let vi = Tast.var prog vid in
+      Layout.place_global layout vid vi.Tast.ty)
+    prog.Tast.globals;
+  let funcs =
+    List.map
+      (fun (f : Tast.func) ->
+        lower_func prog layout cfg ~labels ~name:(entry_label f.Tast.fname)
+          ~params:f.Tast.params ~locals:f.Tast.locals ~result:f.Tast.result
+          ~stmts:f.Tast.body ~is_main:false)
+      prog.Tast.funcs
+  in
+  let main =
+    lower_func prog layout cfg ~labels ~name:"$main" ~params:[] ~locals:[]
+      ~result:None
+      ~stmts:prog.Tast.main ~is_main:true
+  in
+  { funcs = main :: funcs; layout }

@@ -1,0 +1,95 @@
+open Mips_frontend
+open Types
+
+type t = {
+  cfg : Config.t;
+  globals : (Tast.var_id, int) Hashtbl.t;
+  mutable next : int;  (* next free address, in units *)
+  mutable strings : (string * (int * int)) list;
+  mutable init : (int * int) list;
+}
+
+(* static data starts a little above address zero so that a null-ish
+   address is never a valid variable *)
+let data_base = 8
+
+let create cfg =
+  { cfg; globals = Hashtbl.create 32; next = data_base * Config.word_units cfg;
+    strings = []; init = [] }
+
+let config t = t.cfg
+let unit_is_byte t = t.cfg.Config.target = Config.Byte_addressed
+
+let align n a = (n + a - 1) / a * a
+
+let rec alignment t = function
+  | Int -> if unit_is_byte t then 4 else 1
+  | Char | Bool -> 1
+  | Array a -> alignment t a.elem
+  | Record fields ->
+      List.fold_left (fun acc (_, ty) -> max acc (alignment t ty)) 1 fields
+
+let rec size_of t = function
+  | Int -> if unit_is_byte t then 4 else 1
+  | Char | Bool ->
+      if unit_is_byte t then 1 else 1  (* one word on the word machine *)
+  | Array a ->
+      if is_packed_byte t a then
+        if unit_is_byte t then array_length a
+        else (array_length a + 3) / 4  (* bytes packed four to a word *)
+      else array_length a * elem_stride t a
+  | Record fields ->
+      let sz =
+        List.fold_left
+          (fun off (_, ty) -> align off (alignment t ty) + size_of t ty)
+          0 fields
+      in
+      align sz (alignment t (Record fields))
+
+and elem_stride t a =
+  if is_packed_byte t a then 1  (* byte index *)
+  else align (size_of t a.elem) (alignment t a.elem)
+
+and is_packed_byte t a =
+  byte_packable a.elem && (a.packed || unit_is_byte t)
+
+let field_offset t fields ordinal =
+  let rec go off i = function
+    | [] -> invalid_arg "Layout.field_offset"
+    | (_, ty) :: rest ->
+        let off = align off (alignment t ty) in
+        if i = ordinal then off else go (off + size_of t ty) (i + 1) rest
+  in
+  go 0 0 fields
+
+let place_global t vid ty =
+  let a = align t.next (alignment t ty) in
+  Hashtbl.replace t.globals vid a;
+  t.next <- a + size_of t ty
+
+let global_addr t vid = Hashtbl.find t.globals vid
+
+let intern_string t s =
+  match List.assoc_opt s t.strings with
+  | Some loc -> loc
+  | None ->
+      let units = align t.next 4 in
+      (* address in units; as a word address for putstr *)
+      let word_addr = if unit_is_byte t then units / 4 else units in
+      let len = String.length s in
+      let words = (len + 3) / 4 in
+      for w = 0 to words - 1 do
+        let v = ref 0 in
+        for b = 0 to 3 do
+          let i = (w * 4) + b in
+          if i < len then v := !v lor (Char.code s.[i] lsl (8 * b))
+        done;
+        t.init <- (word_addr + w, !v) :: t.init
+      done;
+      t.next <- units + if unit_is_byte t then words * 4 else words;
+      let loc = (word_addr, len) in
+      t.strings <- (s, loc) :: t.strings;
+      loc
+
+let data_words t = if unit_is_byte t then (t.next + 3) / 4 else t.next
+let data_init t = t.init

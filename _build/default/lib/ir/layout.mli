@@ -1,0 +1,47 @@
+(** Data layout: sizes, offsets and global placement, parameterized by the
+    target machine.
+
+    On the word-addressed machine the address unit is the word; characters
+    and booleans occupy a full word unless they sit in a [packed] array, in
+    which case four of them share a word and are reached with base-shifted
+    addressing plus insert/extract byte.  On the byte-addressed comparison
+    machine the unit is the byte; characters and booleans take one byte
+    everywhere (the paper's "byte-allocated" programs), integers take four
+    and must stay aligned. *)
+
+open Mips_frontend
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+
+val size_of : t -> Types.ty -> int
+(** Size in address units. *)
+
+val elem_stride : t -> Types.array_ty -> int
+(** Distance between consecutive elements, in address units — or in
+    {e bytes} for a packed byte array on the word machine (callers treat
+    packed byte arrays specially). *)
+
+val is_packed_byte : t -> Types.array_ty -> bool
+(** Whether elements of the array are byte-sized objects reached through
+    the byte machinery (packed char/bool arrays on the word machine; any
+    char/bool array on the byte machine). *)
+
+val field_offset : t -> (string * Types.ty) list -> int -> int
+(** Offset in units of the field with the given ordinal. *)
+
+val place_global : t -> Tast.var_id -> Types.ty -> unit
+val global_addr : t -> Tast.var_id -> int
+
+val intern_string : t -> string -> int * int
+(** Place a string literal as packed bytes in static data; returns
+    (word address, length) — word address because the [putstr] monitor
+    call takes one. *)
+
+val data_words : t -> int
+(** Total initialized+reserved static data, in words. *)
+
+val data_init : t -> (int * int) list
+(** Initialized data words (string literal images). *)

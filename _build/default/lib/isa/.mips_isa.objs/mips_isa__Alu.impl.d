@@ -1,0 +1,1 @@
+lib/isa/alu.pp.ml: Cond Format Operand Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/isa/alu.pp.mli: Cond Format Operand Ppx_deriving_runtime Reg

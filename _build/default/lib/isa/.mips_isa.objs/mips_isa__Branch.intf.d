@@ -1,0 +1,1 @@
+lib/isa/branch.pp.mli: Cond Format Operand Ppx_deriving_runtime Reg

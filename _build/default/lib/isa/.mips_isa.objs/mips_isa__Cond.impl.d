@@ -1,0 +1,1 @@
+lib/isa/cond.pp.ml: Format List Ppx_deriving_runtime Word32

@@ -1,0 +1,1 @@
+lib/isa/cond.pp.mli: Format Ppx_deriving_runtime Word32

@@ -1,0 +1,1 @@
+lib/isa/encode.pp.ml: Alu Branch Cond Mem Operand Printf Reg Word Word32

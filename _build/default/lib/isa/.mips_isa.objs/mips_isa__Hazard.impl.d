@@ -1,0 +1,1 @@
+lib/isa/hazard.pp.ml: Alu Array List Mem Piece Reg Word

@@ -1,0 +1,1 @@
+lib/isa/hazard.pp.mli: Mem Piece Reg Word

@@ -1,0 +1,1 @@
+lib/isa/mem.pp.ml: Format Ppx_deriving_runtime Reg Word32

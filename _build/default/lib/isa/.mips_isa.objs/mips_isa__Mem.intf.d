@@ -1,0 +1,1 @@
+lib/isa/mem.pp.mli: Format Ppx_deriving_runtime Reg Word32

@@ -1,0 +1,1 @@
+lib/isa/note.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/isa/note.pp.mli: Format Ppx_deriving_runtime

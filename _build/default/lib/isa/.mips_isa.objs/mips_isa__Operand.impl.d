@@ -1,0 +1,1 @@
+lib/isa/operand.pp.ml: Format Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/isa/piece.pp.ml: Alu Branch Format Mem Ppx_deriving_runtime Reg

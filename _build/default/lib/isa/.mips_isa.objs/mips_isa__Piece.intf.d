@@ -1,0 +1,1 @@
+lib/isa/piece.pp.mli: Alu Branch Format Mem Ppx_deriving_runtime Reg

@@ -1,0 +1,1 @@
+lib/isa/reg.pp.ml: Format Int List Map Ppx_deriving_runtime Set

@@ -1,0 +1,1 @@
+lib/isa/word.pp.ml: Alu Branch Format List Mem Piece Ppx_deriving_runtime Reg

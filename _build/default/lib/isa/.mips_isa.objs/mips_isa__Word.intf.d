@@ -1,0 +1,1 @@
+lib/isa/word.pp.mli: Alu Branch Format Mem Piece Ppx_deriving_runtime Reg

@@ -1,0 +1,40 @@
+(** Control-flow instruction pieces.
+
+    All branches are delayed.  Direct branches (compare-and-branch, jump,
+    jump-and-link) have a branch delay of one: the instruction word after the
+    branch is always executed.  Indirect jumps have a branch delay of two,
+    which is why the exception machinery saves three return addresses.
+
+    The piece is polymorphic in the label type: the code generator and
+    reorganizer work on symbolic labels (['lbl = string]); the assembler
+    resolves them to absolute word addresses (['lbl = int]). *)
+
+type 'lbl t =
+  | Cbr of Cond.t * Operand.t * Operand.t * 'lbl
+      (** compare and branch: if [a cond b] then jump to the label *)
+  | Jump of 'lbl
+  | Jal of 'lbl * Reg.t  (** jump and link: the return address (the word
+                             after the delay slot) goes to the register *)
+  | Jind of Reg.t  (** indirect jump, delay two *)
+  | Jalind of Reg.t * Reg.t  (** indirect jump and link, delay two *)
+  | Trap of int  (** software trap with a 12-bit code: 4096 monitor calls *)
+[@@deriving eq, ord, show]
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val label : 'lbl t -> 'lbl option
+
+val delay : _ t -> int
+(** Number of delay slots: 1 for direct control transfers, 2 for indirect
+    jumps, 0 for software traps (a trap enters the exception machinery at
+    the end of its own word, so nothing after it executes first). *)
+
+val is_conditional : _ t -> bool
+val reads : _ t -> Reg.Set.t
+val writes : _ t -> Reg.t option
+
+val trap_code_max : int
+(** Largest valid software-trap code (4095). *)
+
+val pp : (Format.formatter -> 'lbl -> unit) -> Format.formatter -> 'lbl t -> unit
+val pp_sym : Format.formatter -> string t -> unit
+val pp_abs : Format.formatter -> int t -> unit

@@ -1,0 +1,104 @@
+type t =
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Ltu
+  | Leu
+  | Gtu
+  | Geu
+  | Neg
+  | Nonneg
+  | Even
+  | Odd
+  | Always
+  | Never
+[@@deriving eq, ord, show]
+
+let all =
+  [ Eq; Ne; Lt; Le; Gt; Ge; Ltu; Leu; Gtu; Geu; Neg; Nonneg; Even; Odd; Always; Never ]
+
+let eval c a b =
+  let ua = Word32.to_unsigned a and ub = Word32.to_unsigned b in
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Ltu -> ua < ub
+  | Leu -> ua <= ub
+  | Gtu -> ua > ub
+  | Geu -> ua >= ub
+  | Neg -> a < 0
+  | Nonneg -> a >= 0
+  | Even -> a land 1 = 0
+  | Odd -> a land 1 = 1
+  | Always -> true
+  | Never -> false
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Ltu -> Geu
+  | Leu -> Gtu
+  | Gtu -> Leu
+  | Geu -> Ltu
+  | Neg -> Nonneg
+  | Nonneg -> Neg
+  | Even -> Odd
+  | Odd -> Even
+  | Always -> Never
+  | Never -> Always
+
+let swap = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Ltu -> Gtu
+  | Leu -> Geu
+  | Gtu -> Ltu
+  | Geu -> Leu
+  | (Neg | Nonneg | Even | Odd | Always | Never) as c -> c
+
+let to_code c =
+  let rec index i = function
+    | [] -> assert false
+    | x :: rest -> if equal x c then i else index (i + 1) rest
+  in
+  index 0 all
+
+let of_code i =
+  match List.nth_opt all i with
+  | Some c -> c
+  | None -> invalid_arg "Cond.of_code"
+
+let mnemonic = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Ltu -> "ltu"
+  | Leu -> "leu"
+  | Gtu -> "gtu"
+  | Geu -> "geu"
+  | Neg -> "neg"
+  | Nonneg -> "nneg"
+  | Even -> "even"
+  | Odd -> "odd"
+  | Always -> "alw"
+  | Never -> "nev"
+
+let pp ppf c = Format.pp_print_string ppf (mnemonic c)

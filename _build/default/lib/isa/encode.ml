@@ -1,0 +1,326 @@
+exception Unencodable of string
+
+let code_address_max = (1 lsl 19) - 1
+
+(* Sequential bit cursor over a native int; at most 62 bits are ever used
+   (worst case: a Setc packed with a compare-and-branch). *)
+module Cursor = struct
+  type writer = { mutable acc : int; mutable pos : int }
+
+  let writer () = { acc = 0; pos = 0 }
+
+  let put w width v =
+    if v < 0 || v >= 1 lsl width then
+      raise (Unencodable (Printf.sprintf "field value %d exceeds %d bits" v width));
+    w.acc <- w.acc lor (v lsl w.pos);
+    w.pos <- w.pos + width;
+    assert (w.pos <= 62)
+
+  type reader = { code : int; mutable rpos : int }
+
+  let reader code = { code; rpos = 0 }
+
+  let take r width =
+    let v = (r.code lsr r.rpos) land ((1 lsl width) - 1) in
+    r.rpos <- r.rpos + width;
+    v
+end
+
+open Cursor
+
+(* --- field codecs ------------------------------------------------------ *)
+
+let put_reg w r = put w 4 (Reg.to_int r)
+let take_reg r = Reg.of_int (take r 4)
+
+let put_operand w = function
+  | Operand.R reg -> put w 5 (Reg.to_int reg)
+  | Operand.I4 n -> put w 5 (16 lor n)
+
+let take_operand r =
+  let v = take r 5 in
+  if v land 16 = 0 then Operand.R (Reg.of_int v) else Operand.I4 (v land 15)
+
+let binop_code = function
+  | Alu.Add -> 0
+  | Alu.Sub -> 1
+  | Alu.Rsub -> 2
+  | Alu.And -> 3
+  | Alu.Or -> 4
+  | Alu.Xor -> 5
+  | Alu.Sll -> 6
+  | Alu.Srl -> 7
+  | Alu.Sra -> 8
+  | Alu.Mul -> 9
+  | Alu.Div -> 10
+  | Alu.Rem -> 11
+
+let binop_of_code = function
+  | 0 -> Alu.Add
+  | 1 -> Alu.Sub
+  | 2 -> Alu.Rsub
+  | 3 -> Alu.And
+  | 4 -> Alu.Or
+  | 5 -> Alu.Xor
+  | 6 -> Alu.Sll
+  | 7 -> Alu.Srl
+  | 8 -> Alu.Sra
+  | 9 -> Alu.Mul
+  | 10 -> Alu.Div
+  | 11 -> Alu.Rem
+  | n -> invalid_arg ("Encode: bad binop code " ^ string_of_int n)
+
+let special_code = function
+  | Alu.Surprise -> 0
+  | Alu.Segment -> 1
+  | Alu.Byte_select -> 2
+  | Alu.Epc i ->
+      if i < 0 || i > 2 then raise (Unencodable "epc index out of range");
+      3 + i
+
+let special_of_code = function
+  | 0 -> Alu.Surprise
+  | 1 -> Alu.Segment
+  | 2 -> Alu.Byte_select
+  | (3 | 4 | 5) as n -> Alu.Epc (n - 3)
+  | n -> invalid_arg ("Encode: bad special code " ^ string_of_int n)
+
+let put_alu w a =
+  match a with
+  | Alu.Binop (op, x, y, d) ->
+      put w 5 (binop_code op);
+      put_operand w x;
+      put_operand w y;
+      put_reg w d
+  | Alu.Mov (x, d) ->
+      put w 5 12;
+      put_operand w x;
+      put_reg w d
+  | Alu.Movi8 (c, d) ->
+      put w 5 13;
+      put w 8 c;
+      put_reg w d
+  | Alu.Setc (c, x, y, d) ->
+      put w 5 14;
+      put w 4 (Cond.to_code c);
+      put_operand w x;
+      put_operand w y;
+      put_reg w d
+  | Alu.Xbyte (p, v, d) ->
+      put w 5 15;
+      put_operand w p;
+      put_operand w v;
+      put_reg w d
+  | Alu.Ibyte (s, d) ->
+      put w 5 16;
+      put_operand w s;
+      put_reg w d
+  | Alu.Rd_special (s, d) ->
+      put w 5 17;
+      put w 3 (special_code s);
+      put_reg w d
+  | Alu.Wr_special (s, x) ->
+      put w 5 18;
+      put w 3 (special_code s);
+      put_operand w x
+  | Alu.Rfe -> put w 5 19
+
+let take_alu r =
+  match take r 5 with
+  | n when n <= 11 ->
+      let op = binop_of_code n in
+      let x = take_operand r in
+      let y = take_operand r in
+      Alu.Binop (op, x, y, take_reg r)
+  | 12 ->
+      let x = take_operand r in
+      Alu.Mov (x, take_reg r)
+  | 13 ->
+      let c = take r 8 in
+      Alu.Movi8 (c, take_reg r)
+  | 14 ->
+      let c = Cond.of_code (take r 4) in
+      let x = take_operand r in
+      let y = take_operand r in
+      Alu.Setc (c, x, y, take_reg r)
+  | 15 ->
+      let p = take_operand r in
+      let v = take_operand r in
+      Alu.Xbyte (p, v, take_reg r)
+  | 16 ->
+      let s = take_operand r in
+      Alu.Ibyte (s, take_reg r)
+  | 17 ->
+      let s = special_of_code (take r 3) in
+      Alu.Rd_special (s, take_reg r)
+  | 18 ->
+      let s = special_of_code (take r 3) in
+      Alu.Wr_special (s, take_operand r)
+  | 19 -> Alu.Rfe
+  | n -> invalid_arg ("Encode: bad alu opcode " ^ string_of_int n)
+
+let put_addr w = function
+  | Mem.Abs a ->
+      if not (Mem.abs_fits a) then raise (Unencodable "absolute address");
+      put w 3 0;
+      put w 24 a
+  | Mem.Disp (b, d) ->
+      if not (Mem.disp_fits d) then raise (Unencodable "displacement");
+      put w 3 1;
+      put_reg w b;
+      put w 16 (d + 32768)
+  | Mem.Idx (b, i) ->
+      put w 3 2;
+      put_reg w b;
+      put_reg w i
+  | Mem.Shifted (b, i, n) ->
+      if n < 0 || n > 7 then raise (Unencodable "shift amount");
+      put w 3 3;
+      put_reg w b;
+      put_reg w i;
+      put w 3 n
+  | Mem.Scaled (b, i, n) ->
+      if n < 0 || n > 3 then raise (Unencodable "scale amount");
+      put w 3 4;
+      put_reg w b;
+      put_reg w i;
+      put w 2 n
+
+let take_addr r =
+  match take r 3 with
+  | 0 -> Mem.Abs (take r 24)
+  | 1 ->
+      let b = take_reg r in
+      Mem.Disp (b, take r 16 - 32768)
+  | 2 ->
+      let b = take_reg r in
+      Mem.Idx (b, take_reg r)
+  | 3 ->
+      let b = take_reg r in
+      let i = take_reg r in
+      Mem.Shifted (b, i, take r 3)
+  | 4 ->
+      let b = take_reg r in
+      let i = take_reg r in
+      Mem.Scaled (b, i, take r 2)
+  | _ -> assert false
+
+let width_code = function Mem.W32 -> 0 | Mem.W8 -> 1
+let width_of_code = function 0 -> Mem.W32 | _ -> Mem.W8
+
+let put_mem w = function
+  | Mem.Load (wd, a, d) ->
+      put w 2 0;
+      put w 1 (width_code wd);
+      put_addr w a;
+      put_reg w d
+  | Mem.Store (wd, s, a) ->
+      put w 2 1;
+      put w 1 (width_code wd);
+      put_reg w s;
+      put_addr w a
+  | Mem.Limm (c, d) ->
+      put w 2 2;
+      put w 32 (Word32.to_unsigned c);
+      put_reg w d
+
+let take_mem r =
+  match take r 2 with
+  | 0 ->
+      let wd = width_of_code (take r 1) in
+      let a = take_addr r in
+      Mem.Load (wd, a, take_reg r)
+  | 1 ->
+      let wd = width_of_code (take r 1) in
+      let s = take_reg r in
+      Mem.Store (wd, s, take_addr r)
+  | 2 ->
+      let c = Word32.norm (take r 32) in
+      Mem.Limm (c, take_reg r)
+  | n -> invalid_arg ("Encode: bad mem kind " ^ string_of_int n)
+
+let put_target w t =
+  if t < 0 || t > code_address_max then raise (Unencodable "code address");
+  put w 19 t
+
+let put_branch w = function
+  | Branch.Cbr (c, x, y, t) ->
+      put w 3 0;
+      put w 4 (Cond.to_code c);
+      put_operand w x;
+      put_operand w y;
+      put_target w t
+  | Branch.Jump t ->
+      put w 3 1;
+      put_target w t
+  | Branch.Jal (t, link) ->
+      put w 3 2;
+      put_target w t;
+      put_reg w link
+  | Branch.Jind reg ->
+      put w 3 3;
+      put_reg w reg
+  | Branch.Jalind (reg, link) ->
+      put w 3 4;
+      put_reg w reg;
+      put_reg w link
+  | Branch.Trap c ->
+      if c < 0 || c > Branch.trap_code_max then raise (Unencodable "trap code");
+      put w 3 5;
+      put w 12 c
+
+let take_branch r =
+  match take r 3 with
+  | 0 ->
+      let c = Cond.of_code (take r 4) in
+      let x = take_operand r in
+      let y = take_operand r in
+      Branch.Cbr (c, x, y, take r 19)
+  | 1 -> Branch.Jump (take r 19)
+  | 2 ->
+      let t = take r 19 in
+      Branch.Jal (t, take_reg r)
+  | 3 -> Branch.Jind (take_reg r)
+  | 4 ->
+      let reg = take_reg r in
+      Branch.Jalind (reg, take_reg r)
+  | 5 -> Branch.Trap (take r 12)
+  | n -> invalid_arg ("Encode: bad branch kind " ^ string_of_int n)
+
+let encode word =
+  let w = writer () in
+  (match word with
+  | Word.Nop -> put w 3 0
+  | Word.A a ->
+      put w 3 1;
+      put_alu w a
+  | Word.M m ->
+      put w 3 2;
+      put_mem w m
+  | Word.B b ->
+      put w 3 3;
+      put_branch w b
+  | Word.AM (a, m) ->
+      put w 3 4;
+      put_alu w a;
+      put_mem w m
+  | Word.AB (a, b) ->
+      put w 3 5;
+      put_alu w a;
+      put_branch w b);
+  w.acc
+
+let decode code =
+  let r = reader code in
+  match take r 3 with
+  | 0 -> Word.Nop
+  | 1 -> Word.A (take_alu r)
+  | 2 -> Word.M (take_mem r)
+  | 3 -> Word.B (take_branch r)
+  | 4 ->
+      let a = take_alu r in
+      Word.AM (a, take_mem r)
+  | 5 ->
+      let a = take_alu r in
+      Word.AB (a, take_branch r)
+  | n -> invalid_arg ("Encode: bad word tag " ^ string_of_int n)

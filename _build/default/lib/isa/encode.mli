@@ -1,0 +1,23 @@
+(** Binary instruction encoding.
+
+    Resolved instruction words (branch targets as absolute word addresses)
+    encode to a single OCaml [int].  The encoding is sequential-field rather
+    than the chip's exact bit plan, but it enforces the same architectural
+    field budgets: 4-bit register numbers, 4-bit inline immediates, 8-bit
+    move immediates, 16-bit displacements, 24-bit absolute data addresses,
+    19-bit code addresses, 12-bit trap codes.  It exists so that programs
+    have a genuine binary form (used by the loader) and so that the field
+    limits are machine-checked by round-trip tests. *)
+
+exception Unencodable of string
+(** Raised when a field exceeds its architectural budget, e.g. a
+    displacement beyond 16 bits. *)
+
+val encode : int Word.t -> int
+(** @raise Unencodable when a field does not fit. *)
+
+val decode : int -> int Word.t
+(** Inverse of {!encode}.  @raise Invalid_argument on a malformed code. *)
+
+val code_address_max : int
+(** Largest encodable branch target (2{^19} - 1). *)

@@ -1,0 +1,48 @@
+type addr = Abs of int | Disp of Reg.t * int | Idx of Reg.t * Reg.t | Shifted of Reg.t * Reg.t * int | Scaled of Reg.t * Reg.t * int
+[@@deriving eq, ord, show]
+
+type width = W32 | W8 [@@deriving eq, ord, show]
+
+type t = Load of width * addr * Reg.t | Store of width * Reg.t * addr | Limm of Word32.t * Reg.t
+[@@deriving eq, ord, show]
+
+let disp_fits d = d >= -32768 && d < 32768
+let abs_fits a = a >= 0 && a < 0x1000000
+
+let addr_reads = function
+  | Abs _ -> Reg.Set.empty
+  | Disp (b, _) -> Reg.Set.singleton b
+  | Idx (b, i) | Shifted (b, i, _) | Scaled (b, i, _) ->
+      Reg.Set.add i (Reg.Set.singleton b)
+
+let reads = function
+  | Load (_, a, _) -> addr_reads a
+  | Store (_, src, a) -> Reg.Set.add src (addr_reads a)
+  | Limm _ -> Reg.Set.empty
+
+let writes = function
+  | Load (_, _, d) | Limm (_, d) -> Some d
+  | Store _ -> None
+
+let is_store = function Store _ -> true | Load _ | Limm _ -> false
+let references_memory = function Limm _ -> false | Load _ | Store _ -> true
+
+let whole_word = function
+  | Limm _ -> true
+  | Load (_, Abs _, _) | Store (_, _, Abs _) -> true
+  | Load _ | Store _ -> false
+
+let pp_addr ppf = function
+  | Abs a -> Format.fprintf ppf "@%d" a
+  | Disp (b, 0) -> Format.fprintf ppf "(%a)" Reg.pp b
+  | Disp (b, d) -> Format.fprintf ppf "%d(%a)" d Reg.pp b
+  | Idx (b, i) -> Format.fprintf ppf "(%a,%a)" Reg.pp b Reg.pp i
+  | Shifted (b, i, n) -> Format.fprintf ppf "(%a,%a>>%d)" Reg.pp b Reg.pp i n
+  | Scaled (b, i, n) -> Format.fprintf ppf "(%a,%a<<%d)" Reg.pp b Reg.pp i n
+
+let width_suffix = function W32 -> "" | W8 -> "b"
+
+let pp ppf = function
+  | Load (w, a, d) -> Format.fprintf ppf "ld%s %a,%a" (width_suffix w) pp_addr a Reg.pp d
+  | Store (w, s, a) -> Format.fprintf ppf "st%s %a,%a" (width_suffix w) Reg.pp s pp_addr a
+  | Limm (c, d) -> Format.fprintf ppf "limm #%d,%a" c Reg.pp d

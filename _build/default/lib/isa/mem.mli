@@ -1,0 +1,59 @@
+(** Memory instruction pieces: the five load/store types.
+
+    The paper: "Load and store instructions in MIPS are at most 32 bits in
+    length, and are of five types: long immediate, absolute,
+    displacement(base), (base index), and base shifted by n" — the last for
+    packed arrays of 2{^n}-bit objects.
+
+    Addresses are {e word} addresses on the word-addressed machine.  The
+    byte-addressed comparison machine of Tables 9/10 reuses these pieces with
+    byte addresses and additionally allows [W8] width. *)
+
+type addr =
+  | Abs of int  (** absolute address *)
+  | Disp of Reg.t * int  (** displacement(base); 16-bit signed displacement *)
+  | Idx of Reg.t * Reg.t  (** base + index *)
+  | Shifted of Reg.t * Reg.t * int
+      (** base + (index lsr n), 0 <= n <= 7; with n = 2 this turns a byte
+          pointer into the word address that contains it *)
+  | Scaled of Reg.t * Reg.t * int
+      (** base + (index lsl n), 0 <= n <= 3 — the scaled-index mode of the
+          byte-addressed comparison machine (a word-addressed machine needs
+          no scaling for word arrays, so MIPS code never uses it) *)
+[@@deriving eq, ord, show]
+
+type width =
+  | W32
+  | W8  (** legal only on the byte-addressed machine variant *)
+[@@deriving eq, ord, show]
+
+type t =
+  | Load of width * addr * Reg.t
+  | Store of width * Reg.t * addr
+  | Limm of Word32.t * Reg.t
+      (** long immediate: loads a full 32-bit constant; occupies the whole
+          instruction word and makes no data-memory reference *)
+[@@deriving eq, ord, show]
+
+val disp_fits : int -> bool
+(** Whether a displacement fits the 16-bit signed field. *)
+
+val abs_fits : int -> bool
+(** Whether an absolute address fits the 24-bit field (16M words). *)
+
+val reads : t -> Reg.Set.t
+(** General registers read (address components, plus the stored value). *)
+
+val writes : t -> Reg.t option
+(** The register loaded, if the piece is a load or long immediate. *)
+
+val is_store : t -> bool
+
+val references_memory : t -> bool
+(** [false] only for [Limm]; used for the free-memory-cycle statistics. *)
+
+val whole_word : t -> bool
+(** Whether the piece needs the entire 32-bit instruction word and hence
+    cannot be packed with an ALU piece ([Limm] and [Abs] forms). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+type t = { char_data : bool; byte_sized : bool; synthetic : bool }
+[@@deriving eq, show]
+
+let plain = { char_data = false; byte_sized = false; synthetic = false }
+
+let make ?(synthetic = false) ~char_data ~byte_sized () =
+  { char_data; byte_sized; synthetic }
+
+let pp ppf t =
+  Format.fprintf ppf "{char=%b; byte=%b%s}" t.char_data t.byte_sized
+    (if t.synthetic then "; synthetic" else "")

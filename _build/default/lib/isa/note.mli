@@ -1,0 +1,29 @@
+(** Static annotations attached to emitted memory references.
+
+    The compiler knows, for every load/store it emits, whether the
+    {e logical} object is a character and whether it is byte-sized (a packed
+    byte, accessed via base-shifted addressing + insert/extract on the
+    word-addressed machine, or via a native byte access on the byte-addressed
+    machine).  The annotation travels with the instruction through the
+    reorganizer and assembler into a side table consulted by the simulator,
+    which is how the Table 7/8 data-reference-pattern statistics are
+    collected.  Annotations have no architectural effect.
+
+    The [synthetic] flag marks machine-level artifacts that are not logical
+    program references — the extra word read inside a byte store's
+    read-modify-write sequence (the paper: "we ... consider the complexity of
+    each extra read needed to implement byte stores" separately from the
+    reference counts). *)
+
+type t = {
+  char_data : bool;  (** the referenced object has character type *)
+  byte_sized : bool;  (** the access is to an 8-bit object *)
+  synthetic : bool;  (** machine artifact, not a logical program reference *)
+}
+[@@deriving eq, show]
+
+val plain : t
+(** Non-character, word-sized, logical — the default. *)
+
+val make : ?synthetic:bool -> char_data:bool -> byte_sized:bool -> unit -> t
+val pp : Format.formatter -> t -> unit

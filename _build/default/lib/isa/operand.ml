@@ -1,0 +1,14 @@
+type t = R of Reg.t | I4 of int [@@deriving eq, ord, show]
+
+let reg r = R r
+let fits_imm4 n = n >= 0 && n <= 15
+
+let imm4 n =
+  if not (fits_imm4 n) then invalid_arg "Operand.imm4: constant out of range";
+  I4 n
+
+let used_reg = function R r -> Some r | I4 _ -> None
+
+let pp ppf = function
+  | R r -> Reg.pp ppf r
+  | I4 n -> Format.fprintf ppf "#%d" n

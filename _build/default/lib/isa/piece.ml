@@ -1,0 +1,28 @@
+type 'lbl t = Alu of Alu.t | Mem of Mem.t | Branch of 'lbl Branch.t | Nop
+[@@deriving eq, show]
+
+let map f = function
+  | Alu a -> Alu a
+  | Mem m -> Mem m
+  | Branch b -> Branch (Branch.map f b)
+  | Nop -> Nop
+
+let reads = function
+  | Alu a -> Alu.reads a
+  | Mem m -> Mem.reads m
+  | Branch b -> Branch.reads b
+  | Nop -> Reg.Set.empty
+
+let writes = function
+  | Alu a -> Alu.writes a
+  | Mem m -> Mem.writes m
+  | Branch b -> Branch.writes b
+  | Nop -> None
+
+let is_branch = function Branch _ -> true | Alu _ | Mem _ | Nop -> false
+
+let pp_sym ppf = function
+  | Alu a -> Alu.pp ppf a
+  | Mem m -> Mem.pp ppf m
+  | Branch b -> Branch.pp_sym ppf b
+  | Nop -> Format.pp_print_string ppf "nop"

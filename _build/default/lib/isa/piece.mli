@@ -1,0 +1,20 @@
+(** Unpacked instruction pieces.
+
+    The code generator emits a flat sequence of pieces (one per prospective
+    instruction word); the reorganizer schedules them, packs compatible pairs
+    into single words, and fills branch delay slots.  Running unpacked pieces
+    one-per-word is the paper's "None (no-ops inserted)" baseline of
+    Table 11. *)
+
+type 'lbl t =
+  | Alu of Alu.t
+  | Mem of Mem.t
+  | Branch of 'lbl Branch.t
+  | Nop
+[@@deriving eq, show]
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val reads : _ t -> Reg.Set.t
+val writes : _ t -> Reg.t option
+val is_branch : _ t -> bool
+val pp_sym : Format.formatter -> string t -> unit

@@ -1,0 +1,28 @@
+type t = int [@@deriving eq, ord, show]
+
+let of_int i =
+  if i < 0 || i > 15 then invalid_arg "Reg.of_int: register out of range";
+  i
+
+let to_int t = t
+let r = of_int
+let scratch0 = 10
+let scratch1 = 11
+let result = 12
+let link = 13
+let fp = 14
+let sp = 15
+let allocatable = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+let all = List.init 16 (fun i -> i)
+
+let name = function
+  | 12 -> "rv"
+  | 13 -> "lr"
+  | 14 -> "fp"
+  | 15 -> "sp"
+  | i -> "r" ^ string_of_int i
+
+let pp ppf t = Format.pp_print_string ppf (name t)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,96 @@
+type 'lbl t =
+  | Nop
+  | A of Alu.t
+  | M of Mem.t
+  | B of 'lbl Branch.t
+  | AM of Alu.t * Mem.t
+  | AB of Alu.t * 'lbl Branch.t
+[@@deriving eq, show]
+
+let map f = function
+  | Nop -> Nop
+  | A a -> A a
+  | M m -> M m
+  | B b -> B (Branch.map f b)
+  | AM (a, m) -> AM (a, m)
+  | AB (a, b) -> AB (a, Branch.map f b)
+
+let of_piece = function
+  | Piece.Alu a -> A a
+  | Piece.Mem m -> M m
+  | Piece.Branch b -> B b
+  | Piece.Nop -> Nop
+
+let pieces = function
+  | Nop -> []
+  | A a -> [ Piece.Alu a ]
+  | M m -> [ Piece.Mem m ]
+  | B b -> [ Piece.Branch b ]
+  | AM (a, m) -> [ Piece.Alu a; Piece.Mem m ]
+  | AB (a, b) -> [ Piece.Alu a; Piece.Branch b ]
+
+let disjoint_writes wa wb =
+  match (wa, wb) with Some a, Some b -> not (Reg.equal a b) | _ -> true
+
+let packable_branch = function
+  | Branch.Cbr _ | Branch.Jump _ | Branch.Jal _ -> true
+  | Branch.Jind _ | Branch.Jalind _ | Branch.Trap _ -> false
+
+let pack_ordered p q =
+  match (p, q) with
+  | Piece.Alu a, Piece.Mem m
+    when (not (Mem.whole_word m)) && disjoint_writes (Alu.writes a) (Mem.writes m) ->
+      Some (AM (a, m))
+  | Piece.Alu a, Piece.Branch b
+    when packable_branch b && disjoint_writes (Alu.writes a) (Branch.writes b) ->
+      Some (AB (a, b))
+  | _ -> None
+
+let pack p q = match pack_ordered p q with Some w -> Some w | None -> pack_ordered q p
+
+let fold_pieces f acc w = List.fold_left f acc (pieces w)
+
+let reads w =
+  fold_pieces (fun acc p -> Reg.Set.union acc (Piece.reads p)) Reg.Set.empty w
+
+let writes w =
+  fold_pieces
+    (fun acc p ->
+      match Piece.writes p with None -> acc | Some r -> Reg.Set.add r acc)
+    Reg.Set.empty w
+
+let load_writes w =
+  fold_pieces
+    (fun acc p ->
+      match p with
+      | Piece.Mem (Mem.Load (_, _, d)) -> Reg.Set.add d acc
+      | Piece.Mem (Mem.Limm _ | Mem.Store _) | Piece.Alu _ | Piece.Branch _ | Piece.Nop
+        ->
+          acc)
+    Reg.Set.empty w
+
+let branch = function
+  | B b | AB (_, b) -> Some b
+  | Nop | A _ | M _ | AM _ -> None
+
+let alu = function
+  | A a | AM (a, _) | AB (a, _) -> Some a
+  | Nop | M _ | B _ -> None
+
+let mem = function
+  | M m | AM (_, m) -> Some m
+  | Nop | A _ | B _ | AB _ -> None
+
+let references_memory w =
+  match mem w with Some m -> Mem.references_memory m | None -> false
+
+let pp pp_lbl ppf = function
+  | Nop -> Format.pp_print_string ppf "nop"
+  | A a -> Alu.pp ppf a
+  | M m -> Mem.pp ppf m
+  | B b -> Branch.pp pp_lbl ppf b
+  | AM (a, m) -> Format.fprintf ppf "%a ; %a" Alu.pp a Mem.pp m
+  | AB (a, b) -> Format.fprintf ppf "%a ; %a" Alu.pp a (Branch.pp pp_lbl) b
+
+let pp_sym ppf w = pp Format.pp_print_string ppf w
+let pp_abs ppf w = pp Format.pp_print_int ppf w

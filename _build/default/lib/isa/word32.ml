@@ -1,0 +1,36 @@
+type t = int
+
+let norm x = ((x land 0xFFFFFFFF) lxor 0x80000000) - 0x80000000
+let to_unsigned w = w land 0xFFFFFFFF
+let add a b = norm (a + b)
+let sub a b = norm (a - b)
+let mul a b = norm (a * b)
+let add_overflows a b = a + b <> add a b
+let sub_overflows a b = a - b <> sub a b
+let mul_overflows a b = a * b <> mul a b
+
+(* OCaml's (/) truncates toward zero already, which matches the usual
+   two's-complement divide; min_int / -1 overflows the 32-bit range and
+   wraps, as on most hardware. *)
+let sdiv a b = norm (a / b)
+let srem a b = norm (a mod b)
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = norm (a lxor b)
+let shift_left w n = norm (w lsl (n land 31))
+let shift_right_logical w n = norm (to_unsigned w lsr (n land 31))
+let shift_right_arith w n = norm (w asr (n land 31))
+
+let get_byte w i =
+  if i < 0 || i > 3 then invalid_arg "Word32.get_byte";
+  (to_unsigned w lsr (8 * i)) land 0xFF
+
+let set_byte w i b =
+  if i < 0 || i > 3 then invalid_arg "Word32.set_byte";
+  let b = b land 0xFF in
+  let mask = lnot (0xFF lsl (8 * i)) in
+  norm ((to_unsigned w land mask) lor (b lsl (8 * i)))
+
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf w = Format.fprintf ppf "0x%08x" (to_unsigned w)

@@ -1,0 +1,54 @@
+(** 32-bit machine words represented as OCaml [int]s.
+
+    The simulator keeps every architectural value as an OCaml [int] normalized
+    to the signed 32-bit range [-2{^31}, 2{^31}).  This module centralizes the
+    normalization and the arithmetic that must wrap (or trap) at 32 bits, so
+    that the rest of the code base never hand-rolls masking. *)
+
+type t = int
+(** A machine word, always in the signed 32-bit range. *)
+
+val norm : int -> t
+(** [norm x] truncates [x] to 32 bits and sign-extends the result. *)
+
+val to_unsigned : t -> int
+(** [to_unsigned w] is the value of [w] read as an unsigned 32-bit integer,
+    in the range [0, 2{^32}). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val add_overflows : t -> t -> bool
+(** Whether signed 32-bit addition of the operands overflows. *)
+
+val sub_overflows : t -> t -> bool
+val mul_overflows : t -> t -> bool
+
+val sdiv : t -> t -> t
+(** Signed division truncating toward zero.  @raise Division_by_zero. *)
+
+val srem : t -> t -> t
+(** Signed remainder matching {!sdiv}.  @raise Division_by_zero. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+
+val shift_left : t -> int -> t
+(** [shift_left w n] shifts by [n land 31], as hardware barrel shifters do. *)
+
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+
+val get_byte : t -> int -> int
+(** [get_byte w i] extracts byte [i] (0 = least significant) of [w],
+    as an unsigned value in [0, 255].  @raise Invalid_argument if [i] is not
+    in [0, 3]. *)
+
+val set_byte : t -> int -> int -> t
+(** [set_byte w i b] replaces byte [i] of [w] with the low 8 bits of [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/machine/cause.pp.ml: Format Ppx_deriving_runtime

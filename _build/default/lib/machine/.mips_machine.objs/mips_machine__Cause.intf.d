@@ -1,0 +1,1 @@
+lib/machine/cause.pp.mli: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.ml: Alu Array Branch Cause Cond List Mem Mips_isa Note Operand Option Pagemap Piece Program Reg Segmap Stats Surprise Word Word32

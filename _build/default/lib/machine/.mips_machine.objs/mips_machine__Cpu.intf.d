@@ -1,0 +1,1 @@
+lib/machine/cpu.pp.mli: Cause Mips_isa Note Pagemap Program Reg Segmap Stats Surprise Word Word32

@@ -1,0 +1,1 @@
+lib/machine/hosted.pp.ml: Buffer Cause Char Cpu Mips_isa Monitor Reg String Surprise Word32

@@ -1,0 +1,1 @@
+lib/machine/hosted.pp.mli: Cause Cpu Program

@@ -1,0 +1,1 @@
+lib/machine/pagemap.pp.ml: Hashtbl Ppx_deriving_runtime

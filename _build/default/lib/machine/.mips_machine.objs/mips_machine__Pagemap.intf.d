@@ -1,0 +1,1 @@
+lib/machine/pagemap.pp.mli: Ppx_deriving_runtime

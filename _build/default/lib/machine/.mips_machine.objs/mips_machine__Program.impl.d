@@ -1,0 +1,1 @@
+lib/machine/program.pp.ml: Array Format List Mips_isa Note Word Word32

@@ -1,0 +1,1 @@
+lib/machine/program.pp.mli: Format Mips_isa Note Word Word32

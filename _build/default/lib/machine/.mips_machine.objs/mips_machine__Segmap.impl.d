@@ -1,0 +1,1 @@
+lib/machine/segmap.pp.ml: Mips_isa Ppx_deriving_runtime

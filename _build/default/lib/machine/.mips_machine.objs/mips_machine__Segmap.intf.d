@@ -1,0 +1,1 @@
+lib/machine/segmap.pp.mli: Format Mips_isa Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/machine/stats.pp.ml: Cause Format List Mips_isa

@@ -1,0 +1,1 @@
+lib/machine/stats.pp.mli: Cause Format Mips_isa

@@ -1,0 +1,1 @@
+lib/machine/surprise.pp.ml: Cause Mips_isa Ppx_deriving_runtime

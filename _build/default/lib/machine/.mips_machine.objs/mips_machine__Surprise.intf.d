@@ -1,0 +1,1 @@
+lib/machine/surprise.pp.mli: Cause Format Mips_isa Ppx_deriving_runtime

@@ -1,0 +1,23 @@
+type t = Reset | Interrupt | Overflow | Page_fault | Privilege | Trap | Illegal
+[@@deriving eq, ord, show]
+
+let to_code = function
+  | Reset -> 0
+  | Interrupt -> 1
+  | Overflow -> 2
+  | Page_fault -> 3
+  | Privilege -> 4
+  | Trap -> 5
+  | Illegal -> 6
+
+let of_code = function
+  | 0 -> Reset
+  | 1 -> Interrupt
+  | 2 -> Overflow
+  | 3 -> Page_fault
+  | 4 -> Privilege
+  | 5 -> Trap
+  | 6 -> Illegal
+  | n -> invalid_arg ("Cause.of_code: " ^ string_of_int n)
+
+let pp ppf t = Format.pp_print_string ppf (show t)

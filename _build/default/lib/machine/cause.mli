@@ -1,0 +1,27 @@
+(** Exception causes.
+
+    "By an exception we mean all synchronous and asynchronous events that
+    disrupt the normal flow of control" (paper, Section 3.3).  The major
+    cause occupies one of the two cause fields at the top of the surprise
+    register; the second field carries the 12-bit software-trap code. *)
+
+type t =
+  | Reset
+  | Interrupt  (** the single external interrupt line *)
+  | Overflow  (** arithmetic overflow with the overflow-trap enable set *)
+  | Page_fault  (** page-map miss, or a reference between the two valid
+                    segment regions (treated as a page fault, Section 3.1) *)
+  | Privilege  (** privileged instruction at user level, or a user-mode
+                   physical (unmapped) reference *)
+  | Trap  (** software trap / monitor call *)
+  | Illegal  (** undecodable or architecturally illegal instruction, e.g. a
+                 byte-width access on the word-addressed machine *)
+[@@deriving eq, ord, show]
+
+val to_code : t -> int
+(** 3-bit encoding stored in the surprise register's first cause field. *)
+
+val of_code : int -> t
+(** @raise Invalid_argument outside the encoded range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,423 @@
+open Mips_isa
+
+type config = {
+  interlock : bool;
+  byte_addressed : bool;
+  fetch_overhead_pct : float;
+  imem_words : int;
+  dmem_words : int;
+}
+
+let default_config =
+  {
+    interlock = false;
+    byte_addressed = false;
+    fetch_overhead_pct = 0.;
+    imem_words = 1 lsl 16;
+    dmem_words = 1 lsl 18;
+  }
+
+let byte_addressed_config =
+  { default_config with byte_addressed = true; fetch_overhead_pct = 15. }
+
+let interlocked_config = { default_config with interlock = true }
+
+type t = {
+  cfg : config;
+  regs : int array;
+  mutable p0 : int;
+  mutable p1 : int;
+  mutable p2 : int;
+  mutable sr : Surprise.t;
+  mutable seg : Segmap.t;
+  mutable byte_select : int;
+  epcs : int array;
+  mutable pending : (int * int) option;  (* load landing one word late *)
+  mutable last_load_writes : Reg.Set.t;  (* interlock-mode stall detection *)
+  imem : int Word.t array;
+  notes : Note.t array;
+  dmem : int array;
+  pagemap : Pagemap.t;
+  mutable interrupt_line : bool;
+  mutable fault : fault_kind option;
+  stats : Stats.t;
+}
+
+and fault_kind =
+  | Missing_page of Pagemap.space * int
+  | Segment_violation of int
+
+type event = Stepped | Dispatched of Cause.t
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    regs = Array.make 16 0;
+    p0 = 0;
+    p1 = 1;
+    p2 = 2;
+    sr = Surprise.reset;
+    seg = Segmap.make ~pid:0 ~mask_bits:0;
+    byte_select = 0;
+    epcs = Array.make 3 0;
+    pending = None;
+    last_load_writes = Reg.Set.empty;
+    imem = Array.make config.imem_words Word.Nop;
+    notes = Array.make config.imem_words Note.plain;
+    dmem = Array.make config.dmem_words 0;
+    pagemap = Pagemap.create ();
+    interrupt_line = false;
+    fault = None;
+    stats = Stats.create ();
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+let get_reg t r = t.regs.(Reg.to_int r)
+let set_reg t r v = t.regs.(Reg.to_int r) <- Word32.norm v
+let surprise t = t.sr
+let set_surprise t sr = t.sr <- sr
+let segmap t = t.seg
+let set_segmap t seg = t.seg <- seg
+let pagemap t = t.pagemap
+let epc t i = t.epcs.(i)
+let set_epc t i v = t.epcs.(i) <- v
+let pc t = t.p0
+let pc_chain t = (t.p0, t.p1, t.p2)
+
+let set_pc_chain t (a, b, c) =
+  t.p0 <- a;
+  t.p1 <- b;
+  t.p2 <- c
+
+let set_pc t a = set_pc_chain t (a, a + 1, a + 2)
+let set_interrupt t b = t.interrupt_line <- b
+let interrupt_pending t = t.interrupt_line
+let read_code t a = t.imem.(a)
+let write_code t a w = t.imem.(a) <- w
+let read_note t a = t.notes.(a)
+let write_note t a n = t.notes.(a) <- n
+let read_data t a = t.dmem.(a)
+let write_data t a v = t.dmem.(a) <- Word32.norm v
+let faulted t = t.fault
+
+let faulted_addr t =
+  match t.fault with
+  | Some (Missing_page (sp, ga)) -> Some (sp, ga)
+  | Some (Segment_violation _) | None -> None
+
+let load_program ?(at = 0) ?(data_at = 0) t (p : Program.t) =
+  Array.blit p.code 0 t.imem at (Array.length p.code);
+  Array.blit p.notes 0 t.notes at (Array.length p.notes);
+  List.iter (fun (a, v) -> t.dmem.(data_at + a) <- Word32.norm v) p.data;
+  set_pc t (at + p.entry)
+
+(* ---------------------------------------------------------------------- *)
+
+exception Fault of Cause.t * int
+exception Trap_dispatch of int
+
+(* Translate a word-granularity virtual address to a physical word address. *)
+let translate_word t space ~write vaddr =
+  match (t.sr.priv, t.sr.map_enable) with
+  | Surprise.Kernel, false -> vaddr
+  | Surprise.User, false -> raise (Fault (Cause.Privilege, 0))
+  | _, true -> (
+      let gaddr =
+        try Segmap.translate t.seg vaddr
+        with Segmap.Out_of_segment a ->
+          t.fault <- Some (Segment_violation a);
+          raise (Fault (Cause.Page_fault, 0))
+      in
+      try Pagemap.translate t.pagemap space ~write gaddr
+      with Pagemap.Fault (sp, ga) ->
+        t.fault <- Some (Missing_page (sp, ga));
+        raise (Fault (Cause.Page_fault, 0)))
+
+let operand_value t = function
+  | Operand.R r -> t.regs.(Reg.to_int r)
+  | Operand.I4 n -> n
+
+let data_bounds_check t phys_word =
+  if phys_word < 0 || phys_word >= t.cfg.dmem_words then
+    raise (Fault (Cause.Illegal, 1))
+
+(* Effective address of a memory piece, in the machine's native granularity
+   (word addresses on the word machine, byte addresses on the byte machine). *)
+let effective_addr t = function
+  | Mem.Abs a -> a
+  | Mem.Disp (b, d) -> Word32.add t.regs.(Reg.to_int b) d
+  | Mem.Idx (b, i) -> Word32.add t.regs.(Reg.to_int b) t.regs.(Reg.to_int i)
+  | Mem.Shifted (b, i, n) ->
+      Word32.add t.regs.(Reg.to_int b)
+        (Word32.shift_right_logical t.regs.(Reg.to_int i) n)
+  | Mem.Scaled (b, i, n) ->
+      Word32.add t.regs.(Reg.to_int b)
+        (Word32.shift_left t.regs.(Reg.to_int i) n)
+
+(* Resolve a native address to (physical word index, byte lane option). *)
+let resolve t ~write ~width addr =
+  if t.cfg.byte_addressed then begin
+    let word_v = addr asr 2 and lane = addr land 3 in
+    let phys = translate_word t Pagemap.Dspace ~write word_v in
+    data_bounds_check t phys;
+    match width with
+    | Mem.W8 -> (phys, Some lane)
+    | Mem.W32 ->
+        if lane <> 0 then raise (Fault (Cause.Illegal, 2));
+        (phys, None)
+  end
+  else begin
+    (match width with
+    | Mem.W8 -> raise (Fault (Cause.Illegal, 3))
+    | Mem.W32 -> ());
+    let phys = translate_word t Pagemap.Dspace ~write addr in
+    data_bounds_check t phys;
+    (phys, None)
+  end
+
+type mem_effect =
+  | Load_result of int * int  (* register, value: lands one word late *)
+  | Store_commit of int * int option * int  (* phys word, lane, value *)
+  | Imm_result of int * int  (* register, value: immediate commit *)
+
+let compute_mem t note m =
+  match m with
+  | Mem.Limm (c, d) -> Imm_result (Reg.to_int d, c)
+  | Mem.Load (width, a, d) ->
+      let addr = effective_addr t a in
+      let phys, lane = resolve t ~write:false ~width addr in
+      let v =
+        match lane with
+        | None -> t.dmem.(phys)
+        | Some i -> Word32.get_byte t.dmem.(phys) i
+      in
+      ignore note;
+      Load_result (Reg.to_int d, v)
+  | Mem.Store (width, s, a) ->
+      let addr = effective_addr t a in
+      let phys, lane = resolve t ~write:true ~width addr in
+      Store_commit (phys, lane, t.regs.(Reg.to_int s))
+
+type alu_effect =
+  | Reg_write of int * int
+  | Special_write of Alu.special * int
+  | Rfe_effect
+
+let binop_eval t op a b =
+  let overflow_trap () =
+    if t.sr.ovf_enable then raise (Fault (Cause.Overflow, 0))
+  in
+  match op with
+  | Alu.Add ->
+      if Word32.add_overflows a b then overflow_trap ();
+      Word32.add a b
+  | Alu.Sub ->
+      if Word32.sub_overflows a b then overflow_trap ();
+      Word32.sub a b
+  | Alu.Rsub ->
+      if Word32.sub_overflows b a then overflow_trap ();
+      Word32.sub b a
+  | Alu.And -> Word32.logand a b
+  | Alu.Or -> Word32.logor a b
+  | Alu.Xor -> Word32.logxor a b
+  | Alu.Sll -> Word32.shift_left a b
+  | Alu.Srl -> Word32.shift_right_logical a b
+  | Alu.Sra -> Word32.shift_right_arith a b
+  | Alu.Mul ->
+      if Word32.mul_overflows a b then overflow_trap ();
+      Word32.mul a b
+  | Alu.Div -> if b = 0 then raise (Fault (Cause.Overflow, 1)) else Word32.sdiv a b
+  | Alu.Rem -> if b = 0 then raise (Fault (Cause.Overflow, 1)) else Word32.srem a b
+
+let read_special t = function
+  | Alu.Surprise -> Surprise.to_word t.sr
+  | Alu.Segment -> Segmap.to_word t.seg
+  | Alu.Byte_select -> t.byte_select
+  | Alu.Epc i -> t.epcs.(i)
+
+let compute_alu t a =
+  if Surprise.equal_privilege t.sr.priv Surprise.User && Alu.is_privileged a then
+    raise (Fault (Cause.Privilege, 1));
+  match a with
+  | Alu.Binop (op, x, y, d) ->
+      Reg_write (Reg.to_int d, binop_eval t op (operand_value t x) (operand_value t y))
+  | Alu.Mov (x, d) -> Reg_write (Reg.to_int d, operand_value t x)
+  | Alu.Movi8 (c, d) -> Reg_write (Reg.to_int d, c)
+  | Alu.Setc (c, x, y, d) ->
+      let v = if Cond.eval c (operand_value t x) (operand_value t y) then 1 else 0 in
+      Reg_write (Reg.to_int d, v)
+  | Alu.Xbyte (p, w, d) ->
+      let lane = operand_value t p land 3 in
+      Reg_write (Reg.to_int d, Word32.get_byte (operand_value t w) lane)
+  | Alu.Ibyte (s, d) ->
+      let lane = t.byte_select land 3 in
+      let cur = t.regs.(Reg.to_int d) in
+      Reg_write (Reg.to_int d, Word32.set_byte cur lane (operand_value t s))
+  | Alu.Rd_special (s, d) -> Reg_write (Reg.to_int d, read_special t s)
+  | Alu.Wr_special (s, x) -> Special_write (s, operand_value t x)
+  | Alu.Rfe -> Rfe_effect
+
+let apply_special t s v =
+  match s with
+  | Alu.Surprise -> t.sr <- Surprise.of_word v
+  | Alu.Segment -> t.seg <- Segmap.of_word v
+  | Alu.Byte_select -> t.byte_select <- v land 3
+  | Alu.Epc i -> t.epcs.(i) <- v
+
+type branch_effect =
+  | Taken of int * int  (* target, delay *)
+  | Link_and_taken of int * int * int * int  (* link reg, return addr, target, delay *)
+  | Not_taken
+
+let compute_branch t b =
+  match b with
+  | Branch.Cbr (c, x, y, target) ->
+      if Cond.eval c (operand_value t x) (operand_value t y) then Taken (target, 1)
+      else Not_taken
+  | Branch.Jump target -> Taken (target, 1)
+  | Branch.Jal (target, link) -> Link_and_taken (Reg.to_int link, t.p2, target, 1)
+  | Branch.Jind r -> Taken (t.regs.(Reg.to_int r), 2)
+  | Branch.Jalind (r, link) ->
+      Link_and_taken (Reg.to_int link, t.p2 + 1, t.regs.(Reg.to_int r), 2)
+  | Branch.Trap code -> raise (Trap_dispatch code)
+
+let commit_pending t =
+  (match t.pending with
+  | Some (r, v) -> t.regs.(r) <- v
+  | None -> ());
+  t.pending <- None
+
+let dispatch t cause detail ~epcs:(e0, e1, e2) =
+  commit_pending t;
+  t.epcs.(0) <- e0;
+  t.epcs.(1) <- e1;
+  t.epcs.(2) <- e2;
+  t.sr <- Surprise.push t.sr cause detail;
+  set_pc_chain t (0, 1, 2);
+  t.last_load_writes <- Reg.Set.empty;
+  Stats.count_exception t.stats cause;
+  Dispatched cause
+
+let count_cycle t word =
+  let s = t.stats in
+  s.cycles <- s.cycles + 1;
+  s.words <- s.words + 1;
+  let busy = Word.references_memory word in
+  if busy then s.mem_busy_cycles <- s.mem_busy_cycles + 1
+  else s.free_cycles <- s.free_cycles + 1;
+  let weight =
+    if t.cfg.byte_addressed && busy then 1. +. (t.cfg.fetch_overhead_pct /. 100.)
+    else 1.
+  in
+  s.weighted_cycles <- s.weighted_cycles +. weight;
+  let pieces = Word.pieces word in
+  if pieces = [] then s.nops <- s.nops + 1;
+  if List.length pieces > 1 then s.packed_words <- s.packed_words + 1;
+  List.iter
+    (fun p ->
+      match p with
+      | Piece.Alu _ -> s.alu_pieces <- s.alu_pieces + 1
+      | Piece.Mem _ -> s.mem_pieces <- s.mem_pieces + 1
+      | Piece.Branch _ -> s.branch_pieces <- s.branch_pieces + 1
+      | Piece.Nop -> ())
+    pieces
+
+let stall t n =
+  t.stats.cycles <- t.stats.cycles + n;
+  t.stats.stall_cycles <- t.stats.stall_cycles + n;
+  t.stats.free_cycles <- t.stats.free_cycles + n;
+  t.stats.weighted_cycles <- t.stats.weighted_cycles +. float_of_int n
+
+let step t =
+  if t.interrupt_line && t.sr.int_enable then
+    dispatch t Cause.Interrupt 0 ~epcs:(t.p0, t.p1, t.p2)
+  else
+    let seq_epcs = (t.p0, t.p1, t.p2) in
+    match
+      let fetch_phys = translate_word t Pagemap.Ispace ~write:false t.p0 in
+      if fetch_phys < 0 || fetch_phys >= t.cfg.imem_words then
+        raise (Fault (Cause.Illegal, 0));
+      let word = t.imem.(fetch_phys) in
+      let note = t.notes.(fetch_phys) in
+      (* interlock-mode stall detection: dependent word waits a cycle *)
+      if
+        t.cfg.interlock
+        && not (Reg.Set.is_empty (Reg.Set.inter t.last_load_writes (Word.reads word)))
+      then stall t 1;
+      (* compute phase: all operands read from pre-instruction state *)
+      let mem_eff = Option.map (compute_mem t note) (Word.mem word) in
+      let alu_eff = Option.map (compute_alu t) (Word.alu word) in
+      let br_eff = Option.map (compute_branch t) (Word.branch word) in
+      (word, note, mem_eff, alu_eff, br_eff)
+    with
+    | exception Fault (cause, detail) -> dispatch t cause detail ~epcs:seq_epcs
+    | exception Trap_dispatch code ->
+        (* a trap commits nothing else in its word and resumes after itself *)
+        let w =
+          let phys = translate_word t Pagemap.Ispace ~write:false t.p0 in
+          t.imem.(phys)
+        in
+        count_cycle t w;
+        dispatch t Cause.Trap code ~epcs:(t.p1, t.p2, t.p2 + 1)
+    | word, note, mem_eff, alu_eff, br_eff ->
+        count_cycle t word;
+        (* commit phase *)
+        (match mem_eff with
+        | Some (Store_commit (phys, lane, v)) ->
+            (match lane with
+            | None -> t.dmem.(phys) <- v
+            | Some i -> t.dmem.(phys) <- Word32.set_byte t.dmem.(phys) i v);
+            Stats.count_ref t.stats ~load:false note
+        | Some (Load_result _ | Imm_result _) | None -> ());
+        commit_pending t;
+        (match alu_eff with
+        | Some (Reg_write (r, v)) -> t.regs.(r) <- v
+        | Some (Special_write (s, v)) -> apply_special t s v
+        | Some Rfe_effect -> t.sr <- Surprise.pop t.sr
+        | None -> ());
+        let rfe = match alu_eff with Some Rfe_effect -> true | _ -> false in
+        (match mem_eff with
+        | Some (Imm_result (r, v)) -> t.regs.(r) <- v
+        | Some (Load_result (r, v)) ->
+            Stats.count_ref t.stats ~load:true note;
+            if t.cfg.interlock then t.regs.(r) <- v else t.pending <- Some (r, v)
+        | Some (Store_commit _) | None -> ());
+        t.last_load_writes <-
+          (if t.cfg.interlock then Word.load_writes word else Reg.Set.empty);
+        (* next-pc phase *)
+        (if rfe then set_pc_chain t (t.epcs.(0), t.epcs.(1), t.epcs.(2))
+         else
+           let advance_seq () = set_pc_chain t (t.p1, t.p2, t.p2 + 1) in
+           let take target delay =
+             t.stats.branches_taken <- t.stats.branches_taken + 1;
+             if t.cfg.interlock then begin
+               stall t delay;
+               set_pc_chain t (target, target + 1, target + 2)
+             end
+             else if delay = 1 then set_pc_chain t (t.p1, target, target + 1)
+             else set_pc_chain t (t.p1, t.p2, target)
+           in
+           match br_eff with
+           | None | Some Not_taken -> advance_seq ()
+           | Some (Taken (target, delay)) -> take target delay
+           | Some (Link_and_taken (link, ret, target, delay)) ->
+               t.regs.(link) <- ret;
+               take target delay);
+        Stepped
+
+let run ?(fuel = 10_000_000) t handler =
+  let rec loop fuel =
+    if fuel <= 0 then false
+    else
+      match step t with
+      | Stepped -> loop (fuel - 1)
+      | Dispatched cause -> (
+          match handler t cause with
+          | `Halt -> true
+          | `Resume ->
+              t.sr <- Surprise.pop t.sr;
+              set_pc_chain t (t.epcs.(0), t.epcs.(1), t.epcs.(2));
+              loop (fuel - 1))
+  in
+  loop fuel

@@ -1,0 +1,129 @@
+(** The architectural simulator.
+
+    Models the user-visible consequences of the MIPS 5-stage pipeline at
+    instruction-word granularity:
+
+    - {b No hardware interlocks} (default).  A register written by a load is
+      not visible to the immediately following word — that word reads the
+      {e stale} value.  The instruction word(s) after a taken branch
+      ({!Mips_isa.Branch.delay} of them) always execute.  Correctness is the
+      reorganizer's job, exactly as in the paper.
+    - {b Interlock mode} ([interlock = true]): the conventional comparison
+      machine.  Loads commit immediately but a dependent next word stalls one
+      cycle; taken branches squash their delay slots and pay them as stall
+      cycles.
+    - {b Byte-addressed mode} ([byte_addressed = true]): data addresses are
+      byte addresses, [W8] accesses are legal, word accesses must be aligned,
+      and every memory-referencing word costs an extra
+      [fetch_overhead_pct] percent in {!Stats.t.weighted_cycles} — the
+      paper's estimate of what byte addressability adds to the critical path.
+
+    Exceptions follow Section 3.3: instructions logically before the fault
+    complete; a faulting memory reference inhibits the register write of the
+    ALU piece in the same word; the three-deep program-counter chain is saved
+    in the EPC registers; the surprise register is pushed; control resumes at
+    physical address 0 with mapping off. *)
+
+open Mips_isa
+
+type config = {
+  interlock : bool;
+  byte_addressed : bool;
+  fetch_overhead_pct : float;  (** used only when [byte_addressed] *)
+  imem_words : int;
+  dmem_words : int;
+}
+
+val default_config : config
+(** Word-addressed, no interlocks, 64K instruction words, 256K data words. *)
+
+val byte_addressed_config : config
+(** The Table 9/10 comparison machine with the paper's 15 % overhead. *)
+
+val interlocked_config : config
+
+type t
+
+(** Why [step] or [run] stopped making forward progress. *)
+type event =
+  | Stepped  (** one word executed normally *)
+  | Dispatched of Cause.t  (** an exception was accepted; the machine has
+                               pushed state and now sits at physical 0 *)
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+val stats : t -> Stats.t
+
+(** {2 Architectural state} *)
+
+val get_reg : t -> Reg.t -> Word32.t
+val set_reg : t -> Reg.t -> Word32.t -> unit
+val surprise : t -> Surprise.t
+val set_surprise : t -> Surprise.t -> unit
+val segmap : t -> Segmap.t
+val set_segmap : t -> Segmap.t -> unit
+val pagemap : t -> Pagemap.t
+val epc : t -> int -> int
+val set_epc : t -> int -> int -> unit
+
+val pc : t -> int
+(** Current instruction address (head of the three-deep chain). *)
+
+val pc_chain : t -> int * int * int
+val set_pc_chain : t -> int * int * int -> unit
+
+val set_pc : t -> int -> unit
+(** Reset the chain to sequential flow from the given address. *)
+
+val set_interrupt : t -> bool -> unit
+(** Drive the single external interrupt line. *)
+
+val interrupt_pending : t -> bool
+
+(** {2 Physical memory} *)
+
+val read_code : t -> int -> int Word.t
+val write_code : t -> int -> int Word.t -> unit
+val read_note : t -> int -> Note.t
+val write_note : t -> int -> Note.t -> unit
+val read_data : t -> int -> Word32.t
+(** Physical word read (word index into data memory). *)
+
+val write_data : t -> int -> Word32.t -> unit
+
+val load_program : ?at:int -> ?data_at:int -> t -> Program.t -> unit
+(** Copy a program image into physical memory ([at] = code origin,
+    [data_at] = data origin, both default 0) and point the PC chain at its
+    entry.  The caller chooses privilege/mapping via {!set_surprise}. *)
+
+(** {2 Execution} *)
+
+val step : t -> event
+(** Execute one instruction word (or accept a pending interrupt). *)
+
+val run : ?fuel:int -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool
+(** [run t handler] steps until the handler (called on every dispatched
+    exception) answers [`Halt], or [fuel] (default 10 million) words have
+    executed.  On [`Resume] the machine performs the return-from-exception:
+    restores the surprise register and the saved PC chain (the handler may
+    have redirected the EPCs first).  Returns [true] when halted by the
+    handler, [false] when out of fuel.
+
+    This is the {e hosted} mode used by tests and analyses; the full machine
+    -level dispatch path (kernel code at address 0) is exercised by the OS
+    library instead. *)
+
+(** What the external mapping unit latched at the most recent [Page_fault]
+    dispatch. *)
+type fault_kind =
+  | Missing_page of Pagemap.space * int
+      (** page-map miss at this global virtual address *)
+  | Segment_violation of int
+      (** a reference between the two valid segment regions, at this
+          process virtual address ("treated as a page fault" by the
+          hardware; the OS decides to grow the segment or kill) *)
+
+val faulted : t -> fault_kind option
+
+val faulted_addr : t -> (Pagemap.space * int) option
+(** The page-miss address, when the latest fault was one. *)

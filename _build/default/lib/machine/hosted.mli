@@ -1,0 +1,40 @@
+(** Hosted execution: run a program with monitor calls served by the host.
+
+    This is the light-weight way to execute compiled programs — the
+    exception dispatch is still fully architectural (surprise push, EPC
+    save), but the handler is an OCaml function standing in for the kernel.
+    The full machine-resident kernel lives in the OS library. *)
+
+type result = {
+  halted : bool;  (** false when the fuel ran out *)
+  exit_status : int option;  (** Some s after an [exit] monitor call *)
+  output : string;  (** everything written via putchar/putint/putstr *)
+  fault : (Cause.t * int) option;
+      (** set when execution was aborted by a non-trap exception
+          (cause, cause-detail) *)
+}
+
+val eof_char : int
+(** Value returned by the [getchar] monitor call at end of input (255 —
+    chosen so the marker survives both word- and byte-sized character
+    variables). *)
+
+val run :
+  ?fuel:int ->
+  ?input:string ->
+  ?on_unhandled:[ `Abort | `Ignore ] ->
+  Cpu.t ->
+  result
+(** Run the loaded program to completion.  Monitor calls are served from
+    [input] (for [getchar]) and into the result's [output].  Exceptions
+    other than traps abort the run and are reported in [fault] (with
+    [`Abort], the default) or resumed past (with [`Ignore], which skips the
+    offending instruction — for fault-injection tests). *)
+
+val run_program : ?fuel:int -> ?input:string -> ?config:Cpu.config -> Program.t -> result
+(** Create a machine, load the image, and {!run} it in kernel mode with
+    mapping off. *)
+
+val run_program_on : ?fuel:int -> ?input:string -> Cpu.t -> Program.t -> result
+(** Load the image into an existing machine (so the caller can inspect
+    statistics afterwards) and {!run} it. *)

@@ -1,0 +1,15 @@
+let exit_ = 1
+let putchar = 2
+let putint = 3
+let getchar = 4
+let yield = 5
+let putstr = 6
+
+let name = function
+  | 1 -> Some "exit"
+  | 2 -> Some "putchar"
+  | 3 -> Some "putint"
+  | 4 -> Some "getchar"
+  | 5 -> Some "yield"
+  | 6 -> Some "putstr"
+  | _ -> None

@@ -1,0 +1,39 @@
+type space = Ispace | Dspace [@@deriving eq, ord, show]
+
+type entry = {
+  frame : int;
+  writable : bool;
+  mutable referenced : bool;
+  mutable dirty : bool;
+}
+
+type key = space * int
+
+type t = (key, entry) Hashtbl.t
+
+exception Fault of space * int
+
+let page_words = 1024
+let create () = Hashtbl.create 64
+
+let map t space ~vpage ~frame ~writable =
+  Hashtbl.replace t (space, vpage)
+    { frame; writable; referenced = false; dirty = false }
+
+let unmap t space ~vpage = Hashtbl.remove t (space, vpage)
+let find t space ~vpage = Hashtbl.find_opt t (space, vpage)
+
+let translate t space ~write gaddr =
+  let vpage = gaddr / page_words in
+  match Hashtbl.find_opt t (space, vpage) with
+  | None -> raise (Fault (space, gaddr))
+  | Some e ->
+      if write && not e.writable then raise (Fault (space, gaddr));
+      e.referenced <- true;
+      if write then e.dirty <- true;
+      (e.frame * page_words) + (gaddr mod page_words)
+
+let entries t =
+  Hashtbl.fold (fun (space, vpage) e acc -> (space, vpage, e) :: acc) t []
+
+let clear_referenced t = Hashtbl.iter (fun _ e -> e.referenced <- false) t

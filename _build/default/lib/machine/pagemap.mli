@@ -1,0 +1,45 @@
+(** The off-chip page-level mapping unit.
+
+    Translates {e global} virtual addresses (as produced by the on-chip
+    segmentation, {!Segmap}) to physical addresses.  Because the
+    segmentation already folded the process id into the address, "an
+    off-chip page map [can] simultaneously contain entries for many
+    processes without a corresponding increase in the tag field size"
+    (paper, Section 3.1).
+
+    The machine has separate instruction and data spaces (the dual
+    instruction/data memory interface), so each mapping is keyed by the
+    space as well as the page number. *)
+
+type space = Ispace | Dspace [@@deriving eq, ord, show]
+
+type entry = {
+  frame : int;  (** physical frame number *)
+  writable : bool;
+  mutable referenced : bool;
+  mutable dirty : bool;
+}
+
+type t
+
+exception Fault of space * int
+(** Raised by {!translate} with the faulting global virtual address. *)
+
+val page_words : int
+(** Page size in words (1024 words = 4 KB). *)
+
+val create : unit -> t
+val map : t -> space -> vpage:int -> frame:int -> writable:bool -> unit
+val unmap : t -> space -> vpage:int -> unit
+val find : t -> space -> vpage:int -> entry option
+
+val translate : t -> space -> write:bool -> int -> int
+(** [translate t space ~write gaddr] is the physical word address.
+    Sets the referenced bit, and the dirty bit when [write].
+    @raise Fault on a missing entry or a write to a read-only page. *)
+
+val entries : t -> (space * int * entry) list
+(** All mappings, for inspection and page-replacement policies. *)
+
+val clear_referenced : t -> unit
+(** Clear every referenced bit (clock-algorithm support). *)

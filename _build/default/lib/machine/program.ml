@@ -1,0 +1,36 @@
+open Mips_isa
+
+type t = {
+  code : int Word.t array;
+  notes : Note.t array;
+  entry : int;
+  data : (int * Word32.t) list;
+  data_words : int;
+  symbols : (string * int) list;
+}
+
+let make ?notes ?(data = []) ?(data_words = 0) ?(symbols = []) ?(entry = 0) code =
+  let notes =
+    match notes with
+    | None -> Array.make (Array.length code) Note.plain
+    | Some n ->
+        if Array.length n <> Array.length code then
+          invalid_arg "Program.make: notes/code length mismatch";
+        n
+  in
+  { code; notes; entry; data; data_words; symbols }
+
+let lookup t name = List.assoc name t.symbols
+let static_count t = Array.length t.code
+
+let pp_listing ppf t =
+  let by_addr = List.map (fun (n, a) -> (a, n)) t.symbols in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i w ->
+      List.iter
+        (fun (a, n) -> if a = i then Format.fprintf ppf "%s:@," n)
+        by_addr;
+      Format.fprintf ppf "  %4d  %a@," i Word.pp_abs w)
+    t.code;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** Loadable program images.
+
+    The output of the assembler: resolved instruction words, the parallel
+    reference-annotation table, initialized data, and a symbol table for
+    diagnostics. *)
+
+open Mips_isa
+
+type t = {
+  code : int Word.t array;  (** instruction words; branch targets resolved *)
+  notes : Note.t array;  (** per-word reference annotation, same length *)
+  entry : int;  (** entry word address *)
+  data : (int * Word32.t) list;  (** initialized data words: address, value *)
+  data_words : int;  (** size of the static data area in words *)
+  symbols : (string * int) list;  (** label -> code address *)
+}
+
+val make :
+  ?notes:Note.t array ->
+  ?data:(int * Word32.t) list ->
+  ?data_words:int ->
+  ?symbols:(string * int) list ->
+  ?entry:int ->
+  int Word.t array ->
+  t
+(** [make code] builds an image; [notes] defaults to all-{!Note.plain}.
+    @raise Invalid_argument if [notes] length mismatches [code]. *)
+
+val lookup : t -> string -> int
+(** Address of a label.  @raise Not_found. *)
+
+val static_count : t -> int
+(** Static instruction count — the length of the code (the Table 11
+    metric). *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly listing with addresses and symbols. *)

@@ -1,0 +1,36 @@
+type t = { pid : int; mask_bits : int } [@@deriving eq, show]
+
+exception Out_of_segment of int
+
+let vspace_bits = 24
+let vspace_words = 1 lsl vspace_bits
+
+let make ~pid ~mask_bits =
+  if mask_bits < 0 || mask_bits > 8 then invalid_arg "Segmap.make: mask_bits";
+  if pid < 0 || pid >= 1 lsl mask_bits then invalid_arg "Segmap.make: pid";
+  { pid; mask_bits }
+
+let segment_words t = 1 lsl (vspace_bits - t.mask_bits)
+
+let translate t vaddr =
+  let vaddr = vaddr land (vspace_words - 1) in
+  let seg = segment_words t in
+  let half = seg / 2 in
+  let offset =
+    if vaddr < half then vaddr
+    else if vaddr >= vspace_words - half then vaddr - vspace_words + seg
+    else raise (Out_of_segment vaddr)
+  in
+  (t.pid * seg) + offset
+
+let valid t vaddr =
+  match translate t vaddr with _ -> true | exception Out_of_segment _ -> false
+
+let to_word t = Mips_isa.Word32.norm (t.pid lor (t.mask_bits lsl 8))
+
+let of_word w =
+  let w = Mips_isa.Word32.to_unsigned w in
+  let mask_bits = (w lsr 8) land 0xF in
+  let mask_bits = if mask_bits > 8 then 8 else mask_bits in
+  let pid = w land 0xFF land ((1 lsl mask_bits) - 1) in
+  { pid; mask_bits }

@@ -1,0 +1,49 @@
+(** On-chip address-space segmentation.
+
+    "The on-chip unit divides the virtual address space into a variable
+    number of variably sized segments ...  The on-chip segmentation is done
+    by masking out the top n bits of every address and inserting an n-bit
+    process identification number."  (paper, Section 3.1)
+
+    The virtual address space is 16M words (24-bit word addresses).  With
+    mask width [n], a process owns a segment of [2{^24-n}] words of the
+    global space; its own address space "is split into two halves: one
+    residing at the top of the program's virtual address space, and the
+    other at the bottom.  Any attempt to reference a word between the two
+    valid regions is treated as a page fault." *)
+
+type t = {
+  pid : int;  (** process identifier, [0 <= pid < 2{^n}] *)
+  mask_bits : int;  (** n, the number of top bits replaced, [0 <= n <= 8] *)
+}
+[@@deriving eq, show]
+
+exception Out_of_segment of int
+(** Raised by {!translate} with the offending process virtual address. *)
+
+val vspace_bits : int
+(** log2 of the global virtual space in words (24: 16M words). *)
+
+val make : pid:int -> mask_bits:int -> t
+(** @raise Invalid_argument when pid or n is out of range. *)
+
+val segment_words : t -> int
+(** Size of the process's segment, [2{^24-n}] words. *)
+
+val translate : t -> int -> int
+(** [translate seg vaddr] maps a process virtual word address (24 bits
+    significant) to a global virtual address by folding the two valid halves
+    into the process segment and inserting the pid in the top bits.
+
+    @raise Out_of_segment when the address lies between the two valid
+    regions (the OS then grows the segment or kills the process). *)
+
+val valid : t -> int -> bool
+(** Whether {!translate} would succeed. *)
+
+val to_word : t -> Mips_isa.Word32.t
+(** Architectural view for the [rds seg]/[wrs seg] instructions:
+    pid in bits 0-7, mask width in bits 8-11. *)
+
+val of_word : Mips_isa.Word32.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+type ref_class = { mutable loads : int; mutable stores : int }
+
+type t = {
+  mutable cycles : int;
+  mutable stall_cycles : int;
+  mutable words : int;
+  mutable nops : int;
+  mutable alu_pieces : int;
+  mutable mem_pieces : int;
+  mutable branch_pieces : int;
+  mutable packed_words : int;
+  mutable branches_taken : int;
+  mutable mem_busy_cycles : int;
+  mutable free_cycles : int;
+  mutable weighted_cycles : float;
+  mutable exceptions : (Cause.t * int) list;
+  mutable synthetic_refs : int;
+  word_refs : ref_class;
+  word_char_refs : ref_class;
+  byte_refs : ref_class;
+  byte_char_refs : ref_class;
+}
+
+let new_class () = { loads = 0; stores = 0 }
+
+let create () =
+  {
+    cycles = 0;
+    stall_cycles = 0;
+    words = 0;
+    nops = 0;
+    alu_pieces = 0;
+    mem_pieces = 0;
+    branch_pieces = 0;
+    packed_words = 0;
+    branches_taken = 0;
+    mem_busy_cycles = 0;
+    free_cycles = 0;
+    weighted_cycles = 0.;
+    exceptions = [];
+    synthetic_refs = 0;
+    word_refs = new_class ();
+    word_char_refs = new_class ();
+    byte_refs = new_class ();
+    byte_char_refs = new_class ();
+  }
+
+let count_exception t cause =
+  let rec bump = function
+    | [] -> [ (cause, 1) ]
+    | (c, n) :: rest ->
+        if Cause.equal c cause then (c, n + 1) :: rest else (c, n) :: bump rest
+  in
+  t.exceptions <- bump t.exceptions
+
+let exception_count t cause =
+  match List.assoc_opt cause t.exceptions with Some n -> n | None -> 0
+
+let class_for t (note : Mips_isa.Note.t) =
+  match (note.char_data, note.byte_sized) with
+  | false, false -> t.word_refs
+  | true, false -> t.word_char_refs
+  | false, true -> t.byte_refs
+  | true, true -> t.byte_char_refs
+
+let count_ref t ~load note =
+  if note.Mips_isa.Note.synthetic then
+    t.synthetic_refs <- t.synthetic_refs + 1
+  else
+    let c = class_for t note in
+    if load then c.loads <- c.loads + 1 else c.stores <- c.stores + 1
+
+let classes t = [ t.word_refs; t.word_char_refs; t.byte_refs; t.byte_char_refs ]
+let total_loads t = List.fold_left (fun acc c -> acc + c.loads) 0 (classes t)
+let total_stores t = List.fold_left (fun acc c -> acc + c.stores) 0 (classes t)
+
+let free_cycle_fraction t =
+  let slots = t.mem_busy_cycles + t.free_cycles in
+  if slots = 0 then 0. else float_of_int t.free_cycles /. float_of_int slots
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles: %d (stalls %d, weighted %.1f)@ words: %d (nops %d, packed %d)@ \
+     pieces: %d alu, %d mem, %d branch (taken %d)@ memory: %d busy, %d free \
+     (%.1f%% free)@ refs: %d loads, %d stores@]"
+    t.cycles t.stall_cycles t.weighted_cycles t.words t.nops t.packed_words
+    t.alu_pieces t.mem_pieces t.branch_pieces t.branches_taken t.mem_busy_cycles
+    t.free_cycles
+    (100. *. free_cycle_fraction t)
+    (total_loads t) (total_stores t)

@@ -1,0 +1,53 @@
+(** Execution statistics.
+
+    The simulator tallies everything the paper's evaluation needs:
+    cycle counts (with interlock stalls when the hardware-interlock variant
+    runs), the memory-bandwidth utilisation behind the free-memory-cycle
+    claim of Section 3.1, and the data-reference patterns by access size and
+    data kind behind Tables 7 and 8. *)
+
+type ref_class = {
+  mutable loads : int;
+  mutable stores : int;
+}
+
+type t = {
+  mutable cycles : int;  (** instruction issue slots, including stalls *)
+  mutable stall_cycles : int;  (** interlock-mode stalls only *)
+  mutable words : int;  (** instruction words executed *)
+  mutable nops : int;  (** words that were pure no-ops *)
+  mutable alu_pieces : int;
+  mutable mem_pieces : int;
+  mutable branch_pieces : int;
+  mutable packed_words : int;  (** words carrying two pieces *)
+  mutable branches_taken : int;
+  mutable mem_busy_cycles : int;  (** words that made a data-memory reference *)
+  mutable free_cycles : int;  (** words that left the data port idle *)
+  mutable weighted_cycles : float;
+      (** cycles weighted by the byte-addressed fetch-overhead factor; equals
+          [cycles] on the word-addressed machine *)
+  mutable exceptions : (Cause.t * int) list;  (** per-cause counters *)
+  mutable synthetic_refs : int;
+      (** machine-artifact references (the extra read in a byte store's
+          read-modify-write), excluded from the logical classes below *)
+  word_refs : ref_class;  (** word-sized, non-character references *)
+  word_char_refs : ref_class;  (** word-sized references to character data *)
+  byte_refs : ref_class;  (** byte-sized, non-character references *)
+  byte_char_refs : ref_class;  (** byte-sized references to character data *)
+}
+
+val create : unit -> t
+val count_exception : t -> Cause.t -> unit
+val exception_count : t -> Cause.t -> int
+
+val count_ref : t -> load:bool -> Mips_isa.Note.t -> unit
+(** Classify one data reference by the compiler's annotation. *)
+
+val total_loads : t -> int
+val total_stores : t -> int
+
+val free_cycle_fraction : t -> float
+(** Fraction of issue slots with an idle data-memory port — the bandwidth
+    available "for DMA, I/O or cache write-backs". *)
+
+val pp : Format.formatter -> t -> unit

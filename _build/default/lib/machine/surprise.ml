@@ -1,0 +1,83 @@
+type privilege = User | Kernel [@@deriving eq, show]
+
+type t = {
+  priv : privilege;
+  prev_priv : privilege;
+  int_enable : bool;
+  prev_int_enable : bool;
+  ovf_enable : bool;
+  map_enable : bool;
+  prev_map_enable : bool;
+  cause : Cause.t;
+  cause_detail : int;
+}
+[@@deriving eq, show]
+
+let reset =
+  {
+    priv = Kernel;
+    prev_priv = Kernel;
+    int_enable = false;
+    prev_int_enable = false;
+    ovf_enable = false;
+    map_enable = false;
+    prev_map_enable = false;
+    cause = Cause.Reset;
+    cause_detail = 0;
+  }
+
+let user_initial =
+  { reset with priv = User; int_enable = true; ovf_enable = true }
+
+let push sr cause detail =
+  {
+    sr with
+    prev_priv = sr.priv;
+    prev_int_enable = sr.int_enable;
+    prev_map_enable = sr.map_enable;
+    priv = Kernel;
+    int_enable = false;
+    map_enable = false;
+    cause;
+    cause_detail = detail land 0xFFF;
+  }
+
+let pop sr =
+  {
+    sr with
+    priv = sr.prev_priv;
+    int_enable = sr.prev_int_enable;
+    map_enable = sr.prev_map_enable;
+  }
+
+let bit b i v = if b then v lor (1 lsl i) else v
+let priv_bit = function Kernel -> true | User -> false
+
+let to_word sr =
+  0
+  |> bit (priv_bit sr.priv) 0
+  |> bit (priv_bit sr.prev_priv) 1
+  |> bit sr.int_enable 2
+  |> bit sr.prev_int_enable 3
+  |> bit sr.ovf_enable 4
+  |> bit sr.map_enable 5
+  |> bit sr.prev_map_enable 6
+  |> ( lor ) (Cause.to_code sr.cause lsl 8)
+  |> ( lor ) ((sr.cause_detail land 0xFFF) lsl 16)
+  |> Mips_isa.Word32.norm
+
+let of_word w =
+  let w = Mips_isa.Word32.to_unsigned w in
+  let tb i = w land (1 lsl i) <> 0 in
+  let priv_of b = if b then Kernel else User in
+  {
+    priv = priv_of (tb 0);
+    prev_priv = priv_of (tb 1);
+    int_enable = tb 2;
+    prev_int_enable = tb 3;
+    ovf_enable = tb 4;
+    map_enable = tb 5;
+    prev_map_enable = tb 6;
+    cause = Cause.of_code ((w lsr 8) land 7);
+    cause_detail = (w lsr 16) land 0xFFF;
+  }

@@ -1,0 +1,46 @@
+(** The {e surprise register} — the MIPS processor status word.
+
+    "In MIPS, all the miscellaneous state of the processor is encapsulated
+    into a single surprise register ...  The surprise register includes the
+    current and previous privilege levels, and enable bits for interrupts,
+    overflow traps and memory mapping.  Finally, there are two fields that
+    specify the exact nature of the last exception." (paper, Section 3.2)
+
+    The register is a plain record here; {!to_word}/{!of_word} give the
+    architectural 32-bit view used by the [rds]/[wrs] instructions. *)
+
+type privilege = User | Kernel [@@deriving eq, show]
+
+type t = {
+  priv : privilege;
+  prev_priv : privilege;
+  int_enable : bool;
+  prev_int_enable : bool;
+  ovf_enable : bool;
+  map_enable : bool;
+  prev_map_enable : bool;
+  cause : Cause.t;  (** first cause field: what the last exception was *)
+  cause_detail : int;  (** second cause field: 12-bit trap code, or 0 *)
+}
+[@@deriving eq, show]
+
+val reset : t
+(** Power-up state: kernel, everything disabled, cause [Reset]. *)
+
+val user_initial : t
+(** Convenient start state for hosted user programs: user privilege,
+    overflow traps on, interrupts on, mapping off. *)
+
+val push : t -> Cause.t -> int -> t
+(** [push sr cause detail] is the state change the hardware performs when an
+    exception is accepted: the current privilege and enables move to the
+    [prev_] fields, the machine enters kernel mode with interrupts and
+    mapping off, and the cause fields are set. *)
+
+val pop : t -> t
+(** The [rfe] state change: restore privilege and enables from the [prev_]
+    fields (the cause fields are left for the OS to read at leisure). *)
+
+val to_word : t -> Mips_isa.Word32.t
+val of_word : Mips_isa.Word32.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Array Buffer Cause Char Cpu Hashtbl Hosted List Mips_isa Mips_machine Monitor Note Pagemap Program Reg Segmap Stats String Surprise Word Word32

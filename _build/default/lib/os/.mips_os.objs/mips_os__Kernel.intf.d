@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Cause Cpu Mips_machine Program

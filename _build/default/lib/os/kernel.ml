@@ -1,0 +1,413 @@
+open Mips_isa
+open Mips_machine
+
+let mask_bits = 8  (* 256 possible processes, 64K-word segments *)
+let seg_words = 1 lsl (Segmap.vspace_bits - mask_bits)
+let half = seg_words / 2
+let user_stack_top = (1 lsl Segmap.vspace_bits) - 8
+
+(* cost model, in cycles, for kernel work (see DESIGN.md): a context switch
+   saves and restores the sixteen general registers at one word per cycle
+   through the dual memory interface, plus the dispatch bookkeeping *)
+let switch_cost = (2 * 16) + 8
+let fault_service_cost = 20  (* the page fill itself is DMA in free cycles *)
+
+type state = Ready | Exited of int | Killed of Cause.t * int
+
+type pcb = {
+  pid : int;
+  pname : string;
+  program : Program.t;
+  data_image : int array;
+  regs : int array;
+  mutable chain : int * int * int;
+  mutable usr : Surprise.t;  (* user-mode surprise register, popped form *)
+  input : string;
+  mutable in_pos : int;
+  out : Buffer.t;
+  mutable st : state;
+}
+
+type frame_owner = { fo_pid : int; fo_gpage : int }
+
+type t = {
+  cpu : Cpu.t;
+  quantum : int;
+  mutable procs : pcb list;
+  mutable current : pcb option;
+  code_frames : frame_owner option array;
+  data_frames : frame_owner option array;
+  mutable code_clock : int;
+  mutable data_clock : int;
+  backing : (int * int, int array) Hashtbl.t;  (* (pid, data gpage) -> words *)
+  mutable switches : int;
+  mutable page_faults : int;
+  mutable evictions : int;
+  mutable interrupts : int;
+  mutable map_changes_outside_fault : int;
+  mutable in_switch : bool;
+  mutable kernel_cycles : int;
+}
+
+let cpu t = t.cpu
+
+let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000) () =
+  let cfg = Cpu.default_config in
+  {
+    cpu = Cpu.create ~config:cfg ();
+    quantum;
+    procs = [];
+    current = None;
+    code_frames = Array.make code_frames None;
+    data_frames = Array.make data_frames None;
+    code_clock = 0;
+    data_clock = 0;
+    backing = Hashtbl.create 64;
+    switches = 0;
+    page_faults = 0;
+    evictions = 0;
+    interrupts = 0;
+    map_changes_outside_fault = 0;
+    in_switch = false;
+    kernel_cycles = 0;
+  }
+
+let user_sr =
+  (* user mode, mapping on, interrupts on, overflow traps off (the
+     reorganizer may speculate ALU work into delay slots) *)
+  {
+    Surprise.user_initial with
+    Surprise.map_enable = true;
+    ovf_enable = false;
+  }
+
+let spawn t ?(input = "") ~name (program : Program.t) =
+  let pid = List.length t.procs in
+  if pid > 255 then invalid_arg "Kernel.spawn: too many processes";
+  if Array.length program.Program.code > half then
+    invalid_arg "Kernel.spawn: program too large for a segment half";
+  let data_image = Array.make (max 1 program.Program.data_words) 0 in
+  List.iter
+    (fun (a, v) -> if a < Array.length data_image then data_image.(a) <- v)
+    program.Program.data;
+  let pcb =
+    {
+      pid;
+      pname = name;
+      program;
+      data_image;
+      regs = Array.make 16 0;
+      chain =
+        (program.Program.entry, program.Program.entry + 1, program.Program.entry + 2);
+      usr = user_sr;
+      input;
+      in_pos = 0;
+      out = Buffer.create 128;
+      st = Ready;
+    }
+  in
+  t.procs <- t.procs @ [ pcb ]
+
+(* --- paging ---------------------------------------------------------------- *)
+
+let page = Pagemap.page_words
+
+(* fill the physical frame for (pid, space, global page) *)
+let fill_frame t (p : pcb) space gpage frame =
+  let seg_base = p.pid * seg_words in
+  let offset0 = (gpage * page) - seg_base in
+  match space with
+  | Pagemap.Ispace ->
+      let code = p.program.Program.code in
+      let notes = p.program.Program.notes in
+      for k = 0 to page - 1 do
+        let o = offset0 + k in
+        let w = if o >= 0 && o < Array.length code then code.(o) else Word.Nop in
+        Cpu.write_code t.cpu ((frame * page) + k) w;
+        let n = if o >= 0 && o < Array.length notes then notes.(o) else Note.plain in
+        Cpu.write_note t.cpu ((frame * page) + k) n
+      done
+  | Pagemap.Dspace -> (
+      match Hashtbl.find_opt t.backing (p.pid, gpage) with
+      | Some saved ->
+          Array.iteri (fun k v -> Cpu.write_data t.cpu ((frame * page) + k) v) saved
+      | None ->
+          for k = 0 to page - 1 do
+            let o = offset0 + k in
+            let v =
+              if o >= 0 && o < Array.length p.data_image then p.data_image.(o)
+              else 0
+            in
+            Cpu.write_data t.cpu ((frame * page) + k) v
+          done)
+
+(* clock replacement over one frame pool *)
+let evict_from t space frames clock =
+  let n = Array.length frames in
+  let pm = Cpu.pagemap t.cpu in
+  let rec scan i guard =
+    let idx = (clock + i) mod n in
+    match frames.(idx) with
+    | None -> idx  (* free after all *)
+    | Some owner -> (
+        match Pagemap.find pm space ~vpage:owner.fo_gpage with
+        | None -> idx
+        | Some e ->
+            if e.Pagemap.referenced && guard < 2 * n then begin
+              e.Pagemap.referenced <- false;
+              scan (i + 1) (guard + 1)
+            end
+            else begin
+              (* evict *)
+              t.evictions <- t.evictions + 1;
+              (match space with
+              | Pagemap.Dspace when e.Pagemap.dirty ->
+                  let saved = Array.init page (fun k ->
+                      Cpu.read_data t.cpu ((e.Pagemap.frame * page) + k))
+                  in
+                  Hashtbl.replace t.backing (owner.fo_pid, owner.fo_gpage) saved
+              | _ -> ());
+              Pagemap.unmap pm space ~vpage:owner.fo_gpage;
+              idx
+            end)
+  in
+  scan 0 0
+
+let grab_frame t space =
+  let frames, clock =
+    match space with
+    | Pagemap.Ispace -> (t.code_frames, t.code_clock)
+    | Pagemap.Dspace -> (t.data_frames, t.data_clock)
+  in
+  let rec free i =
+    if i >= Array.length frames then None
+    else if frames.(i) = None then Some i
+    else free (i + 1)
+  in
+  let idx = match free 0 with Some i -> i | None -> evict_from t space frames clock in
+  (match space with
+  | Pagemap.Ispace -> t.code_clock <- (idx + 1) mod Array.length frames
+  | Pagemap.Dspace -> t.data_clock <- (idx + 1) mod Array.length frames);
+  (frames, idx)
+
+let valid_offset offset = offset >= 0 && offset < seg_words
+
+let service_fault t (p : pcb) space gaddr =
+  let gpage = gaddr / page in
+  let seg_base = p.pid * seg_words in
+  let offset = gaddr - seg_base in
+  if not (valid_offset offset) then false
+  else begin
+    t.page_faults <- t.page_faults + 1;
+    t.kernel_cycles <- t.kernel_cycles + fault_service_cost;
+    let frames, frame = grab_frame t space in
+    fill_frame t p space gpage frame;
+    frames.(frame) <- Some { fo_pid = p.pid; fo_gpage = gpage };
+    Pagemap.map (Cpu.pagemap t.cpu) space ~vpage:gpage ~frame
+      ~writable:(space = Pagemap.Dspace);
+    if t.in_switch then t.map_changes_outside_fault <- t.map_changes_outside_fault + 1;
+    true
+  end
+
+(* kernel access to a user virtual word (for putstr), paging as needed *)
+let kernel_read_user_word t (p : pcb) vaddr =
+  let seg = Segmap.make ~pid:p.pid ~mask_bits in
+  let gaddr = Segmap.translate seg vaddr in
+  let pm = Cpu.pagemap t.cpu in
+  let rec attempt retries =
+    match Pagemap.translate pm Pagemap.Dspace ~write:false gaddr with
+    | phys -> Cpu.read_data t.cpu phys
+    | exception Pagemap.Fault _ ->
+        if retries > 0 && service_fault t p Pagemap.Dspace gaddr then
+          attempt (retries - 1)
+        else 0
+  in
+  attempt 1
+
+let read_user_string t p ~addr ~len =
+  let buf = Buffer.create len in
+  for i = 0 to len - 1 do
+    let w = kernel_read_user_word t p (addr + (i / 4)) in
+    Buffer.add_char buf (Char.chr (Word32.get_byte w (i mod 4)))
+  done;
+  Buffer.contents buf
+
+(* --- context switching -------------------------------------------------------- *)
+
+let save_current t =
+  match t.current with
+  | None -> ()
+  | Some p ->
+      for i = 0 to 15 do
+        p.regs.(i) <- Cpu.get_reg t.cpu (Reg.r i)
+      done;
+      p.chain <- (Cpu.epc t.cpu 0, Cpu.epc t.cpu 1, Cpu.epc t.cpu 2);
+      p.usr <- Surprise.pop (Cpu.surprise t.cpu)
+
+let install t (p : pcb) =
+  for i = 0 to 15 do
+    Cpu.set_reg t.cpu (Reg.r i) p.regs.(i)
+  done;
+  Cpu.set_segmap t.cpu (Segmap.make ~pid:p.pid ~mask_bits);
+  Cpu.set_surprise t.cpu p.usr;
+  Cpu.set_pc_chain t.cpu p.chain;
+  t.current <- Some p
+
+let ready_procs t = List.filter (fun p -> p.st = Ready) t.procs
+
+(* rotate to the ready process after the current one *)
+let next_ready t =
+  let ready = ready_procs t in
+  match (ready, t.current) with
+  | [], _ -> None
+  | _, None -> Some (List.hd ready)
+  | _, Some cur -> (
+      let after = List.filter (fun p -> p.pid > cur.pid) ready in
+      match after with p :: _ -> Some p | [] -> Some (List.hd ready))
+
+let switch t =
+  save_current t;
+  t.in_switch <- true;
+  let next = next_ready t in
+  (match next with Some p -> install t p | None -> t.current <- None);
+  t.in_switch <- false;
+  t.switches <- t.switches + 1;
+  t.kernel_cycles <- t.kernel_cycles + switch_cost;
+  next <> None
+
+(* resume the current process exactly where the exception left it (the
+   handler may have redirected the EPCs first) *)
+let resume t =
+  Cpu.set_surprise t.cpu (Surprise.pop (Cpu.surprise t.cpu));
+  Cpu.set_pc_chain t.cpu (Cpu.epc t.cpu 0, Cpu.epc t.cpu 1, Cpu.epc t.cpu 2)
+
+(* --- monitor calls -------------------------------------------------------------- *)
+
+let service_trap t (p : pcb) code =
+  let arg0 () = Cpu.get_reg t.cpu Reg.scratch0 in
+  let arg1 () = Cpu.get_reg t.cpu Reg.scratch1 in
+  if code = Monitor.exit_ then `Exit (arg0 ())
+  else if code = Monitor.putchar then begin
+    Buffer.add_char p.out (Char.chr (arg0 () land 0xFF));
+    `Resume
+  end
+  else if code = Monitor.putint then begin
+    Buffer.add_string p.out (string_of_int (arg0 ()));
+    `Resume
+  end
+  else if code = Monitor.getchar then begin
+    let v =
+      if p.in_pos < String.length p.input then begin
+        let c = Char.code p.input.[p.in_pos] in
+        p.in_pos <- p.in_pos + 1;
+        c
+      end
+      else Hosted.eof_char
+    in
+    Cpu.set_reg t.cpu Reg.result v;
+    `Resume
+  end
+  else if code = Monitor.putstr then begin
+    Buffer.add_string p.out (read_user_string t p ~addr:(arg0 ()) ~len:(arg1 ()));
+    `Resume
+  end
+  else if code = Monitor.yield then `Yield
+  else `Kill (Cause.Trap, code)
+
+(* --- the main loop ----------------------------------------------------------------- *)
+
+type proc_report = {
+  pname : string;
+  output : string;
+  exit_status : int option;
+  killed : (Cause.t * int) option;
+}
+
+type report = {
+  procs : proc_report list;
+  switches : int;
+  page_faults : int;
+  evictions : int;
+  interrupts : int;
+  map_changes_during_switches : int;
+  switch_cycle_cost : int;
+  total_cycles : int;
+  kernel_cycles : int;
+}
+
+let make_report (t : t) =
+  {
+    procs =
+      List.map
+        (fun (p : pcb) ->
+          {
+            pname = p.pname;
+            output = Buffer.contents p.out;
+            exit_status = (match p.st with Exited s -> Some s | _ -> None);
+            killed = (match p.st with Killed (c, d) -> Some (c, d) | _ -> None);
+          })
+        t.procs;
+    switches = t.switches;
+    page_faults = t.page_faults;
+    evictions = t.evictions;
+    interrupts = t.interrupts;
+    map_changes_during_switches = t.map_changes_outside_fault;
+    switch_cycle_cost = switch_cost;
+    total_cycles = (Cpu.stats t.cpu).Stats.cycles + t.kernel_cycles;
+    kernel_cycles = t.kernel_cycles;
+  }
+
+let run ?(fuel = 50_000_000) t =
+  (match next_ready t with
+  | Some p -> install t p
+  | None -> ());
+  let fuel = ref fuel in
+  let steps_in_quantum = ref t.quantum in
+  let running = ref (t.current <> None) in
+  while !running && !fuel > 0 do
+    (match Cpu.step t.cpu with
+    | Cpu.Stepped ->
+        decr steps_in_quantum;
+        if !steps_in_quantum <= 0 then begin
+          Cpu.set_interrupt t.cpu true;
+          steps_in_quantum := t.quantum
+        end
+    | Cpu.Dispatched cause -> (
+        let p = match t.current with Some p -> p | None -> assert false in
+        match cause with
+        | Cause.Interrupt ->
+            Cpu.set_interrupt t.cpu false;
+            t.interrupts <- t.interrupts + 1;
+            if not (switch t) then running := false;
+            steps_in_quantum := t.quantum
+        | Cause.Trap -> (
+            let code = (Cpu.surprise t.cpu).Surprise.cause_detail in
+            match service_trap t p code with
+            | `Resume -> resume t
+            | `Yield ->
+                if not (switch t) then running := false;
+                steps_in_quantum := t.quantum
+            | `Exit status ->
+                p.st <- Exited status;
+                t.current <- None;
+                if not (switch t) then running := false
+            | `Kill (c, d) ->
+                p.st <- Killed (c, d);
+                t.current <- None;
+                if not (switch t) then running := false)
+        | Cause.Page_fault -> (
+            match Cpu.faulted_addr t.cpu with
+            | Some (space, gaddr) when service_fault t p space gaddr -> resume t
+            | _ ->
+                (* a reference between the two valid regions, or outside the
+                   segment entirely: terminate the offender *)
+                p.st <- Killed (Cause.Page_fault, 0);
+                t.current <- None;
+                if not (switch t) then running := false)
+        | (Cause.Overflow | Cause.Privilege | Cause.Illegal | Cause.Reset) as c ->
+            p.st <- Killed (c, (Cpu.surprise t.cpu).Surprise.cause_detail);
+            t.current <- None;
+            if not (switch t) then running := false));
+    decr fuel
+  done;
+  make_report t

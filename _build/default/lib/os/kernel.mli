@@ -1,0 +1,70 @@
+(** A demand-paged, multi-programmed kernel over the simulator —
+    the systems story of the paper's Section 3, made executable.
+
+    - {b Segmentation}: each process gets a process id; the on-chip
+      segmentation unit gives it a private 64K-word segment of the global
+      virtual space.  Code and static data live in the low half of the
+      process's address space, the stack grows in the high half — a
+      reference between the two valid regions faults, exactly as
+      Section 3.1 prescribes.  Because the pid travels in the address,
+      {e context switches never touch the page map}; the kernel counts map
+      changes during switches to demonstrate it.
+    - {b Demand paging}: instruction and data pages fault in on first
+      touch; a clock algorithm evicts when physical frames run out, writing
+      dirty data pages to a backing store.
+    - {b Exceptions}: every kernel entry goes through the architectural
+      dispatch (surprise push, EPC save, PC chain to 0); the kernel reads
+      the cause fields to decide, then performs the return-from-exception.
+    - {b Scheduling}: round-robin.  Quantum expiry is signalled by raising
+      the external interrupt line (the paper's single-line interface), so
+      preemption exercises the interrupt dispatch path.
+    - {b Context switches}: the kernel saves/restores the sixteen general
+      registers through the dual instruction/data memory interface — the
+      paper's observation that register-save sequences run at full memory
+      bandwidth is charged as 32 memory cycles plus the dispatch overhead,
+      and measured by the report. *)
+
+open Mips_machine
+
+type t
+
+val create : ?data_frames:int -> ?code_frames:int -> ?quantum:int -> unit -> t
+(** [data_frames]/[code_frames]: physical frames available for paging
+    (default 32 each); [quantum]: instructions between timer interrupts
+    (default 2000). *)
+
+val user_stack_top : int
+(** Virtual stack top for user programs (in the high half of the process
+    address space).  Compile OS-hosted programs with a configuration whose
+    [stack_top] is this value. *)
+
+val spawn : t -> ?input:string -> name:string -> Program.t -> unit
+(** Add a process (at most 8).  Nothing is loaded into memory until the
+    process faults its first page in. *)
+
+type proc_report = {
+  pname : string;
+  output : string;
+  exit_status : int option;  (** None if killed or still running *)
+  killed : (Cause.t * int) option;
+}
+
+type report = {
+  procs : proc_report list;
+  switches : int;
+  page_faults : int;
+  evictions : int;
+  interrupts : int;
+  map_changes_during_switches : int;  (** expected 0: the pid travels in the
+                                          address, not in the map *)
+  switch_cycle_cost : int;  (** cycles charged per context switch *)
+  total_cycles : int;
+  kernel_cycles : int;  (** cycles spent on kernel work (switches, fault
+                            service), charged per the cost model *)
+}
+
+val run : ?fuel:int -> t -> report
+(** Run until every process exits (or fuel runs out). *)
+
+val cpu : t -> Cpu.t
+(** The underlying machine, for inspection. *)

@@ -1,0 +1,1 @@
+lib/reorg/asm.pp.ml: Format List Mips_isa Note Piece Word32

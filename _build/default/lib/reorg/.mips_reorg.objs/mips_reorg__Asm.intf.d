@@ -1,0 +1,1 @@
+lib/reorg/asm.pp.mli: Format Mips_isa Note Piece Word32

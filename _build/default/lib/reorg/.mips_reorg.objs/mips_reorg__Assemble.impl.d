@@ -1,0 +1,1 @@
+lib/reorg/assemble.pp.ml: Array Asm Hashtbl Hazard List Mips_isa Mips_machine Sblock Word

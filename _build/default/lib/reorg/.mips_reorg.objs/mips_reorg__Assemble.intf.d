@@ -1,0 +1,1 @@
+lib/reorg/assemble.pp.mli: Asm Mips_isa Mips_machine Sblock

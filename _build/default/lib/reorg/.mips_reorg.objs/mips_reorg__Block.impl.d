@@ -1,0 +1,1 @@
+lib/reorg/block.pp.ml: Array Asm Branch List Mips_isa Note Piece Reg

@@ -1,0 +1,1 @@
+lib/reorg/block.pp.mli: Asm Branch Mips_isa Note Reg

@@ -1,0 +1,1 @@
+lib/reorg/dag.pp.ml: Alu Array Asm Hazard List Mem Mips_isa Piece Reg

@@ -1,0 +1,1 @@
+lib/reorg/dag.pp.mli: Asm

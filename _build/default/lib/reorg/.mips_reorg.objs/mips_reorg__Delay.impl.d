@@ -1,0 +1,1 @@
+lib/reorg/delay.pp.ml: Alu Array Block Branch Hazard List Liveness Mips_isa Printf Reg Sblock Word

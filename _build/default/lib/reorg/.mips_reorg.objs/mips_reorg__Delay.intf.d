@@ -1,0 +1,1 @@
+lib/reorg/delay.pp.mli: Block Sblock

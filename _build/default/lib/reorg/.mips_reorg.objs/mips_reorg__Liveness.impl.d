@@ -1,0 +1,1 @@
+lib/reorg/liveness.pp.ml: Array Block List Mips_isa Reg

@@ -1,0 +1,1 @@
+lib/reorg/liveness.pp.mli: Block Mips_isa Reg

@@ -1,0 +1,1 @@
+lib/reorg/pipeline.pp.ml: Array Asm Assemble Block Branch Delay List Mips_isa Sblock Sched

@@ -1,0 +1,1 @@
+lib/reorg/pipeline.pp.mli: Asm Delay Mips_machine

@@ -1,0 +1,1 @@
+lib/reorg/sblock.pp.ml: Branch List Mips_isa Note Word

@@ -1,0 +1,1 @@
+lib/reorg/sblock.pp.mli: Branch Mips_isa Note Word

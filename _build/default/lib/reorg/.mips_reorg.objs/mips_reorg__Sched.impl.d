@@ -1,0 +1,1 @@
+lib/reorg/sched.pp.ml: Alu Array Asm Branch Dag Hazard List Mips_isa Option Piece Reg Sblock Word

@@ -1,0 +1,1 @@
+lib/reorg/sched.pp.mli: Asm Branch Mips_isa Note Sblock

@@ -1,0 +1,69 @@
+open Mips_isa
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+type slot = { labels : string list; sw : Sblock.sword }
+
+let flatten (sblocks : Sblock.t array) =
+  let out = ref [] in
+  let pending = ref [] in
+  let prev : Sblock.sword option ref = ref None in
+  let push_word (sw : Sblock.sword) =
+    (match !prev with
+    | Some p
+      when Hazard.load_use_conflict ~earlier:p.Sblock.word ~later:sw.Sblock.word ->
+        out := { labels = []; sw = Sblock.nop } :: !out
+    | _ -> ());
+    out := { labels = List.rev !pending; sw } :: !out;
+    pending := [];
+    prev := Some sw
+  in
+  let push_label l = pending := l :: !pending in
+  Array.iter
+    (fun (sb : Sblock.t) ->
+      List.iter push_label sb.Sblock.labels;
+      let mid = sb.Sblock.mid_labels in
+      List.iteri
+        (fun idx sw ->
+          List.iter (fun (o, l) -> if o = idx then push_label l) mid;
+          push_word sw)
+        sb.Sblock.body;
+      let body_len = List.length sb.Sblock.body in
+      List.iter (fun (o, l) -> if o >= body_len then push_label l) mid;
+      (match sb.Sblock.term with
+      | None -> ()
+      | Some (br, note) -> push_word (Sblock.of_word ~note (Word.B br)));
+      List.iter push_word sb.Sblock.slots)
+    sblocks;
+  (* trailing labels (e.g. an end label) attach to a final no-op *)
+  if !pending <> [] then
+    out := { labels = List.rev !pending; sw = Sblock.nop } :: !out;
+  List.rev !out
+
+let assemble (p : Asm.program) sblocks =
+  let slots = flatten sblocks in
+  let table = Hashtbl.create 64 in
+  List.iteri
+    (fun addr s ->
+      List.iter
+        (fun l ->
+          if Hashtbl.mem table l then raise (Duplicate_label l);
+          Hashtbl.add table l addr)
+        s.labels)
+    slots;
+  let resolve l =
+    match Hashtbl.find_opt table l with
+    | Some a -> a
+    | None -> raise (Undefined_label l)
+  in
+  let code =
+    Array.of_list (List.map (fun s -> Word.map resolve s.sw.Sblock.word) slots)
+  in
+  let notes = Array.of_list (List.map (fun s -> s.sw.Sblock.note) slots) in
+  let symbols = Hashtbl.fold (fun l a acc -> (l, a) :: acc) table [] in
+  Mips_machine.Program.make ~notes ~data:p.Asm.data ~data_words:p.Asm.data_words
+    ~symbols ~entry:(resolve p.Asm.entry) code
+
+let verify_hazard_free (p : Mips_machine.Program.t) =
+  Hazard.sequence_hazards p.Mips_machine.Program.code

@@ -1,0 +1,16 @@
+(** Final assembly: flatten scheduled blocks, insert the last required
+    no-ops, resolve labels, and produce a loadable program image.
+
+    A global straight-line peephole inserts a no-op wherever two adjacent
+    words still violate the load-delay rule (this covers fall-through block
+    boundaries, which the per-block passes cannot see).  Branch words never
+    load, so the pass can never separate a branch from its delay slots. *)
+
+exception Undefined_label of string
+exception Duplicate_label of string
+
+val assemble : Asm.program -> Sblock.t array -> Mips_machine.Program.t
+
+val verify_hazard_free : Mips_machine.Program.t -> (int * Mips_isa.Reg.t) list
+(** Residual straight-line load-use violations (should be empty for any
+    assembled program) — used as a test oracle. *)

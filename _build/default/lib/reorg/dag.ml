@@ -1,0 +1,78 @@
+open Mips_isa
+
+type t = {
+  items : Asm.item array;
+  preds : (int * int) list array;
+  succs : int list array;
+  priority : int array;
+}
+
+let reg_set_of = function None -> Reg.Set.empty | Some r -> Reg.Set.singleton r
+
+let is_load (p : _ Piece.t) =
+  match p with Piece.Mem (Mem.Load _) -> true | _ -> false
+
+let latency (a : Asm.item) (b : Asm.item) =
+  if a.fixed || b.fixed then Some 1
+  else
+    let pa = a.piece and pb = b.piece in
+    let wa = reg_set_of (Piece.writes pa) and wb = reg_set_of (Piece.writes pb) in
+    let ra = Piece.reads pa and rb = Piece.reads pb in
+    let inter x y = not (Reg.Set.is_empty (Reg.Set.inter x y)) in
+    let raw = inter wa rb in
+    let waw = inter wa wb in
+    let war = inter ra wb in
+    let special =
+      let sp p =
+        match p with
+        | Piece.Alu alu -> (Alu.reads_special alu, Alu.writes_special alu)
+        | _ -> (None, None)
+      in
+      let ra', wa' = sp pa and rb', wb' = sp pb in
+      let clash x y =
+        match (x, y) with Some s, Some s' -> Alu.equal_special s s' | _ -> false
+      in
+      if clash wa' rb' || clash wa' wb' then Some 1
+      else if clash ra' wb' then Some 0
+      else None
+    in
+    let memdep =
+      match (pa, pb) with
+      | Piece.Mem m1, Piece.Mem m2 when Hazard.mem_dependent m1 m2 -> Some 1
+      | _ -> None
+    in
+    let candidates =
+      (if raw then [ (if is_load pa then 2 else 1) ] else [])
+      @ (if waw then [ 1 ] else [])
+      @ (if war then [ 0 ] else [])
+      @ (match special with Some l -> [ l ] | None -> [])
+      @ match memdep with Some l -> [ l ] | None -> []
+    in
+    match candidates with [] -> None | l -> Some (List.fold_left max 0 l)
+
+let build items =
+  let n = Array.length items in
+  let preds = Array.make n [] in
+  let succs = Array.make n [] in
+  for j = 0 to n - 1 do
+    for i = 0 to j - 1 do
+      match latency items.(i) items.(j) with
+      | None -> ()
+      | Some l ->
+          preds.(j) <- (i, l) :: preds.(j);
+          succs.(i) <- j :: succs.(i)
+    done
+  done;
+  (* critical-path priority, computed bottom-up (nodes are in program order,
+     so every successor has a larger index) *)
+  let priority = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    List.iter
+      (fun j ->
+        let lat =
+          match List.assoc_opt i preds.(j) with Some l -> l | None -> 1
+        in
+        priority.(i) <- max priority.(i) (priority.(j) + max lat 1))
+      succs.(i)
+  done;
+  { items; preds; succs; priority }

@@ -1,0 +1,31 @@
+(** The machine-level dependency DAG over a basic block's pieces.
+
+    "Read in a basic block and create a machine-level dag that represents
+    the dependencies between individual instruction pieces."  Edges carry
+    the pipeline latency the scheduler must respect:
+
+    - 2 for a true dependence through a loaded register (the load-delay
+      shadow: the consumer must sit at least two slots later);
+    - 1 for every other true or output dependence (ALU results are
+      bypassed, so the next slot is fine, but the same slot is not);
+    - 0 for anti-dependences (parallel-read word semantics allow the reader
+      and a later writer to share a slot — i.e. to be packed together).
+
+    Memory references that might alias, and accesses to the same special
+    register, get latency-1 edges.  [fixed] items are additionally chained
+    to {e every} other item so they can never move relative to anything. *)
+
+type t = {
+  items : Asm.item array;
+  preds : (int * int) list array;  (** per node: (predecessor index, latency) *)
+  succs : int list array;
+  priority : int array;
+      (** critical-path length to the block's end, used as the scheduling
+          heuristic's tie-breaker *)
+}
+
+val build : Asm.item array -> t
+
+val latency : Asm.item -> Asm.item -> int option
+(** [latency earlier later] for two pieces in program order: [None] when
+    they are fully independent, [Some l] otherwise.  Exposed for tests. *)

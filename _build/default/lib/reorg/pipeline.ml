@@ -1,0 +1,67 @@
+open Mips_isa
+
+type level = Naive | Reorganized | Packed | Delay_filled
+
+let all_levels = [ Naive; Reorganized; Packed; Delay_filled ]
+
+let level_name = function
+  | Naive -> "none (no-ops inserted)"
+  | Reorganized -> "reorganization"
+  | Packed -> "packing"
+  | Delay_filled -> "branch delay"
+
+let rank = function Naive -> 0 | Reorganized -> 1 | Packed -> 2 | Delay_filled -> 3
+
+let pack_terminator (sb : Sblock.t) =
+  (* A synthetic mid-block label at or past the end of the body (created by
+     the loop-duplication delay scheme) enters the block just before the
+     terminator; absorbing the terminator into the last body word would move
+     it before that entry point, so leave such blocks alone. *)
+  let body_len = List.length sb.Sblock.body in
+  let label_blocks_merge =
+    List.exists (fun (o, _) -> o >= body_len) sb.Sblock.mid_labels
+  in
+  match sb.Sblock.term with
+  | Some ((Branch.Cbr _ | Branch.Jump _ | Branch.Jal _) as br, note)
+    when not label_blocks_merge ->
+      let body, absorbed = Sched.try_pack_terminator sb.Sblock.body (br, note) in
+      if absorbed then { sb with Sblock.body; term = None } else sb
+  | Some _ | None -> sb
+
+let compile_with_stats ?(level = Delay_filled) (p : Asm.program) =
+  let blocks = Array.of_list (Block.partition p.Asm.lines) in
+  let sched (b : Block.t) =
+    match level with
+    | Naive -> Sched.naive b.Block.body
+    | Reorganized | Packed | Delay_filled ->
+        Sched.schedule ~pack:(rank level >= rank Packed) b.Block.body
+  in
+  let sblocks =
+    Array.map
+      (fun (b : Block.t) ->
+        let slots =
+          match b.Block.term with
+          | None -> []
+          | Some (br, _) -> List.init (Branch.delay br) (fun _ -> Sblock.nop)
+        in
+        {
+          Sblock.labels = b.Block.labels;
+          mid_labels = [];
+          body = sched b;
+          term = b.Block.term;
+          slots;
+        })
+      blocks
+  in
+  let sblocks, dstats =
+    if rank level >= rank Delay_filled then
+      let s, st = Delay.fill ~blocks sblocks in
+      (s, Some st)
+    else (sblocks, None)
+  in
+  let sblocks =
+    if rank level >= rank Packed then Array.map pack_terminator sblocks else sblocks
+  in
+  (Assemble.assemble p sblocks, dstats)
+
+let compile ?level p = fst (compile_with_stats ?level p)

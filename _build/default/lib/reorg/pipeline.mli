@@ -1,0 +1,26 @@
+(** The reorganizer driver, with the cumulative optimization levels of the
+    paper's Table 11.
+
+    "This reorganizer performs several major functions: it takes the
+    pipeline constraints into account and reorganizes the code to avoid
+    interlocks when possible, and otherwise inserts no-ops; it packs
+    instruction pieces into one 32-bit word; it assembles instructions." *)
+
+type level =
+  | Naive  (** Table 11 "None (no-ops inserted)": program order, one piece
+               per word, no-ops wherever the pipeline rules demand *)
+  | Reorganized  (** + basic-block scheduling to eliminate no-ops *)
+  | Packed  (** + packing two pieces into one instruction word *)
+  | Delay_filled  (** + the three branch-delay-slot schemes *)
+
+val all_levels : level list
+val level_name : level -> string
+
+val compile : ?level:level -> Asm.program -> Mips_machine.Program.t
+(** Run the postpass at the given level (default [Delay_filled]) and
+    assemble.  The result is hazard-free by construction at every level. *)
+
+val compile_with_stats :
+  ?level:level -> Asm.program -> Mips_machine.Program.t * Delay.stats option
+(** Like {!compile}; also returns delay-slot fill statistics when the level
+    includes the branch-delay pass. *)

@@ -1,0 +1,18 @@
+open Mips_isa
+
+type sword = { word : string Word.t; note : Note.t; fixed : bool }
+
+type t = {
+  labels : string list;
+  mid_labels : (int * string) list;
+  body : sword list;
+  term : (string Branch.t * Note.t) option;
+  slots : sword list;
+}
+
+let nop = { word = Word.Nop; note = Note.plain; fixed = false }
+let of_word ?(note = Note.plain) ?(fixed = false) word = { word; note; fixed }
+
+let static_words t =
+  List.length t.body + (match t.term with None -> 0 | Some _ -> 1)
+  + List.length t.slots

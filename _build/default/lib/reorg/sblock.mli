@@ -1,0 +1,28 @@
+(** Scheduled basic blocks: instruction {e words} (possibly packed), still
+    with symbolic branch targets, plus explicit delay-slot fill. *)
+
+open Mips_isa
+
+type sword = {
+  word : string Word.t;
+  note : Note.t;
+  fixed : bool;  (** from {!Asm.item.fixed}: not movable by later passes *)
+}
+
+type t = {
+  labels : string list;  (** entry labels *)
+  mid_labels : (int * string) list;
+      (** synthetic labels inside the body, as (offset, name) — created by
+          the loop-duplication branch-delay scheme *)
+  body : sword list;
+  term : (string Branch.t * Note.t) option;
+  slots : sword list;
+      (** the terminator's delay slots, exactly [Branch.delay] words when a
+          terminator is present *)
+}
+
+val nop : sword
+val of_word : ?note:Note.t -> ?fixed:bool -> string Word.t -> sword
+
+val static_words : t -> int
+(** Words this block contributes to the final image. *)

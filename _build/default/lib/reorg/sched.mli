@@ -1,0 +1,31 @@
+(** Basic-block instruction scheduling.
+
+    The paper's algorithm: "Given the set of instructions generated so far,
+    determine sets of instructions that can be generated next.  Eliminate any
+    sets that cannot be started immediately.  If there are no sets left, emit
+    a no-op ...  Otherwise, choose from among the sets remaining", where the
+    heuristic choice prefers "an instruction that fits in a hole in a nonfull
+    instruction" (that is what performs the packing) and otherwise the
+    longest critical path. *)
+
+open Mips_isa
+
+val naive : Asm.item list -> Sblock.sword list
+(** Table 11's "None" level: program order preserved, one piece per word,
+    a no-op inserted wherever the load-delay rule demands one. *)
+
+val schedule : pack:bool -> Asm.item list -> Sblock.sword list
+(** List-schedule the block body against the dependency DAG, emitting a
+    no-op only when nothing is ready.  With [pack], a second ready piece is
+    placed in the same word whenever {!Word.pack} and the dependences allow
+    it. *)
+
+val try_pack_terminator :
+  Sblock.sword list ->
+  string Branch.t * Note.t ->
+  (Sblock.sword list * bool)
+(** Attempt to merge the terminator into the last body word (an [AB] word).
+    Legal when the last word is a lone, unfixed ALU piece whose result the
+    branch does not read, the link register does not collide, and the
+    packed word does not fall into a preceding load's delay shadow.
+    Returns the new body and whether the terminator was absorbed. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Alu Branch Cond Encode Mem Mips_isa Operand Piece QCheck2 Reg Word Word32

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Bool_cost Bool_stats Byte_cost Constants Figures List Mips_analysis Mips_cc Refpatterns Snippets Table11

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Ast Compile Config Ir Irgen Layout Lexer List Mips_codegen Mips_corpus Mips_frontend Mips_ir Mips_machine Mips_reorg Parser Regalloc Semant String Tast Token Types

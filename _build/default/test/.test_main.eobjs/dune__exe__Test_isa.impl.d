@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Alu Branch Cond Encode Gen Hazard List Mem Mips_isa Operand Piece QCheck2 QCheck_alcotest Reg Word Word32

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Alu Array Branch Cause Cond Cpu Hosted List Mem Mips_isa Mips_machine Monitor Note Operand Pagemap Program QCheck2 QCheck_alcotest Reg Segmap Stats Surprise Word

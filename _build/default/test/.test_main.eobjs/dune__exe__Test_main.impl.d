@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_compiler Test_isa Test_machine Test_os Test_reorg

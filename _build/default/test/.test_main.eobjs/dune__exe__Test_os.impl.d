@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Alu Branch Cause Hosted Kernel List Mem Mips_codegen Mips_corpus Mips_ir Mips_isa Mips_machine Mips_os Mips_reorg Monitor Operand Piece Printf Reg String

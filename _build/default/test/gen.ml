@@ -1,0 +1,89 @@
+(* QCheck generators for ISA values, shared by the property tests. *)
+
+open Mips_isa
+module G = QCheck2.Gen
+
+let reg : Reg.t G.t = G.map Reg.of_int (G.int_range 0 15)
+let operand : Operand.t G.t =
+  G.oneof [ G.map Operand.reg reg; G.map Operand.imm4 (G.int_range 0 15) ]
+
+let cond : Cond.t G.t = G.oneofl Cond.all
+
+let binop : Alu.binop G.t =
+  G.oneofl
+    [ Alu.Add; Alu.Sub; Alu.Rsub; Alu.And; Alu.Or; Alu.Xor; Alu.Sll; Alu.Srl;
+      Alu.Sra; Alu.Mul; Alu.Div; Alu.Rem ]
+
+let special : Alu.special G.t =
+  G.oneofl
+    [ Alu.Surprise; Alu.Segment; Alu.Byte_select; Alu.Epc 0; Alu.Epc 1; Alu.Epc 2 ]
+
+let alu : Alu.t G.t =
+  G.oneof
+    [ G.map (fun (op, a, b, d) -> Alu.Binop (op, a, b, d))
+        (G.quad binop operand operand reg);
+      G.map (fun (a, d) -> Alu.Mov (a, d)) (G.pair operand reg);
+      G.map (fun (c, d) -> Alu.Movi8 (c, d)) (G.pair (G.int_range 0 255) reg);
+      G.map (fun (c, a, b, d) -> Alu.Setc (c, a, b, d))
+        (G.quad cond operand operand reg);
+      G.map (fun (p, v, d) -> Alu.Xbyte (p, v, d)) (G.triple operand operand reg);
+      G.map (fun (s, d) -> Alu.Ibyte (s, d)) (G.pair operand reg);
+      G.map (fun (s, d) -> Alu.Rd_special (s, d)) (G.pair special reg);
+      G.map (fun (s, a) -> Alu.Wr_special (s, a)) (G.pair special operand);
+      G.return Alu.Rfe ]
+
+let addr : Mem.addr G.t =
+  G.oneof
+    [ G.map (fun a -> Mem.Abs a) (G.int_range 0 0xFFFFFF);
+      G.map (fun (b, d) -> Mem.Disp (b, d)) (G.pair reg (G.int_range (-32768) 32767));
+      G.map (fun (b, i) -> Mem.Idx (b, i)) (G.pair reg reg);
+      G.map (fun (b, i, n) -> Mem.Shifted (b, i, n))
+        (G.triple reg reg (G.int_range 0 7));
+      G.map (fun (b, i, n) -> Mem.Scaled (b, i, n))
+        (G.triple reg reg (G.int_range 0 3)) ]
+
+let width : Mem.width G.t = G.oneofl [ Mem.W32; Mem.W8 ]
+
+let word32 : Word32.t G.t =
+  G.map Word32.norm (G.oneof [ G.int_range (-70000) 70000; G.int ])
+
+let mem : Mem.t G.t =
+  G.oneof
+    [ G.map (fun (w, a, d) -> Mem.Load (w, a, d)) (G.triple width addr reg);
+      G.map (fun (w, s, a) -> Mem.Store (w, s, a)) (G.triple width reg addr);
+      G.map (fun (c, d) -> Mem.Limm (c, d)) (G.pair word32 reg) ]
+
+let target : int G.t = G.int_range 0 Encode.code_address_max
+
+let branch : int Branch.t G.t =
+  G.oneof
+    [ G.map (fun (c, a, b, t) -> Branch.Cbr (c, a, b, t))
+        (G.quad cond operand operand target);
+      G.map (fun t -> Branch.Jump t) target;
+      G.map (fun (t, l) -> Branch.Jal (t, l)) (G.pair target reg);
+      G.map (fun r -> Branch.Jind r) reg;
+      G.map (fun (r, l) -> Branch.Jalind (r, l)) (G.pair reg reg);
+      G.map (fun c -> Branch.Trap c) (G.int_range 0 Branch.trap_code_max) ]
+
+let ( let* ) x f = G.bind x f
+let ( and* ) a b = G.pair a b
+
+(* Only structurally valid packings are generated (same side conditions as
+   Word.pack). *)
+let word : int Word.t G.t =
+  let am =
+    let* a, m = G.pair alu mem in
+    match Word.pack (Piece.Alu a) (Piece.Mem m) with
+    | Some w -> G.return w
+    | None -> G.return (Word.A a)
+  and ab =
+    let* a, b = G.pair alu branch in
+    match Word.pack (Piece.Alu a) (Piece.Branch b) with
+    | Some w -> G.return w
+    | None -> G.return (Word.B b)
+  in
+  G.oneof
+    [ G.return Word.Nop; G.map (fun a -> Word.A a) alu; G.map (fun m -> Word.M m) mem;
+      G.map (fun b -> Word.B b) branch; am; ab ]
+
+let _ = ( and* )

@@ -1,0 +1,201 @@
+(* Tests for the analysis layer: each experiment must reproduce the paper's
+   qualitative result (who wins, direction of effects, rough magnitudes). *)
+
+open Mips_analysis
+
+let check = Alcotest.(check bool)
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let test_constants () =
+  let d = Constants.of_corpus () in
+  check "buckets sum to total" true
+    (d.Constants.zero + d.Constants.one + d.Constants.two + d.Constants.three_to_15
+     + d.Constants.sixteen_to_255 + d.Constants.above_255
+    = d.Constants.total);
+  check "plenty of constants" true (d.Constants.total > 500);
+  let c4 = Constants.coverage_imm4 d and c8 = Constants.coverage_imm8 d in
+  check "imm4 covers most constants (paper ~70%)" true (c4 > 0.55 && c4 < 0.98);
+  check "imm8 catches all but a few percent (paper ~95%)" true (c8 > 0.9);
+  check "imm8 >= imm4" true (c8 >= c4);
+  check "small constants dominate" true
+    (d.Constants.zero + d.Constants.one + d.Constants.two > d.Constants.above_255)
+
+let test_constant_bucketing () =
+  let d = Constants.of_constants [ 0; 1; 2; 3; 15; 16; 255; 256; -7; -300 ] in
+  Alcotest.(check int) "zero" 1 d.Constants.zero;
+  Alcotest.(check int) "one" 1 d.Constants.one;
+  Alcotest.(check int) "two" 1 d.Constants.two;
+  Alcotest.(check int) "3-15 (incl. -7)" 3 d.Constants.three_to_15;
+  Alcotest.(check int) "16-255" 2 d.Constants.sixteen_to_255;
+  Alcotest.(check int) "above (incl. -300)" 2 d.Constants.above_255
+
+(* --- Table 3 ------------------------------------------------------------- *)
+
+let test_cc_savings () =
+  let s = Mips_cc.Ccstats.of_corpus Mips_cc.Cc.vax_style in
+  check "some compares" true (s.Mips_cc.Ccstats.compares > 50);
+  check "ops-saved <= ops+moves-saved" true
+    (s.Mips_cc.Ccstats.saved_by_ops <= s.Mips_cc.Ccstats.saved_by_ops_and_moves);
+  check "dead moves bounded" true
+    (s.Mips_cc.Ccstats.moves_only_for_cc <= s.Mips_cc.Ccstats.saved_by_ops_and_moves);
+  let pct =
+    float_of_int s.Mips_cc.Ccstats.genuinely_saved
+    /. float_of_int s.Mips_cc.Ccstats.compares
+  in
+  check "savings essentially useless (paper: ~2%)" true (pct < 0.10)
+
+(* --- Table 4 ------------------------------------------------------------- *)
+
+let test_bool_stats () =
+  let b = Bool_stats.of_corpus () in
+  check "expressions found" true (b.Bool_stats.expressions > 20);
+  let avg = Bool_stats.avg_operators b in
+  check "avg operators near paper's 1.66" true (avg > 1.0 && avg < 3.0);
+  check "jumps dominate (paper 80.9%)" true (Bool_stats.jump_fraction b > 0.5);
+  check "fractions sum to 1" true
+    (abs_float (Bool_stats.jump_fraction b +. Bool_stats.store_fraction b -. 1.0)
+    < 1e-9)
+
+(* --- Tables 5 and 6 -------------------------------------------------------- *)
+
+let test_table5_shapes () =
+  let t = Bool_cost.table5 () in
+  let find s = List.assoc s t in
+  let mips = (find Bool_cost.Mips_setcond).Bool_cost.static_classes in
+  check "MIPS: two compares, one reg op, no branches (paper 2/1/0)" true
+    (mips.Snippets.compares = 2 && mips.Snippets.regs = 1 && mips.Snippets.branches = 0);
+  let condset = (find Bool_cost.Cc_condset).Bool_cost.static_classes in
+  check "cond-set branch-free" true (condset.Snippets.branches = 0);
+  check "cond-set needs more register ops than MIPS" true
+    (condset.Snippets.regs > mips.Snippets.regs);
+  let full = (find Bool_cost.Cc_branch_full).Bool_cost.static_classes in
+  check "branch-only full evaluation branches" true (full.Snippets.branches >= 2);
+  let early_dyn = (find Bool_cost.Cc_branch_early).Bool_cost.dynamic_classes in
+  let full_dyn = (find Bool_cost.Cc_branch_full).Bool_cost.dynamic_classes in
+  check "early-out executes fewer compares than full" true
+    (early_dyn.Snippets.compares <= full_dyn.Snippets.compares)
+
+let test_table6_ordering () =
+  let stats = Bool_stats.of_corpus () in
+  let rows = Bool_cost.table6 ~stats () in
+  let cost s =
+    (List.find (fun (r : Bool_cost.cost_row) -> r.Bool_cost.support = s) rows)
+      .Bool_cost.total_cost
+  in
+  check "set-conditionally wins overall" true
+    (cost Bool_cost.Mips_setcond < cost Bool_cost.Cc_condset);
+  check "conditional set beats branch-only full" true
+    (cost Bool_cost.Cc_condset < cost Bool_cost.Cc_branch_full);
+  check "early-out beats full evaluation" true
+    (cost Bool_cost.Cc_branch_early < cost Bool_cost.Cc_branch_full);
+  let imp = Bool_cost.improvement rows Bool_cost.Mips_setcond Bool_cost.Cc_branch_full in
+  check "headline improvement near paper's 53.5%" true (imp > 30. && imp < 75.)
+
+(* --- Tables 7/8/10 ----------------------------------------------------------- *)
+
+let test_refpatterns_and_penalty () =
+  let wp = Refpatterns.word_allocated ~include_heavy:false () in
+  let bp = Refpatterns.byte_allocated ~include_heavy:false () in
+  let load_frac p =
+    float_of_int p.Refpatterns.loads /. float_of_int (Refpatterns.total p)
+  in
+  check "loads dominate stores (paper 71/29)" true
+    (load_frac wp > 0.55 && load_frac wp < 0.95);
+  let byte_frac p =
+    float_of_int (p.Refpatterns.byte_loads + p.Refpatterns.byte_stores)
+    /. float_of_int (Refpatterns.total p)
+  in
+  check "byte allocation increases byte references" true
+    (byte_frac bp >= byte_frac wp);
+  check "word refs dominate both (the paper's key observation)" true
+    (byte_frac wp < 0.5 && byte_frac bp < 0.5);
+  check "free cycles substantial (paper ~40%)" true
+    (wp.Refpatterns.free_cycle_fraction > 0.25
+    && wp.Refpatterns.free_cycle_fraction < 0.85);
+  let t = Byte_cost.table10 ~word_pattern:wp ~byte_pattern:bp in
+  check "byte addressing penalized on word-allocated mix (paper 9-11.8%)" true
+    (t.Byte_cost.penalty_word_alloc_pct > 0.
+    && t.Byte_cost.penalty_word_alloc_pct < 30.);
+  (* the paper's byte machine charged byte-pointer accesses 6 cycles where
+     ours pays 4 (it has true scaled/indexed byte addressing), so our
+     byte-allocated mix lands near break-even rather than 7.7-14.6%; see
+     EXPERIMENTS.md.  The direction claim that survives is: byte addressing
+     never helps the word-allocated mix and is at best marginal overall. *)
+  check "byte-allocated mix near break-even or penalized" true
+    (t.Byte_cost.penalty_byte_alloc_pct > -10.
+    && t.Byte_cost.penalty_byte_alloc_pct < 30.)
+
+(* --- Table 9 ------------------------------------------------------------------ *)
+
+let test_byte_op_costs () =
+  let t = Byte_cost.table9 () in
+  let c op = List.assoc op t in
+  check "word load equal on both machines" true
+    ((c Byte_cost.Load_word).Byte_cost.word_machine
+    = (c Byte_cost.Load_word).Byte_cost.byte_machine);
+  check "byte load cheaper natively" true
+    ((c Byte_cost.Load_byte).Byte_cost.byte_machine
+    < (c Byte_cost.Load_byte).Byte_cost.word_machine);
+  check "byte store dearest on the word machine (read-modify-write)" true
+    ((c Byte_cost.Store_byte).Byte_cost.word_machine
+    > (c Byte_cost.Load_byte).Byte_cost.word_machine);
+  check "overhead column larger" true
+    (List.for_all
+       (fun (_, (oc : Byte_cost.op_cost)) ->
+         oc.Byte_cost.byte_machine_overhead > oc.Byte_cost.byte_machine -. 1e-9)
+       t)
+
+(* --- Table 11 ------------------------------------------------------------------ *)
+
+let test_table11 () =
+  let rows = Table11.run () in
+  Alcotest.(check int) "three programs" 3 (List.length rows);
+  List.iter
+    (fun (r : Table11.row) ->
+      check
+        (r.Table11.program ^ ": improvement in the paper's band (20.6-35.1%)")
+        true
+        (r.Table11.improvement_pct > 5. && r.Table11.improvement_pct < 50.);
+      let counts = List.map snd r.Table11.counts in
+      check "monotone" true
+        (match counts with
+        | [ a; b; c; d ] -> a >= b && b >= c && c >= d
+        | _ -> false))
+    rows
+
+(* --- figures ---------------------------------------------------------------------- *)
+
+let test_figures () =
+  let f1 = Figures.figure1_full () in
+  let f1e = Figures.figure1_early_out () in
+  let f2 = Figures.figure2_cond_set () in
+  let f3 = Figures.figure3_mips () in
+  check "full eval executes two branches always (paper)" true
+    (f1.Figures.avg_branches = 2.0);
+  check "early-out executes fewer instructions" true
+    (f1e.Figures.avg_dynamic < f1.Figures.avg_dynamic);
+  check "conditional set is branch-free" true (f2.Figures.static_branches = 0);
+  check "MIPS set-conditionally is branch-free" true (f3.Figures.static_branches = 0);
+  check "MIPS shortest (paper: 3 vs 5 vs 6 vs 8)" true
+    (f3.Figures.static_instructions < f2.Figures.static_instructions
+    && f2.Figures.static_instructions < f1.Figures.static_instructions);
+  let f4 = Figures.figure4 () in
+  check "figure 4 reorganization shrinks the fragment" true
+    (f4.Figures.after_words < f4.Figures.before_words)
+
+let tc n f = Alcotest.test_case n `Quick f
+
+let suite =
+  [ ( "analysis:table1",
+      [ tc "corpus constants" test_constants; tc "bucketing" test_constant_bucketing ] );
+    ("analysis:table3", [ tc "cc savings" test_cc_savings ]);
+    ("analysis:table4", [ tc "boolean shapes" test_bool_stats ]);
+    ( "analysis:tables5-6",
+      [ tc "per-operator shapes" test_table5_shapes;
+        tc "cost ordering" test_table6_ordering ] );
+    ( "analysis:tables7-10",
+      [ tc "reference patterns and penalty" test_refpatterns_and_penalty;
+        tc "byte op costs" test_byte_op_costs ] );
+    ("analysis:table11", [ tc "postpass improvements" test_table11 ]);
+    ("analysis:figures", [ tc "figures 1-4" test_figures ]) ]

@@ -1,0 +1,204 @@
+(* Unit and property tests for the ISA library. *)
+
+open Mips_isa
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Word32 ------------------------------------------------------------ *)
+
+let test_norm_range () =
+  List.iter
+    (fun x ->
+      let w = Word32.norm x in
+      check "in range" true (w >= -0x80000000 && w < 0x80000000))
+    [ 0; 1; -1; max_int; min_int; 0x7FFFFFFF; 0x80000000; -0x80000001 ]
+
+let test_wraparound () =
+  check_int "max+1 wraps" (-0x80000000) (Word32.add 0x7FFFFFFF 1);
+  check_int "min-1 wraps" 0x7FFFFFFF (Word32.sub (-0x80000000) 1);
+  check "overflow detected" true (Word32.add_overflows 0x7FFFFFFF 1);
+  check "no overflow" false (Word32.add_overflows 5 7);
+  check "sub overflow" true (Word32.sub_overflows (-0x80000000) 1);
+  check "mul overflow" true (Word32.mul_overflows 0x10000 0x10000)
+
+let test_bytes () =
+  let w = Word32.norm 0x12345678 in
+  check_int "byte 0" 0x78 (Word32.get_byte w 0);
+  check_int "byte 3" 0x12 (Word32.get_byte w 3);
+  check_int "set byte" 0x12AB5678 (Word32.set_byte w 2 0xAB);
+  check_int "unsigned" 0xFFFFFFFF (Word32.to_unsigned (-1))
+
+let test_shifts () =
+  check_int "sll" 16 (Word32.shift_left 1 4);
+  check_int "srl of -1" 0x7FFFFFFF (Word32.shift_right_logical (-1) 1);
+  check_int "sra of -2" (-1) (Word32.shift_right_arith (-2) 1);
+  check_int "shift masks to 5 bits" 2 (Word32.shift_left 1 33)
+
+(* --- Cond -------------------------------------------------------------- *)
+
+let prop_negate_complements =
+  QCheck2.Test.make ~name:"cond: negate complements eval" ~count:500
+    QCheck2.Gen.(triple Gen.cond Gen.word32 Gen.word32)
+    (fun (c, a, b) -> Cond.eval c a b = not (Cond.eval (Cond.negate c) a b))
+
+let prop_negate_involutive =
+  QCheck2.Test.make ~name:"cond: negate involutive" ~count:100 Gen.cond (fun c ->
+      Cond.equal c (Cond.negate (Cond.negate c)))
+
+let prop_swap =
+  QCheck2.Test.make ~name:"cond: swap exchanges operands" ~count:500
+    QCheck2.Gen.(triple (oneofl Cond.[ Eq; Ne; Lt; Le; Gt; Ge; Ltu; Leu; Gtu; Geu ])
+                   Gen.word32 Gen.word32)
+    (fun (c, a, b) -> Cond.eval c a b = Cond.eval (Cond.swap c) b a)
+
+let prop_cond_code_roundtrip =
+  QCheck2.Test.make ~name:"cond: code roundtrip" ~count:100 Gen.cond (fun c ->
+      Cond.equal c (Cond.of_code (Cond.to_code c)))
+
+let test_sixteen_conds () = check_int "16 comparisons" 16 (List.length Cond.all)
+
+(* --- Operand / Reg ------------------------------------------------------ *)
+
+let test_imm4_bounds () =
+  check "15 ok" true (Operand.fits_imm4 15);
+  check "16 rejected" false (Operand.fits_imm4 16);
+  Alcotest.check_raises "imm4 16 raises" (Invalid_argument "Operand.imm4: constant out of range")
+    (fun () -> ignore (Operand.imm4 16));
+  Alcotest.check_raises "reg 16 raises" (Invalid_argument "Reg.of_int: register out of range")
+    (fun () -> ignore (Reg.of_int 16))
+
+let test_reg_conventions () =
+  check_int "sp is r15" 15 (Reg.to_int Reg.sp);
+  check_int "ten allocatable" 10 (List.length Reg.allocatable);
+  Alcotest.(check string) "sp name" "sp" (Reg.name Reg.sp);
+  Alcotest.(check string) "plain name" "r3" (Reg.name (Reg.r 3))
+
+(* --- Word packing ------------------------------------------------------- *)
+
+let ld r a = Piece.Mem (Mem.Load (Mem.W32, Mem.Disp (Reg.r a, 0), Reg.r r))
+let add d = Piece.Alu (Alu.Binop (Alu.Add, Operand.reg (Reg.r 1), Operand.imm4 1, Reg.r d))
+
+let test_pack_alu_mem () =
+  match Word.pack (add 2) (ld 3 4) with
+  | Some (Word.AM _) -> ()
+  | _ -> Alcotest.fail "expected AM packing"
+
+let test_pack_swapped_order () =
+  match Word.pack (ld 3 4) (add 2) with
+  | Some (Word.AM _) -> ()
+  | _ -> Alcotest.fail "pack should try both orders"
+
+let test_pack_same_dest_rejected () =
+  check "same dest" true (Word.pack (add 2) (ld 2 4) = None)
+
+let test_pack_whole_word_rejected () =
+  let limm = Piece.Mem (Mem.Limm (123456, Reg.r 5)) in
+  check "limm unpackable" true (Word.pack (add 2) limm = None);
+  let abs = Piece.Mem (Mem.Load (Mem.W32, Mem.Abs 100, Reg.r 5)) in
+  check "abs unpackable" true (Word.pack (add 2) abs = None)
+
+let test_pack_indirect_rejected () =
+  let jind = Piece.Branch (Branch.Jind (Reg.r 7)) in
+  check "jind unpackable" true (Word.pack (add 2) jind = None);
+  let cbr =
+    Piece.Branch (Branch.Cbr (Cond.Eq, Operand.reg (Reg.r 0), Operand.imm4 0, "L"))
+  in
+  (match Word.pack (add 2) cbr with
+  | Some (Word.AB _) -> ()
+  | _ -> Alcotest.fail "expected AB packing");
+  check "two alus unpackable" true (Word.pack (add 2) (add 3) = None)
+
+let test_word_reads_writes () =
+  match Word.pack (add 2) (ld 3 4) with
+  | Some w ->
+      check "reads r1,r4" true
+        (Reg.Set.equal (Word.reads w) (Reg.Set.of_list [ Reg.r 1; Reg.r 4 ]));
+      check "writes r2,r3" true
+        (Reg.Set.equal (Word.writes w) (Reg.Set.of_list [ Reg.r 2; Reg.r 3 ]));
+      check "load_writes r3" true
+        (Reg.Set.equal (Word.load_writes w) (Reg.Set.singleton (Reg.r 3)))
+  | None -> Alcotest.fail "pack failed"
+
+(* --- Hazard ------------------------------------------------------------- *)
+
+let test_load_use_hazard () =
+  let load = Word.M (Mem.Load (Mem.W32, Mem.Disp (Reg.r 4, 0), Reg.r 3)) in
+  let use = Word.A (Alu.Mov (Operand.reg (Reg.r 3), Reg.r 5)) in
+  let other = Word.A (Alu.Mov (Operand.reg (Reg.r 6), Reg.r 5)) in
+  check "conflict" true (Hazard.load_use_conflict ~earlier:load ~later:use);
+  check "no conflict" false (Hazard.load_use_conflict ~earlier:load ~later:other);
+  check_int "one hazard found" 1 (List.length (Hazard.sequence_hazards [| load; use |]));
+  check_int "gap removes hazard" 0
+    (List.length (Hazard.sequence_hazards [| load; other; use |]))
+
+let test_independent () =
+  let a = add 2 and b = Piece.Alu (Alu.Mov (Operand.imm4 3, Reg.r 5)) in
+  check "independent alus" true (Hazard.independent a b);
+  check "dep via write-read" false
+    (Hazard.independent a (Piece.Alu (Alu.Mov (Operand.reg (Reg.r 2), Reg.r 6))));
+  let st1 = Piece.Mem (Mem.Store (Mem.W32, Reg.r 1, Mem.Abs 10)) in
+  let st2 = Piece.Mem (Mem.Store (Mem.W32, Reg.r 2, Mem.Abs 11)) in
+  let st_unknown = Piece.Mem (Mem.Store (Mem.W32, Reg.r 2, Mem.Disp (Reg.r 3, 0))) in
+  let ld_abs = Piece.Mem (Mem.Load (Mem.W32, Mem.Abs 10, Reg.r 4)) in
+  check "distinct abs stores commute" true (Hazard.independent st1 st2);
+  check "aliasing store blocks" false (Hazard.independent st1 st_unknown);
+  check "load vs same-abs store" false (Hazard.independent st1 ld_abs);
+  check "branches never move" false
+    (Hazard.independent a (Piece.Branch (Branch.Jump "L")))
+
+let prop_independent_symmetric =
+  let piece =
+    QCheck2.Gen.oneof
+      [ QCheck2.Gen.map (fun a -> Piece.Alu a) Gen.alu;
+        QCheck2.Gen.map (fun m -> Piece.Mem m) Gen.mem;
+        QCheck2.Gen.return Piece.Nop ]
+  in
+  QCheck2.Test.make ~name:"hazard: independence symmetric" ~count:1000
+    QCheck2.Gen.(pair piece piece)
+    (fun (p, q) -> Hazard.independent p q = Hazard.independent q p)
+
+(* --- Encode ------------------------------------------------------------- *)
+
+let prop_encode_roundtrip =
+  QCheck2.Test.make ~name:"encode: decode inverts encode" ~count:2000 Gen.word
+    (fun w -> Word.equal ( = ) w (Encode.decode (Encode.encode w)))
+
+let test_unencodable () =
+  let bad = Word.B (Branch.Jump (Encode.code_address_max + 1)) in
+  check "code address too large" true
+    (try
+       ignore (Encode.encode bad);
+       false
+     with Encode.Unencodable _ -> true)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [ ( "isa:word32",
+      [ Alcotest.test_case "norm range" `Quick test_norm_range;
+        Alcotest.test_case "wraparound + overflow" `Quick test_wraparound;
+        Alcotest.test_case "byte access" `Quick test_bytes;
+        Alcotest.test_case "shifts" `Quick test_shifts ] );
+    ( "isa:cond",
+      Alcotest.test_case "sixteen comparisons" `Quick test_sixteen_conds
+      :: qsuite
+           [ prop_negate_complements; prop_negate_involutive; prop_swap;
+             prop_cond_code_roundtrip ] );
+    ( "isa:operand",
+      [ Alcotest.test_case "imm4 bounds" `Quick test_imm4_bounds;
+        Alcotest.test_case "reg conventions" `Quick test_reg_conventions ] );
+    ( "isa:word",
+      [ Alcotest.test_case "pack alu+mem" `Quick test_pack_alu_mem;
+        Alcotest.test_case "pack order-insensitive" `Quick test_pack_swapped_order;
+        Alcotest.test_case "same dest rejected" `Quick test_pack_same_dest_rejected;
+        Alcotest.test_case "whole-word mem rejected" `Quick test_pack_whole_word_rejected;
+        Alcotest.test_case "indirect branch rejected" `Quick test_pack_indirect_rejected;
+        Alcotest.test_case "reads/writes" `Quick test_word_reads_writes ] );
+    ( "isa:hazard",
+      [ Alcotest.test_case "load-use" `Quick test_load_use_hazard;
+        Alcotest.test_case "independence" `Quick test_independent ]
+      @ qsuite [ prop_independent_symmetric ] );
+    ( "isa:encode",
+      Alcotest.test_case "unencodable rejected" `Quick test_unencodable
+      :: qsuite [ prop_encode_roundtrip ] ) ]

@@ -1,0 +1,552 @@
+(* Tests for the architectural simulator: delayed loads and branches,
+   exceptions, paging, interlock mode, and the byte-addressed variant. *)
+
+open Mips_isa
+open Mips_machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rr i = Operand.reg (Reg.r i)
+let i4 = Operand.imm4
+let movi8 c d = Word.A (Alu.Movi8 (c, Reg.r d))
+let mov src d = Word.A (Alu.Mov (src, Reg.r d))
+let add a b d = Word.A (Alu.Binop (Alu.Add, a, b, Reg.r d))
+let ld a d = Word.M (Mem.Load (Mem.W32, a, Reg.r d))
+let st s a = Word.M (Mem.Store (Mem.W32, Reg.r s, a))
+let jmp t = Word.B (Branch.Jump t)
+let trap c = Word.B (Branch.Trap c)
+let halt = [ movi8 0 10; trap Monitor.exit_ ]
+
+let prog ?data words = Program.make ?data (Array.of_list words)
+
+let fresh ?config ?data words =
+  let cpu = Cpu.create ?config () in
+  Cpu.load_program cpu (prog ?data words);
+  cpu
+
+let run_halt ?config ?data words =
+  let cpu = fresh ?config ?data words in
+  let res = Hosted.run cpu in
+  check "halted cleanly" true (res.Hosted.halted && res.Hosted.fault = None);
+  cpu
+
+(* --- basic execution ---------------------------------------------------- *)
+
+let test_alu_basics () =
+  let cpu = run_halt ([ movi8 7 1; add (rr 1) (i4 5) 2; mov (rr 2) 3 ] @ halt) in
+  check_int "r1" 7 (Cpu.get_reg cpu (Reg.r 1));
+  check_int "r2" 12 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "r3" 12 (Cpu.get_reg cpu (Reg.r 3))
+
+let test_rsub_negative_constant () =
+  (* rsub #1, r1 -> r2 computes r1 - 1: the paper's reverse-operator trick. *)
+  let cpu =
+    run_halt ([ movi8 10 1; Word.A (Alu.Binop (Alu.Rsub, i4 1, rr 1, Reg.r 2)) ] @ halt)
+  in
+  check_int "r2 = r1 - 1" 9 (Cpu.get_reg cpu (Reg.r 2))
+
+let test_setc () =
+  let cpu =
+    run_halt
+      ([ movi8 5 1;
+         Word.A (Alu.Setc (Cond.Eq, rr 1, i4 5, Reg.r 2));
+         Word.A (Alu.Setc (Cond.Lt, rr 1, i4 3, Reg.r 3)) ]
+      @ halt)
+  in
+  check_int "eq true" 1 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "lt false" 0 (Cpu.get_reg cpu (Reg.r 3))
+
+let test_limm_immediate_commit () =
+  (* A long immediate is not a memory load: no load delay. *)
+  let cpu =
+    run_halt ([ Word.M (Mem.Limm (123456, Reg.r 1)); mov (rr 1) 2 ] @ halt)
+  in
+  check_int "limm visible immediately" 123456 (Cpu.get_reg cpu (Reg.r 2))
+
+(* --- load delay --------------------------------------------------------- *)
+
+let load_delay_words =
+  [ ld (Mem.Abs 5) 1;  (* r1 <- mem[5] = 42 *)
+    mov (rr 1) 2;  (* delay slot: reads the STALE r1 (0) *)
+    mov (rr 1) 3 ]  (* reads 42 *)
+  @ halt
+
+let test_load_delay_stale () =
+  let cpu = run_halt ~data:[ (5, 42) ] load_delay_words in
+  check_int "delay slot saw stale value" 0 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "next word saw loaded value" 42 (Cpu.get_reg cpu (Reg.r 3))
+
+let test_load_delay_interlocked () =
+  let cpu =
+    run_halt ~config:Cpu.interlocked_config ~data:[ (5, 42) ] load_delay_words
+  in
+  check_int "interlock hides the delay" 42 (Cpu.get_reg cpu (Reg.r 2));
+  check "stall charged" true ((Cpu.stats cpu).Stats.stall_cycles >= 1)
+
+let test_back_to_back_loads_same_reg () =
+  let cpu =
+    run_halt
+      ~data:[ (5, 11); (6, 22) ]
+      ([ ld (Mem.Abs 5) 1; ld (Mem.Abs 6) 1; mov (rr 1) 2; mov (rr 1) 3 ] @ halt)
+  in
+  check_int "first load visible after one slot" 11 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "second load visible after" 22 (Cpu.get_reg cpu (Reg.r 3))
+
+(* --- branch delay ------------------------------------------------------- *)
+
+let test_branch_delay_slot_executes () =
+  let cpu =
+    run_halt
+      [ movi8 1 1;
+        jmp 4;  (* to the halt sequence *)
+        movi8 2 2;  (* delay slot: executes *)
+        movi8 3 3;  (* skipped *)
+        movi8 0 10;
+        trap Monitor.exit_ ]
+  in
+  check_int "delay slot ran" 2 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "post-slot word skipped" 0 (Cpu.get_reg cpu (Reg.r 3))
+
+let test_branch_delay_interlocked () =
+  let cpu =
+    let words =
+      [ movi8 1 1; jmp 4; movi8 2 2; movi8 3 3; movi8 0 10; trap Monitor.exit_ ]
+    in
+    run_halt ~config:Cpu.interlocked_config words
+  in
+  check_int "delay slot squashed" 0 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "one stall" 1 (Cpu.stats cpu).Stats.stall_cycles
+
+let test_indirect_jump_two_slots () =
+  let cpu =
+    run_halt
+      [ movi8 6 1;
+        Word.B (Branch.Jind (Reg.r 1));
+        movi8 2 2;  (* slot 1: executes *)
+        movi8 3 3;  (* slot 2: executes *)
+        movi8 4 4;  (* skipped *)
+        movi8 5 5;  (* skipped *)
+        movi8 0 10;
+        trap Monitor.exit_ ]
+  in
+  check_int "slot1" 2 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "slot2" 3 (Cpu.get_reg cpu (Reg.r 3));
+  check_int "skipped a" 0 (Cpu.get_reg cpu (Reg.r 4));
+  check_int "skipped b" 0 (Cpu.get_reg cpu (Reg.r 5))
+
+let test_cbr_taken_and_not () =
+  let cpu =
+    run_halt
+      [ movi8 5 1;
+        Word.B (Branch.Cbr (Cond.Eq, rr 1, i4 5, 4));  (* taken *)
+        movi8 1 2;  (* delay slot *)
+        movi8 9 3;  (* skipped *)
+        Word.B (Branch.Cbr (Cond.Lt, rr 1, i4 2, 0));  (* not taken *)
+        movi8 7 4;  (* delay slot (executes either way) *)
+        movi8 0 10;
+        trap Monitor.exit_ ]
+  in
+  check_int "taken delay slot" 1 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "skipped" 0 (Cpu.get_reg cpu (Reg.r 3));
+  check_int "fallthrough" 7 (Cpu.get_reg cpu (Reg.r 4))
+
+let test_jal_link_value () =
+  let cpu =
+    run_halt
+      [ Word.B (Branch.Jal (3, Reg.link));  (* at 0: link = 2 *)
+        Word.Nop;  (* delay slot at 1 *)
+        jmp 5;  (* return lands at 2 *)
+        mov (Operand.reg Reg.link) 1;  (* callee at 3: r1 <- 2 *)
+        Word.B (Branch.Jind Reg.link);
+        Word.Nop;
+        Word.Nop;
+        movi8 0 10;
+        trap Monitor.exit_ ]
+  in
+  check_int "link register" 2 (Cpu.get_reg cpu (Reg.r 1))
+
+(* Return via jind lr: two slots execute after the jind, then control is at
+   the link address.  The jmp at 2 (with its own delay slot) reaches halt. *)
+
+(* --- packed-word semantics ---------------------------------------------- *)
+
+let test_packed_parallel_read () =
+  (* AM word: the ALU piece uses r1's OLD value while the load replaces it. *)
+  let w = Word.AM (Alu.Binop (Alu.Add, rr 1, i4 1, Reg.r 2), Mem.Load (Mem.W32, Mem.Disp (Reg.r 3, 5), Reg.r 1)) in
+  let cpu = run_halt ~data:[ (5, 99) ] ([ movi8 10 1; w; Word.Nop; mov (rr 1) 4 ] @ halt) in
+  check_int "alu saw old r1" 11 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "load landed" 99 (Cpu.get_reg cpu (Reg.r 4))
+
+let test_packed_ab_branch_compares_old () =
+  (* AB word: the compare reads r1's pre-word value even though the ALU piece
+     overwrites it. *)
+  let w =
+    Word.AB
+      ( Alu.Movi8 (0, Reg.r 1),
+        Branch.Cbr (Cond.Eq, rr 1, i4 5, 4) )
+  in
+  let cpu =
+    run_halt
+      [ movi8 5 1; w; Word.Nop; movi8 9 3; movi8 0 10; trap Monitor.exit_ ]
+  in
+  check_int "branch taken on old value; r3 skipped" 0 (Cpu.get_reg cpu (Reg.r 3));
+  check_int "alu write committed" 0 (Cpu.get_reg cpu (Reg.r 1))
+
+(* --- byte support ------------------------------------------------------- *)
+
+let test_xbyte_ibyte () =
+  let cpu =
+    run_halt
+      ~data:[ (8, 0x44332211) ]
+      ([ ld (Mem.Abs 8) 1;
+         Word.Nop;
+         mov (i4 2) 2;  (* byte pointer: lane 2 *)
+         Word.A (Alu.Xbyte (rr 2, rr 1, Reg.r 3));  (* r3 <- 0x33 *)
+         Word.A (Alu.Wr_special (Alu.Byte_select, i4 1));
+         movi8 0xAB 4;
+         Word.A (Alu.Ibyte (rr 4, Reg.r 1));  (* lane 1 of r1 <- 0xAB *)
+         st 1 (Mem.Abs 9) ]
+      @ halt)
+  in
+  check_int "extracted byte" 0x33 (Cpu.get_reg cpu (Reg.r 3));
+  check_int "inserted byte" 0x4433AB11 (Cpu.read_data cpu 9)
+
+let test_w8_illegal_on_word_machine () =
+  let cpu = fresh [ Word.M (Mem.Load (Mem.W8, Mem.Abs 0, Reg.r 1)) ] in
+  let res = Hosted.run cpu in
+  check "aborted" true (res.Hosted.fault <> None);
+  (match res.Hosted.fault with
+  | Some (Cause.Illegal, _) -> ()
+  | _ -> Alcotest.fail "expected Illegal");
+  check_int "counted" 1 (Stats.exception_count (Cpu.stats cpu) Cause.Illegal)
+
+let test_byte_machine_native_bytes () =
+  (* On the byte-addressed machine, addresses are byte addresses. *)
+  let cpu =
+    run_halt ~config:Cpu.byte_addressed_config
+      ~data:[ (2, 0x00C0FFEE) ]  (* word index 2 = byte address 8 *)
+      ([ Word.M (Mem.Load (Mem.W8, Mem.Abs 9, Reg.r 1));  (* byte 1: 0xFF *)
+         Word.Nop;
+         movi8 0x5A 2;
+         Word.M (Mem.Store (Mem.W8, Reg.r 2, Mem.Abs 10));
+         Word.M (Mem.Load (Mem.W32, Mem.Abs 8, Reg.r 3));
+         Word.Nop;
+         mov (rr 3) 4 ]
+      @ halt)
+  in
+  check_int "byte load" 0xFF (Cpu.get_reg cpu (Reg.r 1));
+  check_int "byte store merged" 0x005AFFEE (Cpu.get_reg cpu (Reg.r 4))
+
+let test_byte_machine_weighted_cycles () =
+  let cpu =
+    run_halt ~config:Cpu.byte_addressed_config
+      ([ Word.M (Mem.Load (Mem.W32, Mem.Abs 0, Reg.r 1)); Word.Nop ] @ halt)
+  in
+  let s = Cpu.stats cpu in
+  check "weighted > cycles" true (s.Stats.weighted_cycles > float_of_int s.Stats.cycles -. 0.001 +. 0.1)
+
+let test_misaligned_word_on_byte_machine () =
+  let cpu =
+    fresh ~config:Cpu.byte_addressed_config
+      [ Word.M (Mem.Load (Mem.W32, Mem.Abs 2, Reg.r 1)) ]
+  in
+  let res = Hosted.run cpu in
+  match res.Hosted.fault with
+  | Some (Cause.Illegal, _) -> ()
+  | _ -> Alcotest.fail "expected alignment fault"
+
+(* --- exceptions --------------------------------------------------------- *)
+
+let test_trap_resumes_after () =
+  let cpu =
+    run_halt
+      [ movi8 65 10;  (* 'A' *)
+        trap Monitor.putchar;
+        movi8 1 1;  (* must execute after resume *)
+        movi8 0 10;
+        trap Monitor.exit_ ]
+  in
+  check_int "resumed after trap" 1 (Cpu.get_reg cpu (Reg.r 1))
+
+let test_hosted_output () =
+  let words =
+    [ movi8 72 10; trap Monitor.putchar;  (* H *)
+      movi8 105 10; trap Monitor.putchar;  (* i *)
+      movi8 33 10; trap Monitor.putint;  (* 33 *)
+      movi8 7 10; trap Monitor.exit_ ]
+  in
+  let res = Hosted.run_program (prog words) in
+  Alcotest.(check string) "output" "Hi33" res.Hosted.output;
+  Alcotest.(check (option int)) "status" (Some 7) res.Hosted.exit_status
+
+let test_getchar () =
+  let words =
+    [ trap Monitor.getchar;
+      mov (Operand.reg Reg.result) 10;
+      trap Monitor.putchar;
+      trap Monitor.getchar;
+      mov (Operand.reg Reg.result) 1;  (* EOF -> 255 *)
+      movi8 0 10;
+      trap Monitor.exit_ ]
+  in
+  let res = Hosted.run_program ~input:"x" (prog words) in
+  Alcotest.(check string) "echo" "x" res.Hosted.output
+
+let test_overflow_trap_enabled () =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu
+    (prog
+       [ Word.M (Mem.Limm (0x7FFFFFFF, Reg.r 1));
+         add (rr 1) (i4 1) 2;
+         movi8 0 10;
+         trap Monitor.exit_ ]);
+  Cpu.set_surprise cpu { (Cpu.surprise cpu) with Surprise.ovf_enable = true };
+  let res = Hosted.run cpu in
+  (match res.Hosted.fault with
+  | Some (Cause.Overflow, _) -> ()
+  | _ -> Alcotest.fail "expected overflow abort");
+  check_int "r2 write inhibited" 0 (Cpu.get_reg cpu (Reg.r 2))
+
+let test_overflow_silent_when_disabled () =
+  let cpu =
+    run_halt
+      [ Word.M (Mem.Limm (0x7FFFFFFF, Reg.r 1));
+        add (rr 1) (i4 1) 2;
+        movi8 0 10;
+        trap Monitor.exit_ ]
+  in
+  check_int "wrapped" (-0x80000000) (Cpu.get_reg cpu (Reg.r 2))
+
+let test_privilege_fault () =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu
+    (prog [ Word.A (Alu.Wr_special (Alu.Surprise, i4 0)); Word.Nop ]);
+  (* drop to user mode, keep mapping off: memory refs fault too, but the
+     first fault must be the privileged instruction *)
+  Cpu.set_surprise cpu Surprise.user_initial;
+  (match Cpu.step cpu with
+  | Cpu.Dispatched Cause.Privilege -> ()
+  | _ -> Alcotest.fail "expected privilege dispatch");
+  check "back in kernel" true
+    (Surprise.equal_privilege (Cpu.surprise cpu).Surprise.priv Surprise.Kernel)
+
+let test_dispatch_saves_epcs_and_cause () =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu (prog [ Word.Nop; Word.Nop; trap 99; Word.Nop; Word.Nop ]);
+  ignore (Cpu.step cpu);
+  ignore (Cpu.step cpu);
+  (match Cpu.step cpu with
+  | Cpu.Dispatched Cause.Trap -> ()
+  | _ -> Alcotest.fail "expected trap dispatch");
+  check_int "cause detail" 99 (Cpu.surprise cpu).Surprise.cause_detail;
+  check_int "epc0 resumes after trap" 3 (Cpu.epc cpu 0);
+  check_int "pc is 0" 0 (Cpu.pc cpu);
+  check "kernel mode" true
+    (Surprise.equal_privilege (Cpu.surprise cpu).Surprise.priv Surprise.Kernel);
+  check "interrupts masked" true (not (Cpu.surprise cpu).Surprise.int_enable)
+
+let test_interrupt_line () =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu (prog ([ movi8 1 1; movi8 2 2 ] @ halt));
+  Cpu.set_surprise cpu { (Cpu.surprise cpu) with Surprise.int_enable = true };
+  ignore (Cpu.step cpu);
+  Cpu.set_interrupt cpu true;
+  (match Cpu.step cpu with
+  | Cpu.Dispatched Cause.Interrupt -> ()
+  | _ -> Alcotest.fail "expected interrupt dispatch");
+  check_int "epc0 = interrupted pc" 1 (Cpu.epc cpu 0);
+  (* the interrupted instruction did not execute *)
+  check_int "r2 untouched" 0 (Cpu.get_reg cpu (Reg.r 2));
+  (* return from exception and finish *)
+  Cpu.set_interrupt cpu false;
+  Cpu.set_surprise cpu (Surprise.pop (Cpu.surprise cpu));
+  Cpu.set_pc_chain cpu (Cpu.epc cpu 0, Cpu.epc cpu 1, Cpu.epc cpu 2);
+  let res = Hosted.run cpu in
+  check "finished" true res.Hosted.halted;
+  check_int "r2 executed on resume" 2 (Cpu.get_reg cpu (Reg.r 2))
+
+(* --- paging ------------------------------------------------------------- *)
+
+let map_identity cpu ~pages =
+  for vp = 0 to pages - 1 do
+    Pagemap.map (Cpu.pagemap cpu) Pagemap.Ispace ~vpage:vp ~frame:vp ~writable:false;
+    Pagemap.map (Cpu.pagemap cpu) Pagemap.Dspace ~vpage:vp ~frame:vp ~writable:true
+  done
+
+let test_page_fault_and_restart () =
+  let target = Pagemap.page_words + 7 in
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu
+    (prog
+       ([ Word.M (Mem.Limm (target, Reg.r 1));
+          Word.AM
+            ( Alu.Binop (Alu.Add, i4 1, i4 2, Reg.r 4),
+              Mem.Load (Mem.W32, Mem.Disp (Reg.r 1, 0), Reg.r 2) );
+          Word.Nop;
+          mov (rr 2) 3 ]
+       @ halt));
+  Cpu.write_data cpu target 77;
+  (* user-style setup: mapping on, but data page 1 missing *)
+  map_identity cpu ~pages:1;
+  Cpu.set_surprise cpu { Surprise.user_initial with Surprise.map_enable = true };
+  let faults = ref 0 in
+  let handler c cause =
+    match cause with
+    | Cause.Trap -> `Halt
+    | Cause.Page_fault ->
+        incr faults;
+        (* the faulting word's ALU piece must not have committed *)
+        check_int "alu write inhibited" 0 (Cpu.get_reg c (Reg.r 4));
+        (match Cpu.faulted_addr c with
+        | Some (Pagemap.Dspace, ga) ->
+            Pagemap.map (Cpu.pagemap c) Pagemap.Dspace
+              ~vpage:(ga / Pagemap.page_words)
+              ~frame:(ga / Pagemap.page_words)
+              ~writable:true
+        | _ -> Alcotest.fail "expected a data-space fault address");
+        `Resume
+    | _ -> Alcotest.fail "unexpected cause"
+  in
+  check "ran to halt" true (Cpu.run cpu handler);
+  check_int "one fault" 1 !faults;
+  check_int "loaded after restart" 77 (Cpu.get_reg cpu (Reg.r 3));
+  check_int "alu committed on restart" 3 (Cpu.get_reg cpu (Reg.r 4))
+
+let test_ispace_page_fault () =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu (prog (halt @ halt));
+  map_identity cpu ~pages:0;
+  Cpu.set_surprise cpu { Surprise.user_initial with Surprise.map_enable = true };
+  (match Cpu.step cpu with
+  | Cpu.Dispatched Cause.Page_fault -> ()
+  | _ -> Alcotest.fail "expected ifetch fault");
+  match Cpu.faulted_addr cpu with
+  | Some (Pagemap.Ispace, 0) -> ()
+  | _ -> Alcotest.fail "expected ispace address 0"
+
+(* --- segmentation ------------------------------------------------------- *)
+
+let test_segmap_two_halves () =
+  let seg = Segmap.make ~pid:3 ~mask_bits:8 in
+  let size = Segmap.segment_words seg in
+  check_int "segment words" (1 lsl 16) size;
+  check_int "low half maps to pid base" (3 * size) (Segmap.translate seg 0);
+  check_int "top of low half" ((3 * size) + (size / 2) - 1)
+    (Segmap.translate seg ((size / 2) - 1));
+  let top = (1 lsl 24) - 1 in
+  check_int "top half maps to segment end" ((3 * size) + size - 1)
+    (Segmap.translate seg top);
+  check "middle invalid" true (not (Segmap.valid seg (size / 2)));
+  check "just below top valid" true (Segmap.valid seg (top - (size / 2) + 1))
+
+let prop_segmap_disjoint_pids =
+  QCheck2.Test.make ~name:"segmap: distinct pids get disjoint global ranges"
+    ~count:500
+    QCheck2.Gen.(triple (int_range 0 255) (int_range 0 255) (int_range 0 ((1 lsl 16) - 1)))
+    (fun (pid1, pid2, addr) ->
+      let seg1 = Segmap.make ~pid:pid1 ~mask_bits:8 in
+      let seg2 = Segmap.make ~pid:pid2 ~mask_bits:8 in
+      let a = addr mod (Segmap.segment_words seg1 / 2) in
+      pid1 = pid2 || Segmap.translate seg1 a <> Segmap.translate seg2 a)
+
+let prop_surprise_roundtrip =
+  let open QCheck2.Gen in
+  let sr_gen =
+    let priv = map (fun b -> if b then Surprise.Kernel else Surprise.User) bool in
+    let cause = oneofl Cause.[ Reset; Interrupt; Overflow; Page_fault; Privilege; Trap; Illegal ] in
+    map
+      (fun ((p, pp', i, pi), (o, m, pm, c, d)) ->
+        {
+          Surprise.priv = p;
+          prev_priv = pp';
+          int_enable = i;
+          prev_int_enable = pi;
+          ovf_enable = o;
+          map_enable = m;
+          prev_map_enable = pm;
+          cause = c;
+          cause_detail = d;
+        })
+      (pair (quad priv priv bool bool) (tup5 bool bool bool cause (int_range 0 4095)))
+  in
+  QCheck2.Test.make ~name:"surprise: word roundtrip" ~count:500 sr_gen (fun sr ->
+      Surprise.equal sr (Surprise.of_word (Surprise.to_word sr)))
+
+let test_segmap_word_roundtrip () =
+  let seg = Segmap.make ~pid:5 ~mask_bits:4 in
+  check "roundtrip" true (Segmap.equal seg (Segmap.of_word (Segmap.to_word seg)))
+
+(* --- statistics --------------------------------------------------------- *)
+
+let test_free_cycles () =
+  let cpu =
+    run_halt ~data:[ (0, 1) ]
+      [ ld (Mem.Abs 0) 1; Word.Nop; Word.Nop; Word.Nop; movi8 0 10; trap Monitor.exit_ ]
+  in
+  let s = Cpu.stats cpu in
+  check_int "one busy slot" 1 s.Stats.mem_busy_cycles;
+  check "mostly free" true (Stats.free_cycle_fraction s > 0.5)
+
+let test_ref_pattern_counting () =
+  let note = Note.make ~char_data:true ~byte_sized:false () in
+  let cpu = Cpu.create () in
+  let p =
+    Program.make
+      ~notes:[| note; Note.plain; Note.plain; Note.plain |]
+      [| ld (Mem.Abs 0) 1; st 1 (Mem.Abs 1); movi8 0 10; trap Monitor.exit_ |]
+  in
+  Cpu.load_program cpu p;
+  let res = Hosted.run cpu in
+  check "ok" true res.Hosted.halted;
+  let s = Cpu.stats cpu in
+  check_int "char word load" 1 s.Stats.word_char_refs.Stats.loads;
+  check_int "plain word store" 1 s.Stats.word_refs.Stats.stores;
+  check_int "loads" 1 (Stats.total_loads s);
+  check_int "stores" 1 (Stats.total_stores s)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let tc n f = Alcotest.test_case n `Quick f
+
+let suite =
+  [ ( "machine:exec",
+      [ tc "alu basics" test_alu_basics;
+        tc "rsub negative constants" test_rsub_negative_constant;
+        tc "set conditionally" test_setc;
+        tc "limm commits immediately" test_limm_immediate_commit ] );
+    ( "machine:load-delay",
+      [ tc "stale value in delay slot" test_load_delay_stale;
+        tc "interlock mode hides delay" test_load_delay_interlocked;
+        tc "back-to-back loads" test_back_to_back_loads_same_reg ] );
+    ( "machine:branch-delay",
+      [ tc "delay slot executes" test_branch_delay_slot_executes;
+        tc "interlock squashes slot" test_branch_delay_interlocked;
+        tc "indirect jump: two slots" test_indirect_jump_two_slots;
+        tc "cbr taken / not taken" test_cbr_taken_and_not;
+        tc "jal link value" test_jal_link_value ] );
+    ( "machine:packing",
+      [ tc "AM parallel read" test_packed_parallel_read;
+        tc "AB compares pre-state" test_packed_ab_branch_compares_old ] );
+    ( "machine:bytes",
+      [ tc "xbyte/ibyte" test_xbyte_ibyte;
+        tc "W8 illegal on word machine" test_w8_illegal_on_word_machine;
+        tc "byte machine native bytes" test_byte_machine_native_bytes;
+        tc "byte machine overhead" test_byte_machine_weighted_cycles;
+        tc "alignment fault" test_misaligned_word_on_byte_machine ] );
+    ( "machine:exceptions",
+      [ tc "trap resumes after" test_trap_resumes_after;
+        tc "hosted output" test_hosted_output;
+        tc "getchar" test_getchar;
+        tc "overflow trap" test_overflow_trap_enabled;
+        tc "overflow silent when disabled" test_overflow_silent_when_disabled;
+        tc "privilege fault" test_privilege_fault;
+        tc "dispatch saves state" test_dispatch_saves_epcs_and_cause;
+        tc "interrupt line" test_interrupt_line ] );
+    ( "machine:paging",
+      [ tc "page fault and restart" test_page_fault_and_restart;
+        tc "ifetch fault" test_ispace_page_fault ] );
+    ( "machine:segmentation",
+      [ tc "two halves" test_segmap_two_halves;
+        tc "segmap word roundtrip" test_segmap_word_roundtrip ]
+      @ qsuite [ prop_segmap_disjoint_pids; prop_surprise_roundtrip ] );
+    ( "machine:stats",
+      [ tc "free cycles" test_free_cycles; tc "ref patterns" test_ref_pattern_counting ] ) ]
