@@ -4,10 +4,16 @@
    mipsc compile FILE        compile and print the final listing
    mipsc asm FILE            print the symbolic assembly (before the postpass)
    mipsc levels FILE         static counts at each postpass level (Table 11 view)
+   mipsc profile FILE        per-phase compile times and top stall-causing pairs
    mipsc corpus [NAME]       run corpus programs
    mipsc report              regenerate every table and figure of the paper
 
-   FILE may also name a corpus program (e.g. `mipsc run fib`). *)
+   FILE may also name a corpus program (e.g. `mipsc run fib`).
+
+   Observability: `run` takes --trace[=FILE] (events to stderr, a file, or
+   `-` for stdout) with --trace-format=text|jsonl, and --stats-json FILE to
+   dump the execution counters as JSON.  `report --json` emits the whole
+   evaluation machine-readably. *)
 
 open Cmdliner
 
@@ -52,8 +58,54 @@ let input_flag =
 
 let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
 
+(* observability flags *)
+let trace_flag =
+  Arg.(
+    value
+    & opt ~vopt:(Some "stderr") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Emit an execution event trace.  Without a value events go to \
+           standard error; with $(docv) they go to that file ($(b,-) for \
+           standard output).")
+
+let trace_format_flag =
+  Arg.(
+    value
+    & opt (enum [ ("text", Mips_obs.Sink.Text); ("jsonl", Mips_obs.Sink.Jsonl) ])
+        Mips_obs.Sink.Text
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:"Trace encoding: $(b,text) (one readable line per event) or \
+              $(b,jsonl) (one JSON object per line).")
+
+let stats_json_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:
+          "Write execution statistics as JSON to $(docv) ($(b,-) for \
+           standard output).")
+
+(* an out_channel destination plus the cleanup it needs *)
+let open_dest = function
+  | "-" -> (stdout, fun () -> flush stdout)
+  | "stderr" -> (stderr, fun () -> flush stderr)
+  | path -> (
+      match open_out path with
+      | oc -> (oc, fun () -> close_out oc)
+      | exception Sys_error msg ->
+          Printf.eprintf "mipsc: cannot open %s: %s\n" path msg;
+          exit 2)
+
+let write_json dest json =
+  let oc, close = open_dest dest in
+  output_string oc (Mips_obs.Json.to_string json);
+  output_char oc '\n';
+  close ()
+
 let run_cmd =
-  let run file byte early_out level input stats =
+  let run file byte early_out level input stats trace trace_format stats_json =
     let config = config_of ~byte ~early_out in
     let src = read_source file in
     let input =
@@ -63,16 +115,29 @@ let run_cmd =
         | exception Not_found -> ""
       else input
     in
+    let trace_sink, trace_close =
+      match trace with
+      | None -> (Mips_obs.Sink.null, fun () -> ())
+      | Some dest ->
+          let oc, close = open_dest dest in
+          (Mips_obs.Sink.to_channel trace_format oc, close)
+    in
     let res, cpu =
       Mips_codegen.Compile.run_with_machine ~config ~level:(level_of level)
-        ~fuel:500_000_000 ~input src
+        ~fuel:500_000_000 ~input ~trace:trace_sink src
     in
+    Mips_obs.Sink.flush trace_sink;
+    trace_close ();
     print_string res.Mips_machine.Hosted.output;
     (match res.Mips_machine.Hosted.fault with
     | Some (c, d) ->
-        Printf.eprintf "fault: %s (%d)\n" (Mips_machine.Cause.show c) d
+        Printf.eprintf "fault: %s (%d)\n" (Mips_machine.Cause.name c) d
     | None -> ());
     if stats then Format.eprintf "%a@." Mips_machine.Stats.pp (Mips_machine.Cpu.stats cpu);
+    (match stats_json with
+    | Some dest ->
+        write_json dest (Mips_machine.Stats.to_json (Mips_machine.Cpu.stats cpu))
+    | None -> ());
     if not res.Mips_machine.Hosted.halted then begin
       prerr_endline "mipsc: out of fuel";
       exit 3
@@ -80,7 +145,9 @@ let run_cmd =
     exit (Option.value ~default:0 res.Mips_machine.Hosted.exit_status)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program on the simulator.")
-    Term.(const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag $ stats_flag)
+    Term.(
+      const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag
+      $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag)
 
 let compile_cmd =
   let compile file byte early_out level =
@@ -120,6 +187,110 @@ let levels_cmd =
     (Cmd.info "levels" ~doc:"Static instruction counts at each postpass level.")
     Term.(const levels $ file_arg $ byte_flag)
 
+let profile_cmd =
+  let profile file byte early_out level input top json =
+    let config = config_of ~byte ~early_out in
+    let src = read_source file in
+    let input =
+      if input = "" then
+        match Mips_corpus.Corpus.find file with
+        | e -> e.Mips_corpus.Corpus.input
+        | exception Not_found -> ""
+      else input
+    in
+    let obs = Mips_obs.Metrics.create () in
+    let _program =
+      Mips_codegen.Compile.compile_profiled ~config ~level:(level_of level) ~obs
+        src
+    in
+    (* execute raw program-order code on the hardware-interlock comparison
+       machine: there the stalls are real, so every load-use pair the
+       compiler emitted back-to-back shows up with a cycle count attached —
+       the hazards the reorganizer's scheduling is in business to remove *)
+    let raw =
+      Mips_reorg.Pipeline.compile_raw (Mips_codegen.Compile.to_asm ~config src)
+    in
+    let machine_config =
+      { (Mips_codegen.Compile.machine_config config) with
+        Mips_machine.Cpu.interlock = true }
+    in
+    let cpu = Mips_machine.Cpu.create ~config:machine_config () in
+    let res = Mips_machine.Hosted.run_program_on ~fuel:500_000_000 ~input cpu raw in
+    let stats = Mips_machine.Cpu.stats cpu in
+    let pairs = Mips_machine.Stats.stall_pairs stats in
+    let top_pairs =
+      List.filteri (fun i _ -> i < top) pairs
+      |> List.map (fun ((producer_pc, consumer_pc), stalls) ->
+             let word_at pc =
+               Format.asprintf "%a" Mips_isa.Word.pp_abs
+                 (Mips_machine.Cpu.read_code cpu pc)
+             in
+             (producer_pc, word_at producer_pc, consumer_pc, word_at consumer_pc, stalls))
+    in
+    if json then
+      print_endline
+        (Mips_obs.Json.to_string
+           (Mips_obs.Json.Obj
+              [ ("program", Mips_obs.Json.Str file);
+                ("compile", Mips_obs.Metrics.to_json obs);
+                ("execution", Mips_machine.Stats.to_json stats);
+                ( "top_stall_pairs",
+                  Mips_obs.Json.List
+                    (List.map
+                       (fun (ppc, pw, cpc, cw, stalls) ->
+                         Mips_obs.Json.Obj
+                           [ ("producer_pc", Mips_obs.Json.Int ppc);
+                             ("producer", Mips_obs.Json.Str pw);
+                             ("consumer_pc", Mips_obs.Json.Int cpc);
+                             ("consumer", Mips_obs.Json.Str cw);
+                             ("stalls", Mips_obs.Json.Int stalls) ])
+                       top_pairs) ) ]))
+    else begin
+      Format.printf "=== compile phases (%s) ===@." file;
+      List.iter
+        (fun (name, seconds, calls) ->
+          Format.printf "%-32s %9.3f ms  (%d call%s)@." name (1000. *. seconds)
+            calls
+            (if calls = 1 then "" else "s"))
+        (Mips_obs.Metrics.timers obs);
+      Format.printf "@.=== reorganizer counters ===@.";
+      List.iter
+        (fun (name, v) -> Format.printf "%-32s %8d@." name v)
+        (Mips_obs.Metrics.counters obs);
+      Format.printf
+        "@.=== raw code on the interlocked machine (%d cycles, %d stalls) ===@."
+        stats.Mips_machine.Stats.cycles stats.Mips_machine.Stats.stall_cycles;
+      Format.printf "load-use stalls %d, branch-latency stalls %d@."
+        stats.Mips_machine.Stats.load_use_stall_cycles
+        stats.Mips_machine.Stats.branch_stall_cycles;
+      if pairs = [] then
+        Format.printf "no load-use stall pairs: every load already sits apart \
+                       from its consumer@."
+      else begin
+        Format.printf "@.top stall-causing instruction pairs:@.";
+        List.iter
+          (fun (ppc, pw, cpc, cw, stalls) ->
+            Format.printf "%6d stalls  %6d: %-34s -> %6d: %s@." stalls ppc pw
+              cpc cw)
+          top_pairs
+      end;
+      if not res.Mips_machine.Hosted.halted then
+        Format.printf "(program ran out of fuel)@."
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Per-phase compile times, reorganizer pass statistics, and the top \
+          stall-causing instruction pairs on the hardware-interlock machine.")
+    Term.(
+      const profile $ file_arg $ byte_flag $ early_flag $ level_flag
+      $ input_flag
+      $ Arg.(
+          value & opt int 10
+          & info [ "top" ] ~docv:"N" ~doc:"How many stall pairs to show.")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON."))
+
 let corpus_cmd =
   let corpus name =
     let entries =
@@ -144,9 +315,13 @@ let corpus_cmd =
       $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Corpus program (all when omitted)."))
 
 let report_cmd =
-  let report with_benchmarks =
-    Mips_analysis.Report.print_all ~include_heavy:with_benchmarks
-      Format.std_formatter
+  let report with_benchmarks json =
+    if json then
+      Format.printf "%a@." Mips_obs.Json.pp
+        (Mips_analysis.Report.json_all ~include_heavy:with_benchmarks ())
+    else
+      Mips_analysis.Report.print_all ~include_heavy:with_benchmarks
+        Format.std_formatter
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Regenerate every table and figure of the paper's evaluation.")
@@ -156,11 +331,18 @@ let report_cmd =
           value & flag
           & info [ "with-benchmarks" ]
               ~doc:
-                "Include the Table 11 benchmark trio in the dynamic                  reference-pattern corpus."))
+                "Include the Table 11 benchmark trio in the dynamic                  reference-pattern corpus.")
+      $ Arg.(
+          value & flag
+          & info [ "json" ]
+              ~doc:
+                "Emit every table as one JSON object (machine-readable twin \
+                 of the text report)."))
 
 let () =
   let doc = "compiler, reorganizer and simulator for the MIPS tradeoffs reproduction" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "mipsc" ~version:"1.0.0" ~doc)
-          [ run_cmd; compile_cmd; asm_cmd; levels_cmd; corpus_cmd; report_cmd ]))
+          [ run_cmd; compile_cmd; asm_cmd; levels_cmd; profile_cmd; corpus_cmd;
+            report_cmd ]))

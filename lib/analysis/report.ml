@@ -267,6 +267,217 @@ let context_switches ppf =
         "(paper: \"the on-chip segmentation means that most context switches do \
          not require changes to the memory map\")")
 
+(* --- machine-readable report ------------------------------------------------ *)
+
+module J = Mips_obs.Json
+
+let json_table1 () =
+  let d = Constants.of_corpus () in
+  J.Obj
+    [ ( "rows",
+        J.List
+          (List.map
+             (fun (label, n, p) ->
+               J.Obj
+                 [ ("magnitude", J.Str label);
+                   ("count", J.Int n);
+                   ("percent", J.Float p) ])
+             (Constants.rows d)) );
+      ("total_constants", J.Int d.Constants.total);
+      ("coverage_imm4", J.Float (Constants.coverage_imm4 d));
+      ("coverage_imm8", J.Float (Constants.coverage_imm8 d)) ]
+
+let json_table2 () =
+  J.List
+    (List.map
+       (fun m ->
+         let name, cc, access = Mips_cc.Taxonomy.row m in
+         J.Obj
+           [ ("machine", J.Str name);
+             ("condition_code", J.Str cc);
+             ("access", J.Str access) ])
+       Mips_cc.Taxonomy.machines)
+
+let json_table3 () =
+  let s = Mips_cc.Ccstats.of_corpus Mips_cc.Cc.vax_style in
+  J.Obj
+    [ ("compares", J.Int s.Mips_cc.Ccstats.compares);
+      ("saved_by_ops", J.Int s.Mips_cc.Ccstats.saved_by_ops);
+      ("saved_by_ops_and_moves", J.Int s.Mips_cc.Ccstats.saved_by_ops_and_moves);
+      ("moves_only_for_cc", J.Int s.Mips_cc.Ccstats.moves_only_for_cc);
+      ("genuinely_saved", J.Int s.Mips_cc.Ccstats.genuinely_saved) ]
+
+let json_table4 () =
+  let b = Bool_stats.of_corpus () in
+  J.Obj
+    [ ("expressions", J.Int b.Bool_stats.expressions);
+      ("avg_operators", J.Float (Bool_stats.avg_operators b));
+      ("jump_fraction", J.Float (Bool_stats.jump_fraction b));
+      ("store_fraction", J.Float (Bool_stats.store_fraction b));
+      ("complex", J.Int b.Bool_stats.complex) ]
+
+let json_classes (c : Snippets.classes) =
+  J.Obj
+    [ ("compares", J.Int c.Snippets.compares);
+      ("regs", J.Int c.Snippets.regs);
+      ("branches", J.Int c.Snippets.branches) ]
+
+let json_table5 () =
+  J.List
+    (List.map
+       (fun (s, (p : Bool_cost.per_operator)) ->
+         J.Obj
+           [ ("support", J.Str (Bool_cost.support_name s));
+             ("static", json_classes p.Bool_cost.static_classes);
+             ("dynamic", json_classes p.Bool_cost.dynamic_classes) ])
+       (Bool_cost.table5 ()))
+
+let json_table6 () =
+  let stats = Bool_stats.of_corpus () in
+  let rows = Bool_cost.table6 ~stats () in
+  J.Obj
+    [ ( "rows",
+        J.List
+          (List.map
+             (fun (r : Bool_cost.cost_row) ->
+               J.Obj
+                 [ ("support", J.Str (Bool_cost.support_name r.Bool_cost.support));
+                   ("store_cost", J.Float r.Bool_cost.store_cost);
+                   ("jump_cost", J.Float r.Bool_cost.jump_cost);
+                   ("total_cost", J.Float r.Bool_cost.total_cost) ])
+             rows) );
+      ( "improvement_condset_over_cc_branch_pct",
+        J.Float (Bool_cost.improvement rows Bool_cost.Cc_condset Bool_cost.Cc_branch_full) );
+      ( "improvement_setcond_over_cc_branch_pct",
+        J.Float (Bool_cost.improvement rows Bool_cost.Mips_setcond Bool_cost.Cc_branch_full) );
+      ( "improvement_setcond_over_early_out_pct",
+        J.Float (Bool_cost.improvement rows Bool_cost.Mips_setcond Bool_cost.Cc_branch_early) ) ]
+
+let json_pattern (p : Refpatterns.pattern) =
+  let pct = Refpatterns.pct p in
+  J.Obj
+    [ ("loads", J.Int p.Refpatterns.loads);
+      ("stores", J.Int p.Refpatterns.stores);
+      ("byte_loads", J.Int p.Refpatterns.byte_loads);
+      ("byte_stores", J.Int p.Refpatterns.byte_stores);
+      ("word_loads", J.Int p.Refpatterns.word_loads);
+      ("word_stores", J.Int p.Refpatterns.word_stores);
+      ("char_loads", J.Int p.Refpatterns.char_loads);
+      ("char_stores", J.Int p.Refpatterns.char_stores);
+      ("char_byte_loads", J.Int p.Refpatterns.char_byte_loads);
+      ("char_byte_stores", J.Int p.Refpatterns.char_byte_stores);
+      ("load_pct", J.Float (pct p.Refpatterns.loads));
+      ("store_pct", J.Float (pct p.Refpatterns.stores));
+      ("byte_load_pct", J.Float (pct p.Refpatterns.byte_loads));
+      ("byte_store_pct", J.Float (pct p.Refpatterns.byte_stores));
+      ("word_load_pct", J.Float (pct p.Refpatterns.word_loads));
+      ("word_store_pct", J.Float (pct p.Refpatterns.word_stores));
+      ("free_cycle_fraction", J.Float p.Refpatterns.free_cycle_fraction);
+      ("cycles", J.Int p.Refpatterns.cycles) ]
+
+let json_table9 () =
+  J.List
+    (List.map
+       (fun (op, (c : Byte_cost.op_cost)) ->
+         J.Obj
+           [ ("operation", J.Str (Byte_cost.op_name op));
+             ("byte_machine", J.Float c.Byte_cost.byte_machine);
+             ("byte_machine_overhead", J.Float c.Byte_cost.byte_machine_overhead);
+             ("word_machine", J.Float c.Byte_cost.word_machine) ])
+       (Byte_cost.table9 ()))
+
+let json_machine_cost (m : Byte_cost.machine_cost) =
+  J.Obj
+    [ ("byte_loads", J.Float m.Byte_cost.m_byte_loads);
+      ("byte_stores", J.Float m.Byte_cost.m_byte_stores);
+      ("word_loads", J.Float m.Byte_cost.m_word_loads);
+      ("word_stores", J.Float m.Byte_cost.m_word_stores);
+      ("total", J.Float m.Byte_cost.m_total) ]
+
+let json_table10 ~word_pattern ~byte_pattern =
+  let t = Byte_cost.table10 ~word_pattern ~byte_pattern in
+  J.Obj
+    [ ("word_alloc_on_mips", json_machine_cost t.Byte_cost.word_alloc_on_mips);
+      ("byte_alloc_on_mips", json_machine_cost t.Byte_cost.byte_alloc_on_mips);
+      ( "word_alloc_on_byte_machine",
+        json_machine_cost t.Byte_cost.word_alloc_on_byte_machine );
+      ( "byte_alloc_on_byte_machine",
+        json_machine_cost t.Byte_cost.byte_alloc_on_byte_machine );
+      ("penalty_word_alloc_pct", J.Float t.Byte_cost.penalty_word_alloc_pct);
+      ("penalty_byte_alloc_pct", J.Float t.Byte_cost.penalty_byte_alloc_pct) ]
+
+let json_table11 () =
+  J.List
+    (List.map
+       (fun (r : Table11.row) ->
+         J.Obj
+           [ ("program", J.Str r.Table11.program);
+             ( "static_words",
+               J.Obj
+                 (List.map
+                    (fun (level, n) ->
+                      (Mips_reorg.Pipeline.level_name level, J.Int n))
+                    r.Table11.counts) );
+             ("improvement_pct", J.Float r.Table11.improvement_pct) ])
+       (Table11.run ()))
+
+let json_bool_fig (f : Figures.bool_fig) =
+  J.Obj
+    [ ("title", J.Str f.Figures.title);
+      ("static_instructions", J.Int f.Figures.static_instructions);
+      ("static_branches", J.Int f.Figures.static_branches);
+      ("avg_dynamic", J.Float f.Figures.avg_dynamic);
+      ("avg_branches", J.Float f.Figures.avg_branches) ]
+
+let json_figures () =
+  let f4 = Figures.figure4 () in
+  J.Obj
+    [ ("figure1_full", json_bool_fig (Figures.figure1_full ()));
+      ("figure1_early_out", json_bool_fig (Figures.figure1_early_out ()));
+      ("figure2_cond_set", json_bool_fig (Figures.figure2_cond_set ()));
+      ("figure3_mips", json_bool_fig (Figures.figure3_mips ()));
+      ( "figure4",
+        J.Obj
+          [ ("before_words", J.Int f4.Figures.before_words);
+            ("after_words", J.Int f4.Figures.after_words) ] ) ]
+
+let json_context_switches () =
+  let os_config =
+    { Mips_ir.Config.default with
+      Mips_ir.Config.stack_top = Mips_os.Kernel.user_stack_top }
+  in
+  let k = Mips_os.Kernel.create ~quantum:400 () in
+  List.iter
+    (fun name ->
+      let e = Mips_corpus.Corpus.find name in
+      Mips_os.Kernel.spawn k ~input:e.Mips_corpus.Corpus.input ~name
+        (Mips_codegen.Compile.compile ~config:os_config
+           e.Mips_corpus.Corpus.source))
+    [ "fib"; "sieve"; "strops" ];
+  Mips_os.Kernel.report_json (Mips_os.Kernel.run k)
+
+let json_all ?include_heavy () =
+  let word_pattern = Refpatterns.word_allocated ?include_heavy () in
+  let byte_pattern = Refpatterns.byte_allocated ?include_heavy () in
+  J.Obj
+    [ ("table1_constants", json_table1 ());
+      ("table2_cc_taxonomy", json_table2 ());
+      ("table3_cc_savings", json_table3 ());
+      ("table4_bool_shapes", json_table4 ());
+      ("table5_bool_operators", json_table5 ());
+      ("table6_bool_costs", json_table6 ());
+      ("table7_word_refpatterns", json_pattern word_pattern);
+      ("table8_byte_refpatterns", json_pattern byte_pattern);
+      ("table9_byte_op_costs", json_table9 ());
+      ("table10_addressing_penalty", json_table10 ~word_pattern ~byte_pattern);
+      ("table11_postpass_levels", json_table11 ());
+      ("figures", json_figures ());
+      ( "free_cycles",
+        J.Obj
+          [ ( "free_cycle_fraction",
+              J.Float word_pattern.Refpatterns.free_cycle_fraction ) ] );
+      ("context_switches", json_context_switches ()) ]
+
 let print_all ?include_heavy ppf =
   table1 ppf;
   table2 ppf;

@@ -30,3 +30,10 @@ val context_switches : Format.formatter -> unit
     measured on a small multi-programmed OS run. *)
 
 val print_all : ?include_heavy:bool -> Format.formatter -> unit
+
+val json_all : ?include_heavy:bool -> unit -> Mips_obs.Json.t
+(** The whole evaluation as one JSON object, keyed
+    ["table1_constants"] ... ["table11_postpass_levels"], ["figures"],
+    ["free_cycles"], ["context_switches"] — the machine-readable twin of
+    {!print_all} that [mipsc report --json] emits so CI and the bench
+    harness can diff reproduction numbers against the paper's tables. *)

@@ -21,6 +21,17 @@ val compile :
 (** Compile and assemble at the given postpass level (default: all
     optimizations). *)
 
+val compile_profiled :
+  ?config:Config.t ->
+  ?level:Mips_reorg.Pipeline.level ->
+  obs:Mips_obs.Metrics.t ->
+  string ->
+  Mips_machine.Program.t
+(** Like {!compile}, charging per-phase wall time and pass statistics to
+    the registry: ["compile.frontend"] (lex/parse/check),
+    ["compile.codegen"] (lowering, register allocation, emission) and the
+    reorganizer's ["reorg.*"] entries — what [mipsc profile] reports. *)
+
 val run :
   ?config:Config.t ->
   ?level:Mips_reorg.Pipeline.level ->
@@ -36,9 +47,11 @@ val run_with_machine :
   ?level:Mips_reorg.Pipeline.level ->
   ?fuel:int ->
   ?input:string ->
+  ?trace:Mips_obs.Sink.t ->
   string ->
   Mips_machine.Hosted.result * Mips_machine.Cpu.t
-(** Like {!run}, also returning the machine for statistics inspection. *)
+(** Like {!run}, also returning the machine for statistics inspection.
+    [trace] attaches an event sink to the machine before execution. *)
 
 val machine_config : Config.t -> Mips_machine.Cpu.config
 (** The simulator configuration matching a code-generation configuration. *)

@@ -20,4 +20,13 @@ let of_code = function
   | 6 -> Illegal
   | n -> invalid_arg ("Cause.of_code: " ^ string_of_int n)
 
-let pp ppf t = Format.pp_print_string ppf (show t)
+let name = function
+  | Reset -> "Reset"
+  | Interrupt -> "Interrupt"
+  | Overflow -> "Overflow"
+  | Page_fault -> "Page_fault"
+  | Privilege -> "Privilege"
+  | Trap -> "Trap"
+  | Illegal -> "Illegal"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

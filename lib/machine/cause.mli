@@ -24,4 +24,8 @@ val to_code : t -> int
 val of_code : int -> t
 (** @raise Invalid_argument outside the encoded range. *)
 
+val name : t -> string
+(** Bare constructor name (["Trap"], ["Page_fault"], ...) — the stable
+    rendering events and JSON carry. *)
+
 val pp : Format.formatter -> t -> unit

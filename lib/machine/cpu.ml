@@ -41,6 +41,13 @@ type t = {
   mutable interrupt_line : bool;
   mutable fault : fault_kind option;
   stats : Stats.t;
+  mutable trace : Mips_obs.Sink.t;
+  mutable trace_on : bool;  (* = trace.enabled, flattened for the hot path *)
+  (* previous executed word, for load-use stall attribution by pair *)
+  mutable prev_pc : int;
+  mutable prev_word : int Word.t;
+  (* taken-branch shadow countdown; maintained only while tracing *)
+  mutable delay_pending : int;
 }
 
 and fault_kind =
@@ -69,10 +76,20 @@ let create ?(config = default_config) () =
     interrupt_line = false;
     fault = None;
     stats = Stats.create ();
+    trace = Mips_obs.Sink.null;
+    trace_on = false;
+    prev_pc = -1;
+    prev_word = Word.Nop;
+    delay_pending = 0;
   }
 
 let config t = t.cfg
 let stats t = t.stats
+let trace t = t.trace
+let set_trace t sink =
+  t.trace <- sink;
+  t.trace_on <- sink.Mips_obs.Sink.enabled
+let render_word w = Format.asprintf "%a" Word.pp_abs w
 let get_reg t r = t.regs.(Reg.to_int r)
 let set_reg t r v = t.regs.(Reg.to_int r) <- Word32.norm v
 let surprise t = t.sr
@@ -177,7 +194,8 @@ let resolve t ~write ~width addr =
   end
 
 type mem_effect =
-  | Load_result of int * int  (* register, value: lands one word late *)
+  | Load_result of int * int * int * bool
+      (* register, value, phys word, byte-sized: lands one word late *)
   | Store_commit of int * int option * int  (* phys word, lane, value *)
   | Imm_result of int * int  (* register, value: immediate commit *)
 
@@ -193,7 +211,7 @@ let compute_mem t note m =
         | Some i -> Word32.get_byte t.dmem.(phys) i
       in
       ignore note;
-      Load_result (Reg.to_int d, v)
+      Load_result (Reg.to_int d, v, phys, lane <> None)
   | Mem.Store (width, s, a) ->
       let addr = effective_addr t a in
       let phys, lane = resolve t ~write:true ~width addr in
@@ -297,6 +315,12 @@ let dispatch t cause detail ~epcs:(e0, e1, e2) =
   set_pc_chain t (0, 1, 2);
   t.last_load_writes <- Reg.Set.empty;
   Stats.count_exception t.stats cause;
+  if t.trace_on then begin
+    t.delay_pending <- 0;
+    Mips_obs.Sink.emit t.trace
+      (Mips_obs.Event.Exception_dispatch
+         { pc = e0; cause = Cause.name cause; code = Cause.to_code cause; detail })
+  end;
   Dispatched cause
 
 let count_cycle t word =
@@ -332,7 +356,9 @@ let stall t n =
 let step t =
   if t.interrupt_line && t.sr.int_enable then
     dispatch t Cause.Interrupt 0 ~epcs:(t.p0, t.p1, t.p2)
-  else
+  else begin
+    if t.trace_on then
+      Mips_obs.Sink.emit t.trace (Mips_obs.Event.Fetch { pc = t.p0 });
     let seq_epcs = (t.p0, t.p1, t.p2) in
     match
       let fetch_phys = translate_word t Pagemap.Ispace ~write:false t.p0 in
@@ -344,7 +370,25 @@ let step t =
       if
         t.cfg.interlock
         && not (Reg.Set.is_empty (Reg.Set.inter t.last_load_writes (Word.reads word)))
-      then stall t 1;
+      then begin
+        stall t 1;
+        t.stats.load_use_stall_cycles <- t.stats.load_use_stall_cycles + 1;
+        Stats.record_stall_pair t.stats ~producer_pc:t.prev_pc ~consumer_pc:t.p0;
+        if t.trace_on then
+          Mips_obs.Sink.emit t.trace
+            (Mips_obs.Event.Stall
+               {
+                 pc = t.p0;
+                 word = render_word word;
+                 cycles = 1;
+                 reason =
+                   Mips_obs.Event.Load_use
+                     {
+                       producer_pc = t.prev_pc;
+                       producer = render_word t.prev_word;
+                     };
+               })
+      end;
       (* compute phase: all operands read from pre-instruction state *)
       let mem_eff = Option.map (compute_mem t note) (Word.mem word) in
       let alu_eff = Option.map (compute_alu t) (Word.alu word) in
@@ -359,16 +403,59 @@ let step t =
           t.imem.(phys)
         in
         count_cycle t w;
+        if t.trace_on then begin
+          Mips_obs.Sink.emit t.trace
+            (Mips_obs.Event.Issue
+               {
+                 pc = t.p0;
+                 word = render_word w;
+                 pieces = List.length (Word.pieces w);
+               });
+          Mips_obs.Sink.emit t.trace
+            (Mips_obs.Event.Monitor_call
+               {
+                 code;
+                 name = (match Monitor.name code with Some n -> n | None -> "?");
+               })
+        end;
         dispatch t Cause.Trap code ~epcs:(t.p1, t.p2, t.p2 + 1)
     | word, note, mem_eff, alu_eff, br_eff ->
         count_cycle t word;
+        if t.trace_on then begin
+          Mips_obs.Sink.emit t.trace
+            (Mips_obs.Event.Issue
+               {
+                 pc = t.p0;
+                 word = render_word word;
+                 pieces = List.length (Word.pieces word);
+               });
+          if t.delay_pending > 0 then begin
+            t.delay_pending <- t.delay_pending - 1;
+            Mips_obs.Sink.emit t.trace
+              (Mips_obs.Event.Delay_slot
+                 {
+                   pc = t.p0;
+                   kind = (match word with Word.Nop -> `Nop | _ -> `Filled);
+                 })
+          end
+        end;
         (* commit phase *)
         (match mem_eff with
         | Some (Store_commit (phys, lane, v)) ->
             (match lane with
             | None -> t.dmem.(phys) <- v
             | Some i -> t.dmem.(phys) <- Word32.set_byte t.dmem.(phys) i v);
-            Stats.count_ref t.stats ~load:false note
+            Stats.count_ref t.stats ~load:false note;
+            if t.trace_on then
+              Mips_obs.Sink.emit t.trace
+                (Mips_obs.Event.Mem_ref
+                   {
+                     pc = t.p0;
+                     addr = phys;
+                     load = false;
+                     byte = lane <> None;
+                     char_data = note.Note.char_data;
+                   })
         | Some (Load_result _ | Imm_result _) | None -> ());
         commit_pending t;
         (match alu_eff with
@@ -379,24 +466,63 @@ let step t =
         let rfe = match alu_eff with Some Rfe_effect -> true | _ -> false in
         (match mem_eff with
         | Some (Imm_result (r, v)) -> t.regs.(r) <- v
-        | Some (Load_result (r, v)) ->
+        | Some (Load_result (r, v, phys, byte)) ->
             Stats.count_ref t.stats ~load:true note;
+            if t.trace_on then
+              Mips_obs.Sink.emit t.trace
+                (Mips_obs.Event.Mem_ref
+                   {
+                     pc = t.p0;
+                     addr = phys;
+                     load = true;
+                     byte;
+                     char_data = note.Note.char_data;
+                   });
             if t.cfg.interlock then t.regs.(r) <- v else t.pending <- Some (r, v)
         | Some (Store_commit _) | None -> ());
         t.last_load_writes <-
           (if t.cfg.interlock then Word.load_writes word else Reg.Set.empty);
+        if t.trace_on || t.cfg.interlock then begin
+          t.prev_pc <- t.p0;
+          t.prev_word <- word
+        end;
         (* next-pc phase *)
         (if rfe then set_pc_chain t (t.epcs.(0), t.epcs.(1), t.epcs.(2))
          else
            let advance_seq () = set_pc_chain t (t.p1, t.p2, t.p2 + 1) in
            let take target delay =
              t.stats.branches_taken <- t.stats.branches_taken + 1;
+             if t.trace_on then
+               Mips_obs.Sink.emit t.trace
+                 (Mips_obs.Event.Branch_taken { pc = t.p0; target });
              if t.cfg.interlock then begin
                stall t delay;
+               t.stats.branch_stall_cycles <-
+                 t.stats.branch_stall_cycles + delay;
+               if t.trace_on then begin
+                 Mips_obs.Sink.emit t.trace
+                   (Mips_obs.Event.Stall
+                      {
+                        pc = t.p0;
+                        word = render_word word;
+                        cycles = delay;
+                        reason = Mips_obs.Event.Branch_latency { slots = delay };
+                      });
+                 (* the would-be delay slots are squashed, not executed *)
+                 Mips_obs.Sink.emit t.trace
+                   (Mips_obs.Event.Delay_slot { pc = t.p1; kind = `Squashed });
+                 if delay > 1 then
+                   Mips_obs.Sink.emit t.trace
+                     (Mips_obs.Event.Delay_slot { pc = t.p2; kind = `Squashed })
+               end;
                set_pc_chain t (target, target + 1, target + 2)
              end
-             else if delay = 1 then set_pc_chain t (t.p1, target, target + 1)
-             else set_pc_chain t (t.p1, t.p2, target)
+             else begin
+               if t.trace_on then
+                 t.delay_pending <- delay;
+               if delay = 1 then set_pc_chain t (t.p1, target, target + 1)
+               else set_pc_chain t (t.p1, t.p2, target)
+             end
            in
            match br_eff with
            | None | Some Not_taken -> advance_seq ()
@@ -405,6 +531,7 @@ let step t =
                t.regs.(link) <- ret;
                take target delay);
         Stepped
+  end
 
 let run ?(fuel = 10_000_000) t handler =
   let rec loop fuel =

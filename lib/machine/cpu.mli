@@ -54,6 +54,14 @@ val create : ?config:config -> unit -> t
 val config : t -> config
 val stats : t -> Stats.t
 
+val trace : t -> Mips_obs.Sink.t
+val set_trace : t -> Mips_obs.Sink.t -> unit
+(** Attach an event sink.  With the default {!Mips_obs.Sink.null} the
+    instrumentation in {!step} reduces to a handful of branch tests and no
+    event is ever allocated; with a live sink every fetch, issue, stall,
+    memory reference, taken branch, delay-slot execution and exception
+    dispatch is reported. *)
+
 (** {2 Architectural state} *)
 
 val get_reg : t -> Reg.t -> Word32.t

@@ -3,6 +3,8 @@ type ref_class = { mutable loads : int; mutable stores : int }
 type t = {
   mutable cycles : int;
   mutable stall_cycles : int;
+  mutable load_use_stall_cycles : int;
+  mutable branch_stall_cycles : int;
   mutable words : int;
   mutable nops : int;
   mutable alu_pieces : int;
@@ -19,6 +21,7 @@ type t = {
   word_char_refs : ref_class;
   byte_refs : ref_class;
   byte_char_refs : ref_class;
+  stall_pairs : (int * int, int) Hashtbl.t;
 }
 
 let new_class () = { loads = 0; stores = 0 }
@@ -27,6 +30,8 @@ let create () =
   {
     cycles = 0;
     stall_cycles = 0;
+    load_use_stall_cycles = 0;
+    branch_stall_cycles = 0;
     words = 0;
     nops = 0;
     alu_pieces = 0;
@@ -43,6 +48,7 @@ let create () =
     word_char_refs = new_class ();
     byte_refs = new_class ();
     byte_char_refs = new_class ();
+    stall_pairs = Hashtbl.create 16;
   }
 
 let count_exception t cause =
@@ -55,6 +61,24 @@ let count_exception t cause =
 
 let exception_count t cause =
   match List.assoc_opt cause t.exceptions with Some n -> n | None -> 0
+
+let exceptions_sorted t =
+  List.sort
+    (fun (ca, na) (cb, nb) ->
+      match compare nb na with 0 -> Cause.compare ca cb | c -> c)
+    t.exceptions
+
+let record_stall_pair t ~producer_pc ~consumer_pc =
+  let key = (producer_pc, consumer_pc) in
+  let n = match Hashtbl.find_opt t.stall_pairs key with Some n -> n | None -> 0 in
+  Hashtbl.replace t.stall_pairs key (n + 1)
+
+let stall_pairs t =
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.stall_pairs []
+  |> List.sort (fun ((pa, ca), na) ((pb, cb), nb) ->
+         match compare nb na with
+         | 0 -> compare (pa, ca) (pb, cb)
+         | c -> c)
 
 let class_for t (note : Mips_isa.Note.t) =
   match (note.char_data, note.byte_sized) with
@@ -78,13 +102,77 @@ let free_cycle_fraction t =
   let slots = t.mem_busy_cycles + t.free_cycles in
   if slots = 0 then 0. else float_of_int t.free_cycles /. float_of_int slots
 
+let packed_word_fraction t =
+  if t.words = 0 then 0.
+  else float_of_int t.packed_words /. float_of_int t.words
+
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>cycles: %d (stalls %d, weighted %.1f)@ words: %d (nops %d, packed %d)@ \
-     pieces: %d alu, %d mem, %d branch (taken %d)@ memory: %d busy, %d free \
-     (%.1f%% free)@ refs: %d loads, %d stores@]"
+    "@[<v>cycles: %d (stalls %d, weighted %.1f)@ words: %d (nops %d, packed %d \
+     = %.1f%%)@ pieces: %d alu, %d mem, %d branch (taken %d)@ memory: %d busy, \
+     %d free@ free cycle fraction: %.3f (%.1f%% of issue slots)@ refs: %d \
+     loads, %d stores (+%d synthetic)"
     t.cycles t.stall_cycles t.weighted_cycles t.words t.nops t.packed_words
+    (100. *. packed_word_fraction t)
     t.alu_pieces t.mem_pieces t.branch_pieces t.branches_taken t.mem_busy_cycles
-    t.free_cycles
+    t.free_cycles (free_cycle_fraction t)
     (100. *. free_cycle_fraction t)
-    (total_loads t) (total_stores t)
+    (total_loads t) (total_stores t) t.synthetic_refs;
+  if t.stall_cycles > 0 then
+    Format.fprintf ppf "@ stall breakdown: %d load-use, %d branch-latency"
+      t.load_use_stall_cycles t.branch_stall_cycles;
+  (match exceptions_sorted t with
+  | [] -> ()
+  | exns ->
+      Format.fprintf ppf "@ exceptions:";
+      List.iter
+        (fun (c, n) -> Format.fprintf ppf "@   %-12s %8d" (Cause.name c) n)
+        exns);
+  Format.fprintf ppf "@]"
+
+let ref_class_json (c : ref_class) =
+  Mips_obs.Json.Obj
+    [ ("loads", Mips_obs.Json.Int c.loads); ("stores", Mips_obs.Json.Int c.stores) ]
+
+let to_json t =
+  let open Mips_obs.Json in
+  Obj
+    [ ("cycles", Int t.cycles);
+      ("stall_cycles", Int t.stall_cycles);
+      ("load_use_stall_cycles", Int t.load_use_stall_cycles);
+      ("branch_stall_cycles", Int t.branch_stall_cycles);
+      ("weighted_cycles", Float t.weighted_cycles);
+      ("words", Int t.words);
+      ("nops", Int t.nops);
+      ("packed_words", Int t.packed_words);
+      ("packed_word_fraction", Float (packed_word_fraction t));
+      ("alu_pieces", Int t.alu_pieces);
+      ("mem_pieces", Int t.mem_pieces);
+      ("branch_pieces", Int t.branch_pieces);
+      ("branches_taken", Int t.branches_taken);
+      ("mem_busy_cycles", Int t.mem_busy_cycles);
+      ("free_cycles", Int t.free_cycles);
+      ("free_cycle_fraction", Float (free_cycle_fraction t));
+      ( "exceptions",
+        Obj
+          (List.map
+             (fun (c, n) -> (Cause.name c, Int n))
+             (exceptions_sorted t)) );
+      ( "refs",
+        Obj
+          [ ("word", ref_class_json t.word_refs);
+            ("word_char", ref_class_json t.word_char_refs);
+            ("byte", ref_class_json t.byte_refs);
+            ("byte_char", ref_class_json t.byte_char_refs);
+            ("synthetic", Int t.synthetic_refs);
+            ("total_loads", Int (total_loads t));
+            ("total_stores", Int (total_stores t)) ] );
+      ( "stall_pairs",
+        List
+          (List.map
+             (fun ((producer_pc, consumer_pc), n) ->
+               Obj
+                 [ ("producer_pc", Int producer_pc);
+                   ("consumer_pc", Int consumer_pc);
+                   ("stalls", Int n) ])
+             (stall_pairs t)) ) ]

@@ -4,7 +4,11 @@
     cycle counts (with interlock stalls when the hardware-interlock variant
     runs), the memory-bandwidth utilisation behind the free-memory-cycle
     claim of Section 3.1, and the data-reference patterns by access size and
-    data kind behind Tables 7 and 8. *)
+    data kind behind Tables 7 and 8.
+
+    Interlock-mode stalls are additionally attributed to the
+    (producer, consumer) instruction pair that caused them — the raw
+    material of [mipsc profile]'s "top stall-causing pairs" table. *)
 
 type ref_class = {
   mutable loads : int;
@@ -14,6 +18,10 @@ type ref_class = {
 type t = {
   mutable cycles : int;  (** instruction issue slots, including stalls *)
   mutable stall_cycles : int;  (** interlock-mode stalls only *)
+  mutable load_use_stall_cycles : int;
+      (** stalls where a load's consumer waited a cycle *)
+  mutable branch_stall_cycles : int;
+      (** stalls paid for squashed branch-delay slots *)
   mutable words : int;  (** instruction words executed *)
   mutable nops : int;  (** words that were pure no-ops *)
   mutable alu_pieces : int;
@@ -34,11 +42,22 @@ type t = {
   word_char_refs : ref_class;  (** word-sized references to character data *)
   byte_refs : ref_class;  (** byte-sized, non-character references *)
   byte_char_refs : ref_class;  (** byte-sized references to character data *)
+  stall_pairs : (int * int, int) Hashtbl.t;
+      (** (producer pc, consumer pc) -> load-use stalls charged to the pair *)
 }
 
 val create : unit -> t
 val count_exception : t -> Cause.t -> unit
 val exception_count : t -> Cause.t -> int
+
+val exceptions_sorted : t -> (Cause.t * int) list
+(** Per-cause counts, most frequent first (ties by cause order). *)
+
+val record_stall_pair : t -> producer_pc:int -> consumer_pc:int -> unit
+(** Charge one load-use stall cycle to an instruction pair. *)
+
+val stall_pairs : t -> ((int * int) * int) list
+(** ((producer pc, consumer pc), stalls), most stalls first. *)
 
 val count_ref : t -> load:bool -> Mips_isa.Note.t -> unit
 (** Classify one data reference by the compiler's annotation. *)
@@ -49,5 +68,13 @@ val total_stores : t -> int
 val free_cycle_fraction : t -> float
 (** Fraction of issue slots with an idle data-memory port — the bandwidth
     available "for DMA, I/O or cache write-backs". *)
+
+val packed_word_fraction : t -> float
+(** Fraction of executed words that carried two pieces. *)
+
+val to_json : t -> Mips_obs.Json.t
+(** Machine-readable form of every counter above, including the sorted
+    exception table, the reference classes, and the stall-pair table —
+    what [mipsc run --stats-json] emits. *)
 
 val pp : Format.formatter -> t -> unit

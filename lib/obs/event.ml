@@ -1,0 +1,319 @@
+type delay_slot_kind = [ `Filled | `Squashed | `Nop ]
+
+type stall_reason =
+  | Load_use of { producer_pc : int; producer : string }
+  | Branch_latency of { slots : int }
+
+type t =
+  | Fetch of { pc : int }
+  | Issue of { pc : int; word : string; pieces : int }
+  | Stall of { pc : int; word : string; cycles : int; reason : stall_reason }
+  | Branch_taken of { pc : int; target : int }
+  | Delay_slot of { pc : int; kind : delay_slot_kind }
+  | Mem_ref of {
+      pc : int;
+      addr : int;
+      load : bool;
+      byte : bool;
+      char_data : bool;
+    }
+  | Exception_dispatch of { pc : int; cause : string; code : int; detail : int }
+  | Monitor_call of { code : int; name : string }
+  | Spawn of { pid : int; name : string }
+  | Context_switch of { from_pid : int option; to_pid : int option }
+  | Page_fault of { pid : int; ispace : bool; gaddr : int }
+  | Proc_exit of { pid : int; name : string; status : int }
+  | Proc_killed of { pid : int; name : string; cause : string; detail : int }
+  | Pass of { name : string; seconds : float }
+
+let equal (a : t) (b : t) = a = b
+
+let kind_name = function
+  | Fetch _ -> "fetch"
+  | Issue _ -> "issue"
+  | Stall _ -> "stall"
+  | Branch_taken _ -> "branch_taken"
+  | Delay_slot _ -> "delay_slot"
+  | Mem_ref _ -> "mem_ref"
+  | Exception_dispatch _ -> "exception_dispatch"
+  | Monitor_call _ -> "monitor_call"
+  | Spawn _ -> "spawn"
+  | Context_switch _ -> "context_switch"
+  | Page_fault _ -> "page_fault"
+  | Proc_exit _ -> "proc_exit"
+  | Proc_killed _ -> "proc_killed"
+  | Pass _ -> "pass"
+
+let delay_slot_name = function
+  | `Filled -> "filled"
+  | `Squashed -> "squashed"
+  | `Nop -> "nop"
+
+let delay_slot_of_name = function
+  | "filled" -> Ok `Filled
+  | "squashed" -> Ok `Squashed
+  | "nop" -> Ok `Nop
+  | s -> Error ("unknown delay-slot kind " ^ s)
+
+(* --- human-readable formatting ------------------------------------------- *)
+
+let pp ppf e =
+  match e with
+  | Fetch { pc } -> Format.fprintf ppf "%08d  fetch" pc
+  | Issue { pc; word; pieces } ->
+      Format.fprintf ppf "%08d  issue  %s%s" pc word
+        (if pieces > 1 then "  [packed]" else "")
+  | Stall { pc; word; cycles; reason } -> (
+      match reason with
+      | Load_use { producer_pc; producer } ->
+          Format.fprintf ppf
+            "%08d  stall  %d cycle%s (load-use: %s @%d feeds %s)" pc cycles
+            (if cycles = 1 then "" else "s")
+            producer producer_pc word
+      | Branch_latency { slots } ->
+          Format.fprintf ppf "%08d  stall  %d cycle%s (branch latency, %d slot%s)"
+            pc cycles
+            (if cycles = 1 then "" else "s")
+            slots
+            (if slots = 1 then "" else "s"))
+  | Branch_taken { pc; target } ->
+      Format.fprintf ppf "%08d  branch-taken -> %d" pc target
+  | Delay_slot { pc; kind } ->
+      Format.fprintf ppf "%08d  delay-slot (%s)" pc (delay_slot_name kind)
+  | Mem_ref { pc; addr; load; byte; char_data } ->
+      Format.fprintf ppf "%08d  %s  @%d (%s%s)" pc
+        (if load then "load " else "store")
+        addr
+        (if byte then "byte" else "word")
+        (if char_data then ", char" else "")
+  | Exception_dispatch { pc; cause; code; detail } ->
+      Format.fprintf ppf "%08d  exception  %s (code %d, detail %d)" pc cause
+        code detail
+  | Monitor_call { code; name } ->
+      Format.fprintf ppf "          monitor-call  %s (code %d)" name code
+  | Spawn { pid; name } -> Format.fprintf ppf "          spawn  pid %d (%s)" pid name
+  | Context_switch { from_pid; to_pid } ->
+      let p = function None -> "-" | Some pid -> string_of_int pid in
+      Format.fprintf ppf "          context-switch  %s -> %s" (p from_pid)
+        (p to_pid)
+  | Page_fault { pid; ispace; gaddr } ->
+      Format.fprintf ppf "          page-fault  pid %d %s @%d" pid
+        (if ispace then "I" else "D")
+        gaddr
+  | Proc_exit { pid; name; status } ->
+      Format.fprintf ppf "          exit  pid %d (%s) status %d" pid name status
+  | Proc_killed { pid; name; cause; detail } ->
+      Format.fprintf ppf "          killed  pid %d (%s) %s (%d)" pid name cause
+        detail
+  | Pass { name; seconds } ->
+      Format.fprintf ppf "          pass  %s  %.6fs" name seconds
+
+let to_text e = Format.asprintf "%a" pp e
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let opt_pid = function None -> Json.Null | Some pid -> Json.Int pid
+
+let to_json e =
+  let ev fields = Json.Obj (("ev", Json.Str (kind_name e)) :: fields) in
+  match e with
+  | Fetch { pc } -> ev [ ("pc", Json.Int pc) ]
+  | Issue { pc; word; pieces } ->
+      ev [ ("pc", Json.Int pc); ("word", Json.Str word); ("pieces", Json.Int pieces) ]
+  | Stall { pc; word; cycles; reason } ->
+      let reason_fields =
+        match reason with
+        | Load_use { producer_pc; producer } ->
+            [ ("reason", Json.Str "load_use");
+              ("producer_pc", Json.Int producer_pc);
+              ("producer", Json.Str producer) ]
+        | Branch_latency { slots } ->
+            [ ("reason", Json.Str "branch_latency"); ("slots", Json.Int slots) ]
+      in
+      ev
+        ([ ("pc", Json.Int pc); ("word", Json.Str word); ("cycles", Json.Int cycles) ]
+        @ reason_fields)
+  | Branch_taken { pc; target } ->
+      ev [ ("pc", Json.Int pc); ("target", Json.Int target) ]
+  | Delay_slot { pc; kind } ->
+      ev [ ("pc", Json.Int pc); ("kind", Json.Str (delay_slot_name kind)) ]
+  | Mem_ref { pc; addr; load; byte; char_data } ->
+      ev
+        [ ("pc", Json.Int pc);
+          ("addr", Json.Int addr);
+          ("load", Json.Bool load);
+          ("byte", Json.Bool byte);
+          ("char", Json.Bool char_data) ]
+  | Exception_dispatch { pc; cause; code; detail } ->
+      ev
+        [ ("pc", Json.Int pc);
+          ("cause", Json.Str cause);
+          ("code", Json.Int code);
+          ("detail", Json.Int detail) ]
+  | Monitor_call { code; name } ->
+      ev [ ("code", Json.Int code); ("name", Json.Str name) ]
+  | Spawn { pid; name } -> ev [ ("pid", Json.Int pid); ("name", Json.Str name) ]
+  | Context_switch { from_pid; to_pid } ->
+      ev [ ("from", opt_pid from_pid); ("to", opt_pid to_pid) ]
+  | Page_fault { pid; ispace; gaddr } ->
+      ev
+        [ ("pid", Json.Int pid);
+          ("space", Json.Str (if ispace then "I" else "D"));
+          ("gaddr", Json.Int gaddr) ]
+  | Proc_exit { pid; name; status } ->
+      ev
+        [ ("pid", Json.Int pid);
+          ("name", Json.Str name);
+          ("status", Json.Int status) ]
+  | Proc_killed { pid; name; cause; detail } ->
+      ev
+        [ ("pid", Json.Int pid);
+          ("name", Json.Str name);
+          ("cause", Json.Str cause);
+          ("detail", Json.Int detail) ]
+  | Pass { name; seconds } ->
+      ev [ ("name", Json.Str name); ("seconds", Json.Float seconds) ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str k =
+    match Json.member k j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error ("missing string field " ^ k)
+  in
+  let int k =
+    match Json.member k j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error ("missing int field " ^ k)
+  in
+  let boolean k =
+    match Json.member k j with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error ("missing bool field " ^ k)
+  in
+  let float_ k =
+    match Json.member k j with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int n) -> Ok (float_of_int n)
+    | _ -> Error ("missing float field " ^ k)
+  in
+  let pid_opt k =
+    match Json.member k j with
+    | Some Json.Null -> Ok None
+    | Some (Json.Int n) -> Ok (Some n)
+    | _ -> Error ("missing pid field " ^ k)
+  in
+  let* kind = str "ev" in
+  match kind with
+  | "fetch" ->
+      let* pc = int "pc" in
+      Ok (Fetch { pc })
+  | "issue" ->
+      let* pc = int "pc" in
+      let* word = str "word" in
+      let* pieces = int "pieces" in
+      Ok (Issue { pc; word; pieces })
+  | "stall" ->
+      let* pc = int "pc" in
+      let* word = str "word" in
+      let* cycles = int "cycles" in
+      let* reason_name = str "reason" in
+      let* reason =
+        match reason_name with
+        | "load_use" ->
+            let* producer_pc = int "producer_pc" in
+            let* producer = str "producer" in
+            Ok (Load_use { producer_pc; producer })
+        | "branch_latency" ->
+            let* slots = int "slots" in
+            Ok (Branch_latency { slots })
+        | s -> Error ("unknown stall reason " ^ s)
+      in
+      Ok (Stall { pc; word; cycles; reason })
+  | "branch_taken" ->
+      let* pc = int "pc" in
+      let* target = int "target" in
+      Ok (Branch_taken { pc; target })
+  | "delay_slot" ->
+      let* pc = int "pc" in
+      let* kind_name = str "kind" in
+      let* kind = delay_slot_of_name kind_name in
+      Ok (Delay_slot { pc; kind })
+  | "mem_ref" ->
+      let* pc = int "pc" in
+      let* addr = int "addr" in
+      let* load = boolean "load" in
+      let* byte = boolean "byte" in
+      let* char_data = boolean "char" in
+      Ok (Mem_ref { pc; addr; load; byte; char_data })
+  | "exception_dispatch" ->
+      let* pc = int "pc" in
+      let* cause = str "cause" in
+      let* code = int "code" in
+      let* detail = int "detail" in
+      Ok (Exception_dispatch { pc; cause; code; detail })
+  | "monitor_call" ->
+      let* code = int "code" in
+      let* name = str "name" in
+      Ok (Monitor_call { code; name })
+  | "spawn" ->
+      let* pid = int "pid" in
+      let* name = str "name" in
+      Ok (Spawn { pid; name })
+  | "context_switch" ->
+      let* from_pid = pid_opt "from" in
+      let* to_pid = pid_opt "to" in
+      Ok (Context_switch { from_pid; to_pid })
+  | "page_fault" ->
+      let* pid = int "pid" in
+      let* space = str "space" in
+      let* gaddr = int "gaddr" in
+      Ok (Page_fault { pid; ispace = space = "I"; gaddr })
+  | "proc_exit" ->
+      let* pid = int "pid" in
+      let* name = str "name" in
+      let* status = int "status" in
+      Ok (Proc_exit { pid; name; status })
+  | "proc_killed" ->
+      let* pid = int "pid" in
+      let* name = str "name" in
+      let* cause = str "cause" in
+      let* detail = int "detail" in
+      Ok (Proc_killed { pid; name; cause; detail })
+  | "pass" ->
+      let* name = str "name" in
+      let* seconds = float_ "seconds" in
+      Ok (Pass { name; seconds })
+  | s -> Error ("unknown event kind " ^ s)
+
+(* One of each constructor — the round-trip tests iterate over this, so a
+   new constructor that is not added here still gets caught by the
+   completeness check in the test (it compares lengths against kind_name's
+   domain via samples). *)
+let samples =
+  [ Fetch { pc = 17 };
+    Issue { pc = 17; word = "r3 := r1 + r2 ; store r4, 5(r6)"; pieces = 2 };
+    Stall
+      { pc = 18;
+        word = "r5 := r3 + 1";
+        cycles = 1;
+        reason = Load_use { producer_pc = 17; producer = "r3 := load 0(r2)" } };
+    Stall
+      { pc = 19;
+        word = "jump 40";
+        cycles = 2;
+        reason = Branch_latency { slots = 2 } };
+    Branch_taken { pc = 19; target = 40 };
+    Delay_slot { pc = 20; kind = `Filled };
+    Delay_slot { pc = 21; kind = `Squashed };
+    Delay_slot { pc = 22; kind = `Nop };
+    Mem_ref { pc = 23; addr = 4096; load = true; byte = false; char_data = true };
+    Exception_dispatch { pc = 24; cause = "Page_fault"; code = 3; detail = 0 };
+    Monitor_call { code = 2; name = "putchar" };
+    Spawn { pid = 1; name = "fib" };
+    Context_switch { from_pid = Some 0; to_pid = Some 1 };
+    Context_switch { from_pid = None; to_pid = Some 0 };
+    Page_fault { pid = 1; ispace = true; gaddr = 65536 };
+    Proc_exit { pid = 1; name = "fib"; status = 0 };
+    Proc_killed { pid = 2; name = "wild"; cause = "Privilege"; detail = 1 };
+    Pass { name = "reorg.schedule"; seconds = 0.015625 } ]

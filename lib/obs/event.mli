@@ -1,0 +1,69 @@
+(** The typed execution-event model.
+
+    Every observable thing the reproduction does — a word issuing, an
+    interlock stall, a branch committing, a kernel decision — is one
+    constructor here.  The simulator, reorganizer and kernel construct
+    events only when a sink is enabled, so the model can afford to be
+    descriptive (records, rendered instruction text) without taxing the
+    uninstrumented hot path.
+
+    Machine-level causes travel as their rendered name (for example
+    ["Page_fault"]) rather than as [Mips_machine.Cause.t]: this library
+    sits {e below} the machine in the dependency order so that the machine,
+    reorganizer and kernel can all emit into it. *)
+
+type delay_slot_kind = [ `Filled | `Squashed | `Nop ]
+
+type stall_reason =
+  | Load_use of { producer_pc : int; producer : string }
+      (** interlock mode: the previous word's load feeds this word *)
+  | Branch_latency of { slots : int }
+      (** interlock mode: a taken branch squashes its delay slots *)
+
+type t =
+  | Fetch of { pc : int }
+  | Issue of { pc : int; word : string; pieces : int }
+      (** one instruction word issued; [pieces > 1] means a packed word *)
+  | Stall of { pc : int; word : string; cycles : int; reason : stall_reason }
+  | Branch_taken of { pc : int; target : int }
+  | Delay_slot of { pc : int; kind : delay_slot_kind }
+      (** a word executing in a taken branch's shadow *)
+  | Mem_ref of {
+      pc : int;
+      addr : int;  (** physical word address *)
+      load : bool;
+      byte : bool;
+      char_data : bool;
+    }
+  | Exception_dispatch of { pc : int; cause : string; code : int; detail : int }
+  | Monitor_call of { code : int; name : string }
+  | Spawn of { pid : int; name : string }
+  | Context_switch of { from_pid : int option; to_pid : int option }
+  | Page_fault of { pid : int; ispace : bool; gaddr : int }
+      (** a fault the kernel serviced (demand page-in) *)
+  | Proc_exit of { pid : int; name : string; status : int }
+  | Proc_killed of { pid : int; name : string; cause : string; detail : int }
+  | Pass of { name : string; seconds : float }
+      (** a compiler/reorganizer pass completed *)
+
+val equal : t -> t -> bool
+
+val kind_name : t -> string
+(** The discriminator used in the JSON encoding ("issue", "stall", ...). *)
+
+val delay_slot_name : delay_slot_kind -> string
+
+val pp : Format.formatter -> t -> unit
+(** One human-readable line per event (the [--trace-format=text] rendering). *)
+
+val to_text : t -> string
+
+val to_json : t -> Json.t
+(** One-line JSON object with an ["ev"] discriminator — the JSONL encoding. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; every constructor round-trips. *)
+
+val samples : t list
+(** At least one value of every constructor (both stall reasons, all three
+    delay-slot kinds) — what the round-trip tests iterate over. *)

@@ -1,0 +1,86 @@
+type timer = { mutable seconds : float; mutable calls : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let add t name n =
+  let r = counter t name in
+  r := !r + n
+
+let incr t name = add t name 1
+let set t name n = counter t name := n
+let count t name = match Hashtbl.find_opt t.counters name with
+  | Some r -> !r
+  | None -> 0
+
+let find_timer t name =
+  match Hashtbl.find_opt t.timers name with
+  | Some tm -> tm
+  | None ->
+      let tm = { seconds = 0.; calls = 0 } in
+      Hashtbl.add t.timers name tm;
+      tm
+
+let add_seconds t name s =
+  let tm = find_timer t name in
+  tm.seconds <- tm.seconds +. s;
+  tm.calls <- tm.calls + 1
+
+let time t name f =
+  let start = Sys.time () in
+  let finally () = add_seconds t name (Sys.time () -. start) in
+  Fun.protect ~finally f
+
+let seconds t name =
+  match Hashtbl.find_opt t.timers name with Some tm -> tm.seconds | None -> 0.
+
+let calls t name =
+  match Hashtbl.find_opt t.timers name with Some tm -> tm.calls | None -> 0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
+
+let timers t =
+  List.map (fun (k, tm) -> (k, tm.seconds, tm.calls)) (sorted_bindings t.timers)
+
+let to_json t =
+  Json.Obj
+    [ ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun (k, seconds, calls) ->
+               ( k,
+                 Json.Obj
+                   [ ("seconds", Json.Float seconds); ("calls", Json.Int calls) ]
+               ))
+             (timers t)) ) ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-40s %12d@ " k v)
+    (counters t);
+  List.iter
+    (fun (k, seconds, calls) ->
+      Format.fprintf ppf "%-40s %9.3f ms  (%d call%s)@ " k (1000. *. seconds)
+        calls
+        (if calls = 1 then "" else "s"))
+    (timers t);
+  Format.fprintf ppf "@]"

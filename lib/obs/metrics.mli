@@ -1,0 +1,43 @@
+(** A registry of named counters and accumulating timers.
+
+    The reorganizer charges per-pass wall time here, the kernel its
+    bookkeeping counts; {!to_json} is the machine-readable form the bench
+    harness diffs.  Names are free-form dotted paths
+    (["reorg.schedule"], ["delay.scheme1"]); output is sorted by name so
+    serializations are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val set : t -> string -> int -> unit
+val count : t -> string -> int
+(** 0 for a counter never touched. *)
+
+(** {2 Timers}
+
+    A timer accumulates processor seconds ({!Sys.time}) across calls. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, charging its duration (exceptions included). *)
+
+val add_seconds : t -> string -> float -> unit
+val seconds : t -> string -> float
+val calls : t -> string -> int
+
+(** {2 Export} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val timers : t -> (string * float * int) list
+(** (name, seconds, calls), sorted by name. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "timers": {name: {"seconds": s, "calls": n}}}]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -47,14 +47,20 @@ type t = {
   mutable map_changes_outside_fault : int;
   mutable in_switch : bool;
   mutable kernel_cycles : int;
+  trace : Mips_obs.Sink.t;
 }
 
 let cpu t = t.cpu
 
-let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000) () =
+let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000)
+    ?(trace = Mips_obs.Sink.null) () =
   let cfg = Cpu.default_config in
+  let cpu = Cpu.create ~config:cfg () in
+  (* machine-level events (issues, monitor calls, dispatches) flow into the
+     same sink as the kernel's scheduling decisions *)
+  Cpu.set_trace cpu trace;
   {
-    cpu = Cpu.create ~config:cfg ();
+    cpu;
     quantum;
     procs = [];
     current = None;
@@ -70,6 +76,7 @@ let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000) () =
     map_changes_outside_fault = 0;
     in_switch = false;
     kernel_cycles = 0;
+    trace;
   }
 
 let user_sr =
@@ -106,7 +113,9 @@ let spawn t ?(input = "") ~name (program : Program.t) =
       st = Ready;
     }
   in
-  t.procs <- t.procs @ [ pcb ]
+  t.procs <- t.procs @ [ pcb ];
+  if t.trace.Mips_obs.Sink.enabled then
+    Mips_obs.Sink.emit t.trace (Mips_obs.Event.Spawn { pid; name })
 
 (* --- paging ---------------------------------------------------------------- *)
 
@@ -200,6 +209,10 @@ let service_fault t (p : pcb) space gaddr =
   else begin
     t.page_faults <- t.page_faults + 1;
     t.kernel_cycles <- t.kernel_cycles + fault_service_cost;
+    if t.trace.Mips_obs.Sink.enabled then
+      Mips_obs.Sink.emit t.trace
+        (Mips_obs.Event.Page_fault
+           { pid = p.pid; ispace = space = Pagemap.Ispace; gaddr });
     let frames, frame = grab_frame t space in
     fill_frame t p space gpage frame;
     frames.(frame) <- Some { fo_pid = p.pid; fo_gpage = gpage };
@@ -266,6 +279,7 @@ let next_ready t =
       match after with p :: _ -> Some p | [] -> Some (List.hd ready))
 
 let switch t =
+  let from_pid = match t.current with Some p -> Some p.pid | None -> None in
   save_current t;
   t.in_switch <- true;
   let next = next_ready t in
@@ -273,6 +287,13 @@ let switch t =
   t.in_switch <- false;
   t.switches <- t.switches + 1;
   t.kernel_cycles <- t.kernel_cycles + switch_cost;
+  if t.trace.Mips_obs.Sink.enabled then
+    Mips_obs.Sink.emit t.trace
+      (Mips_obs.Event.Context_switch
+         {
+           from_pid;
+           to_pid = (match next with Some p -> Some p.pid | None -> None);
+         });
   next <> None
 
 (* resume the current process exactly where the exception left it (the
@@ -313,6 +334,19 @@ let service_trap t (p : pcb) code =
   end
   else if code = Monitor.yield then `Yield
   else `Kill (Cause.Trap, code)
+
+(* a process left the ready set: report how *)
+let note_departure t (p : pcb) =
+  if t.trace.Mips_obs.Sink.enabled then
+    match p.st with
+    | Exited status ->
+        Mips_obs.Sink.emit t.trace
+          (Mips_obs.Event.Proc_exit { pid = p.pid; name = p.pname; status })
+    | Killed (c, d) ->
+        Mips_obs.Sink.emit t.trace
+          (Mips_obs.Event.Proc_killed
+             { pid = p.pid; name = p.pname; cause = Cause.name c; detail = d })
+    | Ready -> ()
 
 (* --- the main loop ----------------------------------------------------------------- *)
 
@@ -357,6 +391,33 @@ let make_report (t : t) =
     kernel_cycles = t.kernel_cycles;
   }
 
+let report_json (r : report) =
+  let open Mips_obs.Json in
+  Obj
+    [ ( "procs",
+        List
+          (List.map
+             (fun (p : proc_report) ->
+               Obj
+                 [ ("name", Str p.pname);
+                   ("output_bytes", Int (String.length p.output));
+                   ( "exit_status",
+                     match p.exit_status with Some s -> Int s | None -> Null );
+                   ( "killed",
+                     match p.killed with
+                     | Some (c, d) ->
+                         Obj [ ("cause", Str (Cause.name c)); ("detail", Int d) ]
+                     | None -> Null ) ])
+             r.procs) );
+      ("switches", Int r.switches);
+      ("page_faults", Int r.page_faults);
+      ("evictions", Int r.evictions);
+      ("interrupts", Int r.interrupts);
+      ("map_changes_during_switches", Int r.map_changes_during_switches);
+      ("switch_cycle_cost", Int r.switch_cycle_cost);
+      ("total_cycles", Int r.total_cycles);
+      ("kernel_cycles", Int r.kernel_cycles) ]
+
 let run ?(fuel = 50_000_000) t =
   (match next_ready t with
   | Some p -> install t p
@@ -389,10 +450,12 @@ let run ?(fuel = 50_000_000) t =
                 steps_in_quantum := t.quantum
             | `Exit status ->
                 p.st <- Exited status;
+                note_departure t p;
                 t.current <- None;
                 if not (switch t) then running := false
             | `Kill (c, d) ->
                 p.st <- Killed (c, d);
+                note_departure t p;
                 t.current <- None;
                 if not (switch t) then running := false)
         | Cause.Page_fault -> (
@@ -402,10 +465,12 @@ let run ?(fuel = 50_000_000) t =
                 (* a reference between the two valid regions, or outside the
                    segment entirely: terminate the offender *)
                 p.st <- Killed (Cause.Page_fault, 0);
+                note_departure t p;
                 t.current <- None;
                 if not (switch t) then running := false)
         | (Cause.Overflow | Cause.Privilege | Cause.Illegal | Cause.Reset) as c ->
             p.st <- Killed (c, (Cpu.surprise t.cpu).Surprise.cause_detail);
+            note_departure t p;
             t.current <- None;
             if not (switch t) then running := false));
     decr fuel

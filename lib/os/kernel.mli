@@ -28,10 +28,21 @@ open Mips_machine
 
 type t
 
-val create : ?data_frames:int -> ?code_frames:int -> ?quantum:int -> unit -> t
+val create :
+  ?data_frames:int ->
+  ?code_frames:int ->
+  ?quantum:int ->
+  ?trace:Mips_obs.Sink.t ->
+  unit ->
+  t
 (** [data_frames]/[code_frames]: physical frames available for paging
     (default 32 each); [quantum]: instructions between timer interrupts
-    (default 2000). *)
+    (default 2000).
+
+    [trace] receives the kernel's scheduling story — [Spawn],
+    [Context_switch], [Page_fault] (serviced demand page-ins), [Proc_exit]
+    and [Proc_killed] — and is also attached to the underlying machine, so
+    per-word events and monitor calls interleave in the same stream. *)
 
 val user_stack_top : int
 (** Virtual stack top for user programs (in the high half of the process
@@ -65,6 +76,10 @@ type report = {
 
 val run : ?fuel:int -> t -> report
 (** Run until every process exits (or fuel runs out). *)
+
+val report_json : report -> Mips_obs.Json.t
+(** Machine-readable form of a run report (process outcomes by name plus
+    every kernel counter). *)
 
 val cpu : t -> Cpu.t
 (** The underlying machine, for inspection. *)

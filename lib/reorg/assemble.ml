@@ -5,14 +5,16 @@ exception Duplicate_label of string
 
 type slot = { labels : string list; sw : Sblock.sword }
 
-let flatten (sblocks : Sblock.t array) =
+let flatten ~pad_hazards (sblocks : Sblock.t array) =
   let out = ref [] in
   let pending = ref [] in
   let prev : Sblock.sword option ref = ref None in
   let push_word (sw : Sblock.sword) =
     (match !prev with
     | Some p
-      when Hazard.load_use_conflict ~earlier:p.Sblock.word ~later:sw.Sblock.word ->
+      when pad_hazards
+           && Hazard.load_use_conflict ~earlier:p.Sblock.word
+                ~later:sw.Sblock.word ->
         out := { labels = []; sw = Sblock.nop } :: !out
     | _ -> ());
     out := { labels = List.rev !pending; sw } :: !out;
@@ -41,8 +43,8 @@ let flatten (sblocks : Sblock.t array) =
     out := { labels = List.rev !pending; sw = Sblock.nop } :: !out;
   List.rev !out
 
-let assemble (p : Asm.program) sblocks =
-  let slots = flatten sblocks in
+let assemble ?(pad_hazards = true) (p : Asm.program) sblocks =
+  let slots = flatten ~pad_hazards sblocks in
   let table = Hashtbl.create 64 in
   List.iteri
     (fun addr s ->

@@ -9,7 +9,11 @@
 exception Undefined_label of string
 exception Duplicate_label of string
 
-val assemble : Asm.program -> Sblock.t array -> Mips_machine.Program.t
+val assemble :
+  ?pad_hazards:bool -> Asm.program -> Sblock.t array -> Mips_machine.Program.t
+(** [pad_hazards] (default true) controls the global load-delay peephole.
+    Pass [false] only for code bound for the hardware-interlock comparison
+    machine, which stalls through hazards instead of executing no-ops. *)
 
 val verify_hazard_free : Mips_machine.Program.t -> (int * Mips_isa.Reg.t) list
 (** Residual straight-line load-use violations (should be empty for any

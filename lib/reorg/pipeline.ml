@@ -28,8 +28,15 @@ let pack_terminator (sb : Sblock.t) =
       if absorbed then { sb with Sblock.body; term = None } else sb
   | Some _ | None -> sb
 
-let compile_with_stats ?(level = Delay_filled) (p : Asm.program) =
-  let blocks = Array.of_list (Block.partition p.Asm.lines) in
+let no_metrics = Mips_obs.Metrics.create ()
+
+let compile_with_stats ?(obs = no_metrics) ?(level = Delay_filled)
+    (p : Asm.program) =
+  let timed name f = Mips_obs.Metrics.time obs name f in
+  let blocks =
+    timed "reorg.partition" (fun () -> Array.of_list (Block.partition p.Asm.lines))
+  in
+  Mips_obs.Metrics.add obs "reorg.blocks" (Array.length blocks);
   let sched (b : Block.t) =
     match level with
     | Naive -> Sched.naive b.Block.body
@@ -37,31 +44,68 @@ let compile_with_stats ?(level = Delay_filled) (p : Asm.program) =
         Sched.schedule ~pack:(rank level >= rank Packed) b.Block.body
   in
   let sblocks =
-    Array.map
-      (fun (b : Block.t) ->
-        let slots =
-          match b.Block.term with
-          | None -> []
-          | Some (br, _) -> List.init (Branch.delay br) (fun _ -> Sblock.nop)
-        in
-        {
-          Sblock.labels = b.Block.labels;
-          mid_labels = [];
-          body = sched b;
-          term = b.Block.term;
-          slots;
-        })
-      blocks
+    timed "reorg.schedule" (fun () ->
+        Array.map
+          (fun (b : Block.t) ->
+            let slots =
+              match b.Block.term with
+              | None -> []
+              | Some (br, _) -> List.init (Branch.delay br) (fun _ -> Sblock.nop)
+            in
+            {
+              Sblock.labels = b.Block.labels;
+              mid_labels = [];
+              body = sched b;
+              term = b.Block.term;
+              slots;
+            })
+          blocks)
   in
   let sblocks, dstats =
-    if rank level >= rank Delay_filled then
-      let s, st = Delay.fill ~blocks sblocks in
+    if rank level >= rank Delay_filled then begin
+      let s, st = timed "reorg.delay_fill" (fun () -> Delay.fill ~blocks sblocks) in
+      Mips_obs.Metrics.add obs "reorg.delay.scheme1_moved_before" st.Delay.scheme1;
+      Mips_obs.Metrics.add obs "reorg.delay.scheme2_loop_dup" st.Delay.scheme2;
+      Mips_obs.Metrics.add obs "reorg.delay.scheme3_fall_through" st.Delay.scheme3;
+      Mips_obs.Metrics.add obs "reorg.delay.unfilled" st.Delay.unfilled;
       (s, Some st)
+    end
     else (sblocks, None)
   in
   let sblocks =
-    if rank level >= rank Packed then Array.map pack_terminator sblocks else sblocks
+    if rank level >= rank Packed then
+      timed "reorg.pack_terminator" (fun () -> Array.map pack_terminator sblocks)
+    else sblocks
   in
-  (Assemble.assemble p sblocks, dstats)
+  let program = timed "reorg.assemble" (fun () -> Assemble.assemble p sblocks) in
+  Mips_obs.Metrics.add obs "reorg.static_words"
+    (Mips_machine.Program.static_count program);
+  (program, dstats)
 
 let compile ?level p = fst (compile_with_stats ?level p)
+
+let compile_raw (p : Asm.program) =
+  let sword_of_item (i : Asm.item) =
+    Sblock.of_word ~note:i.Asm.note ~fixed:i.Asm.fixed (Word.of_piece i.Asm.piece)
+  in
+  let sblocks =
+    Array.of_list (Block.partition p.Asm.lines)
+    |> Array.map (fun (b : Block.t) ->
+           (* delay-slot words must exist: link registers point past them
+              (a jal at [a] returns to [a+2]).  The interlock hardware
+              squashes them on every taken branch, so they are stall
+              cycles, never executed work. *)
+           let slots =
+             match b.Block.term with
+             | None -> []
+             | Some (br, _) -> List.init (Branch.delay br) (fun _ -> Sblock.nop)
+           in
+           {
+             Sblock.labels = b.Block.labels;
+             mid_labels = [];
+             body = List.map sword_of_item b.Block.body;
+             term = b.Block.term;
+             slots;
+           })
+  in
+  Assemble.assemble ~pad_hazards:false p sblocks

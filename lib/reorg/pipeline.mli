@@ -21,6 +21,24 @@ val compile : ?level:level -> Asm.program -> Mips_machine.Program.t
     assemble.  The result is hazard-free by construction at every level. *)
 
 val compile_with_stats :
-  ?level:level -> Asm.program -> Mips_machine.Program.t * Delay.stats option
+  ?obs:Mips_obs.Metrics.t ->
+  ?level:level ->
+  Asm.program ->
+  Mips_machine.Program.t * Delay.stats option
 (** Like {!compile}; also returns delay-slot fill statistics when the level
-    includes the branch-delay pass. *)
+    includes the branch-delay pass.
+
+    When [obs] is given, every pass charges its wall time to a
+    ["reorg.*"] timer (partition, schedule, delay_fill, pack_terminator,
+    assemble) and the pass statistics land in counters
+    (["reorg.blocks"], ["reorg.delay.scheme1_moved_before"], ...,
+    ["reorg.static_words"]) — the raw material of [mipsc profile]. *)
+
+val compile_raw : Asm.program -> Mips_machine.Program.t
+(** Assemble in raw program order: one piece per word and {e no} load-delay
+    no-op padding (delay-slot words are kept, as nops, because link
+    registers point past them).  The result is only correct on the
+    hardware-interlock comparison machine ({!Mips_machine.Cpu.interlocked_config}),
+    where a load stalls its consumer and taken branches squash their slots —
+    the conventional-machine baseline whose stall cycles [mipsc profile]
+    attributes to instruction pairs. *)

@@ -1,0 +1,370 @@
+(* The observability layer: JSON round-trips, sink semantics, and the
+   instrumented simulator/kernel actually telling the truth. *)
+
+open Mips_obs
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let event = Alcotest.testable Event.pp Event.equal
+
+(* ---------- Json ---------- *)
+
+let roundtrip j = Json.of_string_exn (Json.to_string j)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int (-42);
+      Json.Int max_int;
+      Json.Float 0.1;
+      Json.Float (-1.5e300);
+      Json.Float 3.0;
+      Json.Str "";
+      Json.Str "plain";
+      Json.Str "esc \" \\ \n \t \r \x00 \x1f";
+      Json.Str "unicode: \xc3\xa9 \xe2\x86\x92";
+      Json.List [];
+      Json.List [ Json.Int 1; Json.Str "two"; Json.Null ];
+      Json.Obj [];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("b", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      checkb (Json.to_string j) true (roundtrip j = j))
+    cases
+
+let test_json_nonfinite () =
+  check Alcotest.string "nan" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let test_json_errors () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parser accepted %S" s)
+    bad
+
+(* ---------- Event ---------- *)
+
+let test_event_samples_cover () =
+  (* every constructor appears in [samples] — guards the round-trip test
+     against silently losing coverage when a constructor is added *)
+  let kinds =
+    List.sort_uniq compare (List.map Event.kind_name Event.samples)
+  in
+  checki "distinct kinds" 14 (List.length kinds)
+
+let test_event_jsonl_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = Json.to_string (Event.to_json e) in
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "%s: unparseable %s" msg line
+      | Ok j -> (
+          match Event.of_json j with
+          | Error msg -> Alcotest.failf "%s: undecodable %s" msg line
+          | Ok e' -> check event line e e'))
+    Event.samples
+
+let test_event_text_one_line () =
+  List.iter
+    (fun e ->
+      let s = Event.to_text e in
+      checkb (Printf.sprintf "no newline in %S" s) false
+        (String.contains s '\n'))
+    Event.samples
+
+(* ---------- Sink ---------- *)
+
+let ev i = Event.Fetch { pc = i }
+
+let test_null_sink () =
+  checkb "disabled" false (Sink.enabled Sink.null);
+  Sink.emit Sink.null (ev 0);
+  Sink.flush Sink.null
+
+let test_ring_overflow () =
+  let ring, sink = Sink.ring ~capacity:4 in
+  for i = 0 to 9 do
+    Sink.emit sink (ev i)
+  done;
+  checki "capacity" 4 (Sink.ring_capacity ring);
+  checki "seen" 10 (Sink.ring_seen ring);
+  checki "dropped" 6 (Sink.ring_dropped ring);
+  Alcotest.(check (list event))
+    "last four, oldest first"
+    [ ev 6; ev 7; ev 8; ev 9 ]
+    (Sink.ring_contents ring)
+
+let test_ring_underfill () =
+  let ring, sink = Sink.ring ~capacity:8 in
+  Sink.emit sink (ev 1);
+  Sink.emit sink (ev 2);
+  checki "dropped" 0 (Sink.ring_dropped ring);
+  Alcotest.(check (list event)) "in order" [ ev 1; ev 2 ]
+    (Sink.ring_contents ring);
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Sink.ring: capacity must be positive")
+    (fun () -> ignore (Sink.ring ~capacity:0))
+
+let test_tee () =
+  let r1, s1 = Sink.ring ~capacity:4 in
+  let r2, s2 = Sink.ring ~capacity:4 in
+  let both = Sink.tee s1 s2 in
+  checkb "enabled" true (Sink.enabled both);
+  Sink.emit both (ev 7);
+  checki "left" 1 (Sink.ring_seen r1);
+  checki "right" 1 (Sink.ring_seen r2);
+  (* a disabled side collapses away *)
+  checkb "null+null" false (Sink.enabled (Sink.tee Sink.null Sink.null))
+
+let test_jsonl_buffer_sink () =
+  let buf = Buffer.create 256 in
+  let sink = Sink.jsonl_buffer buf in
+  List.iter (Sink.emit sink) Event.samples;
+  Sink.flush sink;
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  checki "one line per event" (List.length Event.samples) (List.length lines);
+  List.iter2
+    (fun e line ->
+      match Event.of_json (Json.of_string_exn line) with
+      | Ok e' -> check event line e e'
+      | Error msg -> Alcotest.failf "%s: %s" msg line)
+    Event.samples lines
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.add m "a" 2;
+  Metrics.set m "b" 7;
+  checki "a" 3 (Metrics.count m "a");
+  checki "b" 7 (Metrics.count m "b");
+  checki "absent" 0 (Metrics.count m "zzz");
+  let x = Metrics.time m "t" (fun () -> 41 + 1) in
+  checki "thunk result" 42 x;
+  checki "calls" 1 (Metrics.calls m "t");
+  Metrics.add_seconds m "t" 0.25;
+  checkb "accumulates" true (Metrics.seconds m "t" >= 0.25);
+  checki "add_seconds counts a call" 2 (Metrics.calls m "t");
+  Alcotest.(check (list string))
+    "sorted counters" [ "a"; "b" ]
+    (List.map fst (Metrics.counters m));
+  (* JSON shape round-trips through the parser *)
+  let j = roundtrip (Metrics.to_json m) in
+  checki "counter via json" 3
+    Json.(to_int_exn (member_exn "a" (member_exn "counters" j)));
+  checki "timer calls via json" 2
+    Json.(
+      to_int_exn (member_exn "calls" (member_exn "t" (member_exn "timers" j))))
+
+(* ---------- the instrumented simulator ---------- *)
+
+let run_traced ?(config = Mips_ir.Config.default) name =
+  let entry = Mips_corpus.Corpus.find name in
+  let buf = Buffer.create (1 lsl 16) in
+  let sink = Sink.jsonl_buffer buf in
+  let res, cpu =
+    Mips_codegen.Compile.run_with_machine ~config
+      ~input:entry.Mips_corpus.Corpus.input ~trace:sink
+      entry.Mips_corpus.Corpus.source
+  in
+  Sink.flush sink;
+  checkb (name ^ " halted") true res.Mips_machine.Hosted.halted;
+  let events =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun l ->
+           match Event.of_json (Json.of_string_exn l) with
+           | Ok e -> e
+           | Error msg -> Alcotest.failf "bad trace line (%s): %s" msg l)
+  in
+  (res, cpu, events)
+
+let test_fib_trace_golden () =
+  let res, cpu, events = run_traced "fib" in
+  let stats = Mips_machine.Cpu.stats cpu in
+  let count p = List.length (List.filter p events) in
+  (* one Fetch and one Issue per executed instruction word *)
+  checki "issues = words" stats.Mips_machine.Stats.words
+    (count (function Event.Issue _ -> true | _ -> false));
+  checki "fetches = words" stats.Mips_machine.Stats.words
+    (count (function Event.Fetch _ -> true | _ -> false));
+  checki "branch events = branches taken"
+    stats.Mips_machine.Stats.branches_taken
+    (count (function Event.Branch_taken _ -> true | _ -> false));
+  (* fib writes its output through the monitor *)
+  checkb "monitor calls traced" true
+    (count (function Event.Monitor_call _ -> true | _ -> false) > 0);
+  checkb "memory references traced" true
+    (count (function Event.Mem_ref _ -> true | _ -> false) > 0);
+  (* traps reach the trace as architectural dispatches *)
+  checki "trap dispatches"
+    (Mips_machine.Stats.exception_count stats Mips_machine.Cause.Trap)
+    (count (function
+      | Event.Exception_dispatch { cause = "Trap"; _ } -> true
+      | _ -> false));
+  checkb "output unchanged by tracing" true
+    (String.length res.Mips_machine.Hosted.output > 0)
+
+let test_trace_does_not_change_execution () =
+  let entry = Mips_corpus.Corpus.find "qsort" in
+  let plain =
+    Mips_codegen.Compile.run ~input:entry.Mips_corpus.Corpus.input
+      entry.Mips_corpus.Corpus.source
+  in
+  let traced, cpu, _ = run_traced "qsort" in
+  check Alcotest.string "same output" plain.Mips_machine.Hosted.output
+    traced.Mips_machine.Hosted.output;
+  checkb "cycles tallied" true
+    ((Mips_machine.Cpu.stats cpu).Mips_machine.Stats.cycles > 0)
+
+let test_stats_json_valid () =
+  let _, cpu, _ = run_traced "fib" in
+  let stats = Mips_machine.Cpu.stats cpu in
+  let j = roundtrip (Mips_machine.Stats.to_json stats) in
+  checki "cycles" stats.Mips_machine.Stats.cycles
+    Json.(to_int_exn (member_exn "cycles" j));
+  checki "words" stats.Mips_machine.Stats.words
+    Json.(to_int_exn (member_exn "words" j));
+  checkb "free fraction in [0,1]" true
+    (let f = Json.(to_float_exn (member_exn "free_cycle_fraction" j)) in
+     f >= 0. && f <= 1.)
+
+(* ---------- raw code on the interlocked machine ---------- *)
+
+let test_raw_interlocked_equivalence () =
+  (* the conventional-machine baseline must compute the same results: the
+     hardware stalls stand in for the software no-ops *)
+  List.iter
+    (fun name ->
+      let entry = Mips_corpus.Corpus.find name in
+      let expected =
+        Mips_codegen.Compile.run ~input:entry.Mips_corpus.Corpus.input
+          entry.Mips_corpus.Corpus.source
+      in
+      let raw =
+        Mips_reorg.Pipeline.compile_raw
+          (Mips_codegen.Compile.to_asm entry.Mips_corpus.Corpus.source)
+      in
+      let cpu =
+        Mips_machine.Cpu.create ~config:Mips_machine.Cpu.interlocked_config ()
+      in
+      let res =
+        Mips_machine.Hosted.run_program_on
+          ~input:entry.Mips_corpus.Corpus.input cpu raw
+      in
+      checkb (name ^ " halted") true res.Mips_machine.Hosted.halted;
+      check Alcotest.string (name ^ " output")
+        expected.Mips_machine.Hosted.output res.Mips_machine.Hosted.output)
+    [ "fib"; "qsort"; "sieve"; "strops" ]
+
+let test_raw_interlocked_stall_pairs () =
+  let entry = Mips_corpus.Corpus.find "fib" in
+  let raw =
+    Mips_reorg.Pipeline.compile_raw
+      (Mips_codegen.Compile.to_asm entry.Mips_corpus.Corpus.source)
+  in
+  let cpu =
+    Mips_machine.Cpu.create ~config:Mips_machine.Cpu.interlocked_config ()
+  in
+  let _ =
+    Mips_machine.Hosted.run_program_on ~input:entry.Mips_corpus.Corpus.input
+      cpu raw
+  in
+  let stats = Mips_machine.Cpu.stats cpu in
+  checkb "raw code stalls" true (stats.Mips_machine.Stats.load_use_stall_cycles > 0);
+  let pairs = Mips_machine.Stats.stall_pairs stats in
+  checkb "pairs attributed" true (pairs <> []);
+  (* the pair table accounts for every load-use stall *)
+  checki "pair totals"
+    stats.Mips_machine.Stats.load_use_stall_cycles
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 pairs);
+  (* sorted most-stalls-first *)
+  let counts = List.map snd pairs in
+  checkb "sorted desc" true (List.sort (fun a b -> compare b a) counts = counts)
+
+(* ---------- the instrumented kernel ---------- *)
+
+let test_kernel_trace () =
+  (* an unbounded collector: the per-word machine events would overflow any
+     reasonable ring and take the early Spawn events with them *)
+  let collected = ref [] in
+  let sink = Sink.of_fun (fun e -> collected := e :: !collected) in
+  let k = Mips_os.Kernel.create ~quantum:500 ~trace:sink () in
+  let compile name =
+    let e = Mips_corpus.Corpus.find name in
+    ( Mips_codegen.Compile.compile
+        ~config:
+          {
+            Mips_ir.Config.default with
+            Mips_ir.Config.stack_top = Mips_os.Kernel.user_stack_top;
+          }
+        e.Mips_corpus.Corpus.source,
+      e.Mips_corpus.Corpus.input )
+  in
+  let p1, i1 = compile "fib" in
+  let p2, i2 = compile "sieve" in
+  Mips_os.Kernel.spawn k ~input:i1 ~name:"fib" p1;
+  Mips_os.Kernel.spawn k ~input:i2 ~name:"sieve" p2;
+  let report = Mips_os.Kernel.run k in
+  let events = List.rev !collected in
+  let count p = List.length (List.filter p events) in
+  checki "spawns" 2 (count (function Event.Spawn _ -> true | _ -> false));
+  checki "exits" 2 (count (function Event.Proc_exit _ -> true | _ -> false));
+  checki "switch events" report.Mips_os.Kernel.switches
+    (count (function Event.Context_switch _ -> true | _ -> false));
+  checki "fault events" report.Mips_os.Kernel.page_faults
+    (count (function Event.Page_fault _ -> true | _ -> false));
+  (* report JSON parses and agrees *)
+  let j = roundtrip (Mips_os.Kernel.report_json report) in
+  checki "switches via json" report.Mips_os.Kernel.switches
+    Json.(to_int_exn (member_exn "switches" j));
+  checki "procs via json" 2
+    (List.length Json.(to_list_exn (member_exn "procs" j)))
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite;
+        Alcotest.test_case "json parse errors" `Quick test_json_errors;
+        Alcotest.test_case "event samples cover" `Quick test_event_samples_cover;
+        Alcotest.test_case "event jsonl round-trip" `Quick
+          test_event_jsonl_roundtrip;
+        Alcotest.test_case "event text one-line" `Quick test_event_text_one_line;
+        Alcotest.test_case "null sink" `Quick test_null_sink;
+        Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+        Alcotest.test_case "ring underfill" `Quick test_ring_underfill;
+        Alcotest.test_case "tee" `Quick test_tee;
+        Alcotest.test_case "jsonl buffer sink" `Quick test_jsonl_buffer_sink;
+        Alcotest.test_case "metrics registry" `Quick test_metrics;
+        Alcotest.test_case "fib trace golden" `Quick test_fib_trace_golden;
+        Alcotest.test_case "tracing is passive" `Quick
+          test_trace_does_not_change_execution;
+        Alcotest.test_case "stats json valid" `Quick test_stats_json_valid;
+        Alcotest.test_case "raw interlocked equivalence" `Quick
+          test_raw_interlocked_equivalence;
+        Alcotest.test_case "raw interlocked stall pairs" `Quick
+          test_raw_interlocked_stall_pairs;
+        Alcotest.test_case "kernel trace" `Quick test_kernel_trace;
+      ] );
+  ]
