@@ -89,6 +89,21 @@ let bench_tests =
           fun () ->
             let res = Mips_machine.Hosted.run_program p in
             assert res.Mips_machine.Hosted.halted));
+    Test.make ~name:"simulate_queens_null_fault_plan"
+      (staged
+         (* same workload with an installed-but-empty fault plan: the delta
+            against simulate_queens is the injection hook's cost *)
+         (let p = Mips_codegen.Compile.compile (compile_entry "queens") in
+          fun () ->
+            let cpu = Mips_machine.Cpu.create () in
+            Mips_machine.Cpu.set_fault_plan cpu
+              (Mips_fault.Plan.make Mips_fault.Plan.quiet);
+            let res = Mips_machine.Hosted.run_program_on cpu p in
+            assert res.Mips_machine.Hosted.halted));
+    Test.make ~name:"soak_differential_one_seed"
+      (staged (fun () ->
+           let d = Mips_soak.Soak.differential ~seed:1 () in
+           assert d.Mips_soak.Soak.ok));
     Test.make ~name:"os_multiprogram_fib_sieve"
       (staged
          (let cfg =

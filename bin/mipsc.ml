@@ -6,6 +6,7 @@
    mipsc levels FILE         static counts at each postpass level (Table 11 view)
    mipsc profile FILE        per-phase compile times and top stall-causing pairs
    mipsc corpus [NAME]       run corpus programs
+   mipsc soak --seed N       seeded fault-injection soak (kernel + differential)
    mipsc report              regenerate every table and figure of the paper
 
    FILE may also name a corpus program (e.g. `mipsc run fib`).
@@ -13,7 +14,13 @@
    Observability: `run` takes --trace[=FILE] (events to stderr, a file, or
    `-` for stdout) with --trace-format=text|jsonl, and --stats-json FILE to
    dump the execution counters as JSON.  `report --json` emits the whole
-   evaluation machine-readably. *)
+   evaluation machine-readably.
+
+   Robustness: `run` takes --fault-seed/--fault-rate to subject a single
+   program to transparent transient faults (flaky-memory restarts and
+   spurious interrupts); `soak` drives the full hardened-kernel and
+   raw-vs-reorganized differential harnesses.  Both are bit-for-bit
+   deterministic for a given seed. *)
 
 open Cmdliner
 
@@ -104,8 +111,29 @@ let write_json dest json =
   output_char oc '\n';
   close ()
 
+(* fault-injection flags for `run` *)
+let fault_seed_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Subject the run to transient fault injection with this plan seed \
+           (flaky-memory restarts and spurious interrupts — the transparent \
+           kinds, so program output must be unchanged).")
+
+let fault_rate_flag =
+  Arg.(
+    value
+    & opt float 0.001
+    & info [ "fault-rate" ] ~docv:"R"
+        ~doc:
+          "Per-step injection probability under $(b,--fault-seed) (default \
+           0.001).")
+
 let run_cmd =
-  let run file byte early_out level input stats trace trace_format stats_json =
+  let run file byte early_out level input stats trace trace_format stats_json
+      fault_seed fault_rate =
     let config = config_of ~byte ~early_out in
     let src = read_source file in
     let input =
@@ -122,9 +150,19 @@ let run_cmd =
           let oc, close = open_dest dest in
           (Mips_obs.Sink.to_channel trace_format oc, close)
     in
+    let fault_plan =
+      Option.map
+        (fun seed ->
+          Mips_fault.Plan.make
+            { Mips_fault.Plan.quiet with
+              Mips_fault.Plan.seed;
+              flaky_rate = fault_rate;
+              irq_rate = fault_rate /. 2. })
+        fault_seed
+    in
     let res, cpu =
       Mips_codegen.Compile.run_with_machine ~config ~level:(level_of level)
-        ~fuel:500_000_000 ~input ~trace:trace_sink src
+        ~fuel:500_000_000 ~input ~trace:trace_sink ?fault_plan src
     in
     Mips_obs.Sink.flush trace_sink;
     trace_close ();
@@ -133,13 +171,18 @@ let run_cmd =
     | Some (c, d) ->
         Printf.eprintf "fault: %s (%d)\n" (Mips_machine.Cause.name c) d
     | None -> ());
+    (match fault_plan with
+    | Some plan ->
+        Printf.eprintf "faults: %d injected, %d transient restarts\n"
+          (Mips_fault.Plan.injected plan) res.Mips_machine.Hosted.retries
+    | None -> ());
     if stats then Format.eprintf "%a@." Mips_machine.Stats.pp (Mips_machine.Cpu.stats cpu);
     (match stats_json with
     | Some dest ->
         write_json dest (Mips_machine.Stats.to_json (Mips_machine.Cpu.stats cpu))
     | None -> ());
-    if not res.Mips_machine.Hosted.halted then begin
-      prerr_endline "mipsc: out of fuel";
+    if (Mips_machine.Cpu.stats cpu).Mips_machine.Stats.fuel_exhausted then begin
+      prerr_endline "mipsc: out of fuel (execution did not complete)";
       exit 3
     end;
     exit (Option.value ~default:0 res.Mips_machine.Hosted.exit_status)
@@ -147,7 +190,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program on the simulator.")
     Term.(
       const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag
-      $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag)
+      $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag
+      $ fault_seed_flag $ fault_rate_flag)
 
 let compile_cmd =
   let compile file byte early_out level =
@@ -314,6 +358,133 @@ let corpus_cmd =
       const corpus
       $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Corpus program (all when omitted)."))
 
+let soak_cmd =
+  let soak seed steps programs segments quantum watchdog flip_rate
+      data_flip_rate irq_rate page_drop_rate flaky_rate differential json =
+    let plan =
+      {
+        Mips_fault.Plan.seed;
+        flip_reg_rate = flip_rate;
+        flip_data_rate = data_flip_rate;
+        irq_rate;
+        page_drop_rate;
+        flaky_rate;
+        max_injections = 0;
+      }
+    in
+    let s =
+      Mips_soak.Soak.run_soak ~programs ?segments ~quantum ?watchdog ~steps
+        ~plan ~seed ()
+    in
+    let diffs =
+      List.init differential (fun i ->
+          Mips_soak.Soak.differential ?segments ~seed:(seed + i) ())
+    in
+    let diverged =
+      List.filter (fun d -> not d.Mips_soak.Soak.ok) diffs
+    in
+    if json then
+      print_endline
+        (Mips_obs.Json.to_string
+           (Mips_obs.Json.Obj
+              [ ("kernel", Mips_soak.Soak.summary_json s);
+                ( "differential",
+                  Mips_obs.Json.List (List.map Mips_soak.Soak.diff_json diffs)
+                ) ]))
+    else begin
+      Printf.printf "=== kernel soak (seed %d, %d programs, %d steps) ===\n"
+        seed s.Mips_soak.Soak.programs s.Mips_soak.Soak.steps;
+      Printf.printf "exited %d, killed %d, live %d%s\n"
+        s.Mips_soak.Soak.exited s.Mips_soak.Soak.killed s.Mips_soak.Soak.live
+        (if s.Mips_soak.Soak.fuel_exhausted then " (out of fuel)" else "");
+      List.iter
+        (fun (reason, n) -> Printf.printf "  killed by %s: %d\n" reason n)
+        s.Mips_soak.Soak.kill_reasons;
+      Printf.printf "injected:";
+      List.iter
+        (fun (kind, n) -> if n > 0 then Printf.printf " %s %d" kind n)
+        s.Mips_soak.Soak.injected;
+      print_newline ();
+      Printf.printf
+        "transient faults %d (retried %d), watchdog kills %d, double faults \
+         %d, oom kills %d\n"
+        s.Mips_soak.Soak.transient_faults s.Mips_soak.Soak.transient_retries
+        s.Mips_soak.Soak.watchdog_kills s.Mips_soak.Soak.double_faults
+        s.Mips_soak.Soak.oom_kills;
+      Printf.printf "page faults %d, switches %d, %d cycles\n"
+        s.Mips_soak.Soak.page_faults s.Mips_soak.Soak.switches
+        s.Mips_soak.Soak.total_cycles;
+      if differential > 0 then begin
+        Printf.printf
+          "=== differential (%d programs, raw vs reorganized, faulted) ===\n"
+          differential;
+        Printf.printf "%d equivalent, %d diverged\n"
+          (List.length diffs - List.length diverged)
+          (List.length diverged);
+        List.iter
+          (fun (d : Mips_soak.Soak.diff) ->
+            List.iter
+              (fun (v, m) ->
+                Printf.printf "  seed %d, %s: %s\n" d.Mips_soak.Soak.seed v m)
+              d.Mips_soak.Soak.mismatches)
+          diverged
+      end
+    end;
+    if diverged <> [] then exit 4
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Seeded fault-injection soak: generated programs under a hardened \
+          kernel with transient faults, plus a raw-vs-reorganized \
+          differential check.  Bit-for-bit deterministic for a given seed; \
+          exits 4 when a differential run diverges.")
+    Term.(
+      const soak
+      $ Arg.(
+          value & opt int 1
+          & info [ "seed" ] ~docv:"N" ~doc:"Master seed for programs and fault plan.")
+      $ Arg.(
+          value & opt int 2_000_000
+          & info [ "steps" ] ~docv:"K" ~doc:"Kernel-run fuel in machine steps.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "programs" ] ~docv:"N" ~doc:"Generated processes to spawn.")
+      $ Arg.(
+          value & opt (some int) (Some 48)
+          & info [ "segments" ] ~docv:"N" ~doc:"Size of each generated program.")
+      $ Arg.(
+          value & opt int 500
+          & info [ "quantum" ] ~docv:"CYCLES" ~doc:"Scheduler quantum.")
+      $ Arg.(
+          value & opt (some int) None
+          & info [ "watchdog" ] ~docv:"CYCLES"
+              ~doc:"Per-process cycle budget (unlimited when omitted).")
+      $ Arg.(
+          value & opt float 0.002
+          & info [ "flip-rate" ] ~docv:"R" ~doc:"Register bit-flip rate per step.")
+      $ Arg.(
+          value & opt float 0.002
+          & info [ "data-flip-rate" ] ~docv:"R" ~doc:"Data-word bit-flip rate per step.")
+      $ Arg.(
+          value & opt float 0.002
+          & info [ "irq-rate" ] ~docv:"R" ~doc:"Spurious-interrupt rate per step.")
+      $ Arg.(
+          value & opt float 0.002
+          & info [ "page-drop-rate" ] ~docv:"R"
+              ~doc:"Clean page-mapping drop rate per step.")
+      $ Arg.(
+          value & opt float 0.005
+          & info [ "flaky-rate" ] ~docv:"R"
+              ~doc:"Flaky-memory (transient load/store fault) rate per step.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "differential" ] ~docv:"N"
+              ~doc:
+                "Also run $(docv) raw-vs-reorganized differential programs \
+                 under transparent faults (0 to disable).")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON."))
+
 let report_cmd =
   let report with_benchmarks json =
     if json then
@@ -344,5 +515,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "mipsc" ~version:"1.0.0" ~doc)
-          [ run_cmd; compile_cmd; asm_cmd; levels_cmd; profile_cmd; corpus_cmd;
+          [ run_cmd; compile_cmd; asm_cmd; levels_cmd; profile_cmd; corpus_cmd; soak_cmd;
             report_cmd ]))

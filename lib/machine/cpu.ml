@@ -43,6 +43,9 @@ type t = {
   stats : Stats.t;
   mutable trace : Mips_obs.Sink.t;
   mutable trace_on : bool;  (* = trace.enabled, flattened for the hot path *)
+  mutable plan : Mips_fault.Plan.t;
+  mutable inject_on : bool;  (* = Plan.enabled plan, flattened likewise *)
+  mutable flaky_armed : bool;  (* next data reference transiently faults *)
   (* previous executed word, for load-use stall attribution by pair *)
   mutable prev_pc : int;
   mutable prev_word : int Word.t;
@@ -53,6 +56,7 @@ type t = {
 and fault_kind =
   | Missing_page of Pagemap.space * int
   | Segment_violation of int
+  | Transient_ref
 
 type event = Stepped | Dispatched of Cause.t
 
@@ -78,6 +82,9 @@ let create ?(config = default_config) () =
     stats = Stats.create ();
     trace = Mips_obs.Sink.null;
     trace_on = false;
+    plan = Mips_fault.Plan.none;
+    inject_on = false;
+    flaky_armed = false;
     prev_pc = -1;
     prev_word = Word.Nop;
     delay_pending = 0;
@@ -89,6 +96,13 @@ let trace t = t.trace
 let set_trace t sink =
   t.trace <- sink;
   t.trace_on <- sink.Mips_obs.Sink.enabled
+
+let fault_plan t = t.plan
+
+let set_fault_plan t plan =
+  t.plan <- plan;
+  t.inject_on <- Mips_fault.Plan.enabled plan;
+  t.flaky_armed <- false
 let render_word w = Format.asprintf "%a" Word.pp_abs w
 let get_reg t r = t.regs.(Reg.to_int r)
 let set_reg t r v = t.regs.(Reg.to_int r) <- Word32.norm v
@@ -121,7 +135,7 @@ let faulted t = t.fault
 let faulted_addr t =
   match t.fault with
   | Some (Missing_page (sp, ga)) -> Some (sp, ga)
-  | Some (Segment_violation _) | None -> None
+  | Some (Segment_violation _ | Transient_ref) | None -> None
 
 let load_program ?(at = 0) ?(data_at = 0) t (p : Program.t) =
   Array.blit p.code 0 t.imem at (Array.length p.code);
@@ -193,6 +207,17 @@ let resolve t ~write ~width addr =
     (phys, None)
   end
 
+(* An armed flaky-memory fault fires on the next data reference, before any
+   translation or access side effect — the reference simply never happens
+   this time around and the word restarts through the dispatch path. *)
+let check_flaky t =
+  if t.flaky_armed then begin
+    t.flaky_armed <- false;
+    Mips_fault.Plan.note_flaky_fired t.plan;
+    t.fault <- Some Transient_ref;
+    raise (Fault (Cause.Page_fault, 0))
+  end
+
 type mem_effect =
   | Load_result of int * int * int * bool
       (* register, value, phys word, byte-sized: lands one word late *)
@@ -203,6 +228,7 @@ let compute_mem t note m =
   match m with
   | Mem.Limm (c, d) -> Imm_result (Reg.to_int d, c)
   | Mem.Load (width, a, d) ->
+      check_flaky t;
       let addr = effective_addr t a in
       let phys, lane = resolve t ~write:false ~width addr in
       let v =
@@ -213,6 +239,7 @@ let compute_mem t note m =
       ignore note;
       Load_result (Reg.to_int d, v, phys, lane <> None)
   | Mem.Store (width, s, a) ->
+      check_flaky t;
       let addr = effective_addr t a in
       let phys, lane = resolve t ~write:true ~width addr in
       Store_commit (phys, lane, t.regs.(Reg.to_int s))
@@ -353,7 +380,36 @@ let stall t n =
   t.stats.free_cycles <- t.stats.free_cycles + n;
   t.stats.weighted_cycles <- t.stats.weighted_cycles +. float_of_int n
 
+(* Apply one decided injection to the architectural state.  Payload values
+   are reduced into the machine's own ranges here so the plan can stay
+   machine-agnostic. *)
+let apply_injection t inj =
+  (match inj with
+  | Mips_fault.Plan.Flip_reg { reg; bit } ->
+      let r = reg land 15 in
+      t.regs.(r) <- Word32.norm (t.regs.(r) lxor (1 lsl (bit land 31)))
+  | Mips_fault.Plan.Flip_data { word; bit } ->
+      let w = word mod t.cfg.dmem_words in
+      t.dmem.(w) <- Word32.norm (t.dmem.(w) lxor (1 lsl (bit land 31)))
+  | Mips_fault.Plan.Spurious_interrupt -> t.interrupt_line <- true
+  | Mips_fault.Plan.Drop_page { pick } ->
+      ignore (Pagemap.drop_clean t.pagemap ~pick)
+  | Mips_fault.Plan.Flaky_mem -> t.flaky_armed <- true);
+  if t.trace_on then
+    Mips_obs.Sink.emit t.trace
+      (Mips_obs.Event.Fault_injected
+         {
+           cycle = t.stats.Stats.cycles;
+           kind = Mips_fault.Plan.injection_kind inj;
+           target = Mips_fault.Plan.injection_target inj;
+         })
+
 let step t =
+  if t.inject_on then begin
+    match Mips_fault.Plan.decide t.plan with
+    | Some inj -> apply_injection t inj
+    | None -> ()
+  end;
   if t.interrupt_line && t.sr.int_enable then
     dispatch t Cause.Interrupt 0 ~epcs:(t.p0, t.p1, t.p2)
   else begin
@@ -535,7 +591,10 @@ let step t =
 
 let run ?(fuel = 10_000_000) t handler =
   let rec loop fuel =
-    if fuel <= 0 then false
+    if fuel <= 0 then begin
+      t.stats.Stats.fuel_exhausted <- true;
+      false
+    end
     else
       match step t with
       | Stepped -> loop (fuel - 1)

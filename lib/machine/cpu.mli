@@ -62,6 +62,18 @@ val set_trace : t -> Mips_obs.Sink.t -> unit
     memory reference, taken branch, delay-slot execution and exception
     dispatch is reported. *)
 
+val fault_plan : t -> Mips_fault.Plan.t
+val set_fault_plan : t -> Mips_fault.Plan.t -> unit
+(** Attach a transient-fault plan.  With the default {!Mips_fault.Plan.none}
+    the hook in {!step} is a single flag test; with an enabled plan the plan
+    is consulted once per step and any decided injection (register/data bit
+    flip, spurious interrupt, clean-page drop, flaky-memory arming) is
+    applied to the architectural state before the word executes.  An armed
+    flaky fault fires on the next data reference: the reference raises a
+    transient [Page_fault] ({!fault_kind.Transient_ref}) {e before} touching
+    memory, so restarting the word through the EPC chain re-executes it
+    exactly.  Attaching a plan disarms any pending flaky fault. *)
+
 (** {2 Architectural state} *)
 
 val get_reg : t -> Reg.t -> Word32.t
@@ -115,7 +127,8 @@ val run : ?fuel:int -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool
     executed.  On [`Resume] the machine performs the return-from-exception:
     restores the surprise register and the saved PC chain (the handler may
     have redirected the EPCs first).  Returns [true] when halted by the
-    handler, [false] when out of fuel.
+    handler, [false] when out of fuel (which also sets
+    {!Stats.t.fuel_exhausted}).
 
     This is the {e hosted} mode used by tests and analyses; the full machine
     -level dispatch path (kernel code at address 0) is exercised by the OS
@@ -130,6 +143,9 @@ type fault_kind =
       (** a reference between the two valid segment regions, at this
           process virtual address ("treated as a page fault" by the
           hardware; the OS decides to grow the segment or kill) *)
+  | Transient_ref
+      (** an injected flaky-memory fault: the data reference never happened
+          and the word is restartable as-is — software should simply retry *)
 
 val faulted : t -> fault_kind option
 

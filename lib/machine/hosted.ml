@@ -7,6 +7,7 @@ type result = {
   exit_status : int option;
   output : string;
   fault : (Cause.t * int) option;
+  retries : int;
 }
 
 (* Read [len] characters of a packed byte array starting at word [addr]. *)
@@ -22,6 +23,7 @@ let run ?fuel ?(input = "") ?(on_unhandled = `Abort) cpu =
   let out = Buffer.create 256 in
   let exit_status = ref None in
   let fault = ref None in
+  let retries = ref 0 in
   let in_pos = ref 0 in
   let arg0 () = Cpu.get_reg cpu Reg.scratch0 in
   let arg1 () = Cpu.get_reg cpu Reg.scratch1 in
@@ -63,6 +65,16 @@ let run ?fuel ?(input = "") ?(on_unhandled = `Abort) cpu =
           fault := Some (Cause.Trap, code);
           `Halt
         end)
+    | Cause.Page_fault when Cpu.faulted c = Some Cpu.Transient_ref ->
+        (* injected flaky-memory fault: the reference never happened, so a
+           plain return-from-exception restarts the word and retries it *)
+        incr retries;
+        `Resume
+    | Cause.Interrupt ->
+        (* no device model in hosted mode: acknowledge (drop the line) and
+           resume exactly where the machine was interrupted *)
+        Cpu.set_interrupt c false;
+        `Resume
     | other -> (
         match on_unhandled with
         | `Abort ->
@@ -76,7 +88,13 @@ let run ?fuel ?(input = "") ?(on_unhandled = `Abort) cpu =
             `Resume)
   in
   let halted = Cpu.run ?fuel cpu handler in
-  { halted; exit_status = !exit_status; output = Buffer.contents out; fault = !fault }
+  {
+    halted;
+    exit_status = !exit_status;
+    output = Buffer.contents out;
+    fault = !fault;
+    retries = !retries;
+  }
 
 let run_program_on ?fuel ?input cpu program =
   Cpu.load_program cpu program;

@@ -12,6 +12,9 @@ type result = {
   fault : (Cause.t * int) option;
       (** set when execution was aborted by a non-trap exception
           (cause, cause-detail) *)
+  retries : int;
+      (** injected transient memory faults that were restarted through the
+          dispatch path (always 0 without a fault plan) *)
 }
 
 val eof_char : int
@@ -26,10 +29,12 @@ val run :
   Cpu.t ->
   result
 (** Run the loaded program to completion.  Monitor calls are served from
-    [input] (for [getchar]) and into the result's [output].  Exceptions
-    other than traps abort the run and are reported in [fault] (with
-    [`Abort], the default) or resumed past (with [`Ignore], which skips the
-    offending instruction — for fault-injection tests). *)
+    [input] (for [getchar]) and into the result's [output].  Injected
+    transient memory faults are retried (counted in [retries]); interrupts
+    are acknowledged and resumed.  Other non-trap exceptions abort the run
+    and are reported in [fault] (with [`Abort], the default) or resumed
+    past (with [`Ignore], which skips the offending instruction — for
+    fault-injection tests). *)
 
 val run_program : ?fuel:int -> ?input:string -> ?config:Cpu.config -> Program.t -> result
 (** Create a machine, load the image, and {!run} it in kernel mode with

@@ -33,6 +33,23 @@ let translate t space ~write gaddr =
       if write then e.dirty <- true;
       (e.frame * page_words) + (gaddr mod page_words)
 
+let drop_clean t ~pick =
+  let clean =
+    Hashtbl.fold
+      (fun (space, vpage) e acc ->
+        if e.dirty then acc else (space, vpage) :: acc)
+      t []
+    |> List.sort compare
+  in
+  match clean with
+  | [] -> None
+  | _ :: _ ->
+      let ((space, vpage) as victim) =
+        List.nth clean (pick mod List.length clean)
+      in
+      Hashtbl.remove t (space, vpage);
+      Some victim
+
 let entries t =
   Hashtbl.fold (fun (space, vpage) e acc -> (space, vpage, e) :: acc) t []
 

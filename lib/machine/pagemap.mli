@@ -38,6 +38,14 @@ val translate : t -> space -> write:bool -> int -> int
     Sets the referenced bit, and the dirty bit when [write].
     @raise Fault on a missing entry or a write to a read-only page. *)
 
+val drop_clean : t -> pick:int -> (space * int) option
+(** Silently unmap one {e clean} (non-dirty) entry — a simulated TLB drop
+    for fault injection.  The victim is chosen deterministically by [pick]
+    (modulo the clean-entry count, in sorted key order).  Dirty pages are
+    never dropped: this map is the only record of where their data lives, so
+    dropping one would lose writes rather than model a transient.  [None]
+    when every entry is dirty or the map is empty. *)
+
 val entries : t -> (space * int * entry) list
 (** All mappings, for inspection and page-replacement policies. *)
 

@@ -17,6 +17,7 @@ type t = {
   mutable weighted_cycles : float;
   mutable exceptions : (Cause.t * int) list;
   mutable synthetic_refs : int;
+  mutable fuel_exhausted : bool;
   word_refs : ref_class;
   word_char_refs : ref_class;
   byte_refs : ref_class;
@@ -44,6 +45,7 @@ let create () =
     weighted_cycles = 0.;
     exceptions = [];
     synthetic_refs = 0;
+    fuel_exhausted = false;
     word_refs = new_class ();
     word_char_refs = new_class ();
     byte_refs = new_class ();
@@ -121,6 +123,7 @@ let pp ppf t =
   if t.stall_cycles > 0 then
     Format.fprintf ppf "@ stall breakdown: %d load-use, %d branch-latency"
       t.load_use_stall_cycles t.branch_stall_cycles;
+  if t.fuel_exhausted then Format.fprintf ppf "@ fuel exhausted: yes";
   (match exceptions_sorted t with
   | [] -> ()
   | exns ->
@@ -153,6 +156,7 @@ let to_json t =
       ("mem_busy_cycles", Int t.mem_busy_cycles);
       ("free_cycles", Int t.free_cycles);
       ("free_cycle_fraction", Float (free_cycle_fraction t));
+      ("fuel_exhausted", Bool t.fuel_exhausted);
       ( "exceptions",
         Obj
           (List.map

@@ -25,6 +25,10 @@ type t =
   | Proc_exit of { pid : int; name : string; status : int }
   | Proc_killed of { pid : int; name : string; cause : string; detail : int }
   | Pass of { name : string; seconds : float }
+  | Fault_injected of { cycle : int; kind : string; target : int }
+  | Retry of { pid : int; attempt : int }
+  | Watchdog_kill of { pid : int; name : string; cycles : int }
+  | Double_fault of { pid : int; name : string; first : string; second : string }
 
 let equal (a : t) (b : t) = a = b
 
@@ -43,6 +47,10 @@ let kind_name = function
   | Proc_exit _ -> "proc_exit"
   | Proc_killed _ -> "proc_killed"
   | Pass _ -> "pass"
+  | Fault_injected _ -> "fault_injected"
+  | Retry _ -> "retry"
+  | Watchdog_kill _ -> "watchdog_kill"
+  | Double_fault _ -> "double_fault"
 
 let delay_slot_name = function
   | `Filled -> "filled"
@@ -107,6 +115,17 @@ let pp ppf e =
         detail
   | Pass { name; seconds } ->
       Format.fprintf ppf "          pass  %s  %.6fs" name seconds
+  | Fault_injected { cycle; kind; target } ->
+      Format.fprintf ppf "          fault-injected  %s (target %d) @cycle %d"
+        kind target cycle
+  | Retry { pid; attempt } ->
+      Format.fprintf ppf "          retry  pid %d (attempt %d)" pid attempt
+  | Watchdog_kill { pid; name; cycles } ->
+      Format.fprintf ppf "          watchdog-kill  pid %d (%s) after %d cycles"
+        pid name cycles
+  | Double_fault { pid; name; first; second } ->
+      Format.fprintf ppf "          double-fault  pid %d (%s) %s then %s" pid
+        name first second
 
 let to_text e = Format.asprintf "%a" pp e
 
@@ -173,6 +192,24 @@ let to_json e =
           ("detail", Json.Int detail) ]
   | Pass { name; seconds } ->
       ev [ ("name", Json.Str name); ("seconds", Json.Float seconds) ]
+  | Fault_injected { cycle; kind; target } ->
+      ev
+        [ ("cycle", Json.Int cycle);
+          ("kind", Json.Str kind);
+          ("target", Json.Int target) ]
+  | Retry { pid; attempt } ->
+      ev [ ("pid", Json.Int pid); ("attempt", Json.Int attempt) ]
+  | Watchdog_kill { pid; name; cycles } ->
+      ev
+        [ ("pid", Json.Int pid);
+          ("name", Json.Str name);
+          ("cycles", Json.Int cycles) ]
+  | Double_fault { pid; name; first; second } ->
+      ev
+        [ ("pid", Json.Int pid);
+          ("name", Json.Str name);
+          ("first", Json.Str first);
+          ("second", Json.Str second) ]
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -284,6 +321,26 @@ let of_json j =
       let* name = str "name" in
       let* seconds = float_ "seconds" in
       Ok (Pass { name; seconds })
+  | "fault_injected" ->
+      let* cycle = int "cycle" in
+      let* kind = str "kind" in
+      let* target = int "target" in
+      Ok (Fault_injected { cycle; kind; target })
+  | "retry" ->
+      let* pid = int "pid" in
+      let* attempt = int "attempt" in
+      Ok (Retry { pid; attempt })
+  | "watchdog_kill" ->
+      let* pid = int "pid" in
+      let* name = str "name" in
+      let* cycles = int "cycles" in
+      Ok (Watchdog_kill { pid; name; cycles })
+  | "double_fault" ->
+      let* pid = int "pid" in
+      let* name = str "name" in
+      let* first = str "first" in
+      let* second = str "second" in
+      Ok (Double_fault { pid; name; first; second })
   | s -> Error ("unknown event kind " ^ s)
 
 (* One of each constructor — the round-trip tests iterate over this, so a
@@ -316,4 +373,9 @@ let samples =
     Page_fault { pid = 1; ispace = true; gaddr = 65536 };
     Proc_exit { pid = 1; name = "fib"; status = 0 };
     Proc_killed { pid = 2; name = "wild"; cause = "Privilege"; detail = 1 };
-    Pass { name = "reorg.schedule"; seconds = 0.015625 } ]
+    Pass { name = "reorg.schedule"; seconds = 0.015625 };
+    Fault_injected { cycle = 120; kind = "reg_flip"; target = 5 };
+    Retry { pid = 1; attempt = 2 };
+    Watchdog_kill { pid = 3; name = "spin"; cycles = 50000 };
+    Double_fault
+      { pid = 2; name = "wild"; first = "Page_fault"; second = "Page_fault" } ]

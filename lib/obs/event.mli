@@ -45,6 +45,18 @@ type t =
   | Proc_killed of { pid : int; name : string; cause : string; detail : int }
   | Pass of { name : string; seconds : float }
       (** a compiler/reorganizer pass completed *)
+  | Fault_injected of { cycle : int; kind : string; target : int }
+      (** the fault plan injected a transient fault into the machine; [kind]
+          is the plan's kind name ("reg_flip", "irq", ...) and [target] its
+          primary payload (register index, word address, page pick) *)
+  | Retry of { pid : int; attempt : int }
+      (** the kernel restarted a process after a transient memory fault *)
+  | Watchdog_kill of { pid : int; name : string; cycles : int }
+      (** the kernel killed a process that exceeded its cycle budget *)
+  | Double_fault of { pid : int; name : string; first : string; second : string }
+      (** the kernel killed a process that kept faulting with no forward
+          progress; [first]/[second] are the rendered cause names of the
+          oldest and newest faults in the streak *)
 
 val equal : t -> t -> bool
 

@@ -2,6 +2,7 @@ open Mips_isa
 open Mips_machine
 
 let mask_bits = 8  (* 256 possible processes, 64K-word segments *)
+let max_procs = 1 lsl mask_bits
 let seg_words = 1 lsl (Segmap.vspace_bits - mask_bits)
 let half = seg_words / 2
 let user_stack_top = (1 lsl Segmap.vspace_bits) - 8
@@ -12,7 +13,29 @@ let user_stack_top = (1 lsl Segmap.vspace_bits) - 8
 let switch_cost = (2 * 16) + 8
 let fault_service_cost = 20  (* the page fill itself is DMA in free cycles *)
 
-type state = Ready | Exited of int | Killed of Cause.t * int
+type kill_reason =
+  | Arch_fault of Cause.t * int
+  | Watchdog of int
+  | Retry_exhausted of int
+  | Double_fault of Cause.t * Cause.t
+  | Out_of_memory of Pagemap.space
+
+let kill_reason_name = function
+  | Arch_fault (c, _) -> Cause.name c
+  | Watchdog _ -> "Watchdog"
+  | Retry_exhausted _ -> "Retry_exhausted"
+  | Double_fault _ -> "Double_fault"
+  | Out_of_memory _ -> "Out_of_memory"
+
+let kill_reason_detail = function
+  | Arch_fault (_, d) -> d
+  | Watchdog cycles -> cycles
+  | Retry_exhausted n -> n
+  | Double_fault _ -> 0
+  | Out_of_memory Pagemap.Ispace -> 0
+  | Out_of_memory Pagemap.Dspace -> 1
+
+type state = Ready | Exited of int | Killed of kill_reason
 
 type pcb = {
   pid : int;
@@ -26,6 +49,11 @@ type pcb = {
   mutable in_pos : int;
   out : Buffer.t;
   mutable st : state;
+  mutable cycles_used : int;  (* user instruction words, for the watchdog *)
+  mutable retries : int;  (* consecutive transient retries, no step between *)
+  mutable total_retries : int;
+  mutable consec_faults : int;  (* faults with no successful step between *)
+  mutable first_fault : Cause.t option;  (* oldest cause in that streak *)
 }
 
 type frame_owner = { fo_pid : int; fo_gpage : int }
@@ -33,6 +61,10 @@ type frame_owner = { fo_pid : int; fo_gpage : int }
 type t = {
   cpu : Cpu.t;
   quantum : int;
+  watchdog : int option;  (* per-process cycle budget *)
+  max_retries : int;
+  double_fault_limit : int;
+  backing_limit : int option;  (* backing-store capacity, in pages *)
   mutable procs : pcb list;
   mutable current : pcb option;
   code_frames : frame_owner option array;
@@ -47,21 +79,33 @@ type t = {
   mutable map_changes_outside_fault : int;
   mutable in_switch : bool;
   mutable kernel_cycles : int;
+  mutable watchdog_kills : int;
+  mutable transient_faults : int;
+  mutable transient_retries : int;
+  mutable double_faults : int;
+  mutable oom_kills : int;
+  mutable out_of_fuel : bool;
   trace : Mips_obs.Sink.t;
 }
 
 let cpu t = t.cpu
 
 let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000)
-    ?(trace = Mips_obs.Sink.null) () =
+    ?watchdog ?(max_retries = 8) ?(double_fault_limit = 8) ?backing_limit
+    ?(fault_plan = Mips_fault.Plan.none) ?(trace = Mips_obs.Sink.null) () =
   let cfg = Cpu.default_config in
   let cpu = Cpu.create ~config:cfg () in
   (* machine-level events (issues, monitor calls, dispatches) flow into the
      same sink as the kernel's scheduling decisions *)
   Cpu.set_trace cpu trace;
+  Cpu.set_fault_plan cpu fault_plan;
   {
     cpu;
     quantum;
+    watchdog;
+    max_retries;
+    double_fault_limit;
+    backing_limit;
     procs = [];
     current = None;
     code_frames = Array.make code_frames None;
@@ -76,6 +120,12 @@ let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000)
     map_changes_outside_fault = 0;
     in_switch = false;
     kernel_cycles = 0;
+    watchdog_kills = 0;
+    transient_faults = 0;
+    transient_retries = 0;
+    double_faults = 0;
+    oom_kills = 0;
+    out_of_fuel = false;
     trace;
   }
 
@@ -90,7 +140,12 @@ let user_sr =
 
 let spawn t ?(input = "") ~name (program : Program.t) =
   let pid = List.length t.procs in
-  if pid > 255 then invalid_arg "Kernel.spawn: too many processes";
+  if pid >= max_procs then
+    invalid_arg
+      (Printf.sprintf
+         "Kernel.spawn: process table full (%d processes, the %d-bit pid \
+          field's worth)"
+         max_procs mask_bits);
   if Array.length program.Program.code > half then
     invalid_arg "Kernel.spawn: program too large for a segment half";
   let data_image = Array.make (max 1 program.Program.data_words) 0 in
@@ -111,6 +166,11 @@ let spawn t ?(input = "") ~name (program : Program.t) =
       in_pos = 0;
       out = Buffer.create 128;
       st = Ready;
+      cycles_used = 0;
+      retries = 0;
+      total_retries = 0;
+      consec_faults = 0;
+      first_fault = None;
     }
   in
   t.procs <- t.procs @ [ pcb ];
@@ -150,35 +210,51 @@ let fill_frame t (p : pcb) space gpage frame =
             Cpu.write_data t.cpu ((frame * page) + k) v
           done)
 
-(* clock replacement over one frame pool *)
+(* Room in the backing store for one more page of (pid, gpage)?  Re-saving
+   a page that is already backed never needs new room. *)
+let backing_room t key =
+  match t.backing_limit with
+  | None -> true
+  | Some limit -> Hashtbl.length t.backing < limit || Hashtbl.mem t.backing key
+
+(* clock replacement over one frame pool; [None] when nothing is evictable
+   (empty pool, or every candidate is dirty with the backing store full) *)
 let evict_from t space frames clock =
   let n = Array.length frames in
   let pm = Cpu.pagemap t.cpu in
   let rec scan i guard =
-    let idx = (clock + i) mod n in
-    match frames.(idx) with
-    | None -> idx  (* free after all *)
-    | Some owner -> (
-        match Pagemap.find pm space ~vpage:owner.fo_gpage with
-        | None -> idx
-        | Some e ->
-            if e.Pagemap.referenced && guard < 2 * n then begin
-              e.Pagemap.referenced <- false;
-              scan (i + 1) (guard + 1)
-            end
-            else begin
-              (* evict *)
-              t.evictions <- t.evictions + 1;
-              (match space with
-              | Pagemap.Dspace when e.Pagemap.dirty ->
-                  let saved = Array.init page (fun k ->
-                      Cpu.read_data t.cpu ((e.Pagemap.frame * page) + k))
-                  in
-                  Hashtbl.replace t.backing (owner.fo_pid, owner.fo_gpage) saved
-              | _ -> ());
-              Pagemap.unmap pm space ~vpage:owner.fo_gpage;
-              idx
-            end)
+    if n = 0 || i >= 4 * n then None
+    else
+      let idx = (clock + i) mod n in
+      match frames.(idx) with
+      | None -> Some idx  (* free after all *)
+      | Some owner -> (
+          match Pagemap.find pm space ~vpage:owner.fo_gpage with
+          | None -> Some idx
+          | Some e ->
+              if e.Pagemap.referenced && guard < 2 * n then begin
+                e.Pagemap.referenced <- false;
+                scan (i + 1) (guard + 1)
+              end
+              else if
+                space = Pagemap.Dspace && e.Pagemap.dirty
+                && not (backing_room t (owner.fo_pid, owner.fo_gpage))
+              then
+                (* nowhere to write it back: pass over this victim *)
+                scan (i + 1) guard
+              else begin
+                (* evict *)
+                t.evictions <- t.evictions + 1;
+                (match space with
+                | Pagemap.Dspace when e.Pagemap.dirty ->
+                    let saved = Array.init page (fun k ->
+                        Cpu.read_data t.cpu ((e.Pagemap.frame * page) + k))
+                    in
+                    Hashtbl.replace t.backing (owner.fo_pid, owner.fo_gpage) saved
+                | _ -> ());
+                Pagemap.unmap pm space ~vpage:owner.fo_gpage;
+                Some idx
+              end)
   in
   scan 0 0
 
@@ -193,19 +269,26 @@ let grab_frame t space =
     else if frames.(i) = None then Some i
     else free (i + 1)
   in
-  let idx = match free 0 with Some i -> i | None -> evict_from t space frames clock in
-  (match space with
-  | Pagemap.Ispace -> t.code_clock <- (idx + 1) mod Array.length frames
-  | Pagemap.Dspace -> t.data_clock <- (idx + 1) mod Array.length frames);
-  (frames, idx)
+  let idx =
+    match free 0 with Some i -> Some i | None -> evict_from t space frames clock
+  in
+  match idx with
+  | None -> None
+  | Some idx ->
+      (match space with
+      | Pagemap.Ispace -> t.code_clock <- (idx + 1) mod Array.length frames
+      | Pagemap.Dspace -> t.data_clock <- (idx + 1) mod Array.length frames);
+      Some (frames, idx)
 
 let valid_offset offset = offset >= 0 && offset < seg_words
+
+type fault_service = Serviced | Bad_address | Out_of_frames
 
 let service_fault t (p : pcb) space gaddr =
   let gpage = gaddr / page in
   let seg_base = p.pid * seg_words in
   let offset = gaddr - seg_base in
-  if not (valid_offset offset) then false
+  if not (valid_offset offset) then Bad_address
   else begin
     t.page_faults <- t.page_faults + 1;
     t.kernel_cycles <- t.kernel_cycles + fault_service_cost;
@@ -213,13 +296,16 @@ let service_fault t (p : pcb) space gaddr =
       Mips_obs.Sink.emit t.trace
         (Mips_obs.Event.Page_fault
            { pid = p.pid; ispace = space = Pagemap.Ispace; gaddr });
-    let frames, frame = grab_frame t space in
-    fill_frame t p space gpage frame;
-    frames.(frame) <- Some { fo_pid = p.pid; fo_gpage = gpage };
-    Pagemap.map (Cpu.pagemap t.cpu) space ~vpage:gpage ~frame
-      ~writable:(space = Pagemap.Dspace);
-    if t.in_switch then t.map_changes_outside_fault <- t.map_changes_outside_fault + 1;
-    true
+    match grab_frame t space with
+    | None -> Out_of_frames
+    | Some (frames, frame) ->
+        fill_frame t p space gpage frame;
+        frames.(frame) <- Some { fo_pid = p.pid; fo_gpage = gpage };
+        Pagemap.map (Cpu.pagemap t.cpu) space ~vpage:gpage ~frame
+          ~writable:(space = Pagemap.Dspace);
+        if t.in_switch then
+          t.map_changes_outside_fault <- t.map_changes_outside_fault + 1;
+        Serviced
   end
 
 (* kernel access to a user virtual word (for putstr), paging as needed *)
@@ -231,7 +317,7 @@ let kernel_read_user_word t (p : pcb) vaddr =
     match Pagemap.translate pm Pagemap.Dspace ~write:false gaddr with
     | phys -> Cpu.read_data t.cpu phys
     | exception Pagemap.Fault _ ->
-        if retries > 0 && service_fault t p Pagemap.Dspace gaddr then
+        if retries > 0 && service_fault t p Pagemap.Dspace gaddr = Serviced then
           attempt (retries - 1)
         else 0
   in
@@ -342,10 +428,15 @@ let note_departure t (p : pcb) =
     | Exited status ->
         Mips_obs.Sink.emit t.trace
           (Mips_obs.Event.Proc_exit { pid = p.pid; name = p.pname; status })
-    | Killed (c, d) ->
+    | Killed reason ->
         Mips_obs.Sink.emit t.trace
           (Mips_obs.Event.Proc_killed
-             { pid = p.pid; name = p.pname; cause = Cause.name c; detail = d })
+             {
+               pid = p.pid;
+               name = p.pname;
+               cause = kill_reason_name reason;
+               detail = kill_reason_detail reason;
+             })
     | Ready -> ()
 
 (* --- the main loop ----------------------------------------------------------------- *)
@@ -354,7 +445,10 @@ type proc_report = {
   pname : string;
   output : string;
   exit_status : int option;
-  killed : (Cause.t * int) option;
+  killed : kill_reason option;
+  live : bool;
+  cycles_used : int;
+  retries : int;
 }
 
 type report = {
@@ -367,6 +461,12 @@ type report = {
   switch_cycle_cost : int;
   total_cycles : int;
   kernel_cycles : int;
+  watchdog_kills : int;
+  transient_faults : int;
+  transient_retries : int;
+  double_faults : int;
+  oom_kills : int;
+  fuel_exhausted : bool;
 }
 
 let make_report (t : t) =
@@ -378,7 +478,10 @@ let make_report (t : t) =
             pname = p.pname;
             output = Buffer.contents p.out;
             exit_status = (match p.st with Exited s -> Some s | _ -> None);
-            killed = (match p.st with Killed (c, d) -> Some (c, d) | _ -> None);
+            killed = (match p.st with Killed r -> Some r | _ -> None);
+            live = p.st = Ready;
+            cycles_used = p.cycles_used;
+            retries = p.total_retries;
           })
         t.procs;
     switches = t.switches;
@@ -389,6 +492,12 @@ let make_report (t : t) =
     switch_cycle_cost = switch_cost;
     total_cycles = (Cpu.stats t.cpu).Stats.cycles + t.kernel_cycles;
     kernel_cycles = t.kernel_cycles;
+    watchdog_kills = t.watchdog_kills;
+    transient_faults = t.transient_faults;
+    transient_retries = t.transient_retries;
+    double_faults = t.double_faults;
+    oom_kills = t.oom_kills;
+    fuel_exhausted = t.out_of_fuel;
   }
 
 let report_json (r : report) =
@@ -405,9 +514,14 @@ let report_json (r : report) =
                      match p.exit_status with Some s -> Int s | None -> Null );
                    ( "killed",
                      match p.killed with
-                     | Some (c, d) ->
-                         Obj [ ("cause", Str (Cause.name c)); ("detail", Int d) ]
-                     | None -> Null ) ])
+                     | Some reason ->
+                         Obj
+                           [ ("cause", Str (kill_reason_name reason));
+                             ("detail", Int (kill_reason_detail reason)) ]
+                     | None -> Null );
+                   ("live", Bool p.live);
+                   ("cycles_used", Int p.cycles_used);
+                   ("retries", Int p.retries) ])
              r.procs) );
       ("switches", Int r.switches);
       ("page_faults", Int r.page_faults);
@@ -416,7 +530,13 @@ let report_json (r : report) =
       ("map_changes_during_switches", Int r.map_changes_during_switches);
       ("switch_cycle_cost", Int r.switch_cycle_cost);
       ("total_cycles", Int r.total_cycles);
-      ("kernel_cycles", Int r.kernel_cycles) ]
+      ("kernel_cycles", Int r.kernel_cycles);
+      ("watchdog_kills", Int r.watchdog_kills);
+      ("transient_faults", Int r.transient_faults);
+      ("transient_retries", Int r.transient_retries);
+      ("double_faults", Int r.double_faults);
+      ("oom_kills", Int r.oom_kills);
+      ("fuel_exhausted", Bool r.fuel_exhausted) ]
 
 let run ?(fuel = 50_000_000) t =
   (match next_ready t with
@@ -425,54 +545,123 @@ let run ?(fuel = 50_000_000) t =
   let fuel = ref fuel in
   let steps_in_quantum = ref t.quantum in
   let running = ref (t.current <> None) in
+  (* one process dies; the machine (and everyone else) keeps going *)
+  let kill (p : pcb) reason =
+    (match reason with
+    | Watchdog cycles ->
+        t.watchdog_kills <- t.watchdog_kills + 1;
+        if t.trace.Mips_obs.Sink.enabled then
+          Mips_obs.Sink.emit t.trace
+            (Mips_obs.Event.Watchdog_kill { pid = p.pid; name = p.pname; cycles })
+    | Double_fault (first, second) ->
+        t.double_faults <- t.double_faults + 1;
+        if t.trace.Mips_obs.Sink.enabled then
+          Mips_obs.Sink.emit t.trace
+            (Mips_obs.Event.Double_fault
+               {
+                 pid = p.pid;
+                 name = p.pname;
+                 first = Cause.name first;
+                 second = Cause.name second;
+               })
+    | Out_of_memory _ -> t.oom_kills <- t.oom_kills + 1
+    | Arch_fault _ | Retry_exhausted _ -> ());
+    p.st <- Killed reason;
+    note_departure t p;
+    t.current <- None;
+    if not (switch t) then running := false
+  in
   while !running && !fuel > 0 do
     (match Cpu.step t.cpu with
     | Cpu.Stepped ->
+        (match t.current with
+        | Some p ->
+            p.cycles_used <- p.cycles_used + 1;
+            (* forward progress: every no-progress streak ends here *)
+            p.retries <- 0;
+            p.consec_faults <- 0;
+            p.first_fault <- None;
+            (match t.watchdog with
+            | Some budget when p.cycles_used > budget ->
+                kill p (Watchdog p.cycles_used)
+            | _ -> ())
+        | None -> ());
         decr steps_in_quantum;
-        if !steps_in_quantum <= 0 then begin
+        if !running && !steps_in_quantum <= 0 then begin
           Cpu.set_interrupt t.cpu true;
           steps_in_quantum := t.quantum
         end
     | Cpu.Dispatched cause -> (
         let p = match t.current with Some p -> p | None -> assert false in
-        match cause with
-        | Cause.Interrupt ->
-            Cpu.set_interrupt t.cpu false;
-            t.interrupts <- t.interrupts + 1;
-            if not (switch t) then running := false;
-            steps_in_quantum := t.quantum
-        | Cause.Trap -> (
-            let code = (Cpu.surprise t.cpu).Surprise.cause_detail in
-            match service_trap t p code with
-            | `Resume -> resume t
-            | `Yield ->
-                if not (switch t) then running := false;
-                steps_in_quantum := t.quantum
-            | `Exit status ->
-                p.st <- Exited status;
-                note_departure t p;
-                t.current <- None;
-                if not (switch t) then running := false
-            | `Kill (c, d) ->
-                p.st <- Killed (c, d);
-                note_departure t p;
-                t.current <- None;
-                if not (switch t) then running := false)
-        | Cause.Page_fault -> (
-            match Cpu.faulted_addr t.cpu with
-            | Some (space, gaddr) when service_fault t p space gaddr -> resume t
-            | _ ->
-                (* a reference between the two valid regions, or outside the
-                   segment entirely: terminate the offender *)
-                p.st <- Killed (Cause.Page_fault, 0);
-                note_departure t p;
-                t.current <- None;
-                if not (switch t) then running := false)
-        | (Cause.Overflow | Cause.Privilege | Cause.Illegal | Cause.Reset) as c ->
-            p.st <- Killed (c, (Cpu.surprise t.cpu).Surprise.cause_detail);
-            note_departure t p;
-            t.current <- None;
-            if not (switch t) then running := false));
+        let transient =
+          cause = Cause.Page_fault && Cpu.faulted t.cpu = Some Cpu.Transient_ref
+        in
+        let is_fault =
+          (not transient)
+          && match cause with Cause.Interrupt | Cause.Trap -> false | _ -> true
+        in
+        if is_fault then begin
+          if p.first_fault = None then p.first_fault <- Some cause;
+          p.consec_faults <- p.consec_faults + 1
+        end;
+        if is_fault && p.consec_faults >= t.double_fault_limit then
+          (* faulting over and over with no successful step in between:
+             looping through the dispatch path will not converge — kill *)
+          let first = match p.first_fault with Some c -> c | None -> cause in
+          kill p (Double_fault (first, cause))
+        else
+          match cause with
+          | Cause.Interrupt ->
+              Cpu.set_interrupt t.cpu false;
+              t.interrupts <- t.interrupts + 1;
+              if not (switch t) then running := false;
+              steps_in_quantum := t.quantum
+          | Cause.Trap -> (
+              let code = (Cpu.surprise t.cpu).Surprise.cause_detail in
+              match service_trap t p code with
+              | `Resume -> resume t
+              | `Yield ->
+                  if not (switch t) then running := false;
+                  steps_in_quantum := t.quantum
+              | `Exit status ->
+                  p.st <- Exited status;
+                  note_departure t p;
+                  t.current <- None;
+                  if not (switch t) then running := false
+              | `Kill (c, d) -> kill p (Arch_fault (c, d)))
+          | Cause.Page_fault when transient ->
+              t.transient_faults <- t.transient_faults + 1;
+              p.retries <- p.retries + 1;
+              p.total_retries <- p.total_retries + 1;
+              if p.retries > t.max_retries then
+                kill p (Retry_exhausted p.retries)
+              else begin
+                (* bounded retry with exponential backoff, charged as kernel
+                   work (the backoff models a widening re-issue delay) *)
+                t.transient_retries <- t.transient_retries + 1;
+                t.kernel_cycles <-
+                  t.kernel_cycles
+                  + (fault_service_cost * (1 lsl min (p.retries - 1) 6));
+                if t.trace.Mips_obs.Sink.enabled then
+                  Mips_obs.Sink.emit t.trace
+                    (Mips_obs.Event.Retry { pid = p.pid; attempt = p.retries });
+                resume t
+              end
+          | Cause.Page_fault -> (
+              match Cpu.faulted_addr t.cpu with
+              | Some (space, gaddr) -> (
+                  match service_fault t p space gaddr with
+                  | Serviced -> resume t
+                  | Bad_address ->
+                      (* a reference between the two valid regions, or outside
+                         the segment entirely: terminate the offender *)
+                      kill p (Arch_fault (Cause.Page_fault, 0))
+                  | Out_of_frames -> kill p (Out_of_memory space))
+              | None -> kill p (Arch_fault (Cause.Page_fault, 0)))
+          | (Cause.Overflow | Cause.Privilege | Cause.Illegal | Cause.Reset) as c
+            ->
+              kill p (Arch_fault (c, (Cpu.surprise t.cpu).Surprise.cause_detail))));
     decr fuel
   done;
+  t.out_of_fuel <- !running;
   make_report t

@@ -22,16 +22,51 @@
       registers through the dual instruction/data memory interface — the
       paper's observation that register-save sequences run at full memory
       bandwidth is charged as 32 memory cycles plus the dispatch overhead,
-      and measured by the report. *)
+      and measured by the report.
+    - {b Robustness}: faults are process-local.  A per-process cycle-budget
+      watchdog, bounded retry with exponential backoff for injected
+      transient memory faults, double-fault detection (a process that keeps
+      faulting with no successful step in between is killed rather than
+      looped through dispatch forever), and graceful out-of-frames /
+      out-of-backing-store kills guarantee the kernel itself never hangs or
+      crashes on a misbehaving (or fault-injected) process. *)
 
 open Mips_machine
 
 type t
 
+(** Why the kernel terminated a process. *)
+type kill_reason =
+  | Arch_fault of Cause.t * int
+      (** an unserviceable architectural exception (cause, cause-detail) —
+          a wild reference, privilege violation, unknown trap code, ... *)
+  | Watchdog of int
+      (** exceeded its cycle budget; the payload is the cycles it had used *)
+  | Retry_exhausted of int
+      (** an injected transient memory fault kept firing on the same word
+          past the retry bound; the payload is the attempts made *)
+  | Double_fault of Cause.t * Cause.t
+      (** kept faulting with no successful step in between (oldest and
+          newest cause of the streak) *)
+  | Out_of_memory of Mips_machine.Pagemap.space
+      (** a page fault that could not be serviced: no evictable frame in
+          this space's pool (or the backing store is full) *)
+
+val kill_reason_name : kill_reason -> string
+val kill_reason_detail : kill_reason -> int
+
+val max_procs : int
+(** Process-table capacity: [2^mask_bits = 256], the pid field's worth. *)
+
 val create :
   ?data_frames:int ->
   ?code_frames:int ->
   ?quantum:int ->
+  ?watchdog:int ->
+  ?max_retries:int ->
+  ?double_fault_limit:int ->
+  ?backing_limit:int ->
+  ?fault_plan:Mips_fault.Plan.t ->
   ?trace:Mips_obs.Sink.t ->
   unit ->
   t
@@ -39,10 +74,19 @@ val create :
     (default 32 each); [quantum]: instructions between timer interrupts
     (default 2000).
 
+    Robustness knobs: [watchdog] is a per-process cycle budget (default
+    none — processes may run forever); [max_retries] bounds consecutive
+    transient-fault retries of one word (default 8); [double_fault_limit]
+    bounds consecutive non-transient faults with no successful step between
+    them (default 8); [backing_limit] caps the backing store, in pages
+    (default unlimited).  [fault_plan] attaches a {!Mips_fault.Plan.t} to
+    the underlying machine for seeded transient-fault injection.
+
     [trace] receives the kernel's scheduling story — [Spawn],
-    [Context_switch], [Page_fault] (serviced demand page-ins), [Proc_exit]
-    and [Proc_killed] — and is also attached to the underlying machine, so
-    per-word events and monitor calls interleave in the same stream. *)
+    [Context_switch], [Page_fault] (serviced demand page-ins), [Retry],
+    [Watchdog_kill], [Double_fault], [Proc_exit] and [Proc_killed] — and is
+    also attached to the underlying machine, so per-word events and monitor
+    calls interleave in the same stream. *)
 
 val user_stack_top : int
 (** Virtual stack top for user programs (in the high half of the process
@@ -50,14 +94,20 @@ val user_stack_top : int
     [stack_top] is this value. *)
 
 val spawn : t -> ?input:string -> name:string -> Program.t -> unit
-(** Add a process (at most 8).  Nothing is loaded into memory until the
-    process faults its first page in. *)
+(** Add a process (at most {!max_procs} = 256, the capacity of the pid
+    field the segmentation unit folds into addresses).  Nothing is loaded
+    into memory until the process faults its first page in.
+    @raise Invalid_argument when the table is full or the program does not
+    fit a segment half. *)
 
 type proc_report = {
   pname : string;
   output : string;
   exit_status : int option;  (** None if killed or still running *)
-  killed : (Cause.t * int) option;
+  killed : kill_reason option;
+  live : bool;  (** still runnable when the run stopped (fuel ran out) *)
+  cycles_used : int;  (** user instruction words this process executed *)
+  retries : int;  (** transient-fault retries performed on its behalf *)
 }
 
 type report = {
@@ -72,10 +122,19 @@ type report = {
   total_cycles : int;
   kernel_cycles : int;  (** cycles spent on kernel work (switches, fault
                             service), charged per the cost model *)
+  watchdog_kills : int;
+  transient_faults : int;  (** injected transient memory faults dispatched *)
+  transient_retries : int;  (** of those, restarted through the EPC chain *)
+  double_faults : int;
+  oom_kills : int;
+  fuel_exhausted : bool;  (** the run stopped on fuel, not quiescence *)
 }
 
 val run : ?fuel:int -> t -> report
-(** Run until every process exits (or fuel runs out). *)
+(** Run until every process exits or is killed (or fuel runs out — then
+    [fuel_exhausted] is set and still-runnable processes have [live]).
+    A process-local fault never halts the kernel: the offender is killed
+    (with a precise {!kill_reason}) and everyone else keeps running. *)
 
 val report_json : report -> Mips_obs.Json.t
 (** Machine-readable form of a run report (process outcomes by name plus

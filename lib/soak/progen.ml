@@ -1,0 +1,140 @@
+open Mips_isa
+module Rng = Mips_fault.Rng
+module Asm = Mips_reorg.Asm
+module Monitor = Mips_machine.Monitor
+
+let data_words = 32
+
+(* Register discipline: values live in r0..r6; r7/r8 are loop counters (one
+   per nesting depth); r9 holds the displacement base; r10 is the trap
+   argument; r13 the link register.  The stack and frame registers are never
+   touched, so images run hosted and under the kernel alike. *)
+let n_temps = 7
+let base_reg = Reg.r 9
+let counter_reg depth = Reg.r (7 + depth)
+let max_loop_depth = 2
+
+let rtemp rng = Reg.r (Rng.int rng n_temps)
+
+(* Every op here is total under disabled overflow traps (shifts are masked
+   by the machine); Div/Rem are excluded because a zero divisor faults
+   regardless of the enable — and a speculated divide would then fault on a
+   path the raw schedule never executes. *)
+let safe_ops =
+  [| Alu.Add; Alu.Sub; Alu.Rsub; Alu.And; Alu.Or; Alu.Xor;
+     Alu.Sll; Alu.Srl; Alu.Sra; Alu.Mul |]
+
+let operand rng =
+  if Rng.int rng 2 = 0 then Operand.R (rtemp rng)
+  else Operand.I4 (Rng.int rng 16)
+
+let alu_ins rng =
+  let op = safe_ops.(Rng.int rng (Array.length safe_ops)) in
+  Asm.ins (Piece.Alu (Alu.Binop (op, Operand.R (rtemp rng), operand rng, rtemp rng)))
+
+(* Addresses stay inside the static data area: absolute [0, 32) or a
+   displacement off [base_reg] (which holds 4) in [4, 4 + 24). *)
+let address rng =
+  if Rng.int rng 2 = 0 then Mem.Abs (Rng.int rng data_words)
+  else Mem.Disp (base_reg, Rng.int rng (data_words - 8))
+
+let load_ins rng =
+  Asm.ins (Piece.Mem (Mem.Load (Mem.W32, address rng, rtemp rng)))
+
+let store_ins rng =
+  Asm.ins (Piece.Mem (Mem.Store (Mem.W32, rtemp rng, address rng)))
+
+let output_ins rng =
+  let call = if Rng.int rng 2 = 0 then Monitor.putint else Monitor.putchar in
+  [ Asm.ins (Piece.Alu (Alu.Mov (Operand.R (rtemp rng), Reg.scratch0)));
+    Asm.ins (Piece.Branch (Branch.Trap call)) ]
+
+(* comparisons for forward skips: anything goes, the target is ahead *)
+let conds =
+  [| Cond.Eq; Cond.Ne; Cond.Lt; Cond.Le; Cond.Gt; Cond.Ge; Cond.Ltu;
+     Cond.Geu; Cond.Neg; Cond.Nonneg; Cond.Even; Cond.Odd |]
+
+type ctx = {
+  rng : Rng.t;
+  mutable label_counter : int;
+  has_sub : bool;
+}
+
+let fresh_label ctx prefix =
+  ctx.label_counter <- ctx.label_counter + 1;
+  Printf.sprintf ".L%s%d" prefix ctx.label_counter
+
+(* one straight-line instruction (no control flow) *)
+let simple_ins ctx =
+  match Rng.int ctx.rng 4 with
+  | 0 | 1 -> [ alu_ins ctx.rng ]
+  | 2 -> [ load_ins ctx.rng ]
+  | _ -> [ store_ins ctx.rng ]
+
+let rec segment ctx ~depth =
+  let choices = if depth < max_loop_depth then 7 else 6 in
+  match Rng.int ctx.rng choices with
+  | 0 | 1 -> simple_ins ctx
+  | 2 -> output_ins ctx.rng
+  | 3 ->
+      (* forward skip over a small body: taken or not, control rejoins *)
+      let l = fresh_label ctx "skip" in
+      let c = conds.(Rng.int ctx.rng (Array.length conds)) in
+      let body =
+        List.concat
+          (List.init (1 + Rng.int ctx.rng 2) (fun _ -> simple_ins ctx))
+      in
+      (Asm.ins
+         (Piece.Branch (Branch.Cbr (c, Operand.R (rtemp ctx.rng), operand ctx.rng, l)))
+      :: body)
+      @ [ Asm.label l ]
+  | 4 when ctx.has_sub ->
+      [ Asm.ins (Piece.Branch (Branch.Jal ("leaf", Reg.link))) ]
+  | 4 | 5 -> simple_ins ctx @ [ alu_ins ctx.rng ]
+  | _ ->
+      (* bounded countdown loop on this depth's dedicated counter: the body
+         only writes temps, so termination is structural *)
+      let counter = counter_reg depth in
+      let n = 2 + Rng.int ctx.rng 4 in
+      let l = fresh_label ctx "loop" in
+      let body =
+        List.concat
+          (List.init (1 + Rng.int ctx.rng 2) (fun _ ->
+               segment ctx ~depth:(depth + 1)))
+      in
+      (Asm.ins (Piece.Alu (Alu.Movi8 (n, counter))) :: Asm.label l :: body)
+      @ [ Asm.ins
+            (Piece.Alu (Alu.Binop (Alu.Sub, Operand.R counter, Operand.I4 1, counter)));
+          Asm.ins
+            (Piece.Branch (Branch.Cbr (Cond.Gt, Operand.R counter, Operand.I4 0, l)))
+        ]
+
+(* a non-recursive leaf: a few register/memory operations, then return *)
+let leaf_sub ctx =
+  let body = List.concat (List.init (2 + Rng.int ctx.rng 3) (fun _ -> simple_ins ctx)) in
+  (Asm.label "leaf" :: body)
+  @ [ Asm.ins (Piece.Branch (Branch.Jind Reg.link)) ]
+
+let generate ?(segments = 12) ~seed () =
+  let rng = Rng.create seed in
+  let ctx = { rng; label_counter = 0; has_sub = Rng.int rng 2 = 0 } in
+  let preamble =
+    Asm.label "main"
+    :: Asm.ins (Piece.Alu (Alu.Movi8 (4, base_reg)))
+    :: List.init n_temps (fun i ->
+           Asm.ins (Piece.Alu (Alu.Movi8 (Rng.int rng 128, Reg.r i))))
+  in
+  let body =
+    List.concat (List.init segments (fun _ -> segment ctx ~depth:0))
+  in
+  let finale =
+    [ Asm.ins (Piece.Alu (Alu.Mov (Operand.R (Reg.r 0), Reg.scratch0)));
+      Asm.ins (Piece.Branch (Branch.Trap Monitor.putint));
+      Asm.ins (Piece.Alu (Alu.Movi8 (0, Reg.scratch0)));
+      Asm.ins (Piece.Branch (Branch.Trap Monitor.exit_)) ]
+  in
+  let sub = if ctx.has_sub then leaf_sub ctx else [] in
+  let data = List.init data_words (fun i -> (i, Rng.int rng 256)) in
+  Asm.make ~data ~data_words ~entry:"main" (preamble @ body @ finale @ sub)
+
+let name ~seed = Printf.sprintf "gen%d" seed

@@ -1,0 +1,34 @@
+(** Seeded random whole-program generator for soak testing.
+
+    Generates closed, terminating programs directly as symbolic assembly
+    ({!Mips_reorg.Asm.program}), so one generated program can be assembled
+    both raw (program order — correct only on the hardware-interlock
+    comparison machine) and fully reorganized (hazard-free on the
+    no-interlock machine) and the two executions compared.
+
+    Generation is deterministic: the same seed always yields the same
+    program, on every platform.
+
+    Generated programs stay inside the semantically deterministic subset:
+
+    - ALU work on a fixed temporary pool (no divide/remainder — a zero
+      divisor faults regardless of the overflow-trap enable);
+    - word loads and stores confined to the static data area;
+    - bounded countdown loops on dedicated counter registers, nested at
+      most two deep; forward conditional skips;
+    - an optional non-recursive leaf subroutine called via [jal]/[jind];
+    - monitor output ([putint]/[putchar]) and a final [exit].
+
+    They never touch the stack or frame registers, so the same image runs
+    hosted (kernel mode, mapping off) and under the demand-paged kernel. *)
+
+val data_words : int
+(** Size of the generated programs' static data area, in words (32) — also
+    the window the differential harness compares. *)
+
+val generate : ?segments:int -> seed:int -> unit -> Mips_reorg.Asm.program
+(** [generate ~seed ()] is a fresh program; [segments] scales its size
+    (default 12 top-level segments). *)
+
+val name : seed:int -> string
+(** A display name for the generated program, ["gen<seed>"]. *)

@@ -1,0 +1,210 @@
+open Mips_machine
+module Plan = Mips_fault.Plan
+module Json = Mips_obs.Json
+
+type outcome = {
+  output : string;
+  exit_status : int option;
+  halted : bool;
+  fault : string option;
+  mem : int list;
+  retries : int;
+}
+
+let mem_window = Progen.data_words
+
+let run_variant ?(fuel = 500_000) ~interlocked ~plan program =
+  let config = if interlocked then Cpu.interlocked_config else Cpu.default_config in
+  let cpu = Cpu.create ~config () in
+  (match plan with
+  | Some cfg -> Cpu.set_fault_plan cpu (Plan.make cfg)
+  | None -> ());
+  let res = Hosted.run_program_on ~fuel cpu program in
+  let injected = Plan.injected (Cpu.fault_plan cpu) in
+  ( {
+      output = res.Hosted.output;
+      exit_status = res.Hosted.exit_status;
+      halted = res.Hosted.halted;
+      fault =
+        (match res.Hosted.fault with
+        | Some (c, d) -> Some (Printf.sprintf "%s/%d" (Cause.name c) d)
+        | None -> None);
+      mem = List.init mem_window (Cpu.read_data cpu);
+      retries = res.Hosted.retries;
+    },
+    injected )
+
+(* first observable divergence between a variant and the reference *)
+let divergence ~reference o =
+  let str_opt = function Some s -> s | None -> "-" in
+  let int_opt = function Some n -> string_of_int n | None -> "-" in
+  if o.output <> reference.output then
+    Some
+      (Printf.sprintf "output %S, reference %S" o.output reference.output)
+  else if o.exit_status <> reference.exit_status then
+    Some
+      (Printf.sprintf "exit %s, reference %s" (int_opt o.exit_status)
+         (int_opt reference.exit_status))
+  else if o.halted <> reference.halted then
+    Some (Printf.sprintf "halted %b, reference %b" o.halted reference.halted)
+  else if o.fault <> reference.fault then
+    Some
+      (Printf.sprintf "fault %s, reference %s" (str_opt o.fault)
+         (str_opt reference.fault))
+  else
+    let rec first_mem i a b =
+      match (a, b) with
+      | [], [] -> None
+      | x :: a', y :: b' ->
+          if x <> y then
+            Some (Printf.sprintf "data[%d] = %d, reference %d" i x y)
+          else first_mem (i + 1) a' b'
+      | _ -> Some "data window length mismatch"
+    in
+    first_mem 0 o.mem reference.mem
+
+type diff = {
+  seed : int;
+  ok : bool;
+  mismatches : (string * string) list;
+  retries : int;
+  injected : int;
+}
+
+let differential ?segments ?fuel ?(flaky_rate = 0.01) ?(irq_rate = 0.005)
+    ~seed () =
+  let asm = Progen.generate ?segments ~seed () in
+  let reorganized = Mips_reorg.Pipeline.compile asm in
+  let raw = Mips_reorg.Pipeline.compile_raw asm in
+  (* the fault plan's own stream is seeded independently of the program *)
+  let plan_cfg =
+    { Plan.quiet with Plan.seed = seed + 0x5011; flaky_rate; irq_rate }
+  in
+  let reference, _ = run_variant ?fuel ~interlocked:false ~plan:None reorganized in
+  let variants =
+    [ ("raw-interlocked", raw, true, None);
+      ("reorganized-faults", reorganized, false, Some plan_cfg);
+      ("raw-interlocked-faults", raw, true, Some plan_cfg) ]
+  in
+  let mismatches, retries, injected =
+    List.fold_left
+      (fun (ms, rs, inj) (vname, program, interlocked, plan) ->
+        let o, injected = run_variant ?fuel ~interlocked ~plan program in
+        let ms =
+          match divergence ~reference o with
+          | Some d -> (vname, d) :: ms
+          | None -> ms
+        in
+        (ms, rs + o.retries, inj + injected))
+      ([], 0, 0) variants
+  in
+  { seed; ok = mismatches = []; mismatches = List.rev mismatches; retries; injected }
+
+let diff_json d =
+  Json.Obj
+    [ ("seed", Json.Int d.seed);
+      ("ok", Json.Bool d.ok);
+      ( "mismatches",
+        Json.List
+          (List.map
+             (fun (v, m) ->
+               Json.Obj [ ("variant", Json.Str v); ("divergence", Json.Str m) ])
+             d.mismatches) );
+      ("retries", Json.Int d.retries);
+      ("injected", Json.Int d.injected) ]
+
+(* --- kernel soak ---------------------------------------------------------- *)
+
+type summary = {
+  seed : int;
+  programs : int;
+  steps : int;
+  exited : int;
+  killed : int;
+  live : int;
+  kill_reasons : (string * int) list;
+  injected : (string * int) list;
+  transient_faults : int;
+  transient_retries : int;
+  watchdog_kills : int;
+  double_faults : int;
+  oom_kills : int;
+  page_faults : int;
+  switches : int;
+  fuel_exhausted : bool;
+  total_cycles : int;
+}
+
+let bump assoc key =
+  let rec go = function
+    | [] -> [ (key, 1) ]
+    | (k, n) :: rest -> if k = key then (k, n + 1) :: rest else (k, n) :: go rest
+  in
+  go assoc
+
+let run_soak ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
+    ?(data_frames = 16) ?(code_frames = 16) ?backing_limit
+    ?(steps = 2_000_000) ~plan ~seed () =
+  let k =
+    Mips_os.Kernel.create ~data_frames ~code_frames ~quantum ?watchdog
+      ?backing_limit ~fault_plan:(Plan.make plan) ()
+  in
+  for i = 0 to programs - 1 do
+    let pseed = (seed * 0x1000) + i in
+    let program =
+      Mips_reorg.Pipeline.compile (Progen.generate ?segments ~seed:pseed ())
+    in
+    Mips_os.Kernel.spawn k ~name:(Progen.name ~seed:pseed) program
+  done;
+  let r = Mips_os.Kernel.run ~fuel:steps k in
+  let exited, killed, live, kill_reasons =
+    List.fold_left
+      (fun (e, ki, li, reasons) (p : Mips_os.Kernel.proc_report) ->
+        match (p.Mips_os.Kernel.exit_status, p.Mips_os.Kernel.killed) with
+        | Some _, _ -> (e + 1, ki, li, reasons)
+        | None, Some reason ->
+            (e, ki + 1, li, bump reasons (Mips_os.Kernel.kill_reason_name reason))
+        | None, None -> (e, ki, li + 1, reasons))
+      (0, 0, 0, []) r.Mips_os.Kernel.procs
+  in
+  {
+    seed;
+    programs;
+    steps;
+    exited;
+    killed;
+    live;
+    kill_reasons;
+    injected = Plan.counts (Cpu.fault_plan (Mips_os.Kernel.cpu k));
+    transient_faults = r.Mips_os.Kernel.transient_faults;
+    transient_retries = r.Mips_os.Kernel.transient_retries;
+    watchdog_kills = r.Mips_os.Kernel.watchdog_kills;
+    double_faults = r.Mips_os.Kernel.double_faults;
+    oom_kills = r.Mips_os.Kernel.oom_kills;
+    page_faults = r.Mips_os.Kernel.page_faults;
+    switches = r.Mips_os.Kernel.switches;
+    fuel_exhausted = r.Mips_os.Kernel.fuel_exhausted;
+    total_cycles = r.Mips_os.Kernel.total_cycles;
+  }
+
+let summary_json s =
+  Json.Obj
+    [ ("seed", Json.Int s.seed);
+      ("programs", Json.Int s.programs);
+      ("steps", Json.Int s.steps);
+      ("exited", Json.Int s.exited);
+      ("killed", Json.Int s.killed);
+      ("live", Json.Int s.live);
+      ( "kill_reasons",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.kill_reasons) );
+      ( "injected",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.injected) );
+      ("transient_faults", Json.Int s.transient_faults);
+      ("transient_retries", Json.Int s.transient_retries);
+      ("watchdog_kills", Json.Int s.watchdog_kills);
+      ("double_faults", Json.Int s.double_faults);
+      ("oom_kills", Json.Int s.oom_kills);
+      ("page_faults", Json.Int s.page_faults);
+      ("switches", Json.Int s.switches);
+      ("fuel_exhausted", Json.Bool s.fuel_exhausted);
+      ("total_cycles", Json.Int s.total_cycles) ]

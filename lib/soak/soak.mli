@@ -1,0 +1,81 @@
+(** Differential and kernel soak harnesses over generated programs.
+
+    {b Differential soak}: one generated program is assembled two ways —
+    raw program order (correct only on the hardware-interlock comparison
+    machine) and fully reorganized (hazard-free on the no-interlock
+    machine) — and executed on the matching machines, with and without a
+    transient-fault plan.  Every execution must agree with the fault-free
+    reorganized reference on everything a program can observe: monitor
+    output, exit status, fault attribution, and the static data area.
+    (Final register values are deliberately {e not} compared: delay-slot
+    schemes 2 and 3 legitimately speculate dead ALU writes, so dead
+    registers may differ between schedules.)
+
+    Only {e semantically transparent} fault kinds are injected here —
+    flaky-memory restarts and spurious interrupts — so equivalence must
+    hold exactly.  Bit flips corrupt state by design and are exercised by
+    the {b kernel soak} instead, whose property is survival and precise
+    attribution: the kernel never globally halts on a process-local fault;
+    every process ends exited, killed (with a {!Mips_os.Kernel.kill_reason})
+    or still live at fuel exhaustion. *)
+
+(** One executed variant of a generated program. *)
+type outcome = {
+  output : string;
+  exit_status : int option;
+  halted : bool;
+  fault : string option;  (** rendered cause/detail when aborted *)
+  mem : int list;  (** the static data area after execution *)
+  retries : int;  (** transient restarts performed *)
+}
+
+type diff = {
+  seed : int;
+  ok : bool;
+  mismatches : (string * string) list;  (** (variant, first divergence) *)
+  retries : int;  (** transient restarts across the faulted variants *)
+  injected : int;  (** injections decided across the faulted variants *)
+}
+
+val differential :
+  ?segments:int -> ?fuel:int -> ?flaky_rate:float -> ?irq_rate:float ->
+  seed:int -> unit -> diff
+(** Generate program [seed]; run reorganized/no-interlock (fault-free
+    reference), raw/interlocked, reorganized/no-interlock + faults, and
+    raw/interlocked + faults; compare every variant against the reference.
+    Defaults: [flaky_rate = 0.01], [irq_rate = 0.005]. *)
+
+val diff_json : diff -> Mips_obs.Json.t
+
+(** Aggregate result of a multi-process kernel soak run. *)
+type summary = {
+  seed : int;
+  programs : int;
+  steps : int;
+  exited : int;
+  killed : int;
+  live : int;  (** still runnable when fuel ran out *)
+  kill_reasons : (string * int) list;  (** reason name -> processes *)
+  injected : (string * int) list;  (** fault-plan counters, fixed order *)
+  transient_faults : int;
+  transient_retries : int;
+  watchdog_kills : int;
+  double_faults : int;
+  oom_kills : int;
+  page_faults : int;
+  switches : int;
+  fuel_exhausted : bool;
+  total_cycles : int;
+}
+
+val run_soak :
+  ?programs:int -> ?segments:int -> ?quantum:int -> ?watchdog:int ->
+  ?data_frames:int -> ?code_frames:int -> ?backing_limit:int ->
+  ?steps:int -> plan:Mips_fault.Plan.config -> seed:int -> unit -> summary
+(** Spawn [programs] generated processes (seeds derived from [seed]) under
+    a hardened kernel with the given fault plan and run for at most [steps]
+    machine steps (default 2,000,000).  Deterministic: equal arguments give
+    equal summaries, bit for bit.  The returned summary always satisfies
+    [exited + killed + live = programs]. *)
+
+val summary_json : summary -> Mips_obs.Json.t

@@ -87,3 +87,14 @@ let word : int Word.t G.t =
       G.map (fun b -> Word.B b) branch; am; ab ]
 
 let _ = ( and* )
+
+(* --- whole programs ------------------------------------------------------ *)
+
+(* Closed, terminating whole programs in symbolic assembly, via the seeded
+   soak generator (Mips_soak.Progen): every draw is a program that assembles
+   both raw and reorganized and exits through the monitor.  The generator is
+   deterministic in the drawn seed, so failures shrink to a seed. *)
+let program_seed : int G.t = G.int_range 0 1_000_000
+
+let whole_program : Mips_reorg.Asm.program G.t =
+  G.map (fun seed -> Mips_soak.Progen.generate ~seed ()) program_seed

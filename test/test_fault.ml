@@ -1,0 +1,349 @@
+(* Fault-injection subsystem tests: deterministic plans, transient restart
+   through the architectural dispatch path, hardened-kernel behavior under
+   injected faults, and the differential soak property over generated
+   programs. *)
+
+open Mips_isa
+open Mips_machine
+module Plan = Mips_fault.Plan
+module Rng = Mips_fault.Rng
+module Soak = Mips_soak.Soak
+module Progen = Mips_soak.Progen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- rng + plan determinism ---------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 1000 do
+    check "same stream" true (Rng.next64 a = Rng.next64 b)
+  done;
+  let c = Rng.create 43 in
+  check "different seed diverges" true (Rng.next64 a <> Rng.next64 c)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let n = Rng.int r 13 in
+    check "int in range" true (n >= 0 && n < 13);
+    let f = Rng.float r in
+    check "float in range" true (f >= 0. && f < 1.)
+  done
+
+let test_plan_deterministic () =
+  let cfg =
+    { Plan.quiet with Plan.seed = 11; flip_reg_rate = 0.05; flaky_rate = 0.05 }
+  in
+  let a = Plan.make cfg and b = Plan.make cfg in
+  for _ = 1 to 2000 do
+    check "same decisions" true (Plan.decide a = Plan.decide b)
+  done;
+  check "same counters" true (Plan.counts a = Plan.counts b)
+
+let test_plan_max_injections () =
+  let cfg =
+    { Plan.quiet with Plan.seed = 3; flip_reg_rate = 1.0; max_injections = 5 }
+  in
+  let p = Plan.make cfg in
+  for _ = 1 to 100 do
+    ignore (Plan.decide p)
+  done;
+  check_int "stops at the cap" 5 (Plan.injected p)
+
+let test_none_plan_never_injects () =
+  let p = Plan.none in
+  for _ = 1 to 100 do
+    check "none decides nothing" true (Plan.decide p = None)
+  done
+
+(* --- machine-level injection ---------------------------------------------- *)
+
+let movi8 c d = Word.A (Alu.Movi8 (c, Reg.r d))
+let trap c = Word.B (Branch.Trap c)
+let halt = [ movi8 0 10; trap Monitor.exit_ ]
+
+(* enough nops that a per-step plan with rate 1 fires before the halt *)
+let idle n = List.init n (fun _ -> Word.Nop)
+
+let test_flip_reg_applied () =
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu (Program.make (Array.of_list (idle 3 @ halt)));
+  (* a plan that injects exactly one register flip on the first step *)
+  let cfg =
+    { Plan.quiet with Plan.seed = 0; flip_reg_rate = 1.0; max_injections = 1 }
+  in
+  Cpu.set_fault_plan cpu (Plan.make cfg);
+  let res = Hosted.run cpu in
+  check "still halts" true res.Hosted.halted;
+  check_int "one injection" 1 (Plan.injected (Cpu.fault_plan cpu));
+  (* exactly one register differs from zero by a single bit — unless the
+     flip hit r10 and was then overwritten by the halt sequence, so just
+     assert the plan accounting *)
+  check "reg_flip counted" true
+    (List.assoc "reg_flip" (Plan.counts (Cpu.fault_plan cpu)) = 1)
+
+let test_flaky_restart_transparent () =
+  (* a load under a flaky-memory arming must restart and produce the same
+     architectural result *)
+  let data = [ (5, 1234) ] in
+  let words =
+    [ Word.M (Mem.Load (Mem.W32, Mem.Abs 5, Reg.r 1)); Word.Nop ] @ halt
+  in
+  let clean = Cpu.create () in
+  Cpu.load_program clean (Program.make ~data (Array.of_list words));
+  let clean_res = Hosted.run clean in
+  let faulty = Cpu.create () in
+  Cpu.load_program faulty (Program.make ~data (Array.of_list words));
+  let cfg =
+    { Plan.quiet with Plan.seed = 1; flaky_rate = 1.0; max_injections = 1 }
+  in
+  Cpu.set_fault_plan faulty (Plan.make cfg);
+  let res = Hosted.run faulty in
+  check "clean halted" true (clean_res.Hosted.halted && clean_res.Hosted.fault = None);
+  check "faulty halted" true (res.Hosted.halted && res.Hosted.fault = None);
+  check_int "one restart" 1 res.Hosted.retries;
+  check_int "same loaded value" (Cpu.get_reg clean (Reg.r 1))
+    (Cpu.get_reg faulty (Reg.r 1));
+  check_int "flaky fired" 1
+    (List.assoc "flaky_fired" (Plan.counts (Cpu.fault_plan faulty)));
+  check "transient dispatch counted" true
+    (Stats.exception_count (Cpu.stats faulty) Cause.Page_fault = 1)
+
+let test_fuel_exhaustion_recorded () =
+  let cpu = Cpu.create () in
+  (* spin forever: jump to self *)
+  Cpu.load_program cpu (Program.make (Array.of_list [ Word.B (Branch.Jump 0); Word.Nop ]));
+  let res = Hosted.run ~fuel:1000 cpu in
+  check "did not halt" true (not res.Hosted.halted);
+  check "stats flag set" true (Cpu.stats cpu).Stats.fuel_exhausted
+
+let test_drop_clean_only () =
+  let pm = Pagemap.create () in
+  Pagemap.map pm Pagemap.Dspace ~vpage:1 ~frame:0 ~writable:true;
+  Pagemap.map pm Pagemap.Dspace ~vpage:2 ~frame:1 ~writable:true;
+  (* dirty page 1 *)
+  ignore (Pagemap.translate pm Pagemap.Dspace ~write:true (1 * Pagemap.page_words));
+  (match Pagemap.drop_clean pm ~pick:0 with
+  | Some (Pagemap.Dspace, 2) -> ()
+  | Some _ -> Alcotest.fail "dropped the wrong page"
+  | None -> Alcotest.fail "expected a clean page to drop");
+  (* only the dirty page remains: nothing clean to drop *)
+  check "dirty page survives" true
+    (Pagemap.find pm Pagemap.Dspace ~vpage:1 <> None);
+  check "no clean candidates left" true (Pagemap.drop_clean pm ~pick:3 = None)
+
+(* --- hardened kernel ------------------------------------------------------ *)
+
+let compile_src src =
+  Mips_codegen.Compile.compile
+    ~config:{ Mips_ir.Config.default with Mips_ir.Config.stack_top = Mips_os.Kernel.user_stack_top }
+    src
+
+let spin_src = "program spin; var i : integer; begin while 0 = 0 do i := i + 1 end."
+let quick_src = "program quick; begin write(7) end."
+
+let test_watchdog_kills_runaway () =
+  let k = Mips_os.Kernel.create ~watchdog:20_000 () in
+  Mips_os.Kernel.spawn k ~name:"spin" (compile_src spin_src);
+  Mips_os.Kernel.spawn k ~name:"quick" (compile_src quick_src);
+  let r = Mips_os.Kernel.run k in
+  check_int "one watchdog kill" 1 r.Mips_os.Kernel.watchdog_kills;
+  let spin =
+    List.find (fun (p : Mips_os.Kernel.proc_report) -> p.pname = "spin")
+      r.Mips_os.Kernel.procs
+  in
+  (match spin.Mips_os.Kernel.killed with
+  | Some (Mips_os.Kernel.Watchdog cycles) ->
+      check "cycles recorded" true (cycles > 20_000)
+  | _ -> Alcotest.fail "expected a watchdog kill");
+  let quick =
+    List.find (fun (p : Mips_os.Kernel.proc_report) -> p.pname = "quick")
+      r.Mips_os.Kernel.procs
+  in
+  check "other process unaffected" true (quick.Mips_os.Kernel.exit_status = Some 0);
+  check "its output intact" true (quick.Mips_os.Kernel.output = "7")
+
+let test_spawn_limit_enforced () =
+  let k = Mips_os.Kernel.create () in
+  let p = compile_src quick_src in
+  for i = 0 to Mips_os.Kernel.max_procs - 1 do
+    Mips_os.Kernel.spawn k ~name:(Printf.sprintf "p%d" i) p
+  done;
+  check "table is at capacity" true
+    (match Mips_os.Kernel.spawn k ~name:"overflow" p with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let touch_src = "program touch; var i : integer; begin i := 3; write(i) end."
+
+let test_oom_kill_graceful () =
+  (* zero data frames: the very first data reference cannot be serviced *)
+  let k = Mips_os.Kernel.create ~data_frames:0 () in
+  Mips_os.Kernel.spawn k ~name:"touch" (compile_src touch_src);
+  let r = Mips_os.Kernel.run k in
+  check_int "one oom kill" 1 r.Mips_os.Kernel.oom_kills;
+  let p = List.hd r.Mips_os.Kernel.procs in
+  match p.Mips_os.Kernel.killed with
+  | Some (Mips_os.Kernel.Out_of_memory _) -> ()
+  | _ -> Alcotest.fail "expected an out-of-memory kill"
+
+let test_kernel_retry_under_flaky () =
+  (* heavy flaky injection: processes must still finish, with retries *)
+  let plan =
+    { Plan.quiet with Plan.seed = 77; flaky_rate = 0.05 }
+  in
+  let s = Soak.run_soak ~programs:3 ~plan ~seed:9 () in
+  check_int "all accounted" s.Soak.programs (s.Soak.exited + s.Soak.killed + s.Soak.live);
+  check "not fuel-bound" true (not s.Soak.fuel_exhausted);
+  check "every process exited" true (s.Soak.exited = s.Soak.programs);
+  check "retries happened" true (s.Soak.transient_retries > 0);
+  check "all transient faults retried" true
+    (s.Soak.transient_faults = s.Soak.transient_retries)
+
+let test_kernel_soak_survives_bit_flips () =
+  (* the aggressive plan: every fault kind at once.  The property is
+     survival and accounting, not equivalence. *)
+  let plan =
+    {
+      Plan.seed = 1234;
+      flip_reg_rate = 0.0005;
+      flip_data_rate = 0.0005;
+      irq_rate = 0.0005;
+      page_drop_rate = 0.0005;
+      flaky_rate = 0.001;
+      max_injections = 0;
+    }
+  in
+  let s = Soak.run_soak ~programs:4 ~watchdog:2_000_000 ~plan ~seed:5 () in
+  check_int "all accounted" s.Soak.programs (s.Soak.exited + s.Soak.killed + s.Soak.live);
+  check "faults were injected" true
+    (List.fold_left (fun a (_, n) -> a + n) 0 s.Soak.injected > 0)
+
+let test_kernel_soak_deterministic () =
+  let plan =
+    {
+      Plan.seed = 99;
+      flip_reg_rate = 0.001;
+      flip_data_rate = 0.001;
+      irq_rate = 0.001;
+      page_drop_rate = 0.001;
+      flaky_rate = 0.001;
+      max_injections = 0;
+    }
+  in
+  let a = Soak.run_soak ~programs:3 ~watchdog:2_000_000 ~plan ~seed:21 () in
+  let b = Soak.run_soak ~programs:3 ~watchdog:2_000_000 ~plan ~seed:21 () in
+  check "bit-for-bit reproducible" true (a = b);
+  let j1 = Mips_obs.Json.to_string (Soak.summary_json a) in
+  let j2 = Mips_obs.Json.to_string (Soak.summary_json b) in
+  Alcotest.(check string) "same JSON" j1 j2
+
+(* --- differential soak ---------------------------------------------------- *)
+
+let test_generated_programs_terminate () =
+  for seed = 0 to 19 do
+    let asm = Progen.generate ~seed () in
+    let program = Mips_reorg.Pipeline.compile asm in
+    let res = Hosted.run_program ~fuel:500_000 program in
+    check (Printf.sprintf "seed %d halts" seed) true res.Hosted.halted;
+    check (Printf.sprintf "seed %d exits cleanly" seed) true
+      (res.Hosted.exit_status = Some 0 && res.Hosted.fault = None)
+  done
+
+let test_differential_clean_and_faulted () =
+  (* the acceptance property: >= 100 generated programs, raw-vs-reorganized,
+     clean and under transparent fault injection, all equivalent *)
+  let failures = ref [] in
+  for seed = 0 to 119 do
+    let d = Soak.differential ~seed () in
+    if not d.Soak.ok then failures := d :: !failures
+  done;
+  (match !failures with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "seed %d diverged: %s" d.Soak.seed
+        (String.concat "; "
+           (List.map (fun (v, m) -> v ^ ": " ^ m) d.Soak.mismatches)));
+  (* and the injection machinery must actually have been exercised *)
+  let total_injected =
+    List.fold_left
+      (fun acc seed -> acc + (Soak.differential ~seed ()).Soak.injected)
+      0 [ 0; 1; 2; 3; 4 ]
+  in
+  check "faults actually injected" true (total_injected > 0)
+
+let test_differential_deterministic () =
+  let a = Soak.differential ~seed:17 () in
+  let b = Soak.differential ~seed:17 () in
+  check "same result" true (a = b)
+
+(* --- qcheck: the differential property over arbitrary seeds --------------- *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let prop_differential =
+  QCheck.Test.make ~count:30 ~name:"differential equivalence on random seeds"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let d = Soak.differential ~seed () in
+      d.Soak.ok)
+
+let prop_whole_program_halts =
+  QCheck2.Test.make ~count:40
+    ~name:"whole-program generator: every draw halts cleanly reorganized"
+    Gen.whole_program
+    (fun asm ->
+      let p = Mips_reorg.Pipeline.compile asm in
+      let res = Hosted.run_program ~fuel:500_000 p in
+      res.Hosted.halted
+      && res.Hosted.exit_status = Some 0
+      && res.Hosted.fault = None)
+
+let prop_plan_decide_pure =
+  QCheck.Test.make ~count:50 ~name:"plan decisions depend only on seed"
+    QCheck.(pair (int_bound 10_000) (int_bound 500))
+    (fun (seed, n) ->
+      let cfg =
+        { Plan.quiet with Plan.seed; flip_data_rate = 0.03; flaky_rate = 0.03 }
+      in
+      let a = Plan.make cfg and b = Plan.make cfg in
+      let da = List.init (n + 1) (fun _ -> Plan.decide a) in
+      let db = List.init (n + 1) (fun _ -> Plan.decide b) in
+      da = db)
+
+let suite =
+  [ ( "fault",
+      [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "plan deterministic" `Quick test_plan_deterministic;
+        Alcotest.test_case "plan max injections" `Quick test_plan_max_injections;
+        Alcotest.test_case "none plan inert" `Quick test_none_plan_never_injects;
+        Alcotest.test_case "reg flip applied" `Quick test_flip_reg_applied;
+        Alcotest.test_case "flaky restart transparent" `Quick
+          test_flaky_restart_transparent;
+        Alcotest.test_case "fuel exhaustion recorded" `Quick
+          test_fuel_exhaustion_recorded;
+        Alcotest.test_case "page drop spares dirty pages" `Quick
+          test_drop_clean_only ] );
+    ( "fault.kernel",
+      [ Alcotest.test_case "watchdog kills runaway" `Quick
+          test_watchdog_kills_runaway;
+        Alcotest.test_case "spawn limit enforced" `Slow test_spawn_limit_enforced;
+        Alcotest.test_case "oom kill graceful" `Quick test_oom_kill_graceful;
+        Alcotest.test_case "retry under flaky injection" `Quick
+          test_kernel_retry_under_flaky;
+        Alcotest.test_case "soak survives bit flips" `Quick
+          test_kernel_soak_survives_bit_flips;
+        Alcotest.test_case "soak deterministic" `Quick
+          test_kernel_soak_deterministic ] );
+    ( "fault.differential",
+      [ Alcotest.test_case "generated programs terminate" `Quick
+          test_generated_programs_terminate;
+        Alcotest.test_case "differential over 120 seeds" `Slow
+          test_differential_clean_and_faulted;
+        Alcotest.test_case "differential deterministic" `Quick
+          test_differential_deterministic ] );
+    qsuite "fault.qcheck"
+      [ prop_differential; prop_whole_program_halts; prop_plan_decide_pure ] ]

@@ -365,6 +365,81 @@ let test_interrupt_line () =
   check "finished" true res.Hosted.halted;
   check_int "r2 executed on resume" 2 (Cpu.get_reg cpu (Reg.r 2))
 
+let test_fault_in_delay_slot_restarts () =
+  (* a fault in a branch's delay slot: the three-deep chain must capture
+     (slot, target, target+1) so the branch decision survives the exception *)
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu
+    (prog
+       ([ Word.M (Mem.Limm (0x7FFFFFFF, Reg.r 1));
+          jmp 4;
+          add (rr 1) (i4 1) 2;  (* delay slot: overflows *)
+          movi8 9 9 ]           (* fall-through word the branch skips *)
+        @ halt));
+  Cpu.set_surprise cpu { (Cpu.surprise cpu) with Surprise.ovf_enable = true };
+  ignore (Cpu.step cpu);
+  ignore (Cpu.step cpu);
+  (match Cpu.step cpu with
+  | Cpu.Dispatched Cause.Overflow -> ()
+  | _ -> Alcotest.fail "expected an overflow in the delay slot");
+  check_int "epc0 = delay slot" 2 (Cpu.epc cpu 0);
+  check_int "epc1 = branch target" 4 (Cpu.epc cpu 1);
+  check_int "epc2 = target + 1" 5 (Cpu.epc cpu 2);
+  check_int "dispatch through physical 0" 0 (Cpu.pc cpu);
+  check "write inhibited" true (Cpu.get_reg cpu (Reg.r 2) = 0);
+  (* handler: repair the operand and return through the saved chain *)
+  Cpu.set_reg cpu (Reg.r 1) 5;
+  Cpu.set_surprise cpu (Surprise.pop (Cpu.surprise cpu));
+  Cpu.set_pc_chain cpu (Cpu.epc cpu 0, Cpu.epc cpu 1, Cpu.epc cpu 2);
+  let res = Hosted.run cpu in
+  check "finished" true (res.Hosted.halted && res.Hosted.fault = None);
+  check_int "slot re-executed exactly once" 6 (Cpu.get_reg cpu (Reg.r 2));
+  check_int "skipped word stays skipped" 0 (Cpu.get_reg cpu (Reg.r 9))
+
+let test_double_fault_overwrites_chain () =
+  (* a second fault during handler entry reuses the EPC chain and the
+     surprise register — the first exception's state survives only if the
+     kernel saved it, and restoring that saved state round-trips exactly *)
+  let cpu = Cpu.create () in
+  Cpu.load_program cpu
+    (prog
+       ([ Word.A (Alu.Binop (Alu.Div, rr 1, rr 0, Reg.r 3));
+          (* handler entry: r0 = 0, so this faults unconditionally *)
+          Word.Nop;
+          Word.Nop;
+          trap 42 ]
+        @ halt));
+  Cpu.set_pc cpu 3;
+  (match Cpu.step cpu with
+  | Cpu.Dispatched Cause.Trap -> ()
+  | _ -> Alcotest.fail "expected trap dispatch");
+  let sr1 = Cpu.surprise cpu in
+  let saved_sr = Surprise.to_word sr1 in
+  let saved_epcs = (Cpu.epc cpu 0, Cpu.epc cpu 1, Cpu.epc cpu 2) in
+  check_int "epc0 past the trap" 4 (Cpu.epc cpu 0);
+  check_int "trap code in cause detail" 42 sr1.Surprise.cause_detail;
+  (* the handler's first instruction faults before anything was saved *)
+  (match Cpu.step cpu with
+  | Cpu.Dispatched Cause.Overflow -> ()
+  | _ -> Alcotest.fail "expected the handler-entry fault");
+  check_int "epc0 overwritten" 0 (Cpu.epc cpu 0);
+  check_int "epc1 overwritten" 1 (Cpu.epc cpu 1);
+  check_int "epc2 overwritten" 2 (Cpu.epc cpu 2);
+  check_int "dispatched through 0 again" 0 (Cpu.pc cpu);
+  let sr2 = Cpu.surprise cpu in
+  check "cause is the second fault" true (sr2.Surprise.cause = Cause.Overflow);
+  check "pushed from kernel mode" true
+    (Surprise.equal_privilege sr2.Surprise.prev_priv Surprise.Kernel);
+  (* a kernel that saved the first exception's state can still unwind it *)
+  Cpu.set_surprise cpu (Surprise.of_word saved_sr);
+  check "surprise word round-trips exactly" true
+    (Surprise.equal (Cpu.surprise cpu) sr1);
+  Cpu.set_pc_chain cpu saved_epcs;
+  let res = Hosted.run cpu in
+  check "resumed past the first trap" true
+    (res.Hosted.halted && res.Hosted.fault = None);
+  check "clean exit" true (res.Hosted.exit_status = Some 0)
+
 (* --- paging ------------------------------------------------------------- *)
 
 let map_identity cpu ~pages =
@@ -540,7 +615,9 @@ let suite =
         tc "overflow silent when disabled" test_overflow_silent_when_disabled;
         tc "privilege fault" test_privilege_fault;
         tc "dispatch saves state" test_dispatch_saves_epcs_and_cause;
-        tc "interrupt line" test_interrupt_line ] );
+        tc "interrupt line" test_interrupt_line;
+        tc "fault in a delay slot restarts" test_fault_in_delay_slot_restarts;
+        tc "double fault overwrites the chain" test_double_fault_overwrites_chain ] );
     ( "machine:paging",
       [ tc "page fault and restart" test_page_fault_and_restart;
         tc "ifetch fault" test_ispace_page_fault ] );

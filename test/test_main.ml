@@ -1,4 +1,4 @@
 let () =
   Alcotest.run "repro"
     (Test_isa.suite @ Test_machine.suite @ Test_reorg.suite @ Test_compiler.suite
-    @ Test_os.suite @ Test_analysis.suite @ Test_obs.suite)
+    @ Test_os.suite @ Test_analysis.suite @ Test_obs.suite @ Test_fault.suite)

@@ -76,7 +76,7 @@ let test_segment_violation_kills () =
   let r = Kernel.run k in
   let p = find_proc r "wild" in
   (match p.Kernel.killed with
-  | Some (Cause.Page_fault, _) -> ()
+  | Some (Kernel.Arch_fault (Cause.Page_fault, _)) -> ()
   | _ -> Alcotest.fail "expected the wild process to be killed");
   Alcotest.(check (option int)) "no exit status" None p.Kernel.exit_status
 
