@@ -111,6 +111,16 @@ let write_json dest json =
   output_char oc '\n';
   close ()
 
+let engine_flag =
+  Arg.(
+    value
+    & opt
+        (enum [ ("ref", Mips_machine.Cpu.Ref); ("fast", Mips_machine.Cpu.Fast) ])
+        Mips_machine.Cpu.Ref
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,ref) (the reference interpreter, default)            or $(b,fast) (the predecoded closure engine — bit-identical            results, including statistics).")
+
 (* fault-injection flags for `run` *)
 let fault_seed_flag =
   Arg.(
@@ -133,7 +143,7 @@ let fault_rate_flag =
 
 let run_cmd =
   let run file byte early_out level input stats trace trace_format stats_json
-      fault_seed fault_rate =
+      fault_seed fault_rate engine =
     let config = config_of ~byte ~early_out in
     let src = read_source file in
     let input =
@@ -162,7 +172,7 @@ let run_cmd =
     in
     let res, cpu =
       Mips_codegen.Compile.run_with_machine ~config ~level:(level_of level)
-        ~fuel:500_000_000 ~input ~trace:trace_sink ?fault_plan src
+        ~fuel:500_000_000 ~input ~trace:trace_sink ?fault_plan ~engine src
     in
     Mips_obs.Sink.flush trace_sink;
     trace_close ();
@@ -191,7 +201,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag
       $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag
-      $ fault_seed_flag $ fault_rate_flag)
+      $ fault_seed_flag $ fault_rate_flag $ engine_flag)
 
 let compile_cmd =
   let compile file byte early_out level =

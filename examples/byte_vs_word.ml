@@ -19,7 +19,7 @@ let () =
     let s = Mips_machine.Cpu.stats cpu in
     Format.printf
       "  %-14s %8d instruction words, %10.1f weighted cycles,@.  %14s %6d byte refs, %6d word refs, %5.1f%% free memory cycles@."
-      name s.Mips_machine.Stats.cycles s.Mips_machine.Stats.weighted_cycles ""
+      name s.Mips_machine.Stats.cycles (Mips_machine.Stats.weighted_cycles s) ""
       (s.Mips_machine.Stats.byte_refs.Mips_machine.Stats.loads
       + s.Mips_machine.Stats.byte_refs.Mips_machine.Stats.stores
       + s.Mips_machine.Stats.byte_char_refs.Mips_machine.Stats.loads

@@ -23,7 +23,7 @@ let machine_config (cfg : Config.t) =
   | Config.Byte_addressed -> Mips_machine.Cpu.byte_addressed_config
 
 let run_with_machine ?(config = Config.default) ?level ?fuel ?input ?trace
-    ?fault_plan src =
+    ?fault_plan ?engine src =
   let program = compile ~config ?level src in
   let cpu = Mips_machine.Cpu.create ~config:(machine_config config) () in
   (match trace with
@@ -32,7 +32,7 @@ let run_with_machine ?(config = Config.default) ?level ?fuel ?input ?trace
   (match fault_plan with
   | Some plan -> Mips_machine.Cpu.set_fault_plan cpu plan
   | None -> ());
-  let res = Mips_machine.Hosted.run_program_on ?fuel ?input cpu program in
+  let res = Mips_machine.Hosted.run_program_on ?fuel ?input ?engine cpu program in
   (res, cpu)
 
 let run ?config ?level ?fuel ?input src =

@@ -51,6 +51,16 @@ type t = {
   mutable prev_word : int Word.t;
   (* taken-branch shadow countdown; maintained only while tracing *)
   mutable delay_pending : int;
+  (* fast engine: per-word compiled closures, kept in sync with [imem]
+     ([stale] marks a slot whose word changed since it was last compiled) *)
+  xcode : (t -> unit) array;
+  (* fast-engine scratch slots: compute-phase results parked here so the
+     commit phase can pick them up without allocating effect records *)
+  mutable sc_a : int;  (* resolved physical address (byte ops: phys*4+lane) *)
+  mutable sc_b : int;  (* store value, read in the compute phase *)
+  mutable sc_v : int;  (* ALU result *)
+  mutable sc_taken : bool;  (* conditional-branch decision *)
+  mutable sc_target : int;  (* indirect-branch target, read pre-commit *)
 }
 
 and fault_kind =
@@ -59,6 +69,11 @@ and fault_kind =
   | Transient_ref
 
 type event = Stepped | Dispatched of Cause.t
+
+(* Fast-engine sentinel: marks an [xcode] slot whose word has not been
+   compiled since it last changed.  Recognized with [==]; never called with
+   the intent of executing an instruction. *)
+let stale (_ : t) = ()
 
 let create ?(config = default_config) () =
   {
@@ -88,6 +103,12 @@ let create ?(config = default_config) () =
     prev_pc = -1;
     prev_word = Word.Nop;
     delay_pending = 0;
+    xcode = Array.make config.imem_words stale;
+    sc_a = 0;
+    sc_b = 0;
+    sc_v = 0;
+    sc_taken = false;
+    sc_target = 0;
   }
 
 let config t = t.cfg
@@ -125,7 +146,10 @@ let set_pc t a = set_pc_chain t (a, a + 1, a + 2)
 let set_interrupt t b = t.interrupt_line <- b
 let interrupt_pending t = t.interrupt_line
 let read_code t a = t.imem.(a)
-let write_code t a w = t.imem.(a) <- w
+
+let write_code t a w =
+  t.imem.(a) <- w;
+  t.xcode.(a) <- stale
 let read_note t a = t.notes.(a)
 let write_note t a n = t.notes.(a) <- n
 let read_data t a = t.dmem.(a)
@@ -139,6 +163,7 @@ let faulted_addr t =
 
 let load_program ?(at = 0) ?(data_at = 0) t (p : Program.t) =
   Array.blit p.code 0 t.imem at (Array.length p.code);
+  Array.fill t.xcode at (Array.length p.code) stale;
   Array.blit p.notes 0 t.notes at (Array.length p.notes);
   List.iter (fun (a, v) -> t.dmem.(data_at + a) <- Word32.norm v) p.data;
   set_pc t (at + p.entry)
@@ -361,7 +386,7 @@ let count_cycle t word =
     if t.cfg.byte_addressed && busy then 1. +. (t.cfg.fetch_overhead_pct /. 100.)
     else 1.
   in
-  s.weighted_cycles <- s.weighted_cycles +. weight;
+  s.weighted.(0) <- s.weighted.(0) +. weight;
   let pieces = Word.pieces word in
   if pieces = [] then s.nops <- s.nops + 1;
   if List.length pieces > 1 then s.packed_words <- s.packed_words + 1;
@@ -378,7 +403,7 @@ let stall t n =
   t.stats.cycles <- t.stats.cycles + n;
   t.stats.stall_cycles <- t.stats.stall_cycles + n;
   t.stats.free_cycles <- t.stats.free_cycles + n;
-  t.stats.weighted_cycles <- t.stats.weighted_cycles +. float_of_int n
+  t.stats.weighted.(0) <- t.stats.weighted.(0) +. float_of_int n
 
 (* Apply one decided injection to the architectural state.  Payload values
    are reduced into the machine's own ranges here so the plan can stay
@@ -589,14 +614,742 @@ let step t =
         Stepped
   end
 
-let run ?(fuel = 10_000_000) t handler =
+(* ---------------------------------------------------------------------- *)
+(* Fast engine: per-word compiled closures over predecoded entries.
+
+   [compile_word] specializes one instruction word — for one imem slot of
+   one machine configuration — into a [t -> unit] closure that replays
+   exactly the quiet-path effects of [step]: same compute order (mem, alu,
+   branch, all reading pre-instruction state), same commit order (store,
+   pending load, alu, load/limm), same statistics increments in the same
+   order (so even [weighted_cycles], a float accumulation, stays
+   bit-identical).  Everything [step] recomputes per cycle — piece
+   projections, read/write sets, piece counts, memory-busy weights — is
+   resolved here once, via {!Predecode.lower}.
+
+   The closures are only ever run from [step_fast], which falls back to
+   [step] for any cycle where tracing, fault injection, an armed flaky
+   reference, or the interrupt line could observe or perturb the step.
+   Faults still escape as exceptions and reach the shared [dispatch]. *)
+
+let user_priv_check t =
+  if Surprise.equal_privilege t.sr.priv Surprise.User then
+    raise (Fault (Cause.Privilege, 1))
+
+(* Resolved ALU piece: destination picked apart from the value computation
+   so the compute phase can park the result in a scratch slot and the
+   commit phase can land it after the pending load. *)
+type alu_exec =
+  | AXnone
+  | AXreg of int * (t -> int)  (* destination register, value *)
+  | AXspecial of Alu.special * (t -> int)
+  | AXrfe
+
+(* Resolved memory piece.  The [t -> int] computes the resolved physical
+   address at compute time (byte variants encode [(phys lsl 2) lor lane]);
+   faults raise from inside it, exactly where [compute_mem] would. *)
+type mem_exec =
+  | MXnone
+  | MXlimm of int * int  (* destination register, constant *)
+  | MXload_w of int * (t -> int)
+  | MXload_b of int * (t -> int)
+  | MXstore_w of int * (t -> int)  (* source register, address *)
+  | MXstore_b of int * (t -> int)
+
+(* Resolved branch piece.  Targets of indirect branches are register reads
+   and must happen at compute time (pre-commit); direct targets are
+   immediate. *)
+type br_exec =
+  | BXnone
+  | BXcbr of (t -> bool) * int
+  | BXjump of int
+  | BXjal of int * int  (* target, link register *)
+  | BXjind of int  (* target register *)
+  | BXjalind of int * int  (* target register, link register *)
+  | BXtrap of int
+
+let compile_operand = function
+  | Operand.R r ->
+      let r = Reg.to_int r in
+      fun t -> t.regs.(r)
+  | Operand.I4 n -> fun _ -> n
+
+let compile_binop op =
+  let overflow_trap t =
+    if t.sr.ovf_enable then raise (Fault (Cause.Overflow, 0))
+  in
+  match op with
+  | Alu.Add ->
+      fun t a b ->
+        if Word32.add_overflows a b then overflow_trap t;
+        Word32.add a b
+  | Alu.Sub ->
+      fun t a b ->
+        if Word32.sub_overflows a b then overflow_trap t;
+        Word32.sub a b
+  | Alu.Rsub ->
+      fun t a b ->
+        if Word32.sub_overflows b a then overflow_trap t;
+        Word32.sub b a
+  | Alu.And -> fun _ a b -> Word32.logand a b
+  | Alu.Or -> fun _ a b -> Word32.logor a b
+  | Alu.Xor -> fun _ a b -> Word32.logxor a b
+  | Alu.Sll -> fun _ a b -> Word32.shift_left a b
+  | Alu.Srl -> fun _ a b -> Word32.shift_right_logical a b
+  | Alu.Sra -> fun _ a b -> Word32.shift_right_arith a b
+  | Alu.Mul ->
+      fun t a b ->
+        if Word32.mul_overflows a b then overflow_trap t;
+        Word32.mul a b
+  | Alu.Div ->
+      fun _ a b ->
+        if b = 0 then raise (Fault (Cause.Overflow, 1)) else Word32.sdiv a b
+  | Alu.Rem ->
+      fun _ a b ->
+        if b = 0 then raise (Fault (Cause.Overflow, 1)) else Word32.srem a b
+
+let compile_alu a =
+  (* the privilege test guards the whole piece, as in [compute_alu] *)
+  let wrap f =
+    if Alu.is_privileged a then (fun t ->
+      user_priv_check t;
+      f t)
+    else f
+  in
+  match a with
+  | Alu.Binop (op, x, y, d) ->
+      let f = compile_binop op
+      and gx = compile_operand x
+      and gy = compile_operand y in
+      AXreg (Reg.to_int d, wrap (fun t -> f t (gx t) (gy t)))
+  | Alu.Mov (x, d) -> AXreg (Reg.to_int d, wrap (compile_operand x))
+  | Alu.Movi8 (c, d) -> AXreg (Reg.to_int d, wrap (fun _ -> c))
+  | Alu.Setc (c, x, y, d) ->
+      let gx = compile_operand x and gy = compile_operand y in
+      AXreg
+        (Reg.to_int d, wrap (fun t -> if Cond.eval c (gx t) (gy t) then 1 else 0))
+  | Alu.Xbyte (p, w, d) ->
+      let gp = compile_operand p and gw = compile_operand w in
+      AXreg (Reg.to_int d, wrap (fun t -> Word32.get_byte (gw t) (gp t land 3)))
+  | Alu.Ibyte (s, d) ->
+      let gs = compile_operand s in
+      let d = Reg.to_int d in
+      AXreg
+        ( d,
+          wrap (fun t ->
+              Word32.set_byte t.regs.(d) (t.byte_select land 3) (gs t)) )
+  | Alu.Rd_special (s, d) ->
+      AXreg (Reg.to_int d, wrap (fun t -> read_special t s))
+  | Alu.Wr_special (s, x) -> AXspecial (s, wrap (compile_operand x))
+  | Alu.Rfe -> AXrfe (* privilege checked by the engine at compute time *)
+
+let compile_addr = function
+  | Mem.Abs a -> fun _ -> a
+  | Mem.Disp (b, d) ->
+      let b = Reg.to_int b in
+      fun t -> Word32.add t.regs.(b) d
+  | Mem.Idx (b, i) ->
+      let b = Reg.to_int b and i = Reg.to_int i in
+      fun t -> Word32.add t.regs.(b) t.regs.(i)
+  | Mem.Shifted (b, i, n) ->
+      let b = Reg.to_int b and i = Reg.to_int i in
+      fun t -> Word32.add t.regs.(b) (Word32.shift_right_logical t.regs.(i) n)
+  | Mem.Scaled (b, i, n) ->
+      let b = Reg.to_int b and i = Reg.to_int i in
+      fun t -> Word32.add t.regs.(b) (Word32.shift_left t.regs.(i) n)
+
+let compile_mem (cfg : config) m =
+  match m with
+  | None -> MXnone
+  | Some (Mem.Limm (c, d)) -> MXlimm (Reg.to_int d, c)
+  | Some (Mem.Load (width, a, d)) ->
+      let ga = compile_addr a in
+      let d = Reg.to_int d in
+      if cfg.byte_addressed then
+        let resolve lane_rule t =
+          let addr = ga t in
+          let word_v = addr asr 2 and lane = addr land 3 in
+          let phys = translate_word t Pagemap.Dspace ~write:false word_v in
+          data_bounds_check t phys;
+          lane_rule phys lane
+        in
+        match width with
+        | Mem.W8 -> MXload_b (d, resolve (fun phys lane -> (phys lsl 2) lor lane))
+        | Mem.W32 ->
+            MXload_w
+              ( d,
+                resolve (fun phys lane ->
+                    if lane <> 0 then raise (Fault (Cause.Illegal, 2));
+                    phys) )
+      else (
+        match width with
+        | Mem.W8 -> MXload_w (d, fun _ -> raise (Fault (Cause.Illegal, 3)))
+        | Mem.W32 ->
+            MXload_w
+              ( d,
+                fun t ->
+                  let phys = translate_word t Pagemap.Dspace ~write:false (ga t) in
+                  data_bounds_check t phys;
+                  phys ))
+  | Some (Mem.Store (width, s, a)) ->
+      let ga = compile_addr a in
+      let s = Reg.to_int s in
+      if cfg.byte_addressed then
+        let resolve lane_rule t =
+          let addr = ga t in
+          let word_v = addr asr 2 and lane = addr land 3 in
+          let phys = translate_word t Pagemap.Dspace ~write:true word_v in
+          data_bounds_check t phys;
+          lane_rule phys lane
+        in
+        match width with
+        | Mem.W8 -> MXstore_b (s, resolve (fun phys lane -> (phys lsl 2) lor lane))
+        | Mem.W32 ->
+            MXstore_w
+              ( s,
+                resolve (fun phys lane ->
+                    if lane <> 0 then raise (Fault (Cause.Illegal, 2));
+                    phys) )
+      else (
+        match width with
+        | Mem.W8 -> MXstore_w (s, fun _ -> raise (Fault (Cause.Illegal, 3)))
+        | Mem.W32 ->
+            MXstore_w
+              ( s,
+                fun t ->
+                  let phys = translate_word t Pagemap.Dspace ~write:true (ga t) in
+                  data_bounds_check t phys;
+                  phys ))
+
+let compile_branch = function
+  | None -> BXnone
+  | Some (Branch.Cbr (c, x, y, target)) ->
+      let gx = compile_operand x and gy = compile_operand y in
+      BXcbr ((fun t -> Cond.eval c (gx t) (gy t)), target)
+  | Some (Branch.Jump target) -> BXjump target
+  | Some (Branch.Jal (target, link)) -> BXjal (target, Reg.to_int link)
+  | Some (Branch.Jind r) -> BXjind (Reg.to_int r)
+  | Some (Branch.Jalind (r, link)) -> BXjalind (Reg.to_int r, Reg.to_int link)
+  | Some (Branch.Trap code) -> BXtrap code
+
+let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
+  let e = Predecode.lower w in
+  let busy = e.Predecode.refs_memory in
+  let weight =
+    if cfg.byte_addressed && busy then 1. +. (cfg.fetch_overhead_pct /. 100.)
+    else 1.
+  in
+  let is_nop = e.Predecode.is_nop and packed = e.Predecode.packed in
+  let na = e.Predecode.alu_pieces
+  and nm = e.Predecode.mem_pieces
+  and nb = e.Predecode.branch_pieces in
+  let interlock = cfg.interlock in
+  let stall_check = interlock && e.Predecode.may_stall in
+  let reads = e.Predecode.reads in
+  let lw = if interlock then e.Predecode.load_writes else Reg.Set.empty in
+  let mx = compile_mem cfg e.Predecode.mem in
+  let ax = match e.Predecode.alu with None -> AXnone | Some a -> compile_alu a in
+  let bx = compile_branch e.Predecode.branch in
+  let is_rfe = match ax with AXrfe -> true | _ -> false in
+  let count t =
+    let s = t.stats in
+    s.cycles <- s.cycles + 1;
+    s.words <- s.words + 1;
+    if busy then s.mem_busy_cycles <- s.mem_busy_cycles + 1
+    else s.free_cycles <- s.free_cycles + 1;
+    s.weighted.(0) <- s.weighted.(0) +. weight;
+    if is_nop then s.nops <- s.nops + 1;
+    if packed then s.packed_words <- s.packed_words + 1;
+    s.alu_pieces <- s.alu_pieces + na;
+    s.mem_pieces <- s.mem_pieces + nm;
+    s.branch_pieces <- s.branch_pieces + nb
+  in
+  let take t target delay =
+    t.stats.branches_taken <- t.stats.branches_taken + 1;
+    if interlock then begin
+      stall t delay;
+      t.stats.branch_stall_cycles <- t.stats.branch_stall_cycles + delay;
+      set_pc_chain t (target, target + 1, target + 2)
+    end
+    else if delay = 1 then set_pc_chain t (t.p1, target, target + 1)
+    else set_pc_chain t (t.p1, t.p2, target)
+  in
+  let generic t =
+    (* interlock-mode stall detection, as in [step] *)
+    if
+      stall_check
+      && not (Reg.Set.is_empty (Reg.Set.inter t.last_load_writes reads))
+    then begin
+      stall t 1;
+      t.stats.load_use_stall_cycles <- t.stats.load_use_stall_cycles + 1;
+      Stats.record_stall_pair t.stats ~producer_pc:t.prev_pc ~consumer_pc:t.p0
+    end;
+    (* compute phase: all operands read from pre-instruction state, in the
+       reference order mem / alu / branch so faults rank identically *)
+    (match mx with
+    | MXnone | MXlimm _ -> ()
+    | MXload_w (_, fp) | MXload_b (_, fp) -> t.sc_a <- fp t
+    | MXstore_w (s, fp) | MXstore_b (s, fp) ->
+        t.sc_a <- fp t;
+        t.sc_b <- t.regs.(s));
+    (match ax with
+    | AXnone -> ()
+    | AXreg (_, f) | AXspecial (_, f) -> t.sc_v <- f t
+    | AXrfe -> user_priv_check t);
+    (match bx with
+    | BXnone | BXjump _ | BXjal _ -> ()
+    | BXcbr (f, _) -> t.sc_taken <- f t
+    | BXjind r | BXjalind (r, _) -> t.sc_target <- t.regs.(r)
+    | BXtrap code ->
+        (* a trap commits nothing else in its word; its cycle is still
+           counted before the dispatch, exactly as [step] does *)
+        count t;
+        raise (Trap_dispatch code));
+    count t;
+    (* commit phase: store, then the pending load, then alu, then load *)
+    (match mx with
+    | MXstore_w _ ->
+        t.dmem.(t.sc_a) <- t.sc_b;
+        Stats.count_ref t.stats ~load:false t.notes.(at)
+    | MXstore_b _ ->
+        let phys = t.sc_a lsr 2 and lane = t.sc_a land 3 in
+        t.dmem.(phys) <- Word32.set_byte t.dmem.(phys) lane t.sc_b;
+        Stats.count_ref t.stats ~load:false t.notes.(at)
+    | MXnone | MXlimm _ | MXload_w _ | MXload_b _ -> ());
+    commit_pending t;
+    (match ax with
+    | AXnone -> ()
+    | AXreg (d, _) -> t.regs.(d) <- t.sc_v
+    | AXspecial (s, _) -> apply_special t s t.sc_v
+    | AXrfe -> t.sr <- Surprise.pop t.sr);
+    (match mx with
+    | MXlimm (d, c) -> t.regs.(d) <- c
+    | MXload_w (d, _) ->
+        Stats.count_ref t.stats ~load:true t.notes.(at);
+        let v = t.dmem.(t.sc_a) in
+        if interlock then t.regs.(d) <- v else t.pending <- Some (d, v)
+    | MXload_b (d, _) ->
+        Stats.count_ref t.stats ~load:true t.notes.(at);
+        let v = Word32.get_byte t.dmem.(t.sc_a lsr 2) (t.sc_a land 3) in
+        if interlock then t.regs.(d) <- v else t.pending <- Some (d, v)
+    | MXnone | MXstore_w _ | MXstore_b _ -> ());
+    (* [last_load_writes] / stall attribution state only matter on the
+       interlocked machine; in delayed-load mode they are always empty *)
+    if interlock then begin
+      t.last_load_writes <- lw;
+      t.prev_pc <- t.p0;
+      t.prev_word <- w
+    end;
+    (* next-pc phase *)
+    if is_rfe then set_pc_chain t (t.epcs.(0), t.epcs.(1), t.epcs.(2))
+    else
+      match bx with
+      | BXnone -> set_pc_chain t (t.p1, t.p2, t.p2 + 1)
+      | BXcbr (_, target) ->
+          if t.sc_taken then take t target 1
+          else set_pc_chain t (t.p1, t.p2, t.p2 + 1)
+      | BXjump target -> take t target 1
+      | BXjal (target, link) ->
+          t.regs.(link) <- t.p2;
+          take t target 1
+      | BXjind _ -> take t t.sc_target 2
+      | BXjalind (_, link) ->
+          t.regs.(link) <- t.p2 + 1;
+          take t t.sc_target 2
+      | BXtrap _ -> assert false (* raised during the compute phase *)
+  in
+  (* Specialised straight-line bodies for the common shapes on the
+     delayed-load word machine.  The [mx]/[ax]/[bx] matches in [generic]
+     are constant per closure but share branch-predictor sites across every
+     compiled word, so the hot shapes get dedicated closures with the
+     statistics update, the pending-load commit and the PC advance inlined
+     (no tuples, no out-of-line calls).  Interlock mode, the byte machine
+     and the rare shapes (traps, rfe, specials, unusual packings) stay on
+     [generic]; the commit ordering in each body mirrors it exactly. *)
+  if interlock || cfg.byte_addressed then generic
+  else
+    match (mx, ax, bx) with
+    | MXnone, AXnone, BXnone ->
+        fun t ->
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.nops <- s.Stats.nops + 1;
+          (match t.pending with
+          | Some (r, v) ->
+              t.regs.(r) <- v;
+              t.pending <- None
+          | None -> ());
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | MXnone, AXreg (d, f), BXnone ->
+        fun t ->
+          let v = f t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
+          (match t.pending with
+          | Some (r, pv) ->
+              t.regs.(r) <- pv;
+              t.pending <- None
+          | None -> ());
+          t.regs.(d) <- v;
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | MXlimm (d, c0), AXnone, BXnone ->
+        fun t ->
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
+          (match t.pending with
+          | Some (r, v) ->
+              t.regs.(r) <- v;
+              t.pending <- None
+          | None -> ());
+          t.regs.(d) <- c0;
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | MXload_w (d, fp), AXnone, BXnone ->
+        fun t ->
+          let a = fp t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.mem_busy_cycles <- s.Stats.mem_busy_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
+          (match t.pending with
+          | Some (r, v) ->
+              t.regs.(r) <- v;
+              t.pending <- None
+          | None -> ());
+          Stats.count_ref s ~load:true t.notes.(at);
+          t.pending <- Some (d, t.dmem.(a));
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | MXstore_w (src, fp), AXnone, BXnone ->
+        fun t ->
+          let a = fp t in
+          let v = t.regs.(src) in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.mem_busy_cycles <- s.Stats.mem_busy_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
+          t.dmem.(a) <- v;
+          Stats.count_ref s ~load:false t.notes.(at);
+          (match t.pending with
+          | Some (r, pv) ->
+              t.regs.(r) <- pv;
+              t.pending <- None
+          | None -> ());
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | MXnone, AXnone, BXcbr (f, target) ->
+        fun t ->
+          let taken = f t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
+          (match t.pending with
+          | Some (r, v) ->
+              t.regs.(r) <- v;
+              t.pending <- None
+          | None -> ());
+          if taken then begin
+            s.Stats.branches_taken <- s.Stats.branches_taken + 1;
+            let b = t.p1 in
+            t.p0 <- b;
+            t.p1 <- target;
+            t.p2 <- target + 1
+          end
+          else begin
+            let b = t.p1 and c = t.p2 in
+            t.p0 <- b;
+            t.p1 <- c;
+            t.p2 <- c + 1
+          end
+    | MXnone, AXnone, BXjump target ->
+        fun t ->
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
+          (match t.pending with
+          | Some (r, v) ->
+              t.regs.(r) <- v;
+              t.pending <- None
+          | None -> ());
+          s.Stats.branches_taken <- s.Stats.branches_taken + 1;
+          let b = t.p1 in
+          t.p0 <- b;
+          t.p1 <- target;
+          t.p2 <- target + 1
+    | MXnone, AXnone, BXjal (target, link) ->
+        fun t ->
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
+          (match t.pending with
+          | Some (r, v) ->
+              t.regs.(r) <- v;
+              t.pending <- None
+          | None -> ());
+          t.regs.(link) <- t.p2;
+          s.Stats.branches_taken <- s.Stats.branches_taken + 1;
+          let b = t.p1 in
+          t.p0 <- b;
+          t.p1 <- target;
+          t.p2 <- target + 1
+    | MXnone, AXnone, BXjind r ->
+        fun t ->
+          let target = t.regs.(r) in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
+          (match t.pending with
+          | Some (rr, v) ->
+              t.regs.(rr) <- v;
+              t.pending <- None
+          | None -> ());
+          s.Stats.branches_taken <- s.Stats.branches_taken + 1;
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- target
+    | MXnone, AXnone, BXjalind (r, link) ->
+        fun t ->
+          let target = t.regs.(r) in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
+          (match t.pending with
+          | Some (rr, v) ->
+              t.regs.(rr) <- v;
+              t.pending <- None
+          | None -> ());
+          t.regs.(link) <- t.p2 + 1;
+          s.Stats.branches_taken <- s.Stats.branches_taken + 1;
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- target
+    | MXnone, AXreg (d, fa), BXcbr (fb, target) ->
+        fun t ->
+          let v = fa t in
+          let taken = fb t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.packed_words <- s.Stats.packed_words + 1;
+          s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
+          s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
+          (match t.pending with
+          | Some (r, pv) ->
+              t.regs.(r) <- pv;
+              t.pending <- None
+          | None -> ());
+          t.regs.(d) <- v;
+          if taken then begin
+            s.Stats.branches_taken <- s.Stats.branches_taken + 1;
+            let b = t.p1 in
+            t.p0 <- b;
+            t.p1 <- target;
+            t.p2 <- target + 1
+          end
+          else begin
+            let b = t.p1 and c = t.p2 in
+            t.p0 <- b;
+            t.p1 <- c;
+            t.p2 <- c + 1
+          end
+    | MXnone, AXreg (d, fa), BXjump target ->
+        fun t ->
+          let v = fa t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.packed_words <- s.Stats.packed_words + 1;
+          s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
+          s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
+          (match t.pending with
+          | Some (r, pv) ->
+              t.regs.(r) <- pv;
+              t.pending <- None
+          | None -> ());
+          t.regs.(d) <- v;
+          s.Stats.branches_taken <- s.Stats.branches_taken + 1;
+          let b = t.p1 in
+          t.p0 <- b;
+          t.p1 <- target;
+          t.p2 <- target + 1
+    | MXlimm (dm, c0), AXreg (da, fa), BXnone ->
+        fun t ->
+          let v = fa t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.free_cycles <- s.Stats.free_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.packed_words <- s.Stats.packed_words + 1;
+          s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
+          s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
+          (match t.pending with
+          | Some (r, pv) ->
+              t.regs.(r) <- pv;
+              t.pending <- None
+          | None -> ());
+          t.regs.(da) <- v;
+          t.regs.(dm) <- c0;
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | MXload_w (dm, fp), AXreg (da, fa), BXnone ->
+        fun t ->
+          let a = fp t in
+          let v = fa t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.mem_busy_cycles <- s.Stats.mem_busy_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.packed_words <- s.Stats.packed_words + 1;
+          s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
+          s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
+          (match t.pending with
+          | Some (r, pv) ->
+              t.regs.(r) <- pv;
+              t.pending <- None
+          | None -> ());
+          t.regs.(da) <- v;
+          Stats.count_ref s ~load:true t.notes.(at);
+          t.pending <- Some (dm, t.dmem.(a));
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | MXstore_w (src, fp), AXreg (da, fa), BXnone ->
+        fun t ->
+          let a = fp t in
+          let sv = t.regs.(src) in
+          let v = fa t in
+          let s = t.stats in
+          s.Stats.cycles <- s.Stats.cycles + 1;
+          s.Stats.words <- s.Stats.words + 1;
+          s.Stats.mem_busy_cycles <- s.Stats.mem_busy_cycles + 1;
+          s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
+          s.Stats.packed_words <- s.Stats.packed_words + 1;
+          s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
+          s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
+          t.dmem.(a) <- sv;
+          Stats.count_ref s ~load:false t.notes.(at);
+          (match t.pending with
+          | Some (r, pv) ->
+              t.regs.(r) <- pv;
+              t.pending <- None
+          | None -> ());
+          t.regs.(da) <- v;
+          let b = t.p1 and c = t.p2 in
+          t.p0 <- b;
+          t.p1 <- c;
+          t.p2 <- c + 1
+    | _ -> generic
+
+(* One fast-engine cycle.  Quiet-path preconditions: no tracing, no fault
+   injection, no armed flaky reference, interrupt line low.  Any of them
+   arming routes this cycle through the reference [step] — cycle-for-cycle,
+   so the two engines can interleave freely mid-run. *)
+let step_fast t =
+  if t.trace_on || t.inject_on || t.flaky_armed || t.interrupt_line then step t
+  else begin
+    (* pre-step PC chain, kept in locals so the sequential-EPC tuple is
+       only materialised on the (rare) fault-dispatch path *)
+    let e0 = t.p0 and e1 = t.p1 and e2 = t.p2 in
+    match
+      let fetch_phys =
+        (* inlined fast case of [translate_word]: kernel mode, mapping off *)
+        match (t.sr.Surprise.priv, t.sr.Surprise.map_enable) with
+        | Surprise.Kernel, false -> t.p0
+        | _ -> translate_word t Pagemap.Ispace ~write:false t.p0
+      in
+      if fetch_phys < 0 || fetch_phys >= t.cfg.imem_words then
+        raise (Fault (Cause.Illegal, 0));
+      let f = t.xcode.(fetch_phys) in
+      let f =
+        if f == stale then begin
+          let g = compile_word t.cfg fetch_phys t.imem.(fetch_phys) in
+          t.xcode.(fetch_phys) <- g;
+          g
+        end
+        else f
+      in
+      f t
+    with
+    | () -> Stepped
+    | exception Fault (cause, detail) ->
+        dispatch t cause detail ~epcs:(e0, e1, e2)
+    | exception Trap_dispatch code ->
+        dispatch t Cause.Trap code ~epcs:(t.p1, t.p2, t.p2 + 1)
+  end
+
+(* ---------------------------------------------------------------------- *)
+
+type engine = Ref | Fast
+
+let engine_name = function Ref -> "ref" | Fast -> "fast"
+let engine_of_string = function
+  | "ref" -> Some Ref
+  | "fast" -> Some Fast
+  | _ -> None
+
+let stepper = function Ref -> step | Fast -> step_fast
+
+let run_with stepf ?(fuel = 10_000_000) t handler =
   let rec loop fuel =
     if fuel <= 0 then begin
       t.stats.Stats.fuel_exhausted <- true;
       false
     end
     else
-      match step t with
+      match stepf t with
       | Stepped -> loop (fuel - 1)
       | Dispatched cause -> (
           match handler t cause with
@@ -607,3 +1360,7 @@ let run ?(fuel = 10_000_000) t handler =
               loop (fuel - 1))
   in
   loop fuel
+
+let run ?fuel t handler = run_with step ?fuel t handler
+let run_fast ?fuel t handler = run_with step_fast ?fuel t handler
+let run_engine ?fuel ~engine t handler = run_with (stepper engine) ?fuel t handler

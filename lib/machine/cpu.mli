@@ -134,6 +134,44 @@ val run : ?fuel:int -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool
     -level dispatch path (kernel code at address 0) is exercised by the OS
     library instead. *)
 
+(** {2 Fast engine}
+
+    A second execution engine over the same machine state.  Each instruction
+    word is lowered once ({!Predecode.lower}) and specialized into a closure
+    the first time it executes; subsequent executions skip all per-cycle
+    decode work (piece projection, read/write set construction, statistics
+    classification).  Self-modifying code is handled by invalidation:
+    {!write_code} and {!load_program} mark the touched slots for
+    recompilation.
+
+    {b Equivalence contract}: for any program and any machine configuration,
+    running under the fast engine must leave registers, data memory, the PC
+    chain, EPCs, the surprise register and every {!Stats.t} counter —
+    including float [weighted_cycles], per-pair stall attribution and
+    exception tallies — bit-identical to the reference {!step} loop.  The
+    fast path only runs when tracing, fault injection, an armed flaky
+    reference and the interrupt line are all quiet; any of them arming makes
+    {!step_fast} delegate that cycle to {!step}, so the engines interleave
+    cycle-for-cycle and observability never changes results. *)
+
+val step_fast : t -> event
+(** Execute one word via the predecoded closure cache, or — when any
+    observer/injector is armed — via the reference {!step}. *)
+
+val run_fast : ?fuel:int -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool
+(** As {!run}, but stepping with {!step_fast}. *)
+
+type engine = Ref | Fast
+
+val engine_name : engine -> string
+val engine_of_string : string -> engine option
+
+val stepper : engine -> t -> event
+(** The step function an engine uses: [stepper Ref == step]. *)
+
+val run_engine :
+  ?fuel:int -> engine:engine -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool
+
 (** What the external mapping unit latched at the most recent [Page_fault]
     dispatch. *)
 type fault_kind =

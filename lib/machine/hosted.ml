@@ -19,7 +19,7 @@ let read_packed_string cpu ~addr ~len =
   done;
   Buffer.contents buf
 
-let run ?fuel ?(input = "") ?(on_unhandled = `Abort) cpu =
+let run ?fuel ?(input = "") ?(on_unhandled = `Abort) ?(engine = Cpu.Ref) cpu =
   let out = Buffer.create 256 in
   let exit_status = ref None in
   let fault = ref None in
@@ -87,7 +87,7 @@ let run ?fuel ?(input = "") ?(on_unhandled = `Abort) cpu =
             Cpu.set_epc c 2 (Cpu.epc c 2 + 1);
             `Resume)
   in
-  let halted = Cpu.run ?fuel cpu handler in
+  let halted = Cpu.run_engine ?fuel ~engine cpu handler in
   {
     halted;
     exit_status = !exit_status;
@@ -96,10 +96,10 @@ let run ?fuel ?(input = "") ?(on_unhandled = `Abort) cpu =
     retries = !retries;
   }
 
-let run_program_on ?fuel ?input cpu program =
+let run_program_on ?fuel ?input ?engine cpu program =
   Cpu.load_program cpu program;
-  run ?fuel ?input cpu
+  run ?fuel ?input ?engine cpu
 
-let run_program ?fuel ?input ?config program =
+let run_program ?fuel ?input ?config ?engine program =
   let cpu = Cpu.create ?config () in
-  run_program_on ?fuel ?input cpu program
+  run_program_on ?fuel ?input ?engine cpu program

@@ -26,6 +26,7 @@ val run :
   ?fuel:int ->
   ?input:string ->
   ?on_unhandled:[ `Abort | `Ignore ] ->
+  ?engine:Cpu.engine ->
   Cpu.t ->
   result
 (** Run the loaded program to completion.  Monitor calls are served from
@@ -34,12 +35,20 @@ val run :
     are acknowledged and resumed.  Other non-trap exceptions abort the run
     and are reported in [fault] (with [`Abort], the default) or resumed
     past (with [`Ignore], which skips the offending instruction — for
-    fault-injection tests). *)
+    fault-injection tests).  [engine] selects the execution engine
+    (default {!Cpu.Ref}); {!Cpu.Fast} must be observationally identical. *)
 
-val run_program : ?fuel:int -> ?input:string -> ?config:Cpu.config -> Program.t -> result
+val run_program :
+  ?fuel:int ->
+  ?input:string ->
+  ?config:Cpu.config ->
+  ?engine:Cpu.engine ->
+  Program.t ->
+  result
 (** Create a machine, load the image, and {!run} it in kernel mode with
     mapping off. *)
 
-val run_program_on : ?fuel:int -> ?input:string -> Cpu.t -> Program.t -> result
+val run_program_on :
+  ?fuel:int -> ?input:string -> ?engine:Cpu.engine -> Cpu.t -> Program.t -> result
 (** Load the image into an existing machine (so the caller can inspect
     statistics afterwards) and {!run} it. *)

@@ -14,7 +14,7 @@ type t = {
   mutable branches_taken : int;
   mutable mem_busy_cycles : int;
   mutable free_cycles : int;
-  mutable weighted_cycles : float;
+  weighted : float array;  (* length 1; unboxed accumulation cell *)
   mutable exceptions : (Cause.t * int) list;
   mutable synthetic_refs : int;
   mutable fuel_exhausted : bool;
@@ -42,7 +42,7 @@ let create () =
     branches_taken = 0;
     mem_busy_cycles = 0;
     free_cycles = 0;
-    weighted_cycles = 0.;
+    weighted = [| 0. |];
     exceptions = [];
     synthetic_refs = 0;
     fuel_exhausted = false;
@@ -100,6 +100,8 @@ let classes t = [ t.word_refs; t.word_char_refs; t.byte_refs; t.byte_char_refs ]
 let total_loads t = List.fold_left (fun acc c -> acc + c.loads) 0 (classes t)
 let total_stores t = List.fold_left (fun acc c -> acc + c.stores) 0 (classes t)
 
+let weighted_cycles t = t.weighted.(0)
+
 let free_cycle_fraction t =
   let slots = t.mem_busy_cycles + t.free_cycles in
   if slots = 0 then 0. else float_of_int t.free_cycles /. float_of_int slots
@@ -114,7 +116,7 @@ let pp ppf t =
      = %.1f%%)@ pieces: %d alu, %d mem, %d branch (taken %d)@ memory: %d busy, \
      %d free@ free cycle fraction: %.3f (%.1f%% of issue slots)@ refs: %d \
      loads, %d stores (+%d synthetic)"
-    t.cycles t.stall_cycles t.weighted_cycles t.words t.nops t.packed_words
+    t.cycles t.stall_cycles t.weighted.(0) t.words t.nops t.packed_words
     (100. *. packed_word_fraction t)
     t.alu_pieces t.mem_pieces t.branch_pieces t.branches_taken t.mem_busy_cycles
     t.free_cycles (free_cycle_fraction t)
@@ -144,7 +146,7 @@ let to_json t =
       ("stall_cycles", Int t.stall_cycles);
       ("load_use_stall_cycles", Int t.load_use_stall_cycles);
       ("branch_stall_cycles", Int t.branch_stall_cycles);
-      ("weighted_cycles", Float t.weighted_cycles);
+      ("weighted_cycles", Float t.weighted.(0));
       ("words", Int t.words);
       ("nops", Int t.nops);
       ("packed_words", Int t.packed_words);

@@ -31,9 +31,11 @@ type t = {
   mutable branches_taken : int;
   mutable mem_busy_cycles : int;  (** words that made a data-memory reference *)
   mutable free_cycles : int;  (** words that left the data port idle *)
-  mutable weighted_cycles : float;
-      (** cycles weighted by the byte-addressed fetch-overhead factor; equals
-          [cycles] on the word-addressed machine *)
+  weighted : float array;
+      (** single-cell accumulator for cycles weighted by the byte-addressed
+          fetch-overhead factor (equals [cycles] on the word-addressed
+          machine); a flat float array so the per-cycle accumulation does not
+          box — read it through {!weighted_cycles} *)
   mutable exceptions : (Cause.t * int) list;  (** per-cause counters *)
   mutable synthetic_refs : int;
       (** machine-artifact references (the extra read in a byte store's
@@ -67,6 +69,9 @@ val count_ref : t -> load:bool -> Mips_isa.Note.t -> unit
 
 val total_loads : t -> int
 val total_stores : t -> int
+
+val weighted_cycles : t -> float
+(** [weighted.(0)], the weighted cycle count. *)
 
 val free_cycle_fraction : t -> float
 (** Fraction of issue slots with an idle data-memory port — the bandwidth

@@ -86,13 +86,15 @@ type t = {
   mutable oom_kills : int;
   mutable out_of_fuel : bool;
   trace : Mips_obs.Sink.t;
+  stepf : Cpu.t -> Cpu.event;  (* engine-selected step function *)
 }
 
 let cpu t = t.cpu
 
 let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000)
     ?watchdog ?(max_retries = 8) ?(double_fault_limit = 8) ?backing_limit
-    ?(fault_plan = Mips_fault.Plan.none) ?(trace = Mips_obs.Sink.null) () =
+    ?(fault_plan = Mips_fault.Plan.none) ?(trace = Mips_obs.Sink.null)
+    ?(engine = Cpu.Ref) () =
   let cfg = Cpu.default_config in
   let cpu = Cpu.create ~config:cfg () in
   (* machine-level events (issues, monitor calls, dispatches) flow into the
@@ -127,6 +129,7 @@ let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000)
     oom_kills = 0;
     out_of_fuel = false;
     trace;
+    stepf = Cpu.stepper engine;
   }
 
 let user_sr =
@@ -572,7 +575,7 @@ let run ?(fuel = 50_000_000) t =
     if not (switch t) then running := false
   in
   while !running && !fuel > 0 do
-    (match Cpu.step t.cpu with
+    (match t.stepf t.cpu with
     | Cpu.Stepped ->
         (match t.current with
         | Some p ->

@@ -68,6 +68,7 @@ val create :
   ?backing_limit:int ->
   ?fault_plan:Mips_fault.Plan.t ->
   ?trace:Mips_obs.Sink.t ->
+  ?engine:Mips_machine.Cpu.engine ->
   unit ->
   t
 (** [data_frames]/[code_frames]: physical frames available for paging
@@ -86,7 +87,13 @@ val create :
     [Context_switch], [Page_fault] (serviced demand page-ins), [Retry],
     [Watchdog_kill], [Double_fault], [Proc_exit] and [Proc_killed] — and is
     also attached to the underlying machine, so per-word events and monitor
-    calls interleave in the same stream. *)
+    calls interleave in the same stream.
+
+    [engine] selects the execution engine for the run loop (default
+    {!Mips_machine.Cpu.Ref}).  With {!Mips_machine.Cpu.Fast} user code runs
+    through the predecoded closure cache; every quantum-expiry interrupt,
+    injected fault and traced cycle automatically drops back to the
+    reference step, so scheduling behaviour is unchanged. *)
 
 val user_stack_top : int
 (** Virtual stack top for user programs (in the high half of the process

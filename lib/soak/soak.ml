@@ -13,13 +13,14 @@ type outcome = {
 
 let mem_window = Progen.data_words
 
-let run_variant ?(fuel = 500_000) ~interlocked ~plan program =
+let run_variant ?(fuel = 500_000) ?(engine = Cpu.Ref) ~interlocked ~plan
+    program =
   let config = if interlocked then Cpu.interlocked_config else Cpu.default_config in
   let cpu = Cpu.create ~config () in
   (match plan with
   | Some cfg -> Cpu.set_fault_plan cpu (Plan.make cfg)
   | None -> ());
-  let res = Hosted.run_program_on ~fuel cpu program in
+  let res = Hosted.run_program_on ~fuel ~engine cpu program in
   let injected = Plan.injected (Cpu.fault_plan cpu) in
   ( {
       output = res.Hosted.output;
@@ -82,14 +83,19 @@ let differential ?segments ?fuel ?(flaky_rate = 0.01) ?(irq_rate = 0.005)
   in
   let reference, _ = run_variant ?fuel ~interlocked:false ~plan:None reorganized in
   let variants =
-    [ ("raw-interlocked", raw, true, None);
-      ("reorganized-faults", reorganized, false, Some plan_cfg);
-      ("raw-interlocked-faults", raw, true, Some plan_cfg) ]
+    [ ("raw-interlocked", raw, true, None, Cpu.Ref);
+      ("reorganized-faults", reorganized, false, Some plan_cfg, Cpu.Ref);
+      ("raw-interlocked-faults", raw, true, Some plan_cfg, Cpu.Ref);
+      (* the same schedules under the predecoded fast engine: anything a
+         program can observe must be identical, fault plan or not *)
+      ("reorganized-fast", reorganized, false, None, Cpu.Fast);
+      ("raw-interlocked-fast", raw, true, None, Cpu.Fast);
+      ("reorganized-fast-faults", reorganized, false, Some plan_cfg, Cpu.Fast) ]
   in
   let mismatches, retries, injected =
     List.fold_left
-      (fun (ms, rs, inj) (vname, program, interlocked, plan) ->
-        let o, injected = run_variant ?fuel ~interlocked ~plan program in
+      (fun (ms, rs, inj) (vname, program, interlocked, plan, engine) ->
+        let o, injected = run_variant ?fuel ~engine ~interlocked ~plan program in
         let ms =
           match divergence ~reference o with
           | Some d -> (vname, d) :: ms

@@ -42,8 +42,11 @@ val differential :
   seed:int -> unit -> diff
 (** Generate program [seed]; run reorganized/no-interlock (fault-free
     reference), raw/interlocked, reorganized/no-interlock + faults, and
-    raw/interlocked + faults; compare every variant against the reference.
-    Defaults: [flaky_rate = 0.01], [irq_rate = 0.005]. *)
+    raw/interlocked + faults — then the same schedules again under the
+    predecoded fast engine ({!Mips_machine.Cpu.Fast}), clean and faulted —
+    and compare every variant against the reference.  This makes the
+    generator the differential oracle for the fast engine's equivalence
+    contract.  Defaults: [flaky_rate = 0.01], [irq_rate = 0.005]. *)
 
 val diff_json : diff -> Mips_obs.Json.t
 

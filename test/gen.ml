@@ -65,6 +65,13 @@ let branch : int Branch.t G.t =
       G.map (fun (r, l) -> Branch.Jalind (r, l)) (G.pair reg reg);
       G.map (fun c -> Branch.Trap c) (G.int_range 0 Branch.trap_code_max) ]
 
+let piece : int Piece.t G.t =
+  G.oneof
+    [ G.return Piece.Nop;
+      G.map (fun a -> Piece.Alu a) alu;
+      G.map (fun m -> Piece.Mem m) mem;
+      G.map (fun b -> Piece.Branch b) branch ]
+
 let ( let* ) x f = G.bind x f
 let ( and* ) a b = G.pair a b
 

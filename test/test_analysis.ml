@@ -3,7 +3,7 @@
 
 open Mips_analysis
 
-let check = Alcotest.(check bool)
+open Testutil
 
 (* --- Table 1 ------------------------------------------------------------- *)
 

@@ -6,8 +6,7 @@ open Mips_frontend
 open Mips_ir
 open Mips_codegen
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Testutil
 let check_str = Alcotest.(check string)
 
 (* --- lexer --------------------------------------------------------------- *)

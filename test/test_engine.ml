@@ -1,0 +1,199 @@
+(* Differential tests for the predecoded fast execution engine.
+
+   The equivalence contract (see Cpu's interface): under any machine
+   configuration, any program and any fault plan, the fast engine must
+   leave every architecturally visible artifact — registers, data memory,
+   the PC chain, EPCs, monitor output, exit status, and the complete
+   Stats record including stall-pair attribution and exception tallies —
+   bit-identical to the reference interpreter.  Here the seeded soak
+   generator is the oracle: every fixed seed is run through both engines,
+   raw and reorganized, clean and faulted, and the whole final state is
+   diffed. *)
+
+open Mips_machine
+open Testutil
+module Plan = Mips_fault.Plan
+module Progen = Mips_soak.Progen
+module Json = Mips_obs.Json
+
+(* Everything one engine run leaves behind, flattened to comparable data.
+   Stats goes through its (total) JSON rendering, which includes the
+   stall-pair table and the exception tallies. *)
+type snapshot = {
+  regs : int list;
+  dmem_hash : int;
+  dmem_head : int list;  (* the generated programs' static data window *)
+  pc_chain : int * int * int;
+  epcs : int list;
+  pending : string;
+  output : string;
+  exit_status : int option;
+  halted : bool;
+  fault : string option;
+  retries : int;
+  stats : string;
+}
+
+let hash_dmem cpu words =
+  let h = ref 0 in
+  for i = 0 to words - 1 do
+    h := (!h * 31) + Cpu.read_data cpu i
+  done;
+  !h land max_int
+
+let snapshot (cpu : Cpu.t) (res : Hosted.result) =
+  {
+    regs = List.init 16 (fun i -> Cpu.get_reg cpu (Mips_isa.Reg.of_int i));
+    dmem_hash = hash_dmem cpu (Cpu.config cpu).Cpu.dmem_words;
+    dmem_head = List.init Progen.data_words (Cpu.read_data cpu);
+    pc_chain = Cpu.pc_chain cpu;
+    epcs = List.init 3 (Cpu.epc cpu);
+    pending = "";
+    output = res.Hosted.output;
+    exit_status = res.Hosted.exit_status;
+    halted = res.Hosted.halted;
+    fault =
+      (match res.Hosted.fault with
+      | Some (c, d) -> Some (Printf.sprintf "%s/%d" (Cause.name c) d)
+      | None -> None);
+    retries = res.Hosted.retries;
+    stats = Json.to_string (Stats.to_json (Cpu.stats cpu));
+  }
+
+let run_one ~config ~plan ~engine program =
+  let cpu = Cpu.create ~config () in
+  (match plan with
+  | Some cfg -> Cpu.set_fault_plan cpu (Plan.make cfg)
+  | None -> ());
+  let res = Hosted.run_program_on ~fuel:500_000 ~engine cpu program in
+  snapshot cpu res
+
+let explain_diff name seed a b =
+  let fail fmt = Alcotest.failf ("seed %d, %s: " ^^ fmt) seed name in
+  if a.output <> b.output then fail "output %S vs fast %S" a.output b.output;
+  if a.exit_status <> b.exit_status then fail "exit status differs";
+  if a.halted <> b.halted then fail "halted %b vs fast %b" a.halted b.halted;
+  if a.fault <> b.fault then fail "fault attribution differs";
+  if a.retries <> b.retries then fail "retries %d vs fast %d" a.retries b.retries;
+  if a.regs <> b.regs then fail "register file differs";
+  if a.pc_chain <> b.pc_chain then fail "pc chain differs";
+  if a.epcs <> b.epcs then fail "EPCs differ";
+  if a.dmem_head <> b.dmem_head then fail "static data window differs";
+  if a.dmem_hash <> b.dmem_hash then fail "data memory differs";
+  if a.stats <> b.stats then fail "stats differ:\n  ref  %s\n  fast %s" a.stats b.stats
+
+(* 50+ fixed seeds: deterministic, so a failure names its seed *)
+let seeds = List.init 56 (fun i -> (i * 37) + 1)
+
+let variants seed =
+  let plan_cfg =
+    { Plan.quiet with Plan.seed = seed + 0x5011; flaky_rate = 0.01; irq_rate = 0.005 }
+  in
+  [ ("reorganized", Cpu.default_config, None);
+    ("raw-interlocked", Cpu.interlocked_config, None);
+    ("reorganized-byte", Cpu.byte_addressed_config, None);
+    ("reorganized-faulted", Cpu.default_config, Some plan_cfg) ]
+
+let test_differential () =
+  List.iter
+    (fun seed ->
+      let asm = Progen.generate ~seed () in
+      let reorganized = Mips_reorg.Pipeline.compile asm in
+      let raw = Mips_reorg.Pipeline.compile_raw asm in
+      List.iter
+        (fun (vname, config, plan) ->
+          let program =
+            if config.Cpu.interlock then raw else reorganized
+          in
+          let r = run_one ~config ~plan ~engine:Cpu.Ref program in
+          let f = run_one ~config ~plan ~engine:Cpu.Fast program in
+          explain_diff vname seed r f)
+        (variants seed))
+    seeds
+
+(* Engines must also agree when steps interleave arbitrarily: alternate
+   step/step_fast within one run and the result must match an all-reference
+   run (the fallback conditions make this the kernel's actual regime). *)
+let test_interleaved_steps () =
+  List.iter
+    (fun seed ->
+      let program = Mips_reorg.Pipeline.compile (Progen.generate ~seed ()) in
+      let exec stepf =
+        let cpu = Cpu.create () in
+        Cpu.load_program cpu program;
+        let exited = ref None in
+        let i = ref 0 in
+        while !exited = None && !i < 200_000 do
+          (match stepf !i cpu with
+          | Cpu.Stepped -> ()
+          | Cpu.Dispatched Cause.Trap ->
+              let code = (Cpu.surprise cpu).Surprise.cause_detail in
+              if code = Monitor.exit_ then
+                exited := Some (Cpu.get_reg cpu Mips_isa.Reg.scratch0)
+              else begin
+                (* monitor calls other than exit: skip output, resume *)
+                Cpu.set_surprise cpu (Surprise.pop (Cpu.surprise cpu));
+                Cpu.set_pc_chain cpu (Cpu.epc cpu 0, Cpu.epc cpu 1, Cpu.epc cpu 2)
+              end
+          | Cpu.Dispatched _ -> Alcotest.failf "seed %d: unexpected fault" seed);
+          incr i
+        done;
+        ( !exited,
+          List.init 16 (fun r -> Cpu.get_reg cpu (Mips_isa.Reg.of_int r)),
+          Json.to_string (Stats.to_json (Cpu.stats cpu)) )
+      in
+      let ref_out = exec (fun _ cpu -> Cpu.step cpu) in
+      let mixed =
+        exec (fun i cpu -> if i land 7 < 3 then Cpu.step cpu else Cpu.step_fast cpu)
+      in
+      if ref_out <> mixed then
+        Alcotest.failf "seed %d: interleaved stepping diverged" seed)
+    [ 3; 11; 29 ]
+
+(* Self-modifying code: write_code must invalidate the compiled slot. *)
+let test_write_code_invalidation () =
+  let open Mips_isa in
+  let cpu = Cpu.create () in
+  let movi c d = Word.A (Alu.Movi8 (c, Reg.r d)) in
+  Cpu.write_code cpu 0 (movi 1 1);
+  Cpu.write_code cpu 1 (movi 2 2);
+  Cpu.write_code cpu 2 (movi 3 3);
+  Cpu.set_pc cpu 0;
+  ignore (Cpu.step_fast cpu);
+  ignore (Cpu.step_fast cpu);
+  ignore (Cpu.step_fast cpu);
+  check_int "r2 first pass" 2 (Cpu.get_reg cpu (Reg.r 2));
+  (* patch the already-executed (hence already-compiled) slot 1 *)
+  Cpu.write_code cpu 1 (movi 9 2);
+  Cpu.set_pc cpu 0;
+  ignore (Cpu.step_fast cpu);
+  ignore (Cpu.step_fast cpu);
+  check_int "r2 after patch" 9 (Cpu.get_reg cpu (Reg.r 2))
+
+(* The kernel under the fast engine: quantum interrupts, demand paging and
+   monitor traps all force reference-path cycles mid-run; scheduling and
+   per-process outcomes must not change. *)
+let kernel_report engine seeds =
+  let k = Mips_os.Kernel.create ~quantum:300 ~engine () in
+  List.iter
+    (fun seed ->
+      let program = Mips_reorg.Pipeline.compile (Progen.generate ~seed ()) in
+      Mips_os.Kernel.spawn k ~name:(Progen.name ~seed) program)
+    seeds;
+  let r = Mips_os.Kernel.run ~fuel:2_000_000 k in
+  ( Json.to_string (Mips_os.Kernel.report_json r),
+    Json.to_string (Stats.to_json (Cpu.stats (Mips_os.Kernel.cpu k))) )
+
+let test_kernel_differential () =
+  let seeds = [ 5; 17; 23 ] in
+  let ref_report, ref_stats = kernel_report Cpu.Ref seeds in
+  let fast_report, fast_stats = kernel_report Cpu.Fast seeds in
+  check_string "kernel report identical" ref_report fast_report;
+  check_string "kernel machine stats identical" ref_stats fast_stats
+
+let suite =
+  [ ( "engine:differential",
+      [ tc_slow "56 seeds x 4 variants, both engines" test_differential;
+        tc "interleaved step/step_fast" test_interleaved_steps;
+        tc "write_code invalidates compiled slot" test_write_code_invalidation;
+        tc "kernel scheduling identical" test_kernel_differential ] ) ]

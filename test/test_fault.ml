@@ -10,8 +10,7 @@ module Rng = Mips_fault.Rng
 module Soak = Mips_soak.Soak
 module Progen = Mips_soak.Progen
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Testutil
 
 (* --- rng + plan determinism ---------------------------------------------- *)
 
@@ -281,7 +280,7 @@ let test_differential_deterministic () =
 
 (* --- qcheck: the differential property over arbitrary seeds --------------- *)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let named_qsuite name tests = (name, Testutil.qsuite tests)
 
 let prop_differential =
   QCheck.Test.make ~count:30 ~name:"differential equivalence on random seeds"
@@ -345,5 +344,5 @@ let suite =
           test_differential_clean_and_faulted;
         Alcotest.test_case "differential deterministic" `Quick
           test_differential_deterministic ] );
-    qsuite "fault.qcheck"
+    named_qsuite "fault.qcheck"
       [ prop_differential; prop_whole_program_halts; prop_plan_decide_pure ] ]

@@ -1,0 +1,101 @@
+(* Golden (expect) tests for the CLI JSON surfaces.
+
+   Two snapshots guard against silent drift:
+
+   - the full byte-for-byte text of `mipsc run NAME --stats-json -` for two
+     corpus programs (any change to the statistics schema, the counters, or
+     the JSON rendering fails here), and
+   - a schema skeleton of `mipsc report --json` (object keys with value
+     types; lists by their first element) so the report can keep evolving
+     numerically while structural drift still fails the build.
+
+   Regenerate intentionally with:
+     GOLDEN_UPDATE=1 GOLDEN_DIR=$PWD/test/golden \
+       dune exec test/test_main.exe -- test golden *)
+
+open Testutil
+module Json = Mips_obs.Json
+
+let golden_dir =
+  match Sys.getenv_opt "GOLDEN_DIR" with Some d -> d | None -> "golden"
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let check_golden file actual =
+  let path = Filename.concat golden_dir file in
+  if Sys.getenv_opt "GOLDEN_UPDATE" = Some "1" then
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc actual)
+  else if not (Sys.file_exists path) then
+    Alcotest.failf "golden file %s missing (set GOLDEN_UPDATE=1 to create it)"
+      path
+  else check_string file (read_file path) actual
+
+(* exactly the bytes `mipsc run NAME --stats-json -` writes *)
+let stats_json_text name =
+  let e = Mips_corpus.Corpus.find name in
+  let _, cpu =
+    Mips_codegen.Compile.run_with_machine ~fuel:500_000_000
+      ~input:e.Mips_corpus.Corpus.input e.Mips_corpus.Corpus.source
+  in
+  Json.to_string (Mips_machine.Stats.to_json (Mips_machine.Cpu.stats cpu))
+  ^ "\n"
+
+let test_stats_golden name () =
+  check_golden ("stats_" ^ name ^ ".json") (stats_json_text name)
+
+(* both engines must reproduce the committed snapshot, not just each other *)
+let test_stats_engine_agree name () =
+  let e = Mips_corpus.Corpus.find name in
+  let _, cpu =
+    Mips_codegen.Compile.run_with_machine ~fuel:500_000_000
+      ~input:e.Mips_corpus.Corpus.input ~engine:Mips_machine.Cpu.Fast
+      e.Mips_corpus.Corpus.source
+  in
+  let fast =
+    Json.to_string (Mips_machine.Stats.to_json (Mips_machine.Cpu.stats cpu))
+    ^ "\n"
+  in
+  check_golden ("stats_" ^ name ^ ".json") fast
+
+let rec schema = function
+  | Json.Null -> "null"
+  | Json.Bool _ -> "bool"
+  | Json.Int _ -> "int"
+  | Json.Float _ -> "float"
+  | Json.Str _ -> "str"
+  | Json.List [] -> "[]"
+  | Json.List (x :: _) -> "[" ^ schema x ^ "]"
+  | Json.Obj kvs ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ ":" ^ schema v) kvs)
+      ^ "}"
+
+(* pretty-printed so the golden file diffs readably *)
+let rec schema_lines indent = function
+  | Json.Obj kvs ->
+      List.concat_map
+        (fun (k, v) ->
+          match v with
+          | Json.Obj _ ->
+              (indent ^ k ^ ":") :: schema_lines (indent ^ "  ") v
+          | Json.List (Json.Obj _ :: _ as l) ->
+              (indent ^ k ^ ": list of") :: schema_lines (indent ^ "  ") (List.hd l)
+          | other -> [ indent ^ k ^ ": " ^ schema other ])
+        kvs
+  | other -> [ indent ^ schema other ]
+
+let test_report_schema () =
+  let json = Mips_analysis.Report.json_all ~include_heavy:false () in
+  let text = String.concat "\n" (schema_lines "" json) ^ "\n" in
+  check_golden "report_schema.txt" text
+
+let suite =
+  [ ( "golden:cli-json",
+      [ tc_slow "run --stats-json fib" (test_stats_golden "fib");
+        tc_slow "run --stats-json strops" (test_stats_golden "strops");
+        tc_slow "fast engine matches fib snapshot"
+          (test_stats_engine_agree "fib");
+        tc_slow "fast engine matches strops snapshot"
+          (test_stats_engine_agree "strops");
+        tc_slow "report --json schema" test_report_schema ] ) ]

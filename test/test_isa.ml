@@ -1,9 +1,7 @@
 (* Unit and property tests for the ISA library. *)
 
 open Mips_isa
-
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Testutil
 
 (* --- Word32 ------------------------------------------------------------ *)
 
@@ -158,6 +156,66 @@ let prop_independent_symmetric =
     QCheck2.Gen.(pair piece piece)
     (fun (p, q) -> Hazard.independent p q = Hazard.independent q p)
 
+(* --- Predecode (fast-engine lowering) ------------------------------------ *)
+
+module Predecode = Mips_machine.Predecode
+
+let word_of_piece = function
+  | Piece.Nop -> Word.Nop
+  | Piece.Alu a -> Word.A a
+  | Piece.Mem m -> Word.M m
+  | Piece.Branch b -> Word.B b
+
+let prop_predecode_sets =
+  QCheck2.Test.make ~name:"predecode: register sets match Word" ~count:2000
+    Gen.word (fun w ->
+      let e = Predecode.lower w in
+      Reg.Set.equal e.Predecode.reads (Word.reads w)
+      && Reg.Set.equal e.Predecode.writes (Word.writes w)
+      && Reg.Set.equal e.Predecode.load_writes (Word.load_writes w))
+
+(* the fast engine executes from predecoded entries of *decoded* words, so
+   the contract must survive the encode/decode roundtrip too *)
+let prop_predecode_roundtrip =
+  QCheck2.Test.make ~name:"predecode: encode-decode-predecode roundtrip"
+    ~count:2000 Gen.word (fun w ->
+      let e = Predecode.lower (Encode.decode (Encode.encode w)) in
+      Reg.Set.equal e.Predecode.reads (Word.reads w)
+      && Reg.Set.equal e.Predecode.writes (Word.writes w)
+      && e.Predecode.alu = Word.alu w
+      && e.Predecode.mem = Word.mem w
+      && e.Predecode.branch = Word.branch w)
+
+let prop_predecode_piece_counts =
+  QCheck2.Test.make ~name:"predecode: piece counts and classification"
+    ~count:1000 Gen.piece (fun p ->
+      let w = word_of_piece p in
+      let e = Predecode.lower w in
+      let count f = List.length (List.filter f (Word.pieces w)) in
+      e.Predecode.alu_pieces
+        = count (function Piece.Alu _ -> true | _ -> false)
+      && e.Predecode.mem_pieces
+         = count (function Piece.Mem _ -> true | _ -> false)
+      && e.Predecode.branch_pieces
+         = count (function Piece.Branch _ -> true | _ -> false)
+      && e.Predecode.is_nop = (match Word.pieces w with [] -> true | _ -> false)
+      && e.Predecode.refs_memory = Word.references_memory w)
+
+let prop_predecode_hazard_flags =
+  QCheck2.Test.make ~name:"predecode: hazard flags" ~count:2000 Gen.word
+    (fun w ->
+      let e = Predecode.lower w in
+      e.Predecode.may_stall = not (Reg.Set.is_empty (Word.reads w))
+      && e.Predecode.is_trap
+         = (match Word.branch w with Some (Branch.Trap _) -> true | _ -> false)
+      && e.Predecode.packed
+         = (match w with Word.AM _ | Word.AB _ -> true | _ -> false)
+      (* every memory reference, trap, privileged or overflow-capable op
+         must be in the guarded (may_fault) class *)
+      && ((not (e.Predecode.mem <> None || e.Predecode.is_trap
+                || e.Predecode.privileged))
+         || e.Predecode.may_fault))
+
 (* --- Encode ------------------------------------------------------------- *)
 
 let prop_encode_roundtrip =
@@ -171,8 +229,6 @@ let test_unencodable () =
        ignore (Encode.encode bad);
        false
      with Encode.Unencodable _ -> true)
-
-let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
   [ ( "isa:word32",
@@ -201,4 +257,8 @@ let suite =
       @ qsuite [ prop_independent_symmetric ] );
     ( "isa:encode",
       Alcotest.test_case "unencodable rejected" `Quick test_unencodable
-      :: qsuite [ prop_encode_roundtrip ] ) ]
+      :: qsuite [ prop_encode_roundtrip ] );
+    ( "isa:predecode",
+      qsuite
+        [ prop_predecode_sets; prop_predecode_roundtrip;
+          prop_predecode_piece_counts; prop_predecode_hazard_flags ] ) ]

@@ -5,8 +5,7 @@ open Mips_isa
 open Mips_machine
 open Mips_os
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Testutil
 let check_str = Alcotest.(check string)
 
 (* compile for the OS: the stack lives in the high half of the process

@@ -5,8 +5,7 @@ open Mips_isa
 open Mips_machine
 open Mips_reorg
 
-let check = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Testutil
 let rr i = Operand.reg (Reg.r i)
 let i4 = Operand.imm4
 

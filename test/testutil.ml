@@ -1,0 +1,12 @@
+(* Shared helpers for the test suites — the per-file boilerplate
+   (bool/int checks, QCheck-to-alcotest adaptation, test-case wrapping)
+   lives here once. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
