@@ -20,7 +20,12 @@
    program to transparent transient faults (flaky-memory restarts and
    spurious interrupts); `soak` drives the full hardened-kernel and
    raw-vs-reorganized differential harnesses.  Both are bit-for-bit
-   deterministic for a given seed. *)
+   deterministic for a given seed.
+
+   Parallelism: report, soak, corpus and run take --jobs N to size the
+   Domain worker pool (default: the runtime's recommended domain count).
+   Output is byte-identical for any N — workers populate the shared
+   artifact cache, the deterministic aggregation stays on one domain. *)
 
 open Cmdliner
 
@@ -64,6 +69,24 @@ let input_flag =
   Arg.(value & opt string "" & info [ "input" ] ~docv:"TEXT" ~doc:"Input stream for the getchar monitor call.")
 
 let stats_flag = Arg.(value & flag & info [ "stats" ] ~doc:"Print execution statistics.")
+
+(* worker-pool size for the commands that fan work out (report, soak,
+   corpus); the value becomes the harness-wide default so library-level
+   parallel maps pick it up too.  Output is byte-identical for any value —
+   the pool only reorders when work happens, never results. *)
+let jobs_flag =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel evaluation (default: the runtime's \
+           recommended domain count).  Results are byte-identical for any \
+           $(docv).")
+
+let apply_jobs = function
+  | Some n -> Mips_par.set_default_jobs n
+  | None -> ()
 
 (* observability flags *)
 let trace_flag =
@@ -143,7 +166,8 @@ let fault_rate_flag =
 
 let run_cmd =
   let run file byte early_out level input stats trace trace_format stats_json
-      fault_seed fault_rate engine =
+      fault_seed fault_rate engine jobs =
+    apply_jobs jobs;
     let config = config_of ~byte ~early_out in
     let src = read_source file in
     let input =
@@ -201,7 +225,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag
       $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag
-      $ fault_seed_flag $ fault_rate_flag $ engine_flag)
+      $ fault_seed_flag $ fault_rate_flag $ engine_flag $ jobs_flag)
 
 let compile_cmd =
   let compile file byte early_out level =
@@ -346,31 +370,39 @@ let profile_cmd =
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON."))
 
 let corpus_cmd =
-  let corpus name =
+  let corpus name jobs =
+    apply_jobs jobs;
     let entries =
       match name with
       | Some n -> [ Mips_corpus.Corpus.find n ]
       | None -> Mips_corpus.Corpus.all
     in
-    List.iter
-      (fun (e : Mips_corpus.Corpus.entry) ->
+    (* simulate in parallel (sharing the artifact cache with any later
+       consumer), print in corpus order *)
+    let outputs =
+      Mips_par.map
+        (fun (e : Mips_corpus.Corpus.entry) ->
+          (Mips_artifact.entry_sim e).Mips_artifact.result
+            .Mips_machine.Hosted.output)
+        entries
+    in
+    List.iter2
+      (fun (e : Mips_corpus.Corpus.entry) output ->
         Printf.printf "--- %s: %s\n%!" e.Mips_corpus.Corpus.name
           e.Mips_corpus.Corpus.description;
-        let res =
-          Mips_codegen.Compile.run ~fuel:500_000_000
-            ~input:e.Mips_corpus.Corpus.input e.Mips_corpus.Corpus.source
-        in
-        print_string res.Mips_machine.Hosted.output)
-      entries
+        print_string output)
+      entries outputs
   in
   Cmd.v (Cmd.info "corpus" ~doc:"Run corpus programs.")
     Term.(
       const corpus
-      $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Corpus program (all when omitted)."))
+      $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Corpus program (all when omitted).")
+      $ jobs_flag)
 
 let soak_cmd =
   let soak seed steps programs segments quantum watchdog flip_rate
-      data_flip_rate irq_rate page_drop_rate flaky_rate differential json =
+      data_flip_rate irq_rate page_drop_rate flaky_rate differential json jobs =
+    apply_jobs jobs;
     let plan =
       {
         Mips_fault.Plan.seed;
@@ -387,8 +419,7 @@ let soak_cmd =
         ~plan ~seed ()
     in
     let diffs =
-      List.init differential (fun i ->
-          Mips_soak.Soak.differential ?segments ~seed:(seed + i) ())
+      Mips_soak.Soak.differential_sweep ?segments ~seed ~count:differential ()
     in
     let diverged =
       List.filter (fun d -> not d.Mips_soak.Soak.ok) diffs
@@ -493,10 +524,12 @@ let soak_cmd =
               ~doc:
                 "Also run $(docv) raw-vs-reorganized differential programs \
                  under transparent faults (0 to disable).")
-      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON."))
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
+      $ jobs_flag)
 
 let report_cmd =
-  let report with_benchmarks json =
+  let report with_benchmarks json jobs =
+    apply_jobs jobs;
     if json then
       Format.printf "%a@." Mips_obs.Json.pp
         (Mips_analysis.Report.json_all ~include_heavy:with_benchmarks ())
@@ -518,7 +551,8 @@ let report_cmd =
           & info [ "json" ]
               ~doc:
                 "Emit every table as one JSON object (machine-readable twin \
-                 of the text report)."))
+                 of the text report).")
+      $ jobs_flag)
 
 let () =
   let doc = "compiler, reorganizer and simulator for the MIPS tradeoffs reproduction" in

@@ -137,11 +137,14 @@ let of_program (p : Tast.program) =
   let acc = scan_stmts zero p.Tast.main in
   List.fold_left (fun acc (f : Tast.func) -> scan_stmts acc f.Tast.body) acc p.Tast.funcs
 
-let of_corpus () =
-  List.fold_left
-    (fun acc (e : Mips_corpus.Corpus.entry) ->
-      add acc (of_program (Semant.check_string e.Mips_corpus.Corpus.source)))
-    zero Mips_corpus.Corpus.reference
+(* [add] is associative with [zero] as identity, so this is a textbook
+   map-reduce: per-program scans over shared TAST artifacts, folded in
+   corpus order. *)
+let of_corpus ?jobs () =
+  Mips_par.map_reduce ?jobs
+    ~map:(fun (e : Mips_corpus.Corpus.entry) ->
+      of_program (Mips_artifact.tast e.Mips_corpus.Corpus.source))
+    ~merge:add ~zero Mips_corpus.Corpus.reference
 
 let avg_operators t =
   if t.expressions = 0 then 0.

@@ -15,8 +15,19 @@ type t = {
                       conditional-set approach wins (Section 2.3.2) *)
 }
 
+val zero : t
+(** Identity of {!add}. *)
+
+val add : t -> t -> t
+(** Field-wise sum — associative, so per-program scans fold in any
+    grouping. *)
+
 val of_program : Mips_frontend.Tast.program -> t
-val of_corpus : unit -> t
+
+val of_corpus : ?jobs:int -> unit -> t
+(** Scan the reference corpus over the {!Mips_par} pool, reusing checked
+    programs from {!Mips_artifact}. *)
+
 val avg_operators : t -> float
 val jump_fraction : t -> float
 val store_fraction : t -> float

@@ -28,13 +28,17 @@ let of_constants cs =
     cs;
   !d
 
-let of_corpus () =
+(* One constant scan per program, over shared assembly artifacts; the
+   per-program lists concatenate in corpus order, so the distribution is the
+   same for any pool size. *)
+let of_corpus ?jobs () =
   let all =
-    List.concat_map
-      (fun (e : Mips_corpus.Corpus.entry) ->
-        let asm = Mips_codegen.Compile.to_asm e.Mips_corpus.Corpus.source in
-        Mips_codegen.Emit.collect_constants asm)
-      Mips_corpus.Corpus.reference
+    List.concat
+      (Mips_par.map ?jobs
+         (fun (e : Mips_corpus.Corpus.entry) ->
+           Mips_codegen.Emit.collect_constants
+             (Mips_artifact.asm e.Mips_corpus.Corpus.source))
+         Mips_corpus.Corpus.reference)
   in
   of_constants all
 

@@ -19,8 +19,10 @@ type distribution = {
 val of_constants : int list -> distribution
 (** Bucket a list of constant magnitudes. *)
 
-val of_corpus : unit -> distribution
-(** Scan the whole corpus (word-addressed machine, default strategy). *)
+val of_corpus : ?jobs:int -> unit -> distribution
+(** Scan the whole corpus (word-addressed machine, default strategy) over
+    the {!Mips_par} pool, one program per work item, sharing assembly
+    artifacts with every other table through {!Mips_artifact}. *)
 
 val percent : distribution -> int -> float
 (** A bucket count as a percentage of the total. *)

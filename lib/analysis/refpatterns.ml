@@ -15,73 +15,85 @@ type pattern = {
   cycles : int;
 }
 
+type failure = { program : string; reason : string }
+
 let heavy (e : Mips_corpus.Corpus.entry) =
   List.exists
     (fun t -> String.equal t.Mips_corpus.Corpus.name e.Mips_corpus.Corpus.name)
     Mips_corpus.Corpus.table11
 
-let run ?(include_heavy = true) config entries =
-  let z =
-    {
-      loads = 0; stores = 0; byte_loads = 0; byte_stores = 0; word_loads = 0;
-      word_stores = 0; char_loads = 0; char_stores = 0; char_byte_loads = 0;
-      char_byte_stores = 0; free_cycle_fraction = 0.; cycles = 0;
-    }
-  in
-  let free_weighted = ref 0. in
-  let acc =
-    List.fold_left
-      (fun acc (e : Mips_corpus.Corpus.entry) ->
-        if heavy e && not include_heavy then acc
-        else begin
-          let res, cpu =
-            Mips_codegen.Compile.run_with_machine ~config ~fuel:200_000_000
-              ~input:e.Mips_corpus.Corpus.input e.Mips_corpus.Corpus.source
-          in
-          if not res.Hosted.halted || res.Hosted.fault <> None then
-            invalid_arg ("Refpatterns: " ^ e.Mips_corpus.Corpus.name ^ " failed");
-          let s = Cpu.stats cpu in
-          free_weighted :=
-            !free_weighted +. (Stats.free_cycle_fraction s *. float_of_int s.Stats.cycles);
-          {
-            loads = acc.loads + Stats.total_loads s;
-            stores = acc.stores + Stats.total_stores s;
-            byte_loads =
-              acc.byte_loads + s.Stats.byte_refs.Stats.loads
-              + s.Stats.byte_char_refs.Stats.loads;
-            byte_stores =
-              acc.byte_stores + s.Stats.byte_refs.Stats.stores
-              + s.Stats.byte_char_refs.Stats.stores;
-            word_loads =
-              acc.word_loads + s.Stats.word_refs.Stats.loads
-              + s.Stats.word_char_refs.Stats.loads;
-            word_stores =
-              acc.word_stores + s.Stats.word_refs.Stats.stores
-              + s.Stats.word_char_refs.Stats.stores;
-            char_loads =
-              acc.char_loads + s.Stats.word_char_refs.Stats.loads
-              + s.Stats.byte_char_refs.Stats.loads;
-            char_stores =
-              acc.char_stores + s.Stats.word_char_refs.Stats.stores
-              + s.Stats.byte_char_refs.Stats.stores;
-            char_byte_loads = acc.char_byte_loads + s.Stats.byte_char_refs.Stats.loads;
-            char_byte_stores =
-              acc.char_byte_stores + s.Stats.byte_char_refs.Stats.stores;
-            free_cycle_fraction = 0.;
-            cycles = acc.cycles + s.Stats.cycles;
-          }
-        end)
-      z entries
-  in
+(* The whole pattern is a projection of merged execution statistics, so the
+   aggregation over a corpus is just [Stats.merge] — associative, which is
+   what lets the per-program simulations land in any order. *)
+let pattern_of_stats (s : Stats.t) =
   {
-    acc with
-    free_cycle_fraction =
-      (if acc.cycles = 0 then 0. else !free_weighted /. float_of_int acc.cycles);
+    loads = Stats.total_loads s;
+    stores = Stats.total_stores s;
+    byte_loads = s.Stats.byte_refs.Stats.loads + s.Stats.byte_char_refs.Stats.loads;
+    byte_stores = s.Stats.byte_refs.Stats.stores + s.Stats.byte_char_refs.Stats.stores;
+    word_loads = s.Stats.word_refs.Stats.loads + s.Stats.word_char_refs.Stats.loads;
+    word_stores = s.Stats.word_refs.Stats.stores + s.Stats.word_char_refs.Stats.stores;
+    char_loads = s.Stats.word_char_refs.Stats.loads + s.Stats.byte_char_refs.Stats.loads;
+    char_stores =
+      s.Stats.word_char_refs.Stats.stores + s.Stats.byte_char_refs.Stats.stores;
+    char_byte_loads = s.Stats.byte_char_refs.Stats.loads;
+    char_byte_stores = s.Stats.byte_char_refs.Stats.stores;
+    free_cycle_fraction = Stats.free_cycle_fraction s;
+    cycles = s.Stats.cycles;
   }
 
+let describe_result (r : Hosted.result) =
+  match r.Hosted.fault with
+  | Some (cause, detail) ->
+      Printf.sprintf "faulted: %s (detail %d)" (Cause.name cause) detail
+  | None ->
+      if not r.Hosted.halted then "did not halt (fuel exhausted)"
+      else "diverged"
+
+(* One simulation per entry, fanned out over the worker pool and served from
+   the artifact cache; a program that faults or runs out of fuel becomes a
+   typed failure instead of aborting the whole table, so one bad entry costs
+   one row, not the report. *)
+let run ?jobs ?(include_heavy = true) config entries =
+  let entries =
+    List.filter
+      (fun e -> include_heavy || not (heavy e))
+      entries
+  in
+  let outcomes =
+    Mips_par.map ?jobs
+      (fun (e : Mips_corpus.Corpus.entry) ->
+        match Mips_artifact.entry_sim ~config e with
+        | sim ->
+            if (not sim.Mips_artifact.result.Hosted.halted)
+               || sim.Mips_artifact.result.Hosted.fault <> None
+            then
+              Error
+                { program = e.Mips_corpus.Corpus.name;
+                  reason = describe_result sim.Mips_artifact.result }
+            else Ok sim.Mips_artifact.stats
+        | exception exn ->
+            Error
+              { program = e.Mips_corpus.Corpus.name;
+                reason = Printexc.to_string exn })
+      entries
+  in
+  let stats, failures =
+    List.fold_left
+      (fun (ss, fs) -> function
+        | Ok s -> (s :: ss, fs)
+        | Error f -> (ss, f :: fs))
+      ([], []) outcomes
+  in
+  let merged = List.fold_left Stats.merge (Stats.zero ()) (List.rev stats) in
+  (pattern_of_stats merged, List.rev failures)
+
 (* these dominate wall-clock time (the Puzzle runs), so memoize: the corpus
-   is fixed and the simulator deterministic *)
-let cache : (string * bool, pattern) Hashtbl.t = Hashtbl.create 4
+   is fixed and the simulator deterministic.  Main-domain only — parallel
+   callers go through the artifact cache underneath. *)
+let cache : (string * bool, pattern * failure list) Hashtbl.t = Hashtbl.create 4
+
+let clear_memo () = Hashtbl.reset cache
 
 let memo key thunk =
   match Hashtbl.find_opt cache key with
@@ -91,13 +103,13 @@ let memo key thunk =
       Hashtbl.replace cache key p;
       p
 
-let word_allocated ?(include_heavy = false) () =
+let word_allocated ?jobs ?(include_heavy = false) () =
   memo ("word", include_heavy) (fun () ->
-      run ~include_heavy Mips_ir.Config.default Mips_corpus.Corpus.all)
+      run ?jobs ~include_heavy Mips_ir.Config.default Mips_corpus.Corpus.all)
 
-let byte_allocated ?(include_heavy = false) () =
+let byte_allocated ?jobs ?(include_heavy = false) () =
   memo ("byte", include_heavy) (fun () ->
-      run ~include_heavy Mips_ir.Config.byte_machine Mips_corpus.Corpus.all)
+      run ?jobs ~include_heavy Mips_ir.Config.byte_machine Mips_corpus.Corpus.all)
 
 let total p = p.loads + p.stores
 

@@ -1,9 +1,19 @@
 (** Paper-style printing of every reproduced table and figure.
 
-    Each printer takes a formatter and regenerates its experiment from
-    scratch (corpus compilation and, for the dynamic tables, simulation), so
-    [print_all] is the one-stop reproduction of the paper's evaluation.
-    The bench harness and the [mipsc report] command both use these. *)
+    Each printer takes a formatter and draws its experiment from the
+    {!Mips_artifact} cache (compilations and simulations computed once and
+    shared between tables), so [print_all] is the one-stop reproduction of
+    the paper's evaluation.  The bench harness and the [mipsc report]
+    command both use these. *)
+
+val prepare : ?jobs:int -> ?include_heavy:bool -> unit -> unit
+(** Warm the artifact cache with every compilation and simulation the
+    tables need, fanned out over [jobs] worker domains (default: the
+    harness-wide {!Mips_par.default_jobs}).  The tables themselves always
+    run serially against the warm cache, so report output is byte-identical
+    for any [jobs] — the pool only decides {e when} an artifact is built.
+    [print_all] and [json_all] call this themselves; exposed for harnesses
+    that want to time or stage the warm-up separately. *)
 
 val table1 : Format.formatter -> unit
 val table2 : Format.formatter -> unit
@@ -29,9 +39,9 @@ val context_switches : Format.formatter -> unit
 (** Section 3.2: context-switch traffic and the map-untouched property,
     measured on a small multi-programmed OS run. *)
 
-val print_all : ?include_heavy:bool -> Format.formatter -> unit
+val print_all : ?jobs:int -> ?include_heavy:bool -> Format.formatter -> unit
 
-val json_all : ?include_heavy:bool -> unit -> Mips_obs.Json.t
+val json_all : ?jobs:int -> ?include_heavy:bool -> unit -> Mips_obs.Json.t
 (** The whole evaluation as one JSON object, keyed
     ["table1_constants"] ... ["table11_postpass_levels"], ["figures"],
     ["free_cycles"], ["context_switches"] — the machine-readable twin of

@@ -53,6 +53,70 @@ let create () =
     stall_pairs = Hashtbl.create 16;
   }
 
+(* the identity of [merge]: a fresh, empty record *)
+let zero = create
+
+(* Combine two statistics records into a fresh one, leaving both arguments
+   untouched.  The operation is associative and has [zero ()] as identity on
+   every observable view ([pp], [to_json], the accessors): integer and float
+   fields add, [fuel_exhausted] ors, and the exception and stall-pair
+   multisets union — their internal order is not canonical, but every
+   reading goes through the sorted views below. *)
+let merge a b =
+  let t = create () in
+  t.cycles <- a.cycles + b.cycles;
+  t.stall_cycles <- a.stall_cycles + b.stall_cycles;
+  t.load_use_stall_cycles <- a.load_use_stall_cycles + b.load_use_stall_cycles;
+  t.branch_stall_cycles <- a.branch_stall_cycles + b.branch_stall_cycles;
+  t.words <- a.words + b.words;
+  t.nops <- a.nops + b.nops;
+  t.alu_pieces <- a.alu_pieces + b.alu_pieces;
+  t.mem_pieces <- a.mem_pieces + b.mem_pieces;
+  t.branch_pieces <- a.branch_pieces + b.branch_pieces;
+  t.packed_words <- a.packed_words + b.packed_words;
+  t.branches_taken <- a.branches_taken + b.branches_taken;
+  t.mem_busy_cycles <- a.mem_busy_cycles + b.mem_busy_cycles;
+  t.free_cycles <- a.free_cycles + b.free_cycles;
+  t.weighted.(0) <- a.weighted.(0) +. b.weighted.(0);
+  t.synthetic_refs <- a.synthetic_refs + b.synthetic_refs;
+  t.fuel_exhausted <- a.fuel_exhausted || b.fuel_exhausted;
+  let add_exceptions exns =
+    List.iter
+      (fun (cause, n) ->
+        let rec bump = function
+          | [] -> [ (cause, n) ]
+          | (c, m) :: rest ->
+              if Cause.equal c cause then (c, m + n) :: rest
+              else (c, m) :: bump rest
+        in
+        t.exceptions <- bump t.exceptions)
+      exns
+  in
+  add_exceptions a.exceptions;
+  add_exceptions b.exceptions;
+  let add_class (dst : ref_class) (src : ref_class) =
+    dst.loads <- dst.loads + src.loads;
+    dst.stores <- dst.stores + src.stores
+  in
+  List.iter
+    (fun (dst, x, y) -> add_class dst x; add_class dst y)
+    [ (t.word_refs, a.word_refs, b.word_refs);
+      (t.word_char_refs, a.word_char_refs, b.word_char_refs);
+      (t.byte_refs, a.byte_refs, b.byte_refs);
+      (t.byte_char_refs, a.byte_char_refs, b.byte_char_refs) ];
+  let add_pairs src =
+    Hashtbl.iter
+      (fun key n ->
+        let m =
+          match Hashtbl.find_opt t.stall_pairs key with Some m -> m | None -> 0
+        in
+        Hashtbl.replace t.stall_pairs key (m + n))
+      src
+  in
+  add_pairs a.stall_pairs;
+  add_pairs b.stall_pairs;
+  t
+
 let count_exception t cause =
   let rec bump = function
     | [] -> [ (cause, 1) ]

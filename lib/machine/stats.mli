@@ -52,6 +52,18 @@ type t = {
 }
 
 val create : unit -> t
+
+val zero : unit -> t
+(** The identity of {!merge}: a fresh, empty record. *)
+
+val merge : t -> t -> t
+(** Combine two statistics records into a fresh one, leaving both arguments
+    untouched: integer and float fields add, [fuel_exhausted] ors, and the
+    exception and stall-pair tables union their counts.  Associative, with
+    {!zero} as identity, on every observable view — which is what lets
+    per-program statistics computed on worker domains be folded in corpus
+    order into the same totals a serial sweep produces. *)
+
 val count_exception : t -> Cause.t -> unit
 val exception_count : t -> Cause.t -> int
 

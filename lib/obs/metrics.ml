@@ -3,9 +3,16 @@ type timer = { mutable seconds : float; mutable calls : int }
 type t = {
   counters : (string, int ref) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
+  enabled : bool;
 }
 
-let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16 }
+let create () =
+  { counters = Hashtbl.create 16; timers = Hashtbl.create 16; enabled = true }
+
+(* A registry that records nothing.  Instrumented code paths that default to
+   this sink can run on any number of domains without sharing mutable state:
+   every operation below is a no-op on a disabled registry. *)
+let null = { counters = Hashtbl.create 1; timers = Hashtbl.create 1; enabled = false }
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -16,11 +23,13 @@ let counter t name =
       r
 
 let add t name n =
-  let r = counter t name in
-  r := !r + n
+  if t.enabled then begin
+    let r = counter t name in
+    r := !r + n
+  end
 
 let incr t name = add t name 1
-let set t name n = counter t name := n
+let set t name n = if t.enabled then counter t name := n
 let count t name = match Hashtbl.find_opt t.counters name with
   | Some r -> !r
   | None -> 0
@@ -34,14 +43,18 @@ let find_timer t name =
       tm
 
 let add_seconds t name s =
-  let tm = find_timer t name in
-  tm.seconds <- tm.seconds +. s;
-  tm.calls <- tm.calls + 1
+  if t.enabled then begin
+    let tm = find_timer t name in
+    tm.seconds <- tm.seconds +. s;
+    tm.calls <- tm.calls + 1
+  end
 
 let time t name f =
-  let start = Sys.time () in
-  let finally () = add_seconds t name (Sys.time () -. start) in
-  Fun.protect ~finally f
+  if not t.enabled then f ()
+  else
+    let start = Sys.time () in
+    let finally () = add_seconds t name (Sys.time () -. start) in
+    Fun.protect ~finally f
 
 let seconds t name =
   match Hashtbl.find_opt t.timers name with Some tm -> tm.seconds | None -> 0.
@@ -57,6 +70,23 @@ let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
 
 let timers t =
   List.map (fun (k, tm) -> (k, tm.seconds, tm.calls)) (sorted_bindings t.timers)
+
+(* Fold [src] into [into]: counters add, timers accumulate seconds and
+   calls.  This is how per-worker registries from a parallel fan-out are
+   combined after the workers have joined — each domain records into its own
+   registry while running, so no registry is ever shared between domains. *)
+let merge ~into src =
+  if into.enabled then begin
+    Hashtbl.iter (fun k r -> add into k !r) src.counters;
+    Hashtbl.iter
+      (fun k (tm : timer) ->
+        if tm.calls > 0 || tm.seconds <> 0. then begin
+          let dst = find_timer into k in
+          dst.seconds <- dst.seconds +. tm.seconds;
+          dst.calls <- dst.calls + tm.calls
+        end)
+      src.timers
+  end
 
 let to_json t =
   Json.Obj

@@ -10,6 +10,11 @@ type t
 
 val create : unit -> t
 
+val null : t
+(** A registry that records nothing: every operation is a no-op.  Default
+    sink for instrumented paths that may run concurrently on worker domains
+    — a disabled registry is never written, so it is safe to share. *)
+
 (** {2 Counters} *)
 
 val incr : t -> string -> unit
@@ -36,6 +41,11 @@ val counters : t -> (string * int) list
 
 val timers : t -> (string * float * int) list
 (** (name, seconds, calls), sorted by name. *)
+
+val merge : into:t -> t -> unit
+(** Fold one registry into another: counters add, timers accumulate both
+    seconds and calls.  Combines per-worker registries after a parallel
+    fan-out has joined; no-op when [into] is {!null}. *)
 
 val to_json : t -> Json.t
 (** [{"counters": {...}, "timers": {name: {"seconds": s, "calls": n}}}]. *)

@@ -1,0 +1,113 @@
+(* Mips_par — a fixed-size Domain worker pool with deterministic fan-out.
+
+   The evaluation harness is a bag of independent per-program jobs (compile
+   this source, simulate that one) whose costs differ by orders of
+   magnitude, so work is claimed item-by-item off a shared atomic counter:
+   a worker that draws a Puzzle run does not stall the rest of the corpus
+   behind it.  Determinism is preserved by construction — every result is
+   written to the slot of the item that produced it and reassembled in
+   submission order, so the output of [map] is byte-identical for any
+   [jobs], including 1 (which runs inline on the calling domain and spawns
+   nothing).
+
+   Exceptions raised by the worker function are captured per item and
+   re-raised on the calling domain for the lowest failing index — again
+   independent of scheduling. *)
+
+let configured_jobs : int option Atomic.t = Atomic.make None
+
+(* Harness-wide default pool size, as set by a --jobs flag.  The fallback is
+   what the runtime believes the hardware supports. *)
+let set_default_jobs n = Atomic.set configured_jobs (Some (max 1 n))
+
+let default_jobs () =
+  match Atomic.get configured_jobs with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+type 'b slot =
+  | Pending
+  | Done of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+(* Run [body 0 .. body (n-1)] on [jobs] domains (the caller counts as one). *)
+let run_pool ~jobs ~n body =
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        body i;
+        go ()
+      end
+    in
+    go ()
+  in
+  let spawned = max 0 (min (jobs - 1) (n - 1)) in
+  let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains
+
+let collect results =
+  Array.to_list
+    (Array.map
+       (function
+         | Done v -> v
+         | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+         | Pending -> assert false)
+       results)
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n Pending in
+    run_pool ~jobs ~n (fun i ->
+        results.(i) <-
+          (match f items.(i) with
+          | v -> Done v
+          | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+    collect results
+  end
+
+(* Map each item, then fold the results in submission order.  The fold is
+   sequential and ordered, so [merge] need not be commutative — and when it
+   is associative the result is independent of how items were scheduled. *)
+let map_reduce ?jobs ~map:f ~merge ~zero xs =
+  List.fold_left merge zero (map ?jobs f xs)
+
+(* Like [map], but each worker records into its own private metrics
+   registry; the registries are folded into [obs] after the join, in worker
+   order.  Counters and timers therefore see no cross-domain writes. *)
+let map_obs ?jobs ~obs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let workers = max 1 (min jobs n) in
+    let sinks = Array.init workers (fun _ -> Mips_obs.Metrics.create ()) in
+    let results = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker wid () =
+      let obs = sinks.(wid) in
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <-
+            (match f ~obs items.(i) with
+            | v -> Done v
+            | exception e -> Failed (e, Printexc.get_raw_backtrace ()));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    Array.iter (fun sink -> Mips_obs.Metrics.merge ~into:obs sink) sinks;
+    collect results
+  end

@@ -1,0 +1,38 @@
+(** A fixed-size Domain worker pool with deterministic fan-out.
+
+    The evaluation harness is a bag of independent per-program jobs whose
+    costs differ by orders of magnitude, so workers claim items one at a
+    time off a shared counter (a worker that draws a Puzzle run does not
+    stall the rest of the corpus behind it).  Determinism is preserved by
+    construction: every result is written to its item's slot and the list
+    is reassembled in submission order, so {!map} output is byte-identical
+    for any [jobs] — including 1, which runs inline and spawns nothing. *)
+
+val set_default_jobs : int -> unit
+(** Set the harness-wide default pool size (as a [--jobs] flag does);
+    clamped to at least 1. *)
+
+val default_jobs : unit -> int
+(** The configured default, else [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] with the work spread over [jobs] domains (the caller counts
+    as one).  Results come back in submission order.  If [f] raises, the
+    exception of the {e lowest failing index} is re-raised on the calling
+    domain with its backtrace — independent of scheduling. *)
+
+val map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> merge:('c -> 'b -> 'c) -> zero:'c ->
+  'a list -> 'c
+(** Map each item on the pool, then fold the results in submission order on
+    the calling domain.  The fold is sequential and ordered, so [merge]
+    need not be commutative; when it is associative the result is
+    independent of how items were scheduled. *)
+
+val map_obs :
+  ?jobs:int -> obs:Mips_obs.Metrics.t -> (obs:Mips_obs.Metrics.t -> 'a -> 'b) ->
+  'a list -> 'b list
+(** Like {!map} for instrumented work: each worker records into its own
+    private metrics registry, and the registries are folded into [obs]
+    after the join (in worker order), so counters and timers see no
+    cross-domain writes. *)

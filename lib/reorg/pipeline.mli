@@ -16,6 +16,11 @@ type level =
 val all_levels : level list
 val level_name : level -> string
 
+val rank : level -> int
+(** Stable integer rank of a level (its position in {!all_levels}) — a
+    compact cache-key component for callers that memoize per-level
+    artifacts. *)
+
 val compile : ?level:level -> Asm.program -> Mips_machine.Program.t
 (** Run the postpass at the given level (default [Delay_filled]) and
     assemble.  The result is hazard-free by construction at every level. *)

@@ -106,6 +106,16 @@ let differential ?segments ?fuel ?(flaky_rate = 0.01) ?(irq_rate = 0.005)
   in
   { seed; ok = mismatches = []; mismatches = List.rev mismatches; retries; injected }
 
+(* Each seed's differential run is a pure function of its arguments (the
+   generator and fault plan carry their own seeded streams), so a sweep is
+   embarrassingly parallel; results come back in seed order regardless of
+   the pool size. *)
+let differential_sweep ?jobs ?segments ?fuel ?flaky_rate ?irq_rate ~seed ~count
+    () =
+  Mips_par.map ?jobs
+    (fun s -> differential ?segments ?fuel ?flaky_rate ?irq_rate ~seed:s ())
+    (List.init count (fun i -> seed + i))
+
 let diff_json d =
   Json.Obj
     [ ("seed", Json.Int d.seed);

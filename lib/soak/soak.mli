@@ -48,6 +48,14 @@ val differential :
     generator the differential oracle for the fast engine's equivalence
     contract.  Defaults: [flaky_rate = 0.01], [irq_rate = 0.005]. *)
 
+val differential_sweep :
+  ?jobs:int -> ?segments:int -> ?fuel:int -> ?flaky_rate:float ->
+  ?irq_rate:float -> seed:int -> count:int -> unit -> diff list
+(** [count] differential runs at seeds [seed .. seed+count-1], fanned out
+    over the {!Mips_par} worker pool and returned in seed order — each run
+    is a pure function of its seed, so the list is identical for any pool
+    size. *)
+
 val diff_json : diff -> Mips_obs.Json.t
 
 (** Aggregate result of a multi-process kernel soak run. *)

@@ -95,8 +95,9 @@ let test_table6_ordering () =
 (* --- Tables 7/8/10 ----------------------------------------------------------- *)
 
 let test_refpatterns_and_penalty () =
-  let wp = Refpatterns.word_allocated ~include_heavy:false () in
-  let bp = Refpatterns.byte_allocated ~include_heavy:false () in
+  let wp, wfails = Refpatterns.word_allocated ~include_heavy:false () in
+  let bp, bfails = Refpatterns.byte_allocated ~include_heavy:false () in
+  check "no corpus program diverges" true (wfails = [] && bfails = []);
   let load_frac p =
     float_of_int p.Refpatterns.loads /. float_of_int (Refpatterns.total p)
   in
