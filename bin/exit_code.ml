@@ -1,0 +1,25 @@
+(* One place for every mipsc exit status, so scripts (and the CI harness)
+   can tell failure modes apart.  [Cmdliner.Cmd.Exit.info] entries make the
+   codes show up in every subcommand's --help. *)
+
+let ok = Cmdliner.Cmd.Exit.ok (* 0 *)
+let usage = 2 (* bad arguments, missing or unwritable file *)
+let out_of_fuel = 3 (* the program did not halt within the fuel budget *)
+let divergence = 4 (* a soak variant diverged from the reference *)
+let checkpoint = 5 (* a checkpoint could not be read, or does not match *)
+
+let infos =
+  let open Cmdliner.Cmd.Exit in
+  [
+    info ok ~doc:"on success.";
+    info usage
+      ~doc:"on a usage error: bad arguments, a missing input file, or an \
+            unwritable output file.";
+    info out_of_fuel ~doc:"when the program did not halt within the fuel \
+                           budget.";
+    info divergence
+      ~doc:"when a soak variant diverged from the reference machine.";
+    info checkpoint
+      ~doc:"when a checkpoint file cannot be read (truncated, corrupt, \
+            version skew) or does not match the requested run.";
+  ]

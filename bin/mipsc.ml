@@ -25,7 +25,16 @@
    Parallelism: report, soak, corpus and run take --jobs N to size the
    Domain worker pool (default: the runtime's recommended domain count).
    Output is byte-identical for any N — workers populate the shared
-   artifact cache, the deterministic aggregation stays on one domain. *)
+   artifact cache, the deterministic aggregation stays on one domain.
+
+   Resilience: `run` and `soak` take --checkpoint FILE (with
+   --checkpoint-every N) to write versioned, checksummed snapshots as they
+   go, and --resume FILE to continue a killed run — the completed run is
+   bit-identical to one that was never interrupted.  `report` runs its
+   warm-up under a supervisor (retry, quarantine, circuit breaker) and
+   takes --stats-json for the resilience counters plus --inject-poison
+   LABEL to exercise the degraded path.  Exit codes are standardized in
+   Exit_code and listed in every subcommand's --help. *)
 
 open Cmdliner
 
@@ -36,7 +45,7 @@ let read_source path =
     | e -> e.Mips_corpus.Corpus.source
     | exception Not_found ->
         Printf.eprintf "mipsc: no such file or corpus program: %s\n" path;
-        exit 2
+        exit Exit_code.usage
 
 let config_of ~byte ~early_out =
   let base =
@@ -126,7 +135,7 @@ let open_dest = function
       | oc -> (oc, fun () -> close_out oc)
       | exception Sys_error msg ->
           Printf.eprintf "mipsc: cannot open %s: %s\n" path msg;
-          exit 2)
+          exit Exit_code.usage)
 
 let write_json dest json =
   let oc, close = open_dest dest in
@@ -143,6 +152,36 @@ let engine_flag =
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
           "Execution engine: $(b,ref) (the reference interpreter, default)            or $(b,fast) (the predecoded closure engine — bit-identical            results, including statistics).")
+
+(* checkpoint/restore flags for `run` and `soak` *)
+let checkpoint_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Write a resumable checkpoint (versioned, checksummed) to $(docv) \
+           as the run progresses; a crash mid-write never leaves a torn \
+           file.")
+
+let checkpoint_every_flag default =
+  Arg.(
+    value & opt int default
+    & info [ "checkpoint-every" ] ~docv:"STEPS"
+        ~doc:
+          (Printf.sprintf
+             "Machine steps between checkpoints under $(b,--checkpoint) \
+              (default %d).  Slicing never changes results." default))
+
+let resume_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by the $(i,same) invocation \
+           (parameters are compared byte-for-byte).  The completed run is \
+           bit-identical to one that was never interrupted.")
 
 (* fault-injection flags for `run` *)
 let fault_seed_flag =
@@ -166,7 +205,7 @@ let fault_rate_flag =
 
 let run_cmd =
   let run file byte early_out level input stats trace trace_format stats_json
-      fault_seed fault_rate engine jobs =
+      fault_seed fault_rate engine jobs checkpoint checkpoint_every resume =
     apply_jobs jobs;
     let config = config_of ~byte ~early_out in
     let src = read_source file in
@@ -194,9 +233,118 @@ let run_cmd =
               irq_rate = fault_rate /. 2. })
         fault_seed
     in
+    let fuel = 500_000_000 in
     let res, cpu =
-      Mips_codegen.Compile.run_with_machine ~config ~level:(level_of level)
-        ~fuel:500_000_000 ~input ~trace:trace_sink ?fault_plan ~engine src
+      if checkpoint = None && resume = None then
+        Mips_codegen.Compile.run_with_machine ~config ~level:(level_of level)
+          ~fuel ~input ~trace:trace_sink ?fault_plan ~engine src
+      else begin
+        (* the checkpointed twin of [Compile.run_with_machine]: same compile,
+           same machine setup, but the hosted loop runs in slices and saves
+           machine + host state at each boundary.  The meta section pins
+           everything the run depends on; a resume against different
+           arguments is refused rather than silently diverging. *)
+        let module Snapshot = Mips_resilience.Snapshot in
+        let meta =
+          let open Snapshot.Io.W in
+          let b = create () in
+          str b (Digest.string src);
+          bool b byte;
+          bool b early_out;
+          int b level;
+          str b (Mips_machine.Cpu.engine_name engine);
+          str b (Digest.string input);
+          int b fuel;
+          opt int b fault_seed;
+          float b fault_rate;
+          contents b
+        in
+        let program =
+          Mips_codegen.Compile.compile ~config ~level:(level_of level) src
+        in
+        let cpu =
+          Mips_machine.Cpu.create
+            ~config:(Mips_codegen.Compile.machine_config config) ()
+        in
+        if Mips_obs.Sink.enabled trace_sink then
+          Mips_machine.Cpu.set_trace cpu trace_sink;
+        (match fault_plan with
+        | Some plan -> Mips_machine.Cpu.set_fault_plan cpu plan
+        | None -> ());
+        Mips_machine.Cpu.load_program cpu program;
+        let resume_state =
+          match resume with
+          | None -> None
+          | Some path -> (
+              let open Snapshot in
+              match
+                let* c = read_file path in
+                let* () =
+                  if String.equal c.kind "run" then Ok ()
+                  else
+                    Error
+                      (Corrupt (Printf.sprintf "not a run checkpoint: %S" c.kind))
+                in
+                let* m = section c "meta" in
+                let* () =
+                  if String.equal m meta then Ok ()
+                  else Error (Corrupt "checkpoint does not match this run")
+                in
+                let* h = section c "host" in
+                let* h = host_of_string h in
+                let* mach = section c "machine" in
+                let* () = restore_machine cpu mach in
+                Ok h
+              with
+              | Ok h ->
+                  if Mips_obs.Sink.enabled trace_sink then
+                    Mips_obs.Sink.emit trace_sink
+                      (Mips_obs.Event.Checkpoint_restore
+                         { path; phase = "run";
+                           steps = fuel - h.Mips_machine.Hosted.h_fuel_left });
+                  Some h
+              | Error e ->
+                  Printf.eprintf "mipsc: cannot resume from %s: %s\n" path
+                    (error_to_string e);
+                  exit Exit_code.checkpoint)
+        in
+        let ckpt =
+          Option.map
+            (fun path ->
+              ( checkpoint_every,
+                fun (h : Mips_machine.Hosted.host_state) ->
+                  let data =
+                    Snapshot.encode
+                      { Snapshot.kind = "run";
+                        sections =
+                          [ ("meta", meta);
+                            ("machine", Snapshot.machine_to_string cpu);
+                            ("host", Snapshot.host_to_string h) ] }
+                  in
+                  (try Snapshot.write_file path data
+                   with Sys_error msg ->
+                     Printf.eprintf "mipsc: cannot write checkpoint %s: %s\n"
+                       path msg;
+                     exit Exit_code.checkpoint);
+                  if Mips_obs.Sink.enabled trace_sink then
+                    Mips_obs.Sink.emit trace_sink
+                      (Mips_obs.Event.Checkpoint_write
+                         { path; phase = "run";
+                           steps = fuel - h.Mips_machine.Hosted.h_fuel_left;
+                           bytes = String.length data }) ))
+            checkpoint
+        in
+        let fuel =
+          match resume_state with
+          | Some h -> h.Mips_machine.Hosted.h_fuel_left
+          | None -> fuel
+        in
+        let res =
+          Mips_machine.Hosted.run ~fuel ~input ~engine ?resume:resume_state
+            ?checkpoint:ckpt cpu
+        in
+        (res, cpu)
+      end
     in
     Mips_obs.Sink.flush trace_sink;
     trace_close ();
@@ -217,15 +365,18 @@ let run_cmd =
     | None -> ());
     if (Mips_machine.Cpu.stats cpu).Mips_machine.Stats.fuel_exhausted then begin
       prerr_endline "mipsc: out of fuel (execution did not complete)";
-      exit 3
+      exit Exit_code.out_of_fuel
     end;
     exit (Option.value ~default:0 res.Mips_machine.Hosted.exit_status)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Compile and execute a program on the simulator.")
+  Cmd.v
+    (Cmd.info "run" ~exits:Exit_code.infos
+       ~doc:"Compile and execute a program on the simulator.")
     Term.(
       const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag
       $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag
-      $ fault_seed_flag $ fault_rate_flag $ engine_flag $ jobs_flag)
+      $ fault_seed_flag $ fault_rate_flag $ engine_flag $ jobs_flag
+      $ checkpoint_flag $ checkpoint_every_flag 1_000_000 $ resume_flag)
 
 let compile_cmd =
   let compile file byte early_out level =
@@ -237,7 +388,7 @@ let compile_cmd =
     Format.printf "%a@." Mips_machine.Program.pp_listing p;
     Format.printf "; %d instruction words@." (Mips_machine.Program.static_count p)
   in
-  Cmd.v (Cmd.info "compile" ~doc:"Compile and print the final machine listing.")
+  Cmd.v (Cmd.info "compile" ~exits:Exit_code.infos ~doc:"Compile and print the final machine listing.")
     Term.(const compile $ file_arg $ byte_flag $ early_flag $ level_flag)
 
 let asm_cmd =
@@ -246,7 +397,7 @@ let asm_cmd =
     let a = Mips_codegen.Compile.to_asm ~config (read_source file) in
     Format.printf "%a@." Mips_reorg.Asm.pp a
   in
-  Cmd.v (Cmd.info "asm" ~doc:"Print the symbolic assembly before the reorganizer.")
+  Cmd.v (Cmd.info "asm" ~exits:Exit_code.infos ~doc:"Print the symbolic assembly before the reorganizer.")
     Term.(const asm $ file_arg $ byte_flag $ early_flag)
 
 let levels_cmd =
@@ -262,7 +413,7 @@ let levels_cmd =
       Mips_reorg.Pipeline.all_levels
   in
   Cmd.v
-    (Cmd.info "levels" ~doc:"Static instruction counts at each postpass level.")
+    (Cmd.info "levels" ~exits:Exit_code.infos ~doc:"Static instruction counts at each postpass level.")
     Term.(const levels $ file_arg $ byte_flag)
 
 let profile_cmd =
@@ -357,7 +508,7 @@ let profile_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "profile"
+    (Cmd.info "profile" ~exits:Exit_code.infos
        ~doc:
          "Per-phase compile times, reorganizer pass statistics, and the top \
           stall-causing instruction pairs on the hardware-interlock machine.")
@@ -393,7 +544,7 @@ let corpus_cmd =
         print_string output)
       entries outputs
   in
-  Cmd.v (Cmd.info "corpus" ~doc:"Run corpus programs.")
+  Cmd.v (Cmd.info "corpus" ~exits:Exit_code.infos ~doc:"Run corpus programs.")
     Term.(
       const corpus
       $ Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Corpus program (all when omitted).")
@@ -401,7 +552,8 @@ let corpus_cmd =
 
 let soak_cmd =
   let soak seed steps programs segments quantum watchdog flip_rate
-      data_flip_rate irq_rate page_drop_rate flaky_rate differential json jobs =
+      data_flip_rate irq_rate page_drop_rate flaky_rate differential json jobs
+      checkpoint checkpoint_every resume stats_json =
     apply_jobs jobs;
     let plan =
       {
@@ -414,12 +566,30 @@ let soak_cmd =
         max_injections = 0;
       }
     in
-    let s =
-      Mips_soak.Soak.run_soak ~programs ?segments ~quantum ?watchdog ~steps
-        ~plan ~seed ()
-    in
-    let diffs =
-      Mips_soak.Soak.differential_sweep ?segments ~seed ~count:differential ()
+    (* with no resilience flags the original two-phase path runs untouched;
+       with --checkpoint/--resume the checkpointed runner produces the same
+       summary and diff list (both are pure functions of the parameters),
+       so the JSON below is identical either way *)
+    let s, diffs =
+      if checkpoint = None && resume = None then
+        ( Mips_soak.Soak.run_soak ~programs ?segments ~quantum ?watchdog ~steps
+            ~plan ~seed (),
+          Mips_soak.Soak.differential_sweep ?segments ~seed ~count:differential
+            () )
+      else
+        match
+          Mips_soak.Soak.run_checkpointed ~programs ?segments ~quantum
+            ?watchdog ~steps ~diff_count:differential ?checkpoint
+            ~checkpoint_every ?resume ~plan ~seed ()
+        with
+        | Ok (Mips_soak.Soak.Complete (s, diffs)) -> (s, diffs)
+        | Ok Mips_soak.Soak.Interrupted ->
+            (* unreachable without the in-process max_slices test hook *)
+            assert false
+        | Error e ->
+            Printf.eprintf "mipsc: checkpoint error: %s\n"
+              (Mips_resilience.Snapshot.error_to_string e);
+            exit Exit_code.checkpoint
     in
     let diverged =
       List.filter (fun d -> not d.Mips_soak.Soak.ok) diffs
@@ -471,10 +641,15 @@ let soak_cmd =
           diverged
       end
     end;
-    if diverged <> [] then exit 4
+    (* resilience counters go to their own file, never into the soak JSON —
+       kill/resume byte-identity is checked on the main output *)
+    (match stats_json with
+    | Some dest -> write_json dest (Mips_resilience.Supervise.stats_json ())
+    | None -> ());
+    if diverged <> [] then exit Exit_code.divergence
   in
   Cmd.v
-    (Cmd.info "soak"
+    (Cmd.info "soak" ~exits:Exit_code.infos
        ~doc:
          "Seeded fault-injection soak: generated programs under a hardened \
           kernel with transient faults, plus a raw-vs-reorganized \
@@ -525,20 +700,78 @@ let soak_cmd =
                 "Also run $(docv) raw-vs-reorganized differential programs \
                  under transparent faults (0 to disable).")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
-      $ jobs_flag)
+      $ jobs_flag $ checkpoint_flag $ checkpoint_every_flag 250_000
+      $ resume_flag
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "stats-json" ] ~docv:"FILE"
+              ~doc:
+                "Write the resilience counters (supervision, checkpoints) as \
+                 JSON to $(docv) ($(b,-) for standard output) — kept out of \
+                 the main summary so checkpointed output stays comparable."))
 
 let report_cmd =
-  let report with_benchmarks json jobs =
+  let report with_benchmarks json jobs inject_poison stats_json =
     apply_jobs jobs;
+    (* the warm-up runs supervised: a failing artifact job is retried,
+       quarantined and attributed, and the breaker degrades later maps to
+       serial — the tables still render from whatever warmed.  On a healthy
+       run this is byte-identical to the plain warm-up. *)
+    let outcomes =
+      Mips_analysis.Report.prepare_supervised ~include_heavy:with_benchmarks
+        ~inject_poison ()
+    in
+    let failed = Mips_resilience.Supervise.failures outcomes in
     if json then
       Format.printf "%a@." Mips_obs.Json.pp
         (Mips_analysis.Report.json_all ~include_heavy:with_benchmarks ())
     else
       Mips_analysis.Report.print_all ~include_heavy:with_benchmarks
-        Format.std_formatter
+        Format.std_formatter;
+    List.iter
+      (fun (o : unit Mips_resilience.Supervise.outcome) ->
+        Printf.eprintf "mipsc: job %s failed after %d attempt%s: %s\n"
+          o.Mips_resilience.Supervise.label o.Mips_resilience.Supervise.attempts
+          (if o.Mips_resilience.Supervise.attempts = 1 then "" else "s")
+          (match o.Mips_resilience.Supervise.result with
+          | Error e -> e
+          | Ok () -> "ok"))
+      failed;
+    match stats_json with
+    | None -> ()
+    | Some dest ->
+        let c = Mips_artifact.counters () in
+        write_json dest
+          (Mips_obs.Json.Obj
+             [ ("supervision", Mips_resilience.Supervise.stats_json ());
+               ( "failures",
+                 Mips_obs.Json.List
+                   (List.map
+                      (fun (o : unit Mips_resilience.Supervise.outcome) ->
+                        Mips_obs.Json.Obj
+                          [ ( "label",
+                              Mips_obs.Json.Str
+                                o.Mips_resilience.Supervise.label );
+                            ( "attempts",
+                              Mips_obs.Json.Int
+                                o.Mips_resilience.Supervise.attempts );
+                            ( "error",
+                              Mips_obs.Json.Str
+                                (match o.Mips_resilience.Supervise.result with
+                                | Error e -> e
+                                | Ok () -> "ok") ) ])
+                      failed) );
+               ( "artifact_cache",
+                 Mips_obs.Json.Obj
+                   [ ("hits", Mips_obs.Json.Int c.Mips_artifact.hits);
+                     ("misses", Mips_obs.Json.Int c.Mips_artifact.misses);
+                     ("corrupt", Mips_obs.Json.Int c.Mips_artifact.corrupt) ]
+               ) ])
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Regenerate every table and figure of the paper's evaluation.")
+    (Cmd.info "report" ~exits:Exit_code.infos
+       ~doc:"Regenerate every table and figure of the paper's evaluation.")
     Term.(
       const report
       $ Arg.(
@@ -552,12 +785,27 @@ let report_cmd =
               ~doc:
                 "Emit every table as one JSON object (machine-readable twin \
                  of the text report).")
-      $ jobs_flag)
+      $ jobs_flag
+      $ Arg.(
+          value & opt_all string []
+          & info [ "inject-poison" ] ~docv:"LABEL"
+              ~doc:
+                "Prepend an always-failing warm-up job with this label \
+                 (repeatable) — exercises retry, quarantine and the circuit \
+                 breaker; the report still completes, degraded, with the \
+                 failure attributed under $(b,--stats-json).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "stats-json" ] ~docv:"FILE"
+              ~doc:
+                "Write supervision outcomes, failures and artifact-cache \
+                 counters as JSON to $(docv) ($(b,-) for standard output)."))
 
 let () =
   let doc = "compiler, reorganizer and simulator for the MIPS tradeoffs reproduction" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "mipsc" ~version:"1.0.0" ~doc)
+       (Cmd.group (Cmd.info "mipsc" ~version:"1.0.0" ~exits:Exit_code.infos ~doc)
           [ run_cmd; compile_cmd; asm_cmd; levels_cmd; profile_cmd; corpus_cmd; soak_cmd;
             report_cmd ]))

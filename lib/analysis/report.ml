@@ -23,47 +23,78 @@ let os_workload = [ "fib"; "sieve"; "strops" ]
    built, never {e what} it contains.  Simulations go first — they dwarf the
    compile-only jobs, and the pool's work stealing fills the tail with the
    cheap ones. *)
-let prepare ?jobs ?(include_heavy = false) () =
-  let sim_jobs config =
+let prepare_jobs ?(include_heavy = false) () =
+  let sim_jobs cname config =
     List.filter_map
       (fun (e : Mips_corpus.Corpus.entry) ->
         if Refpatterns.heavy e && not include_heavy then None
         else
           Some
-            (fun () ->
-              (* compile failures re-surface as per-program table rows *)
-              try ignore (Mips_artifact.entry_sim ~config e) with _ -> ()))
+            ( Printf.sprintf "sim:%s:%s" cname e.Mips_corpus.Corpus.name,
+              fun () ->
+                (* compile failures re-surface as per-program table rows *)
+                try ignore (Mips_artifact.entry_sim ~config e) with _ -> () ))
       Mips_corpus.Corpus.all
   in
   let level_jobs =
     List.concat_map
       (fun (e : Mips_corpus.Corpus.entry) ->
         List.map
-          (fun level () ->
-            ignore (Mips_artifact.compiled ~level e.Mips_corpus.Corpus.source))
+          (fun level ->
+            ( Printf.sprintf "level:%d:%s" (Mips_reorg.Pipeline.rank level)
+                e.Mips_corpus.Corpus.name,
+              fun () ->
+                ignore
+                  (Mips_artifact.compiled ~level e.Mips_corpus.Corpus.source) ))
           Mips_reorg.Pipeline.all_levels)
       Mips_corpus.Corpus.table11
   in
   let os_jobs =
     List.map
-      (fun name () ->
-        let e = Mips_corpus.Corpus.find name in
-        ignore
-          (Mips_artifact.compiled ~config:os_config e.Mips_corpus.Corpus.source))
+      (fun name ->
+        ( "os:" ^ name,
+          fun () ->
+            let e = Mips_corpus.Corpus.find name in
+            ignore
+              (Mips_artifact.compiled ~config:os_config
+                 e.Mips_corpus.Corpus.source) ))
       os_workload
   in
   let asm_jobs =
     List.map
-      (fun (e : Mips_corpus.Corpus.entry) () ->
-        ignore (Mips_artifact.asm e.Mips_corpus.Corpus.source))
+      (fun (e : Mips_corpus.Corpus.entry) ->
+        ( "asm:" ^ e.Mips_corpus.Corpus.name,
+          fun () -> ignore (Mips_artifact.asm e.Mips_corpus.Corpus.source) ))
       Mips_corpus.Corpus.reference
   in
+  sim_jobs "default" Mips_ir.Config.default
+  @ sim_jobs "byte" Mips_ir.Config.byte_machine
+  @ level_jobs @ os_jobs @ asm_jobs
+
+let prepare ?jobs ?include_heavy () =
   ignore
-    (Mips_par.map ?jobs
-       (fun job -> job ())
-       (sim_jobs Mips_ir.Config.default
-       @ sim_jobs Mips_ir.Config.byte_machine
-       @ level_jobs @ os_jobs @ asm_jobs))
+    (Mips_par.map ?jobs ~label:fst
+       (fun (_, job) -> job ())
+       (prepare_jobs ?include_heavy ()))
+
+(* The resilient warm-up: the same bag of jobs under the supervisor.  A
+   poisoned job (injected by tests and the CI smoke run) is retried,
+   quarantined and attributed in its outcome; the cache still ends up warm
+   for every healthy artifact, so the tables render with at worst per-row
+   failures instead of the report aborting.  Poison labels are listed
+   first so a breaker trip degrades the bulk of the map — the interesting
+   path to exercise. *)
+let prepare_supervised ?policy ?jobs ?include_heavy ?(inject_poison = []) ?obs
+    () =
+  let poison =
+    List.map
+      (fun lbl ->
+        (lbl, fun () -> failwith (Printf.sprintf "injected poison job %s" lbl)))
+      inject_poison
+  in
+  Mips_resilience.Supervise.supervised_map ?policy ?jobs ?obs ~label:fst
+    (fun (_, job) -> job ())
+    (poison @ prepare_jobs ?include_heavy ())
 
 (* --- Table 1 ----------------------------------------------------------- *)
 

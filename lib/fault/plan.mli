@@ -48,6 +48,28 @@ val make : config -> t
 val enabled : t -> bool
 val config : t -> config
 
+(** {2 Checkpoint support}
+
+    A plan's whole dynamic state is its stream position plus the injection
+    counters; a restored plan continues the decision sequence exactly where
+    the captured one left off. *)
+
+type snapshot = {
+  s_config : config;
+  s_enabled : bool;
+  s_rng : int64;  (** {!Rng.state} of the plan's stream *)
+  s_injected : int;
+  s_reg_flips : int;
+  s_data_flips : int;
+  s_irqs : int;
+  s_page_drops : int;
+  s_flaky_armed : int;
+  s_flaky_fired : int;
+}
+
+val snapshot : t -> snapshot
+val of_snapshot : snapshot -> t
+
 val decide : t -> injection option
 (** One per-step decision.  Advances the stream exactly once per call (plus
     payload draws when injecting), so decision [k] depends only on the seed

@@ -21,3 +21,9 @@ let int t n =
 let float t = float_of_int (bits30 t) /. 1073741824.0
 
 let split t = { state = next64 t }
+
+(* The whole stream position is the one 64-bit state word — what
+   checkpoint/restore snapshots. *)
+let state t = t.state
+let set_state t s = t.state <- s
+let of_state s = { state = s }

@@ -31,3 +31,15 @@ val float : t -> float
 val split : t -> t
 (** A statistically independent stream derived from (and advancing) [t] —
     use to give each subsystem its own stream from one master seed. *)
+
+(** {2 Checkpoint support}
+
+    The stream position is exactly one 64-bit word; capturing and restoring
+    it resumes the sequence with no drift. *)
+
+val state : t -> int64
+val set_state : t -> int64 -> unit
+
+val of_state : int64 -> t
+(** A stream continuing from a captured position (unlike {!create}, which
+    mixes its argument as a seed). *)

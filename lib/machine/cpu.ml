@@ -156,6 +156,52 @@ let read_data t a = t.dmem.(a)
 let write_data t a v = t.dmem.(a) <- Word32.norm v
 let faulted t = t.fault
 
+(* The mutable execution state that is not reachable through the public
+   architectural accessors — what checkpoint/restore must carry to make a
+   resumed run bit-identical.  [prev_word] is not captured: it is always
+   the instruction word at [prev_pc], so restore re-derives it from [imem]
+   (code is reloaded deterministically before state is restored). *)
+type pipeline_state = {
+  ps_byte_select : int;
+  ps_pending : (int * int) option;
+  ps_last_load_writes : int;  (* 16-bit register-set mask *)
+  ps_fault : fault_kind option;
+  ps_flaky_armed : bool;
+  ps_prev_pc : int;
+  ps_delay_pending : int;
+}
+
+let pipeline_state t =
+  {
+    ps_byte_select = t.byte_select;
+    ps_pending = t.pending;
+    ps_last_load_writes =
+      Reg.Set.fold (fun r m -> m lor (1 lsl Reg.to_int r)) t.last_load_writes 0;
+    ps_fault = t.fault;
+    ps_flaky_armed = t.flaky_armed;
+    ps_prev_pc = t.prev_pc;
+    ps_delay_pending = t.delay_pending;
+  }
+
+let set_pipeline_state t ps =
+  t.byte_select <- ps.ps_byte_select;
+  t.pending <- ps.ps_pending;
+  t.last_load_writes <-
+    (let s = ref Reg.Set.empty in
+     for i = 0 to 15 do
+       if ps.ps_last_load_writes land (1 lsl i) <> 0 then
+         s := Reg.Set.add (Reg.r i) !s
+     done;
+     !s);
+  t.fault <- ps.ps_fault;
+  t.flaky_armed <- ps.ps_flaky_armed;
+  t.prev_pc <- ps.ps_prev_pc;
+  t.prev_word <-
+    (if ps.ps_prev_pc >= 0 && ps.ps_prev_pc < Array.length t.imem then
+       t.imem.(ps.ps_prev_pc)
+     else Word.Nop);
+  t.delay_pending <- ps.ps_delay_pending
+
 let faulted_addr t =
   match t.fault with
   | Some (Missing_page (sp, ga)) -> Some (sp, ga)

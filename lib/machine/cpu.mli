@@ -189,3 +189,31 @@ val faulted : t -> fault_kind option
 
 val faulted_addr : t -> (Pagemap.space * int) option
 (** The page-miss address, when the latest fault was one. *)
+
+(** {2 Checkpoint support}
+
+    The execution state that the architectural accessors above do not
+    reach: the delayed-load slot, the interlock stall-detection set, the
+    byte-select register, the latched fault kind, the armed flaky-memory
+    flag, the previous-word attribution state and the traced delay-slot
+    countdown.  Together with registers, PC chain, EPCs, surprise, segment
+    map, page map, data memory and {!Stats.t}, this makes a machine
+    restorable bit-for-bit. *)
+
+type pipeline_state = {
+  ps_byte_select : int;
+  ps_pending : (int * int) option;  (** load landing one word late *)
+  ps_last_load_writes : int;  (** 16-bit register-set mask *)
+  ps_fault : fault_kind option;
+  ps_flaky_armed : bool;
+  ps_prev_pc : int;
+  ps_delay_pending : int;
+}
+
+val pipeline_state : t -> pipeline_state
+
+val set_pipeline_state : t -> pipeline_state -> unit
+(** Restore the hidden execution state.  The previous-word text is
+    re-derived from instruction memory at [ps_prev_pc], so code must be
+    reloaded before this is called.  {!set_fault_plan} disarms the flaky
+    flag — attach the plan {e before} restoring pipeline state. *)

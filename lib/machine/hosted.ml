@@ -10,6 +10,15 @@ type result = {
   retries : int;
 }
 
+(* The hosted loop's own state (everything outside the machine) — what a
+   checkpoint must carry besides the Cpu snapshot. *)
+type host_state = {
+  h_output : string;
+  h_in_pos : int;
+  h_retries : int;
+  h_fuel_left : int;
+}
+
 (* Read [len] characters of a packed byte array starting at word [addr]. *)
 let read_packed_string cpu ~addr ~len =
   let buf = Buffer.create len in
@@ -19,12 +28,19 @@ let read_packed_string cpu ~addr ~len =
   done;
   Buffer.contents buf
 
-let run ?fuel ?(input = "") ?(on_unhandled = `Abort) ?(engine = Cpu.Ref) cpu =
+let run ?fuel ?(input = "") ?(on_unhandled = `Abort) ?(engine = Cpu.Ref)
+    ?resume ?checkpoint cpu =
   let out = Buffer.create 256 in
   let exit_status = ref None in
   let fault = ref None in
   let retries = ref 0 in
   let in_pos = ref 0 in
+  (match resume with
+  | Some h ->
+      Buffer.add_string out h.h_output;
+      in_pos := h.h_in_pos;
+      retries := h.h_retries
+  | None -> ());
   let arg0 () = Cpu.get_reg cpu Reg.scratch0 in
   let arg1 () = Cpu.get_reg cpu Reg.scratch1 in
   let handler c cause =
@@ -87,7 +103,40 @@ let run ?fuel ?(input = "") ?(on_unhandled = `Abort) ?(engine = Cpu.Ref) cpu =
             Cpu.set_epc c 2 (Cpu.epc c 2 + 1);
             `Resume)
   in
-  let halted = Cpu.run_engine ?fuel ~engine cpu handler in
+  let halted =
+    match checkpoint with
+    | None -> Cpu.run_engine ?fuel ~engine cpu handler
+    | Some (every, save) ->
+        (* Chunked execution with a durable save at every chunk boundary.
+           The step sequence is identical to one call with the total fuel —
+           machine state persists across chunks — but [Cpu.run_with] marks
+           fuel exhaustion whenever its own argument reaches zero, so the
+           flag is cleared at interior boundaries and only the final chunk's
+           verdict survives. *)
+        let every = max 1 every in
+        let total = match fuel with Some f -> f | None -> 10_000_000 in
+        let remaining = ref total in
+        let halted =
+          (* nonpositive fuel: defer to the engine for the exhaustion mark *)
+          ref (total <= 0 && Cpu.run_engine ~fuel:total ~engine cpu handler)
+        in
+        while (not !halted) && !remaining > 0 do
+          let chunk = min every !remaining in
+          halted := Cpu.run_engine ~fuel:chunk ~engine cpu handler;
+          remaining := !remaining - chunk;
+          if (not !halted) && !remaining > 0 then begin
+            (Cpu.stats cpu).Stats.fuel_exhausted <- false;
+            save
+              {
+                h_output = Buffer.contents out;
+                h_in_pos = !in_pos;
+                h_retries = !retries;
+                h_fuel_left = !remaining;
+              }
+          end
+        done;
+        !halted
+  in
   {
     halted;
     exit_status = !exit_status;

@@ -22,11 +22,23 @@ val eof_char : int
     chosen so the marker survives both word- and byte-sized character
     variables). *)
 
+type host_state = {
+  h_output : string;  (** output accumulated so far *)
+  h_in_pos : int;  (** input cursor *)
+  h_retries : int;
+  h_fuel_left : int;
+}
+(** The hosted loop's own state, everything a checkpoint must carry beyond
+    the machine itself.  Captured at chunk boundaries (see [checkpoint]
+    below) and fed back through [resume]. *)
+
 val run :
   ?fuel:int ->
   ?input:string ->
   ?on_unhandled:[ `Abort | `Ignore ] ->
   ?engine:Cpu.engine ->
+  ?resume:host_state ->
+  ?checkpoint:int * (host_state -> unit) ->
   Cpu.t ->
   result
 (** Run the loaded program to completion.  Monitor calls are served from
@@ -36,7 +48,16 @@ val run :
     and are reported in [fault] (with [`Abort], the default) or resumed
     past (with [`Ignore], which skips the offending instruction — for
     fault-injection tests).  [engine] selects the execution engine
-    (default {!Cpu.Ref}); {!Cpu.Fast} must be observationally identical. *)
+    (default {!Cpu.Ref}); {!Cpu.Fast} must be observationally identical.
+
+    [checkpoint = (every, save)] runs in chunks of [every] steps and calls
+    [save] at each interior boundary with the live host state — the caller
+    snapshots the machine in the same callback.  The step sequence, final
+    result and statistics (including [fuel_exhausted]) are identical to an
+    unchunked run with the same total fuel.  [resume] rewinds the loop
+    state to a captured boundary: the caller restores the machine, passes
+    the saved [host_state], and gives [fuel = h_fuel_left]; the completed
+    run is then bit-identical to one that was never interrupted. *)
 
 val run_program :
   ?fuel:int ->

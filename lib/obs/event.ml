@@ -29,6 +29,11 @@ type t =
   | Retry of { pid : int; attempt : int }
   | Watchdog_kill of { pid : int; name : string; cycles : int }
   | Double_fault of { pid : int; name : string; first : string; second : string }
+  | Job_retry of { label : string; attempt : int; backoff_s : float }
+  | Job_quarantined of { label : string; attempts : int; error : string }
+  | Circuit_open of { failures : int }
+  | Checkpoint_write of { path : string; phase : string; steps : int; bytes : int }
+  | Checkpoint_restore of { path : string; phase : string; steps : int }
 
 let equal (a : t) (b : t) = a = b
 
@@ -51,6 +56,11 @@ let kind_name = function
   | Retry _ -> "retry"
   | Watchdog_kill _ -> "watchdog_kill"
   | Double_fault _ -> "double_fault"
+  | Job_retry _ -> "job_retry"
+  | Job_quarantined _ -> "job_quarantined"
+  | Circuit_open _ -> "circuit_open"
+  | Checkpoint_write _ -> "checkpoint_write"
+  | Checkpoint_restore _ -> "checkpoint_restore"
 
 let delay_slot_name = function
   | `Filled -> "filled"
@@ -126,6 +136,22 @@ let pp ppf e =
   | Double_fault { pid; name; first; second } ->
       Format.fprintf ppf "          double-fault  pid %d (%s) %s then %s" pid
         name first second
+  | Job_retry { label; attempt; backoff_s } ->
+      Format.fprintf ppf "          job-retry  %s (attempt %d, backoff %.3fs)"
+        label attempt backoff_s
+  | Job_quarantined { label; attempts; error } ->
+      Format.fprintf ppf "          job-quarantined  %s after %d attempts: %s"
+        label attempts error
+  | Circuit_open { failures } ->
+      Format.fprintf ppf
+        "          circuit-open  %d failure%s; degrading to serial" failures
+        (if failures = 1 then "" else "s")
+  | Checkpoint_write { path; phase; steps; bytes } ->
+      Format.fprintf ppf "          checkpoint-write  %s (%s, %d steps, %d bytes)"
+        path phase steps bytes
+  | Checkpoint_restore { path; phase; steps } ->
+      Format.fprintf ppf "          checkpoint-restore  %s (%s, %d steps)" path
+        phase steps
 
 let to_text e = Format.asprintf "%a" pp e
 
@@ -210,6 +236,28 @@ let to_json e =
           ("name", Json.Str name);
           ("first", Json.Str first);
           ("second", Json.Str second) ]
+  | Job_retry { label; attempt; backoff_s } ->
+      ev
+        [ ("label", Json.Str label);
+          ("attempt", Json.Int attempt);
+          ("backoff_s", Json.Float backoff_s) ]
+  | Job_quarantined { label; attempts; error } ->
+      ev
+        [ ("label", Json.Str label);
+          ("attempts", Json.Int attempts);
+          ("error", Json.Str error) ]
+  | Circuit_open { failures } -> ev [ ("failures", Json.Int failures) ]
+  | Checkpoint_write { path; phase; steps; bytes } ->
+      ev
+        [ ("path", Json.Str path);
+          ("phase", Json.Str phase);
+          ("steps", Json.Int steps);
+          ("bytes", Json.Int bytes) ]
+  | Checkpoint_restore { path; phase; steps } ->
+      ev
+        [ ("path", Json.Str path);
+          ("phase", Json.Str phase);
+          ("steps", Json.Int steps) ]
 
 let of_json j =
   let ( let* ) = Result.bind in
@@ -341,6 +389,30 @@ let of_json j =
       let* first = str "first" in
       let* second = str "second" in
       Ok (Double_fault { pid; name; first; second })
+  | "job_retry" ->
+      let* label = str "label" in
+      let* attempt = int "attempt" in
+      let* backoff_s = float_ "backoff_s" in
+      Ok (Job_retry { label; attempt; backoff_s })
+  | "job_quarantined" ->
+      let* label = str "label" in
+      let* attempts = int "attempts" in
+      let* error = str "error" in
+      Ok (Job_quarantined { label; attempts; error })
+  | "circuit_open" ->
+      let* failures = int "failures" in
+      Ok (Circuit_open { failures })
+  | "checkpoint_write" ->
+      let* path = str "path" in
+      let* phase = str "phase" in
+      let* steps = int "steps" in
+      let* bytes = int "bytes" in
+      Ok (Checkpoint_write { path; phase; steps; bytes })
+  | "checkpoint_restore" ->
+      let* path = str "path" in
+      let* phase = str "phase" in
+      let* steps = int "steps" in
+      Ok (Checkpoint_restore { path; phase; steps })
   | s -> Error ("unknown event kind " ^ s)
 
 (* One of each constructor — the round-trip tests iterate over this, so a
@@ -378,4 +450,11 @@ let samples =
     Retry { pid = 1; attempt = 2 };
     Watchdog_kill { pid = 3; name = "spin"; cycles = 50000 };
     Double_fault
-      { pid = 2; name = "wild"; first = "Page_fault"; second = "Page_fault" } ]
+      { pid = 2; name = "wild"; first = "Page_fault"; second = "Page_fault" };
+    Job_retry { label = "sim:default:fib"; attempt = 2; backoff_s = 0.125 };
+    Job_quarantined
+      { label = "poison:demo"; attempts = 3; error = "Failure(\"injected\")" };
+    Circuit_open { failures = 1 };
+    Checkpoint_write
+      { path = "soak.ckpt"; phase = "kernel"; steps = 100000; bytes = 65536 };
+    Checkpoint_restore { path = "soak.ckpt"; phase = "diffs"; steps = 4 } ]

@@ -57,6 +57,20 @@ type t =
       (** the kernel killed a process that kept faulting with no forward
           progress; [first]/[second] are the rendered cause names of the
           oldest and newest faults in the streak *)
+  | Job_retry of { label : string; attempt : int; backoff_s : float }
+      (** the supervisor re-ran a failed pool job; [backoff_s] is the
+          simulated backoff delay charged (not slept) before the retry *)
+  | Job_quarantined of { label : string; attempts : int; error : string }
+      (** a job exhausted its retry budget and was poisoned — the pool keeps
+          running without it; [error] is the rendered last exception *)
+  | Circuit_open of { failures : int }
+      (** the supervisor's circuit breaker tripped: subsequent fan-outs run
+          serially on the calling domain until reset *)
+  | Checkpoint_write of { path : string; phase : string; steps : int; bytes : int }
+      (** a durable snapshot was committed (atomic rename); [steps] is the
+          phase-local progress mark it captures *)
+  | Checkpoint_restore of { path : string; phase : string; steps : int }
+      (** a run resumed from a snapshot at the given phase and progress *)
 
 val equal : t -> t -> bool
 

@@ -85,6 +85,11 @@ type t = {
   mutable double_faults : int;
   mutable oom_kills : int;
   mutable out_of_fuel : bool;
+  (* sliced-execution state: the run loop lives in [t] so a run can stop
+     after any number of steps (checkpointing) and continue bit-identically *)
+  mutable quantum_left : int;
+  mutable started : bool;  (* first ready process installed *)
+  mutable halted : bool;  (* no ready process left *)
   trace : Mips_obs.Sink.t;
   stepf : Cpu.t -> Cpu.event;  (* engine-selected step function *)
 }
@@ -128,6 +133,9 @@ let create ?(data_frames = 32) ?(code_frames = 32) ?(quantum = 2000)
     double_faults = 0;
     oom_kills = 0;
     out_of_fuel = false;
+    quantum_left = quantum;
+    started = false;
+    halted = false;
     trace;
     stepf = Cpu.stepper engine;
   }
@@ -541,130 +549,334 @@ let report_json (r : report) =
       ("oom_kills", Int r.oom_kills);
       ("fuel_exhausted", Bool r.fuel_exhausted) ]
 
-let run ?(fuel = 50_000_000) t =
-  (match next_ready t with
-  | Some p -> install t p
-  | None -> ());
-  let fuel = ref fuel in
-  let steps_in_quantum = ref t.quantum in
-  let running = ref (t.current <> None) in
-  (* one process dies; the machine (and everyone else) keeps going *)
-  let kill (p : pcb) reason =
-    (match reason with
-    | Watchdog cycles ->
-        t.watchdog_kills <- t.watchdog_kills + 1;
-        if t.trace.Mips_obs.Sink.enabled then
-          Mips_obs.Sink.emit t.trace
-            (Mips_obs.Event.Watchdog_kill { pid = p.pid; name = p.pname; cycles })
-    | Double_fault (first, second) ->
-        t.double_faults <- t.double_faults + 1;
-        if t.trace.Mips_obs.Sink.enabled then
-          Mips_obs.Sink.emit t.trace
-            (Mips_obs.Event.Double_fault
-               {
-                 pid = p.pid;
-                 name = p.pname;
-                 first = Cause.name first;
-                 second = Cause.name second;
-               })
-    | Out_of_memory _ -> t.oom_kills <- t.oom_kills + 1
-    | Arch_fault _ | Retry_exhausted _ -> ());
-    p.st <- Killed reason;
-    note_departure t p;
-    t.current <- None;
-    if not (switch t) then running := false
-  in
-  while !running && !fuel > 0 do
-    (match t.stepf t.cpu with
-    | Cpu.Stepped ->
-        (match t.current with
-        | Some p ->
-            p.cycles_used <- p.cycles_used + 1;
-            (* forward progress: every no-progress streak ends here *)
-            p.retries <- 0;
-            p.consec_faults <- 0;
-            p.first_fault <- None;
-            (match t.watchdog with
-            | Some budget when p.cycles_used > budget ->
-                kill p (Watchdog p.cycles_used)
-            | _ -> ())
-        | None -> ());
-        decr steps_in_quantum;
-        if !running && !steps_in_quantum <= 0 then begin
-          Cpu.set_interrupt t.cpu true;
-          steps_in_quantum := t.quantum
-        end
-    | Cpu.Dispatched cause -> (
-        let p = match t.current with Some p -> p | None -> assert false in
-        let transient =
-          cause = Cause.Page_fault && Cpu.faulted t.cpu = Some Cpu.Transient_ref
-        in
-        let is_fault =
-          (not transient)
-          && match cause with Cause.Interrupt | Cause.Trap -> false | _ -> true
-        in
-        if is_fault then begin
-          if p.first_fault = None then p.first_fault <- Some cause;
-          p.consec_faults <- p.consec_faults + 1
-        end;
-        if is_fault && p.consec_faults >= t.double_fault_limit then
-          (* faulting over and over with no successful step in between:
-             looping through the dispatch path will not converge — kill *)
-          let first = match p.first_fault with Some c -> c | None -> cause in
-          kill p (Double_fault (first, cause))
-        else
-          match cause with
-          | Cause.Interrupt ->
-              Cpu.set_interrupt t.cpu false;
-              t.interrupts <- t.interrupts + 1;
-              if not (switch t) then running := false;
-              steps_in_quantum := t.quantum
-          | Cause.Trap -> (
-              let code = (Cpu.surprise t.cpu).Surprise.cause_detail in
-              match service_trap t p code with
-              | `Resume -> resume t
-              | `Yield ->
-                  if not (switch t) then running := false;
-                  steps_in_quantum := t.quantum
-              | `Exit status ->
-                  p.st <- Exited status;
-                  note_departure t p;
-                  t.current <- None;
-                  if not (switch t) then running := false
-              | `Kill (c, d) -> kill p (Arch_fault (c, d)))
-          | Cause.Page_fault when transient ->
-              t.transient_faults <- t.transient_faults + 1;
-              p.retries <- p.retries + 1;
-              p.total_retries <- p.total_retries + 1;
-              if p.retries > t.max_retries then
-                kill p (Retry_exhausted p.retries)
-              else begin
-                (* bounded retry with exponential backoff, charged as kernel
-                   work (the backoff models a widening re-issue delay) *)
-                t.transient_retries <- t.transient_retries + 1;
-                t.kernel_cycles <-
-                  t.kernel_cycles
-                  + (fault_service_cost * (1 lsl min (p.retries - 1) 6));
-                if t.trace.Mips_obs.Sink.enabled then
-                  Mips_obs.Sink.emit t.trace
-                    (Mips_obs.Event.Retry { pid = p.pid; attempt = p.retries });
-                resume t
-              end
-          | Cause.Page_fault -> (
-              match Cpu.faulted_addr t.cpu with
-              | Some (space, gaddr) -> (
-                  match service_fault t p space gaddr with
-                  | Serviced -> resume t
-                  | Bad_address ->
-                      (* a reference between the two valid regions, or outside
-                         the segment entirely: terminate the offender *)
-                      kill p (Arch_fault (Cause.Page_fault, 0))
-                  | Out_of_frames -> kill p (Out_of_memory space))
-              | None -> kill p (Arch_fault (Cause.Page_fault, 0)))
-          | (Cause.Overflow | Cause.Privilege | Cause.Illegal | Cause.Reset) as c
-            ->
-              kill p (Arch_fault (c, (Cpu.surprise t.cpu).Surprise.cause_detail))));
-    decr fuel
+(* one process dies; the machine (and everyone else) keeps going *)
+let kill (t : t) (p : pcb) reason =
+  (match reason with
+  | Watchdog cycles ->
+      t.watchdog_kills <- t.watchdog_kills + 1;
+      if t.trace.Mips_obs.Sink.enabled then
+        Mips_obs.Sink.emit t.trace
+          (Mips_obs.Event.Watchdog_kill { pid = p.pid; name = p.pname; cycles })
+  | Double_fault (first, second) ->
+      t.double_faults <- t.double_faults + 1;
+      if t.trace.Mips_obs.Sink.enabled then
+        Mips_obs.Sink.emit t.trace
+          (Mips_obs.Event.Double_fault
+             {
+               pid = p.pid;
+               name = p.pname;
+               first = Cause.name first;
+               second = Cause.name second;
+             })
+  | Out_of_memory _ -> t.oom_kills <- t.oom_kills + 1
+  | Arch_fault _ | Retry_exhausted _ -> ());
+  p.st <- Killed reason;
+  note_departure t p;
+  t.current <- None;
+  if not (switch t) then t.halted <- true
+
+(* install the first ready process; idempotent, so a restored kernel (whose
+   current process is already live in the machine) is not clobbered *)
+let start (t : t) =
+  if not t.started then begin
+    (match next_ready t with Some p -> install t p | None -> ());
+    t.started <- true;
+    t.halted <- t.current = None
+  end
+
+(* exactly one iteration of the scheduling loop (one machine step or one
+   dispatched exception) *)
+let step_kernel (t : t) =
+  match t.stepf t.cpu with
+  | Cpu.Stepped ->
+      (match t.current with
+      | Some p ->
+          p.cycles_used <- p.cycles_used + 1;
+          (* forward progress: every no-progress streak ends here *)
+          p.retries <- 0;
+          p.consec_faults <- 0;
+          p.first_fault <- None;
+          (match t.watchdog with
+          | Some budget when p.cycles_used > budget ->
+              kill t p (Watchdog p.cycles_used)
+          | _ -> ())
+      | None -> ());
+      t.quantum_left <- t.quantum_left - 1;
+      if (not t.halted) && t.quantum_left <= 0 then begin
+        Cpu.set_interrupt t.cpu true;
+        t.quantum_left <- t.quantum
+      end
+  | Cpu.Dispatched cause -> (
+      let p = match t.current with Some p -> p | None -> assert false in
+      let transient =
+        cause = Cause.Page_fault && Cpu.faulted t.cpu = Some Cpu.Transient_ref
+      in
+      let is_fault =
+        (not transient)
+        && match cause with Cause.Interrupt | Cause.Trap -> false | _ -> true
+      in
+      if is_fault then begin
+        if p.first_fault = None then p.first_fault <- Some cause;
+        p.consec_faults <- p.consec_faults + 1
+      end;
+      if is_fault && p.consec_faults >= t.double_fault_limit then
+        (* faulting over and over with no successful step in between:
+           looping through the dispatch path will not converge — kill *)
+        let first = match p.first_fault with Some c -> c | None -> cause in
+        kill t p (Double_fault (first, cause))
+      else
+        match cause with
+        | Cause.Interrupt ->
+            Cpu.set_interrupt t.cpu false;
+            t.interrupts <- t.interrupts + 1;
+            if not (switch t) then t.halted <- true;
+            t.quantum_left <- t.quantum
+        | Cause.Trap -> (
+            let code = (Cpu.surprise t.cpu).Surprise.cause_detail in
+            match service_trap t p code with
+            | `Resume -> resume t
+            | `Yield ->
+                if not (switch t) then t.halted <- true;
+                t.quantum_left <- t.quantum
+            | `Exit status ->
+                p.st <- Exited status;
+                note_departure t p;
+                t.current <- None;
+                if not (switch t) then t.halted <- true
+            | `Kill (c, d) -> kill t p (Arch_fault (c, d)))
+        | Cause.Page_fault when transient ->
+            t.transient_faults <- t.transient_faults + 1;
+            p.retries <- p.retries + 1;
+            p.total_retries <- p.total_retries + 1;
+            if p.retries > t.max_retries then
+              kill t p (Retry_exhausted p.retries)
+            else begin
+              (* bounded retry with exponential backoff, charged as kernel
+                 work (the backoff models a widening re-issue delay) *)
+              t.transient_retries <- t.transient_retries + 1;
+              t.kernel_cycles <-
+                t.kernel_cycles
+                + (fault_service_cost * (1 lsl min (p.retries - 1) 6));
+              if t.trace.Mips_obs.Sink.enabled then
+                Mips_obs.Sink.emit t.trace
+                  (Mips_obs.Event.Retry { pid = p.pid; attempt = p.retries });
+              resume t
+            end
+        | Cause.Page_fault -> (
+            match Cpu.faulted_addr t.cpu with
+            | Some (space, gaddr) -> (
+                match service_fault t p space gaddr with
+                | Serviced -> resume t
+                | Bad_address ->
+                    (* a reference between the two valid regions, or outside
+                       the segment entirely: terminate the offender *)
+                    kill t p (Arch_fault (Cause.Page_fault, 0))
+                | Out_of_frames -> kill t p (Out_of_memory space))
+            | None -> kill t p (Arch_fault (Cause.Page_fault, 0)))
+        | (Cause.Overflow | Cause.Privilege | Cause.Illegal | Cause.Reset) as c
+          ->
+            kill t p (Arch_fault (c, (Cpu.surprise t.cpu).Surprise.cause_detail)))
+
+(* Run for at most [steps] loop iterations — the slice a checkpointing
+   driver asks for.  The iteration sequence is identical to one [run] with
+   the same total budget: all loop state lives in [t]. *)
+let run_for (t : t) ~steps =
+  start t;
+  let n = ref steps in
+  while (not t.halted) && !n > 0 do
+    step_kernel t;
+    decr n
   done;
-  t.out_of_fuel <- !running;
+  t.out_of_fuel <- not t.halted;
+  if t.halted then `Done else `More
+
+let report t = make_report t
+
+let run ?(fuel = 50_000_000) t =
+  ignore (run_for t ~steps:fuel);
   make_report t
+
+(* --- checkpoint -------------------------------------------------------------- *)
+
+(* Everything the scheduler knows that the machine state does not carry.
+   The pcb snapshot for the *current* process holds its last-saved (stale)
+   register copy, exactly as the live pcb does — the live values travel in
+   the machine snapshot. *)
+type pcb_snapshot = {
+  sn_pid : int;
+  sn_pname : string;
+  sn_regs : int array;
+  sn_chain : int * int * int;
+  sn_usr : Surprise.t;
+  sn_in_pos : int;
+  sn_out : string;
+  sn_st : [ `Ready | `Exited of int | `Killed of kill_reason ];
+  sn_cycles_used : int;
+  sn_retries : int;
+  sn_total_retries : int;
+  sn_consec_faults : int;
+  sn_first_fault : Cause.t option;
+}
+
+type sched_snapshot = {
+  k_procs : pcb_snapshot list;
+  k_current : int option;  (* pid *)
+  k_code_frames : (int * int * int) list;  (* frame index, owner pid, gpage *)
+  k_data_frames : (int * int * int) list;
+  k_code_clock : int;
+  k_data_clock : int;
+  k_backing : ((int * int) * int array) list;  (* sorted by (pid, gpage) *)
+  k_switches : int;
+  k_page_faults : int;
+  k_evictions : int;
+  k_interrupts : int;
+  k_map_changes : int;
+  k_kernel_cycles : int;
+  k_watchdog_kills : int;
+  k_transient_faults : int;
+  k_transient_retries : int;
+  k_double_faults : int;
+  k_oom_kills : int;
+  k_out_of_fuel : bool;
+  k_quantum_left : int;
+  k_started : bool;
+  k_halted : bool;
+}
+
+let frames_snapshot frames =
+  let acc = ref [] in
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some { fo_pid; fo_gpage } -> acc := (i, fo_pid, fo_gpage) :: !acc
+      | None -> ())
+    frames;
+  List.rev !acc
+
+let sched_snapshot (t : t) =
+  {
+    k_procs =
+      List.map
+        (fun (p : pcb) ->
+          {
+            sn_pid = p.pid;
+            sn_pname = p.pname;
+            sn_regs = Array.copy p.regs;
+            sn_chain = p.chain;
+            sn_usr = p.usr;
+            sn_in_pos = p.in_pos;
+            sn_out = Buffer.contents p.out;
+            sn_st =
+              (match p.st with
+              | Ready -> `Ready
+              | Exited s -> `Exited s
+              | Killed r -> `Killed r);
+            sn_cycles_used = p.cycles_used;
+            sn_retries = p.retries;
+            sn_total_retries = p.total_retries;
+            sn_consec_faults = p.consec_faults;
+            sn_first_fault = p.first_fault;
+          })
+        t.procs;
+    k_current = (match t.current with Some p -> Some p.pid | None -> None);
+    k_code_frames = frames_snapshot t.code_frames;
+    k_data_frames = frames_snapshot t.data_frames;
+    k_code_clock = t.code_clock;
+    k_data_clock = t.data_clock;
+    k_backing =
+      Hashtbl.fold (fun k v acc -> (k, Array.copy v) :: acc) t.backing []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    k_switches = t.switches;
+    k_page_faults = t.page_faults;
+    k_evictions = t.evictions;
+    k_interrupts = t.interrupts;
+    k_map_changes = t.map_changes_outside_fault;
+    k_kernel_cycles = t.kernel_cycles;
+    k_watchdog_kills = t.watchdog_kills;
+    k_transient_faults = t.transient_faults;
+    k_transient_retries = t.transient_retries;
+    k_double_faults = t.double_faults;
+    k_oom_kills = t.oom_kills;
+    k_out_of_fuel = t.out_of_fuel;
+    k_quantum_left = t.quantum_left;
+    k_started = t.started;
+    k_halted = t.halted;
+  }
+
+let restore_sched (t : t) (s : sched_snapshot) =
+  if List.length t.procs <> List.length s.k_procs then
+    invalid_arg "Kernel.restore_sched: process count mismatch";
+  List.iter2
+    (fun (p : pcb) (sn : pcb_snapshot) ->
+      if p.pid <> sn.sn_pid || p.pname <> sn.sn_pname then
+        invalid_arg
+          (Printf.sprintf
+             "Kernel.restore_sched: process mismatch (snapshot %d:%s, live \
+              %d:%s)"
+             sn.sn_pid sn.sn_pname p.pid p.pname);
+      if Array.length sn.sn_regs <> Array.length p.regs then
+        invalid_arg "Kernel.restore_sched: register-file size mismatch";
+      Array.blit sn.sn_regs 0 p.regs 0 (Array.length p.regs);
+      p.chain <- sn.sn_chain;
+      p.usr <- sn.sn_usr;
+      p.in_pos <- sn.sn_in_pos;
+      Buffer.clear p.out;
+      Buffer.add_string p.out sn.sn_out;
+      p.st <-
+        (match sn.sn_st with
+        | `Ready -> Ready
+        | `Exited c -> Exited c
+        | `Killed r -> Killed r);
+      p.cycles_used <- sn.sn_cycles_used;
+      p.retries <- sn.sn_retries;
+      p.total_retries <- sn.sn_total_retries;
+      p.consec_faults <- sn.sn_consec_faults;
+      p.first_fault <- sn.sn_first_fault)
+    t.procs s.k_procs;
+  let proc pid =
+    match List.find_opt (fun (p : pcb) -> p.pid = pid) t.procs with
+    | Some p -> p
+    | None -> invalid_arg "Kernel.restore_sched: unknown pid"
+  in
+  t.current <-
+    (match s.k_current with Some pid -> Some (proc pid) | None -> None);
+  let restore_frames frames lst =
+    Array.fill frames 0 (Array.length frames) None;
+    List.iter
+      (fun (i, pid, gpage) ->
+        if i < 0 || i >= Array.length frames then
+          invalid_arg "Kernel.restore_sched: frame index out of range";
+        frames.(i) <- Some { fo_pid = pid; fo_gpage = gpage })
+      lst
+  in
+  restore_frames t.code_frames s.k_code_frames;
+  restore_frames t.data_frames s.k_data_frames;
+  t.code_clock <- s.k_code_clock;
+  t.data_clock <- s.k_data_clock;
+  Hashtbl.reset t.backing;
+  List.iter (fun (k, v) -> Hashtbl.replace t.backing k (Array.copy v)) s.k_backing;
+  t.switches <- s.k_switches;
+  t.page_faults <- s.k_page_faults;
+  t.evictions <- s.k_evictions;
+  t.interrupts <- s.k_interrupts;
+  t.map_changes_outside_fault <- s.k_map_changes;
+  t.kernel_cycles <- s.k_kernel_cycles;
+  t.watchdog_kills <- s.k_watchdog_kills;
+  t.transient_faults <- s.k_transient_faults;
+  t.transient_retries <- s.k_transient_retries;
+  t.double_faults <- s.k_double_faults;
+  t.oom_kills <- s.k_oom_kills;
+  t.out_of_fuel <- s.k_out_of_fuel;
+  t.quantum_left <- s.k_quantum_left;
+  t.started <- s.k_started;
+  t.halted <- s.k_halted;
+  t.in_switch <- false;
+  (* instruction memory is not serialized: every owned code frame is
+     refilled from the (deterministic) program image.  Code pages are
+     read-only, so the refill is bit-identical to the frame's content in
+     the uninterrupted run.  Data frames are restored with the machine's
+     data memory and left alone here. *)
+  List.iter
+    (fun (frame, pid, gpage) ->
+      fill_frame t (proc pid) Pagemap.Ispace gpage frame)
+    s.k_code_frames

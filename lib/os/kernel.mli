@@ -143,9 +143,84 @@ val run : ?fuel:int -> t -> report
     A process-local fault never halts the kernel: the offender is killed
     (with a precise {!kill_reason}) and everyone else keeps running. *)
 
+val run_for : t -> steps:int -> [ `Done | `More ]
+(** Run at most [steps] iterations of the scheduling loop (each is one
+    machine step or one dispatched exception).  All loop state lives in the
+    kernel, so a run sliced into arbitrary [run_for] calls is bit-identical
+    to a single {!run} with the same total budget — this is the hook the
+    checkpointing driver uses.  [`Done] when every process has exited or
+    been killed; [`More] when the budget ran out first. *)
+
+val report : t -> report
+(** The report for the work done so far (what {!run} returns). *)
+
 val report_json : report -> Mips_obs.Json.t
 (** Machine-readable form of a run report (process outcomes by name plus
     every kernel counter). *)
 
 val cpu : t -> Cpu.t
 (** The underlying machine, for inspection. *)
+
+(** {2 Checkpoint support}
+
+    A {!sched_snapshot} carries everything the scheduler knows that the
+    machine state does not: process control blocks, frame ownership, clock
+    hands, the backing store, counters and the run loop's own position.
+    Restoring a run means: re-create the kernel with the same parameters,
+    {!spawn} the same processes (their programs are re-derived
+    deterministically — code is not serialized), {!restore_sched}, then
+    restore the machine snapshot.  [restore_sched] refills every owned code
+    frame from the program image (code pages are read-only, so the refill is
+    bit-identical); data memory travels with the machine snapshot. *)
+
+type pcb_snapshot = {
+  sn_pid : int;
+  sn_pname : string;
+  sn_regs : int array;
+  sn_chain : int * int * int;
+  sn_usr : Surprise.t;
+  sn_in_pos : int;
+  sn_out : string;
+  sn_st : [ `Ready | `Exited of int | `Killed of kill_reason ];
+  sn_cycles_used : int;
+  sn_retries : int;
+  sn_total_retries : int;
+  sn_consec_faults : int;
+  sn_first_fault : Cause.t option;
+}
+
+type sched_snapshot = {
+  k_procs : pcb_snapshot list;
+  k_current : int option;  (** pid of the installed process *)
+  k_code_frames : (int * int * int) list;
+      (** (frame index, owner pid, global page) *)
+  k_data_frames : (int * int * int) list;
+  k_code_clock : int;
+  k_data_clock : int;
+  k_backing : ((int * int) * int array) list;  (** sorted by (pid, gpage) *)
+  k_switches : int;
+  k_page_faults : int;
+  k_evictions : int;
+  k_interrupts : int;
+  k_map_changes : int;
+  k_kernel_cycles : int;
+  k_watchdog_kills : int;
+  k_transient_faults : int;
+  k_transient_retries : int;
+  k_double_faults : int;
+  k_oom_kills : int;
+  k_out_of_fuel : bool;
+  k_quantum_left : int;
+  k_started : bool;
+  k_halted : bool;
+}
+
+val sched_snapshot : t -> sched_snapshot
+(** Capture the scheduler state.  Side-effect free: safe to call between
+    {!run_for} slices without perturbing the run. *)
+
+val restore_sched : t -> sched_snapshot -> unit
+(** Restore scheduler state captured by {!sched_snapshot} into a freshly
+    created kernel whose processes have been re-spawned in the same order.
+    @raise Invalid_argument when the live process table does not match the
+    snapshot (count, pids or names), or a frame index is out of range. *)

@@ -45,20 +45,32 @@ let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let tasts : (string, Mips_frontend.Tast.program) Hashtbl.t = Hashtbl.create 32
-let asms : (string * string, Mips_reorg.Asm.program) Hashtbl.t = Hashtbl.create 32
+(* each table stores (value, fingerprint at publication) *)
+let tasts : (string, Mips_frontend.Tast.program * string) Hashtbl.t =
+  Hashtbl.create 32
 
-let programs : (string * string * int, Program.t) Hashtbl.t = Hashtbl.create 32
+let asms : (string * string, Mips_reorg.Asm.program * string) Hashtbl.t =
+  Hashtbl.create 32
 
-let sims : (string * string * int * string * int * string, sim) Hashtbl.t =
+let programs : (string * string * int, Program.t * string) Hashtbl.t =
+  Hashtbl.create 32
+
+let sims :
+    (string * string * int * string * int * string, sim * string) Hashtbl.t =
   Hashtbl.create 32
 
 let hit_count = Atomic.make 0
 let miss_count = Atomic.make 0
+let corrupt_count = Atomic.make 0
 
-type counters = { hits : int; misses : int }
+type counters = { hits : int; misses : int; corrupt : int }
 
-let counters () = { hits = Atomic.get hit_count; misses = Atomic.get miss_count }
+let counters () =
+  {
+    hits = Atomic.get hit_count;
+    misses = Atomic.get miss_count;
+    corrupt = Atomic.get corrupt_count;
+  }
 
 let clear () =
   with_lock (fun () ->
@@ -67,25 +79,47 @@ let clear () =
       Hashtbl.reset programs;
       Hashtbl.reset sims)
 
+(* Every entry is published with a fingerprint of its serialized form.
+   Cached values are shared physically across consumers who must treat them
+   as read-only; re-checking the fingerprint on each hit catches a consumer
+   that mutated a shared artifact (or damaged memory) before the corruption
+   spreads into every later table built from it. *)
+let fingerprint v = Digest.string (Marshal.to_string v [])
+
 (* Look up, else compute outside the lock (so concurrent misses on distinct
    keys overlap) and publish.  If another domain published the same key
    first, its value wins and ours is dropped — both are identical by
    construction, and adopting the winner keeps all consumers sharing one
-   physical artifact. *)
+   physical artifact.  A hit whose fingerprint no longer matches is
+   evicted, counted, and recomputed. *)
 let cached tbl key compute =
+  let compute_and_publish () =
+    Atomic.incr miss_count;
+    let v = compute () in
+    with_lock (fun () ->
+        match Hashtbl.find_opt tbl key with
+        | Some (winner, _) -> winner
+        | None ->
+            Hashtbl.replace tbl key (v, fingerprint v);
+            v)
+  in
   match with_lock (fun () -> Hashtbl.find_opt tbl key) with
-  | Some v ->
-      Atomic.incr hit_count;
-      v
-  | None ->
-      Atomic.incr miss_count;
-      let v = compute () in
-      with_lock (fun () ->
-          match Hashtbl.find_opt tbl key with
-          | Some winner -> winner
-          | None ->
-              Hashtbl.replace tbl key v;
-              v)
+  | Some (v, fp) ->
+      if String.equal (fingerprint v) fp then begin
+        Atomic.incr hit_count;
+        v
+      end
+      else begin
+        Atomic.incr corrupt_count;
+        with_lock (fun () ->
+            (* evict only if the table still holds the damaged entry *)
+            match Hashtbl.find_opt tbl key with
+            | Some (w, fp') when w == v && String.equal fp' fp ->
+                Hashtbl.remove tbl key
+            | _ -> ());
+        compute_and_publish ()
+      end
+  | None -> compute_and_publish ()
 
 let tast src =
   cached tasts (digest src) (fun () -> Mips_frontend.Semant.check_string src)

@@ -51,11 +51,15 @@ val entry_sim :
   Mips_corpus.Corpus.entry -> sim
 (** {!simulated} on a corpus entry's source with the entry's input. *)
 
-type counters = { hits : int; misses : int }
+type counters = { hits : int; misses : int; corrupt : int }
 
 val counters : unit -> counters
-(** Process-lifetime hit/miss totals across all four tables (not reset by
-    {!clear}). *)
+(** Process-lifetime totals across all four tables (not reset by
+    {!clear}).  Every entry is published with a fingerprint of its
+    serialized form; a hit is re-fingerprinted before being served, and a
+    mismatch — a consumer mutated a shared artifact, or memory was damaged
+    — evicts the entry, counts in [corrupt], and recomputes instead of
+    serving the damaged value. *)
 
 val clear : unit -> unit
 (** Empty every table — for benchmarks that need a cold harness. *)

@@ -25,6 +25,14 @@ let default_jobs () =
   | Some n -> n
   | None -> max 1 (Domain.recommended_domain_count ())
 
+exception Job_failed of { label : string; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Job_failed { label; error } ->
+        Some (Printf.sprintf "job %s failed: %s" label (Printexc.to_string error))
+    | _ -> None)
+
 type 'b slot =
   | Pending
   | Done of 'b
@@ -57,7 +65,7 @@ let collect results =
          | Pending -> assert false)
        results)
 
-let map ?jobs f xs =
+let map ?jobs ?label f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let items = Array.of_list xs in
   let n = Array.length items in
@@ -68,7 +76,17 @@ let map ?jobs f xs =
         results.(i) <-
           (match f items.(i) with
           | v -> Done v
-          | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+          | exception e ->
+              (* capture the backtrace of the failing job itself; with
+                 [label] the exception is wrapped so the re-raise on the
+                 calling domain names which job died *)
+              let bt = Printexc.get_raw_backtrace () in
+              let e =
+                match label with
+                | Some name -> Job_failed { label = name items.(i); error = e }
+                | None -> e
+              in
+              Failed (e, bt)));
     collect results
   end
 

@@ -15,11 +15,20 @@ val set_default_jobs : int -> unit
 val default_jobs : unit -> int
 (** The configured default, else [Domain.recommended_domain_count ()]. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+exception Job_failed of { label : string; error : exn }
+(** Wrapper for an exception escaping a labelled job (see {!map}'s [label]).
+    A printer is registered, so an uncaught one reads
+    ["job <label> failed: <error>"]. *)
+
+val map : ?jobs:int -> ?label:('a -> string) -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] with the work spread over [jobs] domains (the caller counts
     as one).  Results come back in submission order.  If [f] raises, the
     exception of the {e lowest failing index} is re-raised on the calling
-    domain with its backtrace — independent of scheduling. *)
+    domain with the failing job's backtrace — independent of scheduling.
+    With [label], the re-raised exception is wrapped in {!Job_failed}
+    carrying the failing item's label (the backtrace still points at the
+    original failure); without it the original exception comes through
+    untouched. *)
 
 val map_reduce :
   ?jobs:int -> map:('a -> 'b) -> merge:('c -> 'b -> 'c) -> zero:'c ->

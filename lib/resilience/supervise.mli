@@ -1,0 +1,86 @@
+(** Supervised parallel jobs over the {!Mips_par} pool.
+
+    Each job runs under a {!policy}: a failing job is retried up to
+    [max_attempts] times with jittered exponential backoff (recorded, not
+    slept — the jobs themselves are deterministic, so the backoff models
+    the re-issue delay a real harness would pay); a job that keeps failing
+    is {e quarantined} — its error is reported in its {!outcome} and the
+    rest of the map completes normally.  Once [quarantine_threshold] jobs
+    have been quarantined, a process-wide circuit breaker opens and every
+    subsequent supervised map degrades to serial single-job execution
+    instead of fanning out — the harness finishes its work and attributes
+    the failures rather than aborting.
+
+    On a fault-free run the supervised path is byte-identical to
+    {!Mips_par.map}: each job runs exactly once, in the same pool, and the
+    results come back in submission order.
+
+    The retry loop runs on the worker domains but records everything it
+    does in the returned outcomes; metrics and trace events are folded on
+    the calling domain after the join (the registry and sinks are not
+    thread-safe). *)
+
+type policy = {
+  max_attempts : int;  (** total attempts per job (at least 1) *)
+  base_backoff_s : float;  (** backoff before retry [k] is
+                               [base * 2{^k-1} * (1 + jitter * u)] *)
+  jitter : float;
+  wall_deadline_s : float option;
+      (** per-job wall-clock budget; a job still failing past it is
+          quarantined without further retries (guards wedged jobs — the
+          deterministic cycle budget is the {!Deadline} exception below) *)
+  quarantine_threshold : int;
+  seed : int;  (** jitter stream seed (each job derives its own stream) *)
+}
+
+val default_policy : policy
+(** 3 attempts, 50 ms base backoff, 50 % jitter, no wall deadline,
+    breaker at 4 quarantines, seed 0. *)
+
+exception Deadline of string
+(** Raised by a job that exhausted a {e deterministic} budget (cycle fuel).
+    Retrying cannot help, so the job is quarantined immediately with
+    [deadline_overrun] set. *)
+
+type 'b outcome = {
+  label : string;
+  result : ('b, string) result;  (** [Error] carries the last attempt's error *)
+  attempts : int;
+  backoffs : float list;  (** simulated backoff seconds per retry, in order *)
+  quarantined : bool;
+  deadline_overrun : bool;
+  duration_s : float;
+}
+
+val supervised_map :
+  ?policy:policy ->
+  ?jobs:int ->
+  ?obs:Mips_obs.Sink.t ->
+  label:('a -> string) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome list
+(** Run [f] over [xs] on the pool under the policy.  Outcomes come back in
+    submission order; [obs] receives [Job_retry], [Job_quarantined] and
+    [Circuit_open] events (emitted post-join, in submission order). *)
+
+val oks : 'b outcome list -> 'b list
+(** Successful results, in order. *)
+
+val failures : 'b outcome list -> 'b outcome list
+(** Outcomes whose result is an error. *)
+
+val circuit_open : unit -> bool
+
+val reset_circuit : unit -> unit
+(** Close the breaker and zero the quarantine tally (tests, or a fresh
+    top-level command). *)
+
+val metrics : Mips_obs.Metrics.t
+(** Process-wide supervision counters ([supervise.jobs], [.ok], [.failed],
+    [.retries], [.quarantined], [.deadline_overruns], [.circuit_open],
+    [.degraded_maps]).  Written only on the calling domain. *)
+
+val stats_json : unit -> Mips_obs.Json.t
+(** Breaker state, quarantine tally and the counters — what
+    [--stats-json] emits. *)

@@ -224,3 +224,363 @@ let summary_json s =
       ("switches", Json.Int s.switches);
       ("fuel_exhausted", Json.Bool s.fuel_exhausted);
       ("total_cycles", Json.Int s.total_cycles) ]
+
+(* --- checkpointed soak ----------------------------------------------------- *)
+
+(* A killed-and-resumed soak must be bit-identical to an uninterrupted one,
+   so the checkpoint records everything the run depends on: the full
+   parameter set (byte-compared on resume — a checkpoint only resumes the
+   exact run that wrote it), then phase-specific state.  The kernel phase
+   saves machine + scheduler snapshots and the step count; programs are
+   *not* saved — resume regenerates and recompiles them from the same seeds
+   and [Kernel.restore_sched] refills the owned code frames, so the restored
+   machine is byte-identical by construction.  The differential phase saves
+   the finished summary and the prefix of completed diffs.  A final "done"
+   checkpoint is written at completion so a resume always succeeds no
+   matter when the previous process died. *)
+
+module Snapshot = Mips_resilience.Snapshot
+module Supervise = Mips_resilience.Supervise
+
+type params = {
+  p_seed : int;
+  p_programs : int;
+  p_segments : int option;
+  p_quantum : int;
+  p_watchdog : int option;
+  p_data_frames : int;
+  p_code_frames : int;
+  p_backing_limit : int option;
+  p_steps : int;
+  p_plan : Plan.config;
+  p_diff_count : int;
+}
+
+let params_to_string p =
+  let open Snapshot.Io.W in
+  let b = create () in
+  int b p.p_seed;
+  int b p.p_programs;
+  opt int b p.p_segments;
+  int b p.p_quantum;
+  opt int b p.p_watchdog;
+  int b p.p_data_frames;
+  int b p.p_code_frames;
+  opt int b p.p_backing_limit;
+  int b p.p_steps;
+  int b p.p_plan.Plan.seed;
+  float b p.p_plan.Plan.flip_reg_rate;
+  float b p.p_plan.Plan.flip_data_rate;
+  float b p.p_plan.Plan.irq_rate;
+  float b p.p_plan.Plan.page_drop_rate;
+  float b p.p_plan.Plan.flaky_rate;
+  int b p.p_plan.Plan.max_injections;
+  int b p.p_diff_count;
+  contents b
+
+let summary_to_string s =
+  let open Snapshot.Io.W in
+  let b = create () in
+  let pair w b (k, n) = str b k; w b n in
+  int b s.seed;
+  int b s.programs;
+  int b s.steps;
+  int b s.exited;
+  int b s.killed;
+  int b s.live;
+  list (pair int) b s.kill_reasons;
+  list (pair int) b s.injected;
+  int b s.transient_faults;
+  int b s.transient_retries;
+  int b s.watchdog_kills;
+  int b s.double_faults;
+  int b s.oom_kills;
+  int b s.page_faults;
+  int b s.switches;
+  bool b s.fuel_exhausted;
+  int b s.total_cycles;
+  contents b
+
+let summary_of_reader r =
+  let open Snapshot.Io.R in
+  let pair rd r = let k = str r in (k, rd r) in
+  let seed = int r in
+  let programs = int r in
+  let steps = int r in
+  let exited = int r in
+  let killed = int r in
+  let live = int r in
+  let kill_reasons = list (pair int) r in
+  let injected = list (pair int) r in
+  let transient_faults = int r in
+  let transient_retries = int r in
+  let watchdog_kills = int r in
+  let double_faults = int r in
+  let oom_kills = int r in
+  let page_faults = int r in
+  let switches = int r in
+  let fuel_exhausted = bool r in
+  let total_cycles = int r in
+  { seed; programs; steps; exited; killed; live; kill_reasons; injected;
+    transient_faults; transient_retries; watchdog_kills; double_faults;
+    oom_kills; page_faults; switches; fuel_exhausted; total_cycles }
+
+let diffs_to_string ds =
+  let open Snapshot.Io.W in
+  let b = create () in
+  list
+    (fun b (d : diff) ->
+      int b d.seed;
+      bool b d.ok;
+      list (fun b (v, m) -> str b v; str b m) b d.mismatches;
+      int b d.retries;
+      int b d.injected)
+    b ds;
+  contents b
+
+let diffs_of_reader r =
+  let open Snapshot.Io.R in
+  list
+    (fun r ->
+      let seed = int r in
+      let ok = bool r in
+      let mismatches = list (fun r -> let v = str r in (v, str r)) r in
+      let retries = int r in
+      let injected = int r in
+      ({ seed; ok; mismatches; retries; injected } : diff))
+    r
+
+(* run a section decoder totally: Underflow/Bad become typed errors *)
+let decode_section payload read =
+  match
+    let r = Snapshot.Io.R.make payload in
+    let v = read r in
+    if Snapshot.Io.R.remaining r <> 0 then raise (Snapshot.Bad "trailing bytes");
+    v
+  with
+  | v -> Ok v
+  | exception Snapshot.Io.R.Underflow -> Error Snapshot.Truncated
+  | exception Snapshot.Bad m -> Error (Snapshot.Corrupt m)
+
+let int_payload n =
+  let b = Snapshot.Io.W.create () in
+  Snapshot.Io.W.int b n;
+  Snapshot.Io.W.contents b
+
+let summary_of_report ~seed ~programs ~steps k (r : Mips_os.Kernel.report) =
+  let exited, killed, live, kill_reasons =
+    List.fold_left
+      (fun (e, ki, li, reasons) (p : Mips_os.Kernel.proc_report) ->
+        match (p.Mips_os.Kernel.exit_status, p.Mips_os.Kernel.killed) with
+        | Some _, _ -> (e + 1, ki, li, reasons)
+        | None, Some reason ->
+            (e, ki + 1, li, bump reasons (Mips_os.Kernel.kill_reason_name reason))
+        | None, None -> (e, ki, li + 1, reasons))
+      (0, 0, 0, []) r.Mips_os.Kernel.procs
+  in
+  {
+    seed;
+    programs;
+    steps;
+    exited;
+    killed;
+    live;
+    kill_reasons;
+    injected = Plan.counts (Cpu.fault_plan (Mips_os.Kernel.cpu k));
+    transient_faults = r.Mips_os.Kernel.transient_faults;
+    transient_retries = r.Mips_os.Kernel.transient_retries;
+    watchdog_kills = r.Mips_os.Kernel.watchdog_kills;
+    double_faults = r.Mips_os.Kernel.double_faults;
+    oom_kills = r.Mips_os.Kernel.oom_kills;
+    page_faults = r.Mips_os.Kernel.page_faults;
+    switches = r.Mips_os.Kernel.switches;
+    fuel_exhausted = r.Mips_os.Kernel.fuel_exhausted;
+    total_cycles = r.Mips_os.Kernel.total_cycles;
+  }
+
+type resilient_result = Complete of summary * diff list | Interrupted
+
+let run_checkpointed ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
+    ?(data_frames = 16) ?(code_frames = 16) ?backing_limit
+    ?(steps = 2_000_000) ?(diff_count = 0) ?diff_jobs ?(diff_chunk = 4)
+    ?checkpoint ?(checkpoint_every = 250_000) ?resume
+    ?(obs = Mips_obs.Sink.null) ?max_slices ~plan ~seed () =
+  let open Snapshot in
+  let checkpoint_every = max 1 checkpoint_every in
+  let params =
+    { p_seed = seed; p_programs = programs; p_segments = segments;
+      p_quantum = quantum; p_watchdog = watchdog; p_data_frames = data_frames;
+      p_code_frames = code_frames; p_backing_limit = backing_limit;
+      p_steps = steps; p_plan = plan; p_diff_count = diff_count }
+  in
+  let params_str = params_to_string params in
+  let write_ckpt ~phase ~progress sections =
+    match checkpoint with
+    | None -> ()
+    | Some path ->
+        let data =
+          encode
+            { kind = "soak";
+              sections =
+                ("params", params_str) :: ("phase", phase) :: sections }
+        in
+        write_file path data;
+        Mips_obs.Metrics.incr Supervise.metrics "checkpoint.writes";
+        if Mips_obs.Sink.enabled obs then
+          Mips_obs.Sink.emit obs
+            (Mips_obs.Event.Checkpoint_write
+               { path; phase; steps = progress; bytes = String.length data })
+  in
+  let make_kernel () =
+    let k =
+      Mips_os.Kernel.create ~data_frames ~code_frames ~quantum ?watchdog
+        ?backing_limit ~fault_plan:(Plan.make plan) ()
+    in
+    for i = 0 to programs - 1 do
+      let pseed = (seed * 0x1000) + i in
+      let program =
+        Mips_reorg.Pipeline.compile (Progen.generate ?segments ~seed:pseed ())
+      in
+      Mips_os.Kernel.spawn k ~name:(Progen.name ~seed:pseed) program
+    done;
+    k
+  in
+  (* entry state: a fresh kernel, or whatever the resumed checkpoint holds *)
+  let start_state =
+    match resume with
+    | None -> Ok (`Kernel (make_kernel (), 0))
+    | Some path ->
+        let* c = read_file path in
+        let* () =
+          if String.equal c.kind "soak" then Ok ()
+          else Error (Corrupt (Printf.sprintf "not a soak checkpoint: %S" c.kind))
+        in
+        let* stored = section c "params" in
+        let* () =
+          if String.equal stored params_str then Ok ()
+          else Error (Corrupt "checkpoint parameters do not match this run")
+        in
+        let* phase = section c "phase" in
+        let restored st progress =
+          Mips_obs.Metrics.incr Supervise.metrics "checkpoint.restores";
+          if Mips_obs.Sink.enabled obs then
+            Mips_obs.Sink.emit obs
+              (Mips_obs.Event.Checkpoint_restore
+                 { path; phase; steps = progress });
+          Ok st
+        in
+        (match phase with
+        | "kernel" ->
+            let* m = section c "machine" in
+            let* sc = section c "sched" in
+            let* pr = section c "progress" in
+            let* steps_done = decode_section pr Io.R.int in
+            let* sched = sched_of_string sc in
+            let k = make_kernel () in
+            let* () =
+              match Mips_os.Kernel.restore_sched k sched with
+              | () -> Ok ()
+              | exception Invalid_argument msg -> Error (Corrupt msg)
+            in
+            let* () = restore_machine (Mips_os.Kernel.cpu k) m in
+            restored (`Kernel (k, steps_done)) steps_done
+        | "diffs" | "done" ->
+            let* s = section c "summary" in
+            let* s = decode_section s summary_of_reader in
+            let* ds = section c "diffs" in
+            let* ds = decode_section ds diffs_of_reader in
+            restored
+              (if String.equal phase "done" then `Finished (s, ds)
+               else `Diffs (s, ds))
+              (List.length ds)
+        | other -> Error (Corrupt (Printf.sprintf "unknown phase %S" other)))
+  in
+  let kernel_sections k steps_done =
+    [ ("machine", machine_to_string (Mips_os.Kernel.cpu k));
+      ("sched", sched_to_string (Mips_os.Kernel.sched_snapshot k));
+      ("progress", int_payload steps_done) ]
+  in
+  (* Run the kernel in [checkpoint_every]-step slices.  Slicing is
+     semantics-neutral: [Kernel.run_for] keeps the scheduler loop state in
+     the kernel itself, so N slices of M steps execute the same instruction
+     sequence as one N*M-step run. *)
+  let kernel_phase k steps_done0 =
+    let steps_done = ref steps_done0 in
+    let slices = ref 0 in
+    let quiesced = ref (steps_done0 > 0 && steps_done0 >= steps) in
+    let interrupted = ref false in
+    (* [start] is idempotent, so calling it on a restored kernel is safe *)
+    while (not !interrupted) && (not !quiesced) && !steps_done < steps do
+      match max_slices with
+      | Some m when !slices >= m -> interrupted := true
+      | _ ->
+          let chunk = min checkpoint_every (steps - !steps_done) in
+          (match Mips_os.Kernel.run_for k ~steps:chunk with
+          | `Done -> quiesced := true
+          | `More -> ());
+          steps_done := !steps_done + chunk;
+          incr slices;
+          if (not !quiesced) && !steps_done < steps then
+            write_ckpt ~phase:"kernel" ~progress:!steps_done
+              (kernel_sections k !steps_done)
+    done;
+    if !interrupted then Interrupted
+    else
+      Complete
+        ( summary_of_report ~seed ~programs ~steps k (Mips_os.Kernel.report k),
+          [] )
+  in
+  (* Differential seeds run in supervised chunks; a quarantined seed is
+     attributed in place so one poisoned job cannot sink the sweep. *)
+  let diff_phase s done_diffs =
+    let sum_str = summary_to_string s in
+    let rec go acc i =
+      if i >= diff_count then List.rev acc
+      else begin
+        let n = min diff_chunk (diff_count - i) in
+        let seeds = List.init n (fun j -> seed + i + j) in
+        let outs =
+          Supervise.supervised_map ?jobs:diff_jobs ~obs
+            ~label:(fun s -> Printf.sprintf "diff:%d" s)
+            (fun s -> differential ?segments ~seed:s ())
+            seeds
+        in
+        let ds =
+          List.map2
+            (fun sd (o : _ Supervise.outcome) ->
+              match o.Supervise.result with
+              | Ok d -> d
+              | Error err ->
+                  { seed = sd; ok = false;
+                    mismatches = [ ("supervisor", err) ];
+                    retries = 0; injected = 0 })
+            seeds outs
+        in
+        let acc = List.rev_append ds acc in
+        if i + n < diff_count then
+          write_ckpt ~phase:"diffs" ~progress:(i + n)
+            [ ("summary", sum_str);
+              ("diffs", diffs_to_string (List.rev acc)) ];
+        go acc (i + n)
+      end
+    in
+    go (List.rev done_diffs) (List.length done_diffs)
+  in
+  match start_state with
+  | Error e -> Error e
+  | Ok st ->
+      let result =
+        match st with
+        | `Kernel (k, steps_done) -> (
+            match kernel_phase k steps_done with
+            | Interrupted -> Interrupted
+            | Complete (s, _) -> Complete (s, diff_phase s []))
+        | `Diffs (s, ds) -> Complete (s, diff_phase s ds)
+        | `Finished (s, ds) -> Complete (s, ds)
+      in
+      (match result with
+      | Complete (s, ds) ->
+          write_ckpt ~phase:"done" ~progress:steps
+            [ ("summary", summary_to_string s); ("diffs", diffs_to_string ds) ]
+      | Interrupted -> ());
+      Ok result

@@ -90,3 +90,39 @@ val run_soak :
     [exited + killed + live = programs]. *)
 
 val summary_json : summary -> Mips_obs.Json.t
+
+(** {2 Checkpointed soak}
+
+    The resilient variant of {!run_soak} + {!differential_sweep}: the run
+    writes versioned, checksummed checkpoints as it goes, and a
+    killed-and-resumed run is {e bit-identical} to an uninterrupted one —
+    the kernel executes in slices whose loop state lives in the kernel
+    itself, programs are regenerated from their seeds on resume, and
+    {!Mips_os.Kernel.restore_sched} + {!Mips_resilience.Snapshot.restore_machine}
+    reinstate the exact machine.  Differential seeds run in supervised
+    chunks: a seed whose job is quarantined is attributed in place
+    ([mismatches = [("supervisor", error)]]) instead of sinking the sweep. *)
+
+type resilient_result =
+  | Complete of summary * diff list
+  | Interrupted
+      (** only with [max_slices] — the in-process stand-in for a kill *)
+
+val run_checkpointed :
+  ?programs:int -> ?segments:int -> ?quantum:int -> ?watchdog:int ->
+  ?data_frames:int -> ?code_frames:int -> ?backing_limit:int -> ?steps:int ->
+  ?diff_count:int -> ?diff_jobs:int -> ?diff_chunk:int ->
+  ?checkpoint:string -> ?checkpoint_every:int -> ?resume:string ->
+  ?obs:Mips_obs.Sink.t -> ?max_slices:int ->
+  plan:Mips_fault.Plan.config -> seed:int -> unit ->
+  (resilient_result, Mips_resilience.Snapshot.error) result
+(** Run the soak, checkpointing to [checkpoint] every [checkpoint_every]
+    kernel steps (default 250,000) and after each differential chunk
+    (default [diff_chunk = 4] seeds); a final "done" checkpoint is written
+    at completion, so resuming always works no matter when the previous
+    process died.  [resume] restores from a checkpoint written by the
+    {e same} parameters (byte-compared; mismatch is [Corrupt]).
+    [max_slices] interrupts the kernel phase after that many slices —
+    a deterministic in-process kill for tests.  With [diff_count = 0] the
+    result's diff list is empty and [Complete (s, [])] carries the same
+    summary {!run_soak} returns. *)

@@ -66,7 +66,7 @@ let test_event_samples_cover () =
   let kinds =
     List.sort_uniq compare (List.map Event.kind_name Event.samples)
   in
-  checki "distinct kinds" 18 (List.length kinds)
+  checki "distinct kinds" 23 (List.length kinds)
 
 let test_event_jsonl_roundtrip () =
   List.iter
