@@ -10,7 +10,11 @@
 
    Part 2 also times the two execution engines (reference interpreter vs
    the predecoded fast engine) over the quick corpus on a warm machine, and
-   derives the per-program and geometric-mean speedups.
+   derives the per-program and geometric-mean speedups.  Each engine row has
+   a profiled twin — engine_refprof_<prog> and engine_fastprof_<prog> — with
+   the guest profiler's per-PC counters armed; the printed overhead ratios
+   bound the cost of profiling, and the plain rows against the committed
+   baseline guard the zero-cost-when-disabled promise.
 
    Part 2 finally times the full report three ways — cold serial, warm
    artifact cache, and cold with the default worker pool — and derives the
@@ -43,15 +47,19 @@ let compile_entry name =
    compiled on the first run) — the predecode pass is the bet the paper
    makes about one-time software work, and its cost is benchmarked
    separately below. *)
-let engine_bench prog engine =
+let engine_bench ?(profiled = false) prog engine =
   let module Cpu = Mips_machine.Cpu in
   Test.make
-    ~name:(Printf.sprintf "engine_%s_%s" (Cpu.engine_name engine) prog)
+    ~name:
+      (Printf.sprintf "engine_%s%s_%s" (Cpu.engine_name engine)
+         (if profiled then "prof" else "")
+         prog)
     (staged
        (let e = Mips_corpus.Corpus.find prog in
         let p = Mips_codegen.Compile.compile e.Mips_corpus.Corpus.source in
         let cpu = Cpu.create () in
         Cpu.load_program cpu p;
+        Cpu.set_profiling cpu profiled;
         fun () ->
           Cpu.set_pc cpu p.Mips_machine.Program.entry;
           List.iter (fun (a, v) -> Cpu.write_data cpu a v)
@@ -62,10 +70,14 @@ let engine_bench prog engine =
           assert res.Mips_machine.Hosted.halted))
 
 let engine_benches =
+  (* the profiled twins measure the guardrail the guest profiler promises:
+     per-PC counters on vs off, same program, same warm machine *)
   List.concat_map
     (fun prog ->
       [ engine_bench prog Mips_machine.Cpu.Ref;
-        engine_bench prog Mips_machine.Cpu.Fast ])
+        engine_bench prog Mips_machine.Cpu.Fast;
+        engine_bench ~profiled:true prog Mips_machine.Cpu.Ref;
+        engine_bench ~profiled:true prog Mips_machine.Cpu.Fast ])
     quick_corpus
 
 let bench_tests =
@@ -280,6 +292,35 @@ let print_speedups (rows, geomean) =
   | Some g -> Printf.printf "%-12s %45s %5.2fx\n" "geomean" "" g
   | None -> ()
 
+(* profiling overhead per engine: profiled / unprofiled on the same program,
+   warm machine — the guardrail for "near-zero overhead when disabled" is the
+   plain rows staying level against the committed baseline, and these ratios
+   bound the cost of turning the counters on *)
+let profiling_overheads results =
+  let lookup n = List.assoc_opt n results in
+  List.filter_map
+    (fun prog ->
+      match
+        ( lookup ("engine_ref_" ^ prog),
+          lookup ("engine_refprof_" ^ prog),
+          lookup ("engine_fast_" ^ prog),
+          lookup ("engine_fastprof_" ^ prog) )
+      with
+      | Some r, Some rp, Some f, Some fp when r > 0. && f > 0. ->
+          Some (prog, rp /. r, fp /. f)
+      | _ -> None)
+    quick_corpus
+
+let print_profiling_overheads = function
+  | [] -> ()
+  | rows ->
+      print_endline "";
+      print_endline "=== guest-profiling overhead (profiled / unprofiled) ===";
+      List.iter
+        (fun (prog, ref_oh, fast_oh) ->
+          Printf.printf "%-12s ref %5.2fx   fast %5.2fx\n" prog ref_oh fast_oh)
+        rows
+
 (* serial-vs-warm-vs-parallel on the full report: the harness speedup the
    artifact cache buys (and, on multi-core hosts, the worker pool) *)
 let report_speedups results =
@@ -305,10 +346,19 @@ let print_report_speedups = function
       | None -> ());
       Printf.printf "%-34s %17.2fx\n" "speedup (serial / warm)" speedup
 
-let json_of_results results (rows, geomean) report_sp =
+let json_of_results results (rows, geomean) overheads report_sp =
   let open Mips_obs.Json in
   Obj
     [ ("schema", Str "mips-bench/1");
+      ( "profiling_overhead",
+        List
+          (List.map
+             (fun (prog, ref_oh, fast_oh) ->
+               Obj
+                 [ ("program", Str prog);
+                   ("ref_ratio", Float ref_oh);
+                   ("fast_ratio", Float fast_oh) ])
+             overheads) );
       ( "results",
         List
           (List.map
@@ -432,6 +482,8 @@ let () =
     in
     let speedups = engine_speedups results in
     print_speedups speedups;
+    let overheads = profiling_overheads results in
+    print_profiling_overheads overheads;
     let report_sp = report_speedups results in
     print_report_speedups report_sp;
     (match baseline with
@@ -441,7 +493,8 @@ let () =
     | Some file ->
         let oc = open_out file in
         output_string oc
-          (Mips_obs.Json.to_string (json_of_results results speedups report_sp));
+          (Mips_obs.Json.to_string
+             (json_of_results results speedups overheads report_sp));
         output_char oc '\n';
         close_out oc;
         Printf.printf "\nwrote %s\n%!" file

@@ -5,6 +5,8 @@
    mipsc asm FILE            print the symbolic assembly (before the postpass)
    mipsc levels FILE         static counts at each postpass level (Table 11 view)
    mipsc profile FILE        per-phase compile times and top stall-causing pairs
+   mipsc profile run FILE    execute with guest profiling: hot blocks, edges,
+                             fusion-candidate pairs, flamegraph/speedscope
    mipsc corpus [NAME]       run corpus programs
    mipsc soak --seed N       seeded fault-injection soak (kernel + differential)
    mipsc report              regenerate every table and figure of the paper
@@ -14,7 +16,11 @@
    Observability: `run` takes --trace[=FILE] (events to stderr, a file, or
    `-` for stdout) with --trace-format=text|jsonl, and --stats-json FILE to
    dump the execution counters as JSON.  `report --json` emits the whole
-   evaluation machine-readably.
+   evaluation machine-readably (with a schema_version field), and
+   `report --hotspots` appends guest hot-block tables.  `run`, `report`,
+   `soak` and `profile run` take --host-trace FILE to write a Chrome
+   trace-event JSON of the host-side phases (compile, simulate, worker-lane
+   jobs) — load it in Perfetto or chrome://tracing.
 
    Robustness: `run` takes --fault-seed/--fault-rate to subject a single
    program to transparent transient faults (flaky-memory restarts and
@@ -143,6 +149,28 @@ let write_json dest json =
   output_char oc '\n';
   close ()
 
+(* host-side tracing: a span tracer over wall time, one lane per worker
+   domain, exported as Chrome trace-event JSON *)
+let host_trace_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "host-trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the host-side phases (compile, \
+           simulate, per-worker jobs) to $(docv) ($(b,-) for standard \
+           output) — load it in Perfetto or chrome://tracing.")
+
+let make_tracer ~lanes = function
+  | None -> Mips_obs.Span.no_tracer
+  | Some _ -> Mips_obs.Span.tracer ~clock:Unix.gettimeofday ~lanes ()
+
+let write_host_trace ~process tracer = function
+  | None -> ()
+  | Some dest ->
+      write_json dest
+        (Mips_obs.Span.to_chrome ~process (Mips_obs.Span.tracer_spans tracer))
+
 let engine_flag =
   Arg.(
     value
@@ -205,7 +233,8 @@ let fault_rate_flag =
 
 let run_cmd =
   let run file byte early_out level input stats trace trace_format stats_json
-      fault_seed fault_rate engine jobs checkpoint checkpoint_every resume =
+      fault_seed fault_rate engine jobs checkpoint checkpoint_every resume
+      host_trace =
     apply_jobs jobs;
     let config = config_of ~byte ~early_out in
     let src = read_source file in
@@ -234,10 +263,35 @@ let run_cmd =
         fault_seed
     in
     let fuel = 500_000_000 in
+    let tracer = make_tracer ~lanes:1 host_trace in
+    let sp = Mips_obs.Span.lane tracer 0 in
     let res, cpu =
-      if checkpoint = None && resume = None then
+      if checkpoint = None && resume = None && host_trace = None then
         Mips_codegen.Compile.run_with_machine ~config ~level:(level_of level)
           ~fuel ~input ~trace:trace_sink ?fault_plan ~engine src
+      else if checkpoint = None && resume = None then begin
+        (* host-traced twin of [Compile.run_with_machine]: identical phases,
+           each timed as a span so the trace separates compile from
+           simulate *)
+        let program =
+          Mips_obs.Span.with_ sp "compile" (fun () ->
+              Mips_codegen.Compile.compile ~config ~level:(level_of level) src)
+        in
+        let cpu =
+          Mips_machine.Cpu.create
+            ~config:(Mips_codegen.Compile.machine_config config) ()
+        in
+        Mips_machine.Cpu.set_trace cpu trace_sink;
+        (match fault_plan with
+        | Some plan -> Mips_machine.Cpu.set_fault_plan cpu plan
+        | None -> ());
+        let res =
+          Mips_obs.Span.with_ sp "simulate" (fun () ->
+              Mips_machine.Hosted.run_program_on ~fuel ~input ~engine cpu
+                program)
+        in
+        (res, cpu)
+      end
       else begin
         (* the checkpointed twin of [Compile.run_with_machine]: same compile,
            same machine setup, but the hosted loop runs in slices and saves
@@ -260,7 +314,8 @@ let run_cmd =
           contents b
         in
         let program =
-          Mips_codegen.Compile.compile ~config ~level:(level_of level) src
+          Mips_obs.Span.with_ sp "compile" (fun () ->
+              Mips_codegen.Compile.compile ~config ~level:(level_of level) src)
         in
         let cpu =
           Mips_machine.Cpu.create
@@ -340,14 +395,16 @@ let run_cmd =
           | None -> fuel
         in
         let res =
-          Mips_machine.Hosted.run ~fuel ~input ~engine ?resume:resume_state
-            ?checkpoint:ckpt cpu
+          Mips_obs.Span.with_ sp "simulate" (fun () ->
+              Mips_machine.Hosted.run ~fuel ~input ~engine ?resume:resume_state
+                ?checkpoint:ckpt cpu)
         in
         (res, cpu)
       end
     in
     Mips_obs.Sink.flush trace_sink;
     trace_close ();
+    write_host_trace ~process:"mipsc run" tracer host_trace;
     print_string res.Mips_machine.Hosted.output;
     (match res.Mips_machine.Hosted.fault with
     | Some (c, d) ->
@@ -376,7 +433,8 @@ let run_cmd =
       const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag
       $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag
       $ fault_seed_flag $ fault_rate_flag $ engine_flag $ jobs_flag
-      $ checkpoint_flag $ checkpoint_every_flag 1_000_000 $ resume_flag)
+      $ checkpoint_flag $ checkpoint_every_flag 1_000_000 $ resume_flag
+      $ host_trace_flag)
 
 let compile_cmd =
   let compile file byte early_out level =
@@ -507,11 +565,7 @@ let profile_cmd =
         Format.printf "(program ran out of fuel)@."
     end
   in
-  Cmd.v
-    (Cmd.info "profile" ~exits:Exit_code.infos
-       ~doc:
-         "Per-phase compile times, reorganizer pass statistics, and the top \
-          stall-causing instruction pairs on the hardware-interlock machine.")
+  let compile_profile_term =
     Term.(
       const profile $ file_arg $ byte_flag $ early_flag $ level_flag
       $ input_flag
@@ -519,6 +573,143 @@ let profile_cmd =
           value & opt int 10
           & info [ "top" ] ~docv:"N" ~doc:"How many stall pairs to show.")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON."))
+  in
+  (* `profile run`: execute with guest profiling armed and fold the per-PC
+     counters into blocks, edges and fusion-candidate pairs.  The cycle
+     attribution is exact — it sums back to the run's Stats totals — and
+     profiling never perturbs the Stats themselves. *)
+  let profile_run_cmd =
+    let prun file byte early_out level interlock input engine hot flame
+        speedscope json host_trace =
+      let config = config_of ~byte ~early_out in
+      let src = read_source file in
+      let input =
+        if input = "" then
+          match Mips_corpus.Corpus.find file with
+          | e -> e.Mips_corpus.Corpus.input
+          | exception Not_found -> ""
+        else input
+      in
+      let tracer = make_tracer ~lanes:1 host_trace in
+      let sp = Mips_obs.Span.lane tracer 0 in
+      (* --interlock profiles raw program-order code on the hardware-interlock
+         machine (the same pairing as the stall-pair table above): stalls are
+         real there, so the attribution's stall column and the load+use pair
+         table fill in, where delayed-mode schedules keep both empty. *)
+      let program =
+        Mips_obs.Span.with_ sp "compile" (fun () ->
+            if interlock then
+              Mips_reorg.Pipeline.compile_raw
+                (Mips_codegen.Compile.to_asm ~config src)
+            else Mips_codegen.Compile.compile ~config ~level:(level_of level) src)
+      in
+      let machine_config =
+        let c = Mips_codegen.Compile.machine_config config in
+        if interlock then { c with Mips_machine.Cpu.interlock = true } else c
+      in
+      let cpu = Mips_machine.Cpu.create ~config:machine_config () in
+      Mips_machine.Cpu.set_profiling cpu true;
+      let res =
+        Mips_obs.Span.with_ sp "simulate" (fun () ->
+            Mips_machine.Hosted.run_program_on ~fuel:500_000_000 ~input ~engine
+              cpu program)
+      in
+      let stats = Mips_machine.Cpu.stats cpu in
+      let prof =
+        Mips_obs.Span.with_ sp "capture" (fun () ->
+            Mips_profile.capture ~program:file cpu)
+      in
+      (match flame with
+      | Some dest ->
+          let oc, close = open_dest dest in
+          output_string oc (Mips_profile.folded prof);
+          close ()
+      | None -> ());
+      (match speedscope with
+      | Some dest -> write_json dest (Mips_profile.speedscope prof)
+      | None -> ());
+      write_host_trace ~process:"mipsc profile run" tracer host_trace;
+      if json then
+        print_endline
+          (Mips_obs.Json.to_string
+             (Mips_obs.Json.Obj
+                [ ("program", Mips_obs.Json.Str file);
+                  ("stats", Mips_machine.Stats.to_json stats);
+                  ("profile", Mips_profile.to_json prof) ]))
+      else begin
+        Format.printf "%a@." (Mips_profile.pp_hotspots ~top:hot) prof;
+        Format.printf "@.%a@." (Mips_profile.pp_edges ~top:hot) prof;
+        Format.printf "@.%a@." (Mips_profile.pp_pairs ~top:hot) prof;
+        Format.printf
+          "@.attribution: %d cycles = %d issue + %d stall + %d shadow + %d \
+           other@.stats:       %d cycles = %d words + %d stall@."
+          (Mips_profile.total_cycles prof)
+          prof.Mips_profile.total_issue prof.Mips_profile.total_stall
+          prof.Mips_profile.total_shadow prof.Mips_profile.other_cycles
+          stats.Mips_machine.Stats.cycles stats.Mips_machine.Stats.words
+          stats.Mips_machine.Stats.stall_cycles;
+        if not res.Mips_machine.Hosted.halted then
+          Format.printf "(program ran out of fuel)@."
+      end
+    in
+    Cmd.v
+      (Cmd.info "run" ~exits:Exit_code.infos
+         ~doc:
+           "Execute a program with guest profiling armed: ranked hot blocks \
+            with an exact issue/stall/shadow cycle attribution, taken edges, \
+            fusion-candidate adjacent pairs, and flamegraph/speedscope \
+            exports.")
+      Term.(
+        const prun $ file_arg $ byte_flag $ early_flag $ level_flag
+        $ Arg.(
+            value & flag
+            & info [ "interlock" ]
+                ~doc:
+                  "Profile raw program-order code on the hardware-interlock \
+                   machine: real stall cycles land in the attribution and \
+                   load+use pairs appear in the fusion table.")
+        $ input_flag $ engine_flag
+        $ Arg.(
+            value & opt int 10
+            & info [ "hot" ] ~docv:"N"
+                ~doc:"How many blocks/edges/pairs to show.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "flame" ] ~docv:"FILE"
+                ~doc:
+                  "Write folded-stack flamegraph text to $(docv) ($(b,-) for \
+                   standard output).")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "speedscope" ] ~docv:"FILE"
+                ~doc:
+                  "Write a speedscope JSON profile to $(docv) ($(b,-) for \
+                   standard output).")
+        $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the profile as JSON.")
+        $ host_trace_flag)
+  in
+  (* `profile compile FILE` is the explicit spelling of the default term;
+     the legacy `profile FILE` spelling is kept working by the argv rewrite
+     at the entry point (a cmdliner group treats a bare positional after
+     the group name as a subcommand lookup). *)
+  let profile_compile_cmd =
+    Cmd.v
+      (Cmd.info "compile" ~exits:Exit_code.infos
+         ~doc:
+           "Per-phase compile times, reorganizer pass statistics, and the \
+            top stall-causing instruction pairs on the hardware-interlock \
+            machine (the default when no subcommand is given).")
+      compile_profile_term
+  in
+  Cmd.group ~default:compile_profile_term
+    (Cmd.info "profile" ~exits:Exit_code.infos
+       ~doc:
+         "Per-phase compile times, reorganizer pass statistics, and the top \
+          stall-causing instruction pairs on the hardware-interlock machine; \
+          $(b,profile run) executes with guest profiling.")
+    [ profile_run_cmd; profile_compile_cmd ]
 
 let corpus_cmd =
   let corpus name jobs =
@@ -553,8 +744,10 @@ let corpus_cmd =
 let soak_cmd =
   let soak seed steps programs segments quantum watchdog flip_rate
       data_flip_rate irq_rate page_drop_rate flaky_rate differential json jobs
-      checkpoint checkpoint_every resume stats_json =
+      checkpoint checkpoint_every resume stats_json host_trace =
     apply_jobs jobs;
+    let tracer = make_tracer ~lanes:1 host_trace in
+    let sp = Mips_obs.Span.lane tracer 0 in
     let plan =
       {
         Mips_fault.Plan.seed;
@@ -572,15 +765,18 @@ let soak_cmd =
        so the JSON below is identical either way *)
     let s, diffs =
       if checkpoint = None && resume = None then
-        ( Mips_soak.Soak.run_soak ~programs ?segments ~quantum ?watchdog ~steps
-            ~plan ~seed (),
-          Mips_soak.Soak.differential_sweep ?segments ~seed ~count:differential
-            () )
+        ( Mips_obs.Span.with_ sp "kernel_soak" (fun () ->
+              Mips_soak.Soak.run_soak ~programs ?segments ~quantum ?watchdog
+                ~steps ~plan ~seed ()),
+          Mips_obs.Span.with_ sp "differential" (fun () ->
+              Mips_soak.Soak.differential_sweep ?segments ~seed
+                ~count:differential ()) )
       else
         match
-          Mips_soak.Soak.run_checkpointed ~programs ?segments ~quantum
-            ?watchdog ~steps ~diff_count:differential ?checkpoint
-            ~checkpoint_every ?resume ~plan ~seed ()
+          Mips_obs.Span.with_ sp "soak_checkpointed" (fun () ->
+              Mips_soak.Soak.run_checkpointed ~programs ?segments ~quantum
+                ?watchdog ~steps ~diff_count:differential ?checkpoint
+                ~checkpoint_every ?resume ~plan ~seed ())
         with
         | Ok (Mips_soak.Soak.Complete (s, diffs)) -> (s, diffs)
         | Ok Mips_soak.Soak.Interrupted ->
@@ -646,6 +842,7 @@ let soak_cmd =
     (match stats_json with
     | Some dest -> write_json dest (Mips_resilience.Supervise.stats_json ())
     | None -> ());
+    write_host_trace ~process:"mipsc soak" tracer host_trace;
     if diverged <> [] then exit Exit_code.divergence
   in
   Cmd.v
@@ -709,26 +906,56 @@ let soak_cmd =
               ~doc:
                 "Write the resilience counters (supervision, checkpoints) as \
                  JSON to $(docv) ($(b,-) for standard output) — kept out of \
-                 the main summary so checkpointed output stays comparable."))
+                 the main summary so checkpointed output stays comparable.")
+      $ host_trace_flag)
 
 let report_cmd =
-  let report with_benchmarks json jobs inject_poison stats_json =
+  let report with_benchmarks json jobs inject_poison stats_json hotspots
+      host_trace =
     apply_jobs jobs;
+    (* one tracer lane per worker domain: the prepare span on lane 0 nests
+       over the jobs worker 0 ran, and every spawned domain gets its own
+       lane — the Perfetto view of the fan-out *)
+    let tracer =
+      make_tracer
+        ~lanes:(match jobs with Some n -> max 1 n | None -> Mips_par.default_jobs ())
+        host_trace
+    in
+    let sp = Mips_obs.Span.lane tracer 0 in
     (* the warm-up runs supervised: a failing artifact job is retried,
        quarantined and attributed, and the breaker degrades later maps to
        serial — the tables still render from whatever warmed.  On a healthy
        run this is byte-identical to the plain warm-up. *)
     let outcomes =
-      Mips_analysis.Report.prepare_supervised ~include_heavy:with_benchmarks
-        ~inject_poison ()
+      Mips_obs.Span.with_ sp "prepare" (fun () ->
+          Mips_analysis.Report.prepare_supervised
+            ~include_heavy:with_benchmarks ~inject_poison ~tracer ())
     in
     let failed = Mips_resilience.Supervise.failures outcomes in
-    if json then
-      Format.printf "%a@." Mips_obs.Json.pp
-        (Mips_analysis.Report.json_all ~include_heavy:with_benchmarks ())
-    else
-      Mips_analysis.Report.print_all ~include_heavy:with_benchmarks
-        Format.std_formatter;
+    Mips_obs.Span.with_ sp "render" (fun () ->
+        if json then begin
+          let j =
+            Mips_analysis.Report.json_all ~include_heavy:with_benchmarks ()
+          in
+          let j =
+            if hotspots then
+              match j with
+              | Mips_obs.Json.Obj kvs ->
+                  Mips_obs.Json.Obj
+                    (kvs
+                    @ [ ("hotspots", Mips_analysis.Report.json_hotspots ()) ])
+              | other -> other
+            else j
+          in
+          Format.printf "%a@." Mips_obs.Json.pp j
+        end
+        else begin
+          Mips_analysis.Report.print_all ~include_heavy:with_benchmarks
+            Format.std_formatter;
+          if hotspots then
+            Mips_analysis.Report.hotspots Format.std_formatter
+        end);
+    write_host_trace ~process:"mipsc report" tracer host_trace;
     List.iter
       (fun (o : unit Mips_resilience.Supervise.outcome) ->
         Printf.eprintf "mipsc: job %s failed after %d attempt%s: %s\n"
@@ -800,12 +1027,36 @@ let report_cmd =
           & info [ "stats-json" ] ~docv:"FILE"
               ~doc:
                 "Write supervision outcomes, failures and artifact-cache \
-                 counters as JSON to $(docv) ($(b,-) for standard output)."))
+                 counters as JSON to $(docv) ($(b,-) for standard output).")
+      $ Arg.(
+          value & flag
+          & info [ "hotspots" ]
+              ~doc:
+                "Append guest hot-block tables (per-program profile on the \
+                 fast engine) to the report; under $(b,--json) they join the \
+                 object as a $(b,hotspots) key.")
+      $ host_trace_flag)
 
 let () =
   let doc = "compiler, reorganizer and simulator for the MIPS tradeoffs reproduction" in
+  (* `profile FILE ...` predates `profile` growing subcommands; a cmdliner
+     group resolves the token right after the group name as a subcommand,
+     so route the legacy spelling through the explicit `compile` one. *)
+  let argv =
+    let a = Sys.argv in
+    if
+      Array.length a >= 3
+      && a.(1) = "profile"
+      && a.(2) <> "run" && a.(2) <> "compile"
+      && String.length a.(2) > 0
+      && a.(2).[0] <> '-'
+    then
+      Array.concat
+        [ [| a.(0); "profile"; "compile" |]; Array.sub a 2 (Array.length a - 2) ]
+    else a
+  in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group (Cmd.info "mipsc" ~version:"1.0.0" ~exits:Exit_code.infos ~doc)
           [ run_cmd; compile_cmd; asm_cmd; levels_cmd; profile_cmd; corpus_cmd; soak_cmd;
             report_cmd ]))

@@ -85,14 +85,15 @@ let prepare ?jobs ?include_heavy () =
    first so a breaker trip degrades the bulk of the map — the interesting
    path to exercise. *)
 let prepare_supervised ?policy ?jobs ?include_heavy ?(inject_poison = []) ?obs
-    () =
+    ?tracer () =
   let poison =
     List.map
       (fun lbl ->
         (lbl, fun () -> failwith (Printf.sprintf "injected poison job %s" lbl)))
       inject_poison
   in
-  Mips_resilience.Supervise.supervised_map ?policy ?jobs ?obs ~label:fst
+  Mips_resilience.Supervise.supervised_map ?policy ?jobs ?obs ?tracer
+    ~label:fst
     (fun (_, job) -> job ())
     (poison @ prepare_jobs ?include_heavy ())
 
@@ -556,12 +557,51 @@ let json_context_switches () =
     os_workload;
   Mips_os.Kernel.report_json (Mips_os.Kernel.run k)
 
+(* --- guest hotspots -------------------------------------------------------- *)
+
+(* Bumped when the shape of [json_all]'s object changes, so downstream
+   trace/metrics consumers can detect format drift.  Version 1 was the
+   unversioned PR 3-5 object; 2 added this field. *)
+let report_schema_version = 2
+
+(* Profile one kernel-workload program on the fast engine: the report-level
+   view of `mipsc profile run`, and the feedstock for trace-level fusion
+   work.  The compile comes from the artifact cache; only the profiled run
+   itself is redone (a profiled machine is private by construction). *)
+let profile_of name =
+  let e = Mips_corpus.Corpus.find name in
+  let program = Mips_artifact.compiled e.Mips_corpus.Corpus.source in
+  let cpu = Mips_machine.Cpu.create () in
+  Mips_machine.Cpu.set_profiling cpu true;
+  ignore
+    (Mips_machine.Hosted.run_program_on ~fuel:Mips_artifact.default_fuel
+       ~input:e.Mips_corpus.Corpus.input ~engine:Mips_machine.Cpu.Fast cpu
+       program);
+  Mips_profile.capture ~program:name cpu
+
+let hotspots ?(top = 8) ppf =
+  vbox ppf (fun () ->
+      header ppf "Guest hot blocks (per-program profile, fast engine)";
+      List.iter
+        (fun name ->
+          Format.fprintf ppf "@,";
+          Mips_profile.pp_hotspots ~top ppf (profile_of name);
+          Format.fprintf ppf "@,")
+        os_workload)
+
+let json_hotspots () =
+  J.Obj
+    (List.map
+       (fun name -> (name, Mips_profile.to_json (profile_of name)))
+       os_workload)
+
 let json_all ?jobs ?include_heavy () =
   prepare ?jobs ?include_heavy ();
   let word_pattern = Refpatterns.word_allocated ?include_heavy () in
   let byte_pattern = Refpatterns.byte_allocated ?include_heavy () in
   J.Obj
-    [ ("table1_constants", json_table1 ());
+    [ ("schema_version", J.Int report_schema_version);
+      ("table1_constants", json_table1 ());
       ("table2_cc_taxonomy", json_table2 ());
       ("table3_cc_savings", json_table3 ());
       ("table4_bool_shapes", json_table4 ());

@@ -18,6 +18,7 @@ val prepare : ?jobs:int -> ?include_heavy:bool -> unit -> unit
 val prepare_supervised :
   ?policy:Mips_resilience.Supervise.policy -> ?jobs:int ->
   ?include_heavy:bool -> ?inject_poison:string list -> ?obs:Mips_obs.Sink.t ->
+  ?tracer:Mips_obs.Span.tracer ->
   unit -> unit Mips_resilience.Supervise.outcome list
 (** {!prepare} under the {!Mips_resilience.Supervise} policy: failing jobs
     are retried, persistent failures quarantined and attributed in the
@@ -52,10 +53,22 @@ val context_switches : Format.formatter -> unit
 (** Section 3.2: context-switch traffic and the map-untouched property,
     measured on a small multi-programmed OS run. *)
 
+val hotspots : ?top:int -> Format.formatter -> unit
+(** Ranked hot-block tables for the kernel-workload programs, profiled on
+    the fast engine — what [mipsc report --hotspots] appends. *)
+
+val json_hotspots : unit -> Mips_obs.Json.t
+(** The same profiles as one object keyed by program name. *)
+
+val report_schema_version : int
+(** Version of {!json_all}'s object shape, emitted as its
+    ["schema_version"] field; bumped on structural change so downstream
+    consumers can detect format drift. *)
+
 val print_all : ?jobs:int -> ?include_heavy:bool -> Format.formatter -> unit
 
 val json_all : ?jobs:int -> ?include_heavy:bool -> unit -> Mips_obs.Json.t
-(** The whole evaluation as one JSON object, keyed
+(** The whole evaluation as one JSON object, keyed ["schema_version"],
     ["table1_constants"] ... ["table11_postpass_levels"], ["figures"],
     ["free_cycles"], ["context_switches"] — the machine-readable twin of
     {!print_all} that [mipsc report --json] emits so CI and the bench

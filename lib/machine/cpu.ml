@@ -22,6 +22,22 @@ let byte_addressed_config =
 
 let interlocked_config = { default_config with interlock = true }
 
+(* Guest-profiling buffers, armed by [set_profiling].  Indexed by physical
+     word address; [pr_other_cycles] absorbs cycles a step charged without
+     resolving a fetch (interrupt dispatch, fetch-translation faults) so the
+     per-PC totals still reconcile exactly with [Stats].  The buffers are
+     bumped after the step from [Stats] deltas — profiling never writes the
+     statistics themselves, so a profiled run's [Stats] are byte-identical
+     to an unprofiled one's. *)
+type profile = {
+  pr_counts : int array;  (* executed words per pc *)
+  pr_stalls : int array;  (* stall cycles charged at pc *)
+  pr_shadow : int array;  (* executions of pc inside a taken branch's shadow *)
+  pr_edges : (int * int, int) Hashtbl.t;  (* (branch pc, target) -> taken *)
+  mutable pr_shadow_pending : int;
+  mutable pr_other_cycles : int;
+}
+
 type t = {
   cfg : config;
   regs : int array;
@@ -61,6 +77,12 @@ type t = {
   mutable sc_v : int;  (* ALU result *)
   mutable sc_taken : bool;  (* conditional-branch decision *)
   mutable sc_target : int;  (* indirect-branch target, read pre-commit *)
+  (* guest profiling: [prof_on] is the single hot-path flag test; [prof]
+     points at [no_profile] while disabled; [prof_fetch] is the physical
+     fetch address the last step resolved (-1 when it never did) *)
+  mutable prof_on : bool;
+  mutable prof : profile;
+  mutable prof_fetch : int;
 }
 
 and fault_kind =
@@ -74,6 +96,16 @@ type event = Stepped | Dispatched of Cause.t
    compiled since it last changed.  Recognized with [==]; never called with
    the intent of executing an instruction. *)
 let stale (_ : t) = ()
+
+(* Shared placeholder for machines not being profiled: zero-length arrays,
+   never written while [prof_on] is false. *)
+let no_profile =
+  { pr_counts = [||];
+    pr_stalls = [||];
+    pr_shadow = [||];
+    pr_edges = Hashtbl.create 1;
+    pr_shadow_pending = 0;
+    pr_other_cycles = 0 }
 
 let create ?(config = default_config) () =
   {
@@ -109,6 +141,9 @@ let create ?(config = default_config) () =
     sc_v = 0;
     sc_taken = false;
     sc_target = 0;
+    prof_on = false;
+    prof = no_profile;
+    prof_fetch = -1;
   }
 
 let config t = t.cfg
@@ -119,6 +154,24 @@ let set_trace t sink =
   t.trace_on <- sink.Mips_obs.Sink.enabled
 
 let fault_plan t = t.plan
+
+let set_profiling t on =
+  if on then begin
+    t.prof <-
+      { pr_counts = Array.make t.cfg.imem_words 0;
+        pr_stalls = Array.make t.cfg.imem_words 0;
+        pr_shadow = Array.make t.cfg.imem_words 0;
+        pr_edges = Hashtbl.create 64;
+        pr_shadow_pending = 0;
+        pr_other_cycles = 0 };
+    t.prof_on <- true
+  end
+  else begin
+    t.prof <- no_profile;
+    t.prof_on <- false
+  end
+
+let profile t = if t.prof_on then Some t.prof else None
 
 let set_fault_plan t plan =
   t.plan <- plan;
@@ -413,6 +466,8 @@ let dispatch t cause detail ~epcs:(e0, e1, e2) =
   set_pc_chain t (0, 1, 2);
   t.last_load_writes <- Reg.Set.empty;
   Stats.count_exception t.stats cause;
+  (* an exception squashes any outstanding branch shadow *)
+  if t.prof_on then t.prof.pr_shadow_pending <- 0;
   if t.trace_on then begin
     t.delay_pending <- 0;
     Mips_obs.Sink.emit t.trace
@@ -475,7 +530,52 @@ let apply_injection t inj =
            target = Mips_fault.Plan.injection_target inj;
          })
 
-let step t =
+(* Attribute what one step just charged to [Stats] at the physical fetch
+   address it resolved ([prof_fetch]), using before/after deltas.  The
+   invariant this preserves: [count_cycle] is the only path adding to both
+   [cycles] and [words], [stall] the only one adding to both [cycles] and
+   [stall_cycles] — so per-step, cycles delta = words delta + stall delta,
+   and summing the buffers reproduces the run's totals exactly.  Steps that
+   charge cycles without a fetch (none today; kept for safety) land in
+   [pr_other_cycles]. *)
+let prof_note t ~c0 ~w0 ~st0 ~bt0 =
+  let p = t.prof in
+  let s = t.stats in
+  let phys = t.prof_fetch in
+  if phys >= 0 && phys < Array.length p.pr_counts then begin
+    if s.Stats.words > w0 then begin
+      p.pr_counts.(phys) <- p.pr_counts.(phys) + 1;
+      if p.pr_shadow_pending > 0 then begin
+        p.pr_shadow.(phys) <- p.pr_shadow.(phys) + 1;
+        p.pr_shadow_pending <- p.pr_shadow_pending - 1
+      end
+    end;
+    let st = s.Stats.stall_cycles - st0 in
+    if st > 0 then p.pr_stalls.(phys) <- p.pr_stalls.(phys) + st;
+    if s.Stats.branches_taken > bt0 then begin
+      (* post-step chain holds the target: interlock redirects immediately,
+         a 1-slot branch lands in p1, a 2-slot one in p2 *)
+      let delay =
+        match Word.branch t.imem.(phys) with
+        | Some (Branch.Jind _ | Branch.Jalind _) -> 2
+        | _ -> 1
+      in
+      let target =
+        if t.cfg.interlock then t.p0 else if delay = 1 then t.p1 else t.p2
+      in
+      let key = (phys, target) in
+      (match Hashtbl.find_opt p.pr_edges key with
+      | Some n -> Hashtbl.replace p.pr_edges key (n + 1)
+      | None -> Hashtbl.add p.pr_edges key 1);
+      if not t.cfg.interlock then p.pr_shadow_pending <- delay
+    end
+  end
+  else begin
+    let dc = s.Stats.cycles - c0 in
+    if dc > 0 then p.pr_other_cycles <- p.pr_other_cycles + dc
+  end
+
+let step_core t =
   if t.inject_on then begin
     match Mips_fault.Plan.decide t.plan with
     | Some inj -> apply_injection t inj
@@ -493,6 +593,7 @@ let step t =
         raise (Fault (Cause.Illegal, 0));
       let word = t.imem.(fetch_phys) in
       let note = t.notes.(fetch_phys) in
+      if t.prof_on then t.prof_fetch <- fetch_phys;
       (* interlock-mode stall detection: dependent word waits a cycle *)
       if
         t.cfg.interlock
@@ -658,6 +759,22 @@ let step t =
                t.regs.(link) <- ret;
                take target delay);
         Stepped
+  end
+
+(* One reference-engine cycle, profiling-aware: the quiet path is a single
+   flag test (the PR-2 fault-hook pattern); with profiling armed the step
+   is bracketed by a [Stats] snapshot and the delta attributed to the
+   fetched pc. *)
+let step t =
+  if not t.prof_on then step_core t
+  else begin
+    let s = t.stats in
+    let c0 = s.Stats.cycles and w0 = s.Stats.words in
+    let st0 = s.Stats.stall_cycles and bt0 = s.Stats.branches_taken in
+    t.prof_fetch <- -1;
+    let ev = step_core t in
+    prof_note t ~c0 ~w0 ~st0 ~bt0;
+    ev
   end
 
 (* ---------------------------------------------------------------------- *)
@@ -1343,37 +1460,50 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
    injection, no armed flaky reference, interrupt line low.  Any of them
    arming routes this cycle through the reference [step] — cycle-for-cycle,
    so the two engines can interleave freely mid-run. *)
+let step_fast_quiet t =
+  (* pre-step PC chain, kept in locals so the sequential-EPC tuple is
+     only materialised on the (rare) fault-dispatch path *)
+  let e0 = t.p0 and e1 = t.p1 and e2 = t.p2 in
+  match
+    let fetch_phys =
+      (* inlined fast case of [translate_word]: kernel mode, mapping off *)
+      match (t.sr.Surprise.priv, t.sr.Surprise.map_enable) with
+      | Surprise.Kernel, false -> t.p0
+      | _ -> translate_word t Pagemap.Ispace ~write:false t.p0
+    in
+    if fetch_phys < 0 || fetch_phys >= t.cfg.imem_words then
+      raise (Fault (Cause.Illegal, 0));
+    if t.prof_on then t.prof_fetch <- fetch_phys;
+    let f = t.xcode.(fetch_phys) in
+    let f =
+      if f == stale then begin
+        let g = compile_word t.cfg fetch_phys t.imem.(fetch_phys) in
+        t.xcode.(fetch_phys) <- g;
+        g
+      end
+      else f
+    in
+    f t
+  with
+  | () -> Stepped
+  | exception Fault (cause, detail) ->
+      dispatch t cause detail ~epcs:(e0, e1, e2)
+  | exception Trap_dispatch code ->
+      dispatch t Cause.Trap code ~epcs:(t.p1, t.p2, t.p2 + 1)
+
 let step_fast t =
   if t.trace_on || t.inject_on || t.flaky_armed || t.interrupt_line then step t
+  else if not t.prof_on then step_fast_quiet t
   else begin
-    (* pre-step PC chain, kept in locals so the sequential-EPC tuple is
-       only materialised on the (rare) fault-dispatch path *)
-    let e0 = t.p0 and e1 = t.p1 and e2 = t.p2 in
-    match
-      let fetch_phys =
-        (* inlined fast case of [translate_word]: kernel mode, mapping off *)
-        match (t.sr.Surprise.priv, t.sr.Surprise.map_enable) with
-        | Surprise.Kernel, false -> t.p0
-        | _ -> translate_word t Pagemap.Ispace ~write:false t.p0
-      in
-      if fetch_phys < 0 || fetch_phys >= t.cfg.imem_words then
-        raise (Fault (Cause.Illegal, 0));
-      let f = t.xcode.(fetch_phys) in
-      let f =
-        if f == stale then begin
-          let g = compile_word t.cfg fetch_phys t.imem.(fetch_phys) in
-          t.xcode.(fetch_phys) <- g;
-          g
-        end
-        else f
-      in
-      f t
-    with
-    | () -> Stepped
-    | exception Fault (cause, detail) ->
-        dispatch t cause detail ~epcs:(e0, e1, e2)
-    | exception Trap_dispatch code ->
-        dispatch t Cause.Trap code ~epcs:(t.p1, t.p2, t.p2 + 1)
+    (* same bracketing as the profiled reference step: snapshot, run the
+       quiet fast path (which stashes the fetch pc), attribute the delta *)
+    let s = t.stats in
+    let c0 = s.Stats.cycles and w0 = s.Stats.words in
+    let st0 = s.Stats.stall_cycles and bt0 = s.Stats.branches_taken in
+    t.prof_fetch <- -1;
+    let ev = step_fast_quiet t in
+    prof_note t ~c0 ~w0 ~st0 ~bt0;
+    ev
   end
 
 (* ---------------------------------------------------------------------- *)

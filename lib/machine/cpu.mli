@@ -74,6 +74,39 @@ val set_fault_plan : t -> Mips_fault.Plan.t -> unit
     memory, so restarting the word through the EPC chain re-executes it
     exactly.  Attaching a plan disarms any pending flaky fault. *)
 
+(** {2 Guest profiling}
+
+    Per-PC execution profiling for both engines behind a single flag test
+    (the same pattern as the trace and fault hooks).  The buffers are
+    updated from {!Stats} deltas after each step — profiling never writes
+    the statistics, so a profiled run's {!Stats} are byte-identical to an
+    unprofiled one's, and the buffer totals reconcile exactly:
+    sum(pr_counts) = words, sum(pr_stalls) = stall cycles, and
+    sum(pr_counts) + sum(pr_stalls) + pr_other_cycles = cycles.  The
+    buffers are not part of the architectural state: checkpoints do not
+    carry them. *)
+
+type profile = {
+  pr_counts : int array;
+      (** executed words per physical pc (indexed to [imem_words]) *)
+  pr_stalls : int array;
+      (** stall cycles charged at pc: load-use at the consumer, interlock
+          branch latency at the branch *)
+  pr_shadow : int array;
+      (** executions of pc inside a taken branch's delay shadow *)
+  pr_edges : (int * int, int) Hashtbl.t;
+      (** (branch pc, target) -> times the branch was taken to target *)
+  mutable pr_shadow_pending : int;
+  mutable pr_other_cycles : int;
+      (** cycles charged without a resolved fetch pc *)
+}
+
+val set_profiling : t -> bool -> unit
+(** Arm (with fresh buffers) or disarm profiling. *)
+
+val profile : t -> profile option
+(** The live buffers while profiling is armed. *)
+
 (** {2 Architectural state} *)
 
 val get_reg : t -> Reg.t -> Word32.t

@@ -77,3 +77,10 @@ let of_program (p : Program.t) =
   Array.map
     (fun w -> match w with Word.Nop -> nop | _ -> lower w)
     p.Program.code
+
+(* Block-structure helpers for the profiler: a branch piece terminates a
+   basic block; direct branches expose a static target, and the delay count
+   tells how many shadow words follow the terminator in delayed mode. *)
+let ends_block e = e.branch <> None
+let branch_target e = Option.bind e.branch Branch.label
+let branch_delay e = Option.map Branch.delay e.branch

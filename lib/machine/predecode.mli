@@ -50,3 +50,20 @@ val lower : int Word.t -> entry
 val of_program : Program.t -> entry array
 (** The one-time pass: lower every word of a program image.  Element [i]
     describes [code.(i)]. *)
+
+(** {2 Block structure}
+
+    Helpers for basic-block construction (the profiler's block boundaries
+    are derived here rather than re-projecting pieces per word). *)
+
+val ends_block : entry -> bool
+(** The word carries a branch piece (including traps) — a block
+    terminator. *)
+
+val branch_target : entry -> int option
+(** Static target of a direct branch piece; [None] for indirect jumps,
+    traps, and non-branching words. *)
+
+val branch_delay : entry -> int option
+(** {!Mips_isa.Branch.delay} of the word's branch piece: 1 direct, 2
+    indirect, 0 for traps; [None] for a non-branching word. *)

@@ -1,18 +1,42 @@
 type timer = { mutable seconds : float; mutable calls : int }
 
+(* A histogram is 64 base-2 magnitude buckets plus exact count/sum/min/max.
+   Buckets hold integers, so merging is bucketwise addition — exactly
+   associative, unlike any scheme that stores samples or interpolates at
+   record time.  Quantiles are resolved at read time from the bucket
+   cumulative; the representative value is the bucket's geometric midpoint
+   clamped into [min, max], which makes single-valued histograms exact. *)
+let hist_buckets = 64
+
+type hist = {
+  mutable hn : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+  hb : int array;
+}
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   timers : (string, timer) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
   enabled : bool;
 }
 
 let create () =
-  { counters = Hashtbl.create 16; timers = Hashtbl.create 16; enabled = true }
+  { counters = Hashtbl.create 16;
+    timers = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+    enabled = true }
 
 (* A registry that records nothing.  Instrumented code paths that default to
    this sink can run on any number of domains without sharing mutable state:
    every operation below is a no-op on a disabled registry. *)
-let null = { counters = Hashtbl.create 1; timers = Hashtbl.create 1; enabled = false }
+let null =
+  { counters = Hashtbl.create 1;
+    timers = Hashtbl.create 1;
+    hists = Hashtbl.create 1;
+    enabled = false }
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -62,6 +86,88 @@ let seconds t name =
 let calls t name =
   match Hashtbl.find_opt t.timers name with Some tm -> tm.calls | None -> 0
 
+(* Bucket of a value: its binary exponent, offset so that seconds-scale
+   data (1e-12 .. 8e6) stays in range.  frexp gives v = m * 2^e with
+   m in [0.5, 1), i.e. v in [2^(e-1), 2^e). *)
+let bucket_of v =
+  if not (Float.is_finite v) || v <= 0. then 0
+  else
+    let _, e = Float.frexp v in
+    min (hist_buckets - 1) (max 0 (e + 40))
+
+(* Geometric midpoint of bucket [i]: sqrt(2^(e-1) * 2^e). *)
+let bucket_mid i =
+  let e = i - 40 in
+  Float.ldexp (sqrt 2.) (e - 1)
+
+let find_hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        { hn = 0; hsum = 0.; hmin = infinity; hmax = neg_infinity;
+          hb = Array.make hist_buckets 0 }
+      in
+      Hashtbl.add t.hists name h;
+      h
+
+let observe t name v =
+  if t.enabled then begin
+    let h = find_hist t name in
+    h.hn <- h.hn + 1;
+    h.hsum <- h.hsum +. v;
+    if v < h.hmin then h.hmin <- v;
+    if v > h.hmax then h.hmax <- v;
+    let b = bucket_of v in
+    h.hb.(b) <- h.hb.(b) + 1
+  end
+
+let hist_quantile h q =
+  if h.hn = 0 then 0.
+  else begin
+    let rank = max 1 (min h.hn (int_of_float (ceil (q *. float_of_int h.hn)))) in
+    let b = ref 0 and cum = ref 0 in
+    (try
+       for i = 0 to hist_buckets - 1 do
+         cum := !cum + h.hb.(i);
+         if !cum >= rank then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    min h.hmax (max h.hmin (bucket_mid !b))
+  end
+
+type hist_view = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let view_of h =
+  { count = h.hn;
+    sum = h.hsum;
+    min_v = (if h.hn = 0 then 0. else h.hmin);
+    max_v = (if h.hn = 0 then 0. else h.hmax);
+    p50 = hist_quantile h 0.50;
+    p90 = hist_quantile h 0.90;
+    p99 = hist_quantile h 0.99 }
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> Some (view_of h)
+  | None -> None
+
+let quantile t name q =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> hist_quantile h q
+  | None -> 0.
+
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -70,6 +176,9 @@ let counters t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.counters)
 
 let timers t =
   List.map (fun (k, tm) -> (k, tm.seconds, tm.calls)) (sorted_bindings t.timers)
+
+let histograms t =
+  List.map (fun (k, h) -> (k, view_of h)) (sorted_bindings t.hists)
 
 (* Fold [src] into [into]: counters add, timers accumulate seconds and
    calls.  This is how per-worker registries from a parallel fan-out are
@@ -85,7 +194,21 @@ let merge ~into src =
           dst.seconds <- dst.seconds +. tm.seconds;
           dst.calls <- dst.calls + tm.calls
         end)
-      src.timers
+      src.timers;
+    (* bucketwise addition: count, buckets, min and max merge exactly
+       associatively, so a parallel fan-out's quantiles are independent of
+       how per-worker registries were folded together *)
+    Hashtbl.iter
+      (fun k (h : hist) ->
+        if h.hn > 0 then begin
+          let dst = find_hist into k in
+          dst.hn <- dst.hn + h.hn;
+          dst.hsum <- dst.hsum +. h.hsum;
+          if h.hmin < dst.hmin then dst.hmin <- h.hmin;
+          if h.hmax > dst.hmax then dst.hmax <- h.hmax;
+          Array.iteri (fun i n -> dst.hb.(i) <- dst.hb.(i) + n) h.hb
+        end)
+      src.hists
   end
 
 let to_json t =
@@ -100,7 +223,21 @@ let to_json t =
                  Json.Obj
                    [ ("seconds", Json.Float seconds); ("calls", Json.Int calls) ]
                ))
-             (timers t)) ) ]
+             (timers t)) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               ( k,
+                 Json.Obj
+                   [ ("count", Json.Int v.count);
+                     ("sum", Json.Float v.sum);
+                     ("min", Json.Float v.min_v);
+                     ("max", Json.Float v.max_v);
+                     ("p50", Json.Float v.p50);
+                     ("p90", Json.Float v.p90);
+                     ("p99", Json.Float v.p99) ] ))
+             (histograms t)) ) ]
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
@@ -113,4 +250,10 @@ let pp ppf t =
         calls
         (if calls = 1 then "" else "s"))
     (timers t);
+  List.iter
+    (fun (k, v) ->
+      Format.fprintf ppf "%-40s p50 %9.3f ms  p90 %9.3f ms  p99 %9.3f ms  (%d sample%s)@ "
+        k (1000. *. v.p50) (1000. *. v.p90) (1000. *. v.p99) v.count
+        (if v.count = 1 then "" else "s"))
+    (histograms t);
   Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Wall-clock spans for host-side phase timing, with per-Domain lanes and
+    a Chrome trace-event export.
+
+    A collector records nested begin/end spans on one lane; a {!tracer}
+    bundles one collector per worker lane so a parallel fan-out
+    ([Mips_par.map_spans]) can time every job without cross-domain writes.
+    {!to_chrome} renders the merged spans as a Chrome trace-event JSON
+    object that chrome://tracing and Perfetto load directly.
+
+    The clock is injected ([Sys.time] by default, so the module stays free
+    of [unix]); pass [Unix.gettimeofday] for wall time. *)
+
+type span = {
+  sp_name : string;
+  sp_lane : int;
+  sp_start : float;  (** seconds, collector clock *)
+  sp_dur : float;
+  sp_depth : int;  (** nesting depth at entry; 0 = top level *)
+}
+
+type t
+
+val null : t
+(** A collector that records nothing; safe to share between domains. *)
+
+val create : ?clock:(unit -> float) -> ?lane:int -> unit -> t
+
+val enter : t -> string -> unit
+val leave : t -> unit
+(** Close the innermost open span (no-op when none is open). *)
+
+val with_ : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (closed on exceptions too). *)
+
+val spans : t -> span list
+(** Closed spans, sorted by start time (then lane, then depth). *)
+
+(** {2 Tracers: one lane per worker domain} *)
+
+type tracer
+
+val no_tracer : tracer
+(** All lanes disabled; the zero-overhead default. *)
+
+val tracer : ?clock:(unit -> float) -> lanes:int -> unit -> tracer
+
+val tracer_enabled : tracer -> bool
+
+val lane : tracer -> int -> t
+(** The collector for worker lane [i]; out-of-range ids wrap. *)
+
+val tracer_spans : tracer -> span list
+(** All lanes' closed spans, sorted by start time.  Read only after worker
+    domains have joined. *)
+
+(** {2 Export} *)
+
+val to_chrome : ?process:string -> span list -> Json.t
+(** Chrome trace-event JSON ("X" complete events in microseconds, one tid
+    per lane, metadata events naming process and lanes, timestamps rebased
+    to the earliest span). *)

@@ -99,6 +99,46 @@ let map_reduce ?jobs ~map:f ~merge ~zero xs =
 (* Like [map], but each worker records into its own private metrics
    registry; the registries are folded into [obs] after the join, in worker
    order.  Counters and timers therefore see no cross-domain writes. *)
+(* Like [map], but each job runs inside a span on its worker's lane, so a
+   host trace shows what every domain was doing when.  Lanes are private to
+   their worker (the [map_obs] discipline), and the caller reads the merged
+   spans only after this returns — i.e. after the join. *)
+let map_spans ?jobs ~tracer ~name f xs =
+  if not (Mips_obs.Span.tracer_enabled tracer) then map ?jobs f xs
+  else begin
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let items = Array.of_list xs in
+    let n = Array.length items in
+    if n = 0 then []
+    else begin
+      let workers = max 1 (min jobs n) in
+      let results = Array.make n Pending in
+      let next = Atomic.make 0 in
+      let worker wid () =
+        let sp = Mips_obs.Span.lane tracer wid in
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <-
+              (match
+                 Mips_obs.Span.with_ sp (name items.(i)) (fun () -> f items.(i))
+               with
+              | v -> Done v
+              | exception e -> Failed (e, Printexc.get_raw_backtrace ()));
+            go ()
+          end
+        in
+        go ()
+      in
+      let domains =
+        List.init (workers - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join domains;
+      collect results
+    end
+  end
+
 let map_obs ?jobs ~obs f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let items = Array.of_list xs in

@@ -38,6 +38,15 @@ val map_reduce :
     need not be commutative; when it is associative the result is
     independent of how items were scheduled. *)
 
+val map_spans :
+  ?jobs:int -> tracer:Mips_obs.Span.tracer -> name:('a -> string) ->
+  ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, with each job timed as a span named [name item] on its
+    worker's lane of [tracer] — a host trace then shows what every domain
+    was doing when.  With {!Mips_obs.Span.no_tracer} this is exactly
+    {!map}.  Read [Mips_obs.Span.tracer_spans] only after this returns
+    (the workers have joined by then). *)
+
 val map_obs :
   ?jobs:int -> obs:Mips_obs.Metrics.t -> (obs:Mips_obs.Metrics.t -> 'a -> 'b) ->
   'a list -> 'b list

@@ -1,0 +1,327 @@
+(* Mips_profile — basic-block and edge profiles over the per-PC counters
+   the machine collects ([Cpu.set_profiling]).
+
+   The machine's buffers are flat per-address arrays; this module folds
+   them into structure: basic blocks (leaders from static branch shape via
+   [Predecode], dynamic edge targets, and execution-count discontinuities —
+   the last makes block entry counts exact even when exceptions cut a block
+   short), taken edges, a cycle attribution per block split into
+   issue/stall/shadow, and the hot adjacent-pair table (cmp+branch,
+   load+use) that macro-op fusion studies use to pick candidates.
+
+   The attribution is exact by construction, not estimated: summing every
+   block's cycles plus [other_cycles] reproduces the run's [Stats.cycles],
+   and the issue/stall splits likewise (the invariant the test suite checks
+   on the corpus). *)
+
+module Cpu = Mips_machine.Cpu
+module Predecode = Mips_machine.Predecode
+module Stats = Mips_machine.Stats
+module Json = Mips_obs.Json
+open Mips_isa
+
+type block = {
+  b_first : int;  (* physical word addresses, inclusive *)
+  b_last : int;
+  b_count : int;  (* executions of the block head *)
+  b_issue : int;  (* issue cycles net of delay-shadow words *)
+  b_stall : int;
+  b_shadow : int;
+}
+
+let block_cycles b = b.b_issue + b.b_stall + b.b_shadow
+
+type pair_kind = Cmp_branch | Load_use
+
+let pair_kind_name = function
+  | Cmp_branch -> "cmp+branch"
+  | Load_use -> "load+use"
+
+type pair = {
+  p_at : int;  (* address of the first word of the pair *)
+  p_kind : pair_kind;
+  p_count : int;
+  p_first : string;  (* rendered words *)
+  p_second : string;
+}
+
+type t = {
+  program : string;
+  blocks : block list;  (* hottest first *)
+  edges : ((int * int) * int) list;  (* ((from, to), taken), hottest first *)
+  pairs : pair list;  (* hottest first *)
+  other_cycles : int;
+  total_issue : int;
+  total_stall : int;
+  total_shadow : int;
+}
+
+let total_cycles t =
+  t.total_issue + t.total_stall + t.total_shadow + t.other_cycles
+
+(* Adjacent-pair classification.  A load+use pair is a word whose loaded
+   register the next word reads (the interlock/reorganization tension of
+   the paper); a cmp+branch pair is a comparison whose result the next
+   word's conditional branch tests (the classic fusion candidate). *)
+let classify_pair (e1 : Predecode.entry) (e2 : Predecode.entry) =
+  if not (Reg.Set.is_empty (Reg.Set.inter e1.Predecode.load_writes e2.Predecode.reads))
+  then Some Load_use
+  else
+    match (e1.Predecode.alu, e2.Predecode.branch) with
+    | Some (Alu.Setc (_, _, _, d)), Some (Branch.Cbr (_, a, b, _))
+      when a = Operand.R d || b = Operand.R d ->
+        Some Cmp_branch
+    | _ -> None
+
+let capture ?(program = "guest") cpu =
+  match Cpu.profile cpu with
+  | None -> invalid_arg "Mips_profile.capture: profiling is not armed"
+  | Some p ->
+      let counts = p.Cpu.pr_counts in
+      let n = Array.length counts in
+      let interlock = (Cpu.config cpu).Cpu.interlock in
+      (* lower each executed word once; block shape and pair classification
+         both read from here *)
+      let entries = Array.make n Predecode.nop in
+      for i = 0 to n - 1 do
+        if counts.(i) > 0 then entries.(i) <- Predecode.lower (Cpu.read_code cpu i)
+      done;
+      (* leaders: run starts, count discontinuities, words after a branch's
+         shadow, static direct targets, dynamic edge targets *)
+      let leader = Array.make n false in
+      for i = 0 to n - 1 do
+        if counts.(i) > 0 then
+          if i = 0 || counts.(i - 1) = 0 || counts.(i) <> counts.(i - 1) then
+            leader.(i) <- true
+      done;
+      for i = 0 to n - 1 do
+        if counts.(i) > 0 && Predecode.ends_block entries.(i) then begin
+          let shadow =
+            if interlock then 0
+            else match Predecode.branch_delay entries.(i) with
+              | Some d -> d
+              | None -> 0
+          in
+          let next = i + shadow + 1 in
+          if next < n then leader.(next) <- true;
+          match Predecode.branch_target entries.(i) with
+          | Some tgt when tgt >= 0 && tgt < n -> leader.(tgt) <- true
+          | _ -> ()
+        end
+      done;
+      Hashtbl.iter
+        (fun (_, tgt) _ -> if tgt >= 0 && tgt < n then leader.(tgt) <- true)
+        p.Cpu.pr_edges;
+      (* cut the executed address space into blocks *)
+      let blocks = ref [] in
+      let i = ref 0 in
+      while !i < n do
+        if counts.(!i) = 0 then incr i
+        else begin
+          let first = !i in
+          let j = ref (first + 1) in
+          while !j < n && counts.(!j) > 0 && not leader.(!j) do
+            incr j
+          done;
+          let last = !j - 1 in
+          let issue = ref 0 and stalls = ref 0 and shadow = ref 0 in
+          for k = first to last do
+            issue := !issue + counts.(k) - p.Cpu.pr_shadow.(k);
+            shadow := !shadow + p.Cpu.pr_shadow.(k);
+            stalls := !stalls + p.Cpu.pr_stalls.(k)
+          done;
+          blocks :=
+            { b_first = first;
+              b_last = last;
+              b_count = counts.(first);
+              b_issue = !issue;
+              b_stall = !stalls;
+              b_shadow = !shadow }
+            :: !blocks;
+          i := !j
+        end
+      done;
+      let blocks =
+        List.sort
+          (fun a b ->
+            match compare (block_cycles b) (block_cycles a) with
+            | 0 -> compare a.b_first b.b_first
+            | c -> c)
+          !blocks
+      in
+      let edges =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.Cpu.pr_edges []
+        |> List.sort (fun ((ka : int * int), (va : int)) (kb, vb) ->
+               match compare vb va with 0 -> compare ka kb | c -> c)
+      in
+      (* hot adjacent pairs, counted at the frequency of the less-executed
+         member so an exception-split pair is not over-counted *)
+      let pairs = ref [] in
+      for k = 0 to n - 2 do
+        if counts.(k) > 0 && counts.(k + 1) > 0 then
+          match classify_pair entries.(k) entries.(k + 1) with
+          | Some kind ->
+              pairs :=
+                { p_at = k;
+                  p_kind = kind;
+                  p_count = min counts.(k) counts.(k + 1);
+                  p_first = Lazy.force entries.(k).Predecode.render;
+                  p_second = Lazy.force entries.(k + 1).Predecode.render }
+                :: !pairs
+          | None -> ()
+      done;
+      let pairs =
+        List.sort
+          (fun a b ->
+            match compare b.p_count a.p_count with
+            | 0 -> compare a.p_at b.p_at
+            | c -> c)
+          !pairs
+      in
+      let ti = ref 0 and ts = ref 0 and tsh = ref 0 in
+      List.iter
+        (fun b ->
+          ti := !ti + b.b_issue;
+          ts := !ts + b.b_stall;
+          tsh := !tsh + b.b_shadow)
+        blocks;
+      { program;
+        blocks;
+        edges;
+        pairs;
+        other_cycles = p.Cpu.pr_other_cycles;
+        total_issue = !ti;
+        total_stall = !ts;
+        total_shadow = !tsh }
+
+(* --- text exporters ----------------------------------------------------- *)
+
+let block_label b = Printf.sprintf "blk_%d_%d" b.b_first b.b_last
+
+let pp_hotspots ?(top = 10) ppf t =
+  let total = max 1 (total_cycles t) in
+  Format.fprintf ppf "@[<v>hot blocks of %s (total %d cycles)@ " t.program
+    (total_cycles t);
+  Format.fprintf ppf "%4s %13s %9s %9s %9s %8s %7s  %s@ " "#" "block" "count"
+    "cycles" "issue" "stall" "shadow" "share";
+  List.iteri
+    (fun i b ->
+      if i < top then
+        Format.fprintf ppf "%4d %6d-%-6d %9d %9d %9d %8d %7d %5.1f%%@ " (i + 1)
+          b.b_first b.b_last b.b_count (block_cycles b) b.b_issue b.b_stall
+          b.b_shadow
+          (100. *. float_of_int (block_cycles b) /. float_of_int total))
+    t.blocks;
+  if t.other_cycles > 0 then
+    Format.fprintf ppf "%4s %13s %9s %9d (unattributed)@ " "" "other" ""
+      t.other_cycles;
+  Format.fprintf ppf "@]"
+
+let pp_edges ?(top = 10) ppf t =
+  Format.fprintf ppf "@[<v>hot taken edges@ ";
+  List.iteri
+    (fun i ((from, tgt), taken) ->
+      if i < top then
+        Format.fprintf ppf "%4d %6d -> %-6d %9d@ " (i + 1) from tgt taken)
+    t.edges;
+  Format.fprintf ppf "@]"
+
+let pp_pairs ?(top = 10) ppf t =
+  Format.fprintf ppf "@[<v>hot adjacent pairs (fusion candidates)@ ";
+  List.iteri
+    (fun i p ->
+      if i < top then
+        Format.fprintf ppf "%4d %-10s %9d  @[%6d: %s@ %6d: %s@]@ " (i + 1)
+          (pair_kind_name p.p_kind) p.p_count p.p_at p.p_first (p.p_at + 1)
+          p.p_second)
+    t.pairs;
+  Format.fprintf ppf "@]"
+
+(* Folded-stack flamegraph text (Brendan Gregg's collapsed format): one
+   "frame;frame value" line per stack.  Guest profiles are two frames deep
+   — program, then block — which is all a flat PC profile can honestly
+   claim. *)
+let folded t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s;%s %d\n" t.program (block_label b) (block_cycles b)))
+    (List.sort (fun a b -> compare a.b_first b.b_first) t.blocks);
+  if t.other_cycles > 0 then
+    Buffer.add_string buf (Printf.sprintf "%s;other %d\n" t.program t.other_cycles);
+  Buffer.contents buf
+
+(* speedscope's "sampled" profile: a frame table plus one single-frame
+   stack per block, weighted by its cycles. *)
+let speedscope t =
+  let blocks = List.sort (fun a b -> compare a.b_first b.b_first) t.blocks in
+  let frames =
+    List.map (fun b -> Json.Obj [ ("name", Json.Str (block_label b)) ]) blocks
+    @ (if t.other_cycles > 0 then [ Json.Obj [ ("name", Json.Str "other") ] ]
+       else [])
+  in
+  let weights =
+    List.map (fun b -> Json.Int (block_cycles b)) blocks
+    @ (if t.other_cycles > 0 then [ Json.Int t.other_cycles ] else [])
+  in
+  let samples = List.mapi (fun i _ -> Json.List [ Json.Int i ]) frames in
+  Json.Obj
+    [ ( "$schema",
+        Json.Str "https://www.speedscope.app/file-format-schema.json" );
+      ("name", Json.Str t.program);
+      ("activeProfileIndex", Json.Int 0);
+      ("exporter", Json.Str "mipsc profile");
+      ("shared", Json.Obj [ ("frames", Json.List frames) ]);
+      ( "profiles",
+        Json.List
+          [ Json.Obj
+              [ ("type", Json.Str "sampled");
+                ("name", Json.Str t.program);
+                ("unit", Json.Str "none");
+                ("startValue", Json.Int 0);
+                ("endValue", Json.Int (total_cycles t));
+                ("samples", Json.List samples);
+                ("weights", Json.List weights) ] ] ) ]
+
+let to_json t =
+  Json.Obj
+    [ ("program", Json.Str t.program);
+      ("total_cycles", Json.Int (total_cycles t));
+      ("issue_cycles", Json.Int t.total_issue);
+      ("stall_cycles", Json.Int t.total_stall);
+      ("shadow_cycles", Json.Int t.total_shadow);
+      ("other_cycles", Json.Int t.other_cycles);
+      ( "blocks",
+        Json.List
+          (List.map
+             (fun b ->
+               Json.Obj
+                 [ ("first", Json.Int b.b_first);
+                   ("last", Json.Int b.b_last);
+                   ("count", Json.Int b.b_count);
+                   ("cycles", Json.Int (block_cycles b));
+                   ("issue", Json.Int b.b_issue);
+                   ("stall", Json.Int b.b_stall);
+                   ("shadow", Json.Int b.b_shadow) ])
+             t.blocks) );
+      ( "edges",
+        Json.List
+          (List.map
+             (fun ((from, tgt), taken) ->
+               Json.Obj
+                 [ ("from", Json.Int from);
+                   ("to", Json.Int tgt);
+                   ("taken", Json.Int taken) ])
+             t.edges) );
+      ( "pairs",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [ ("kind", Json.Str (pair_kind_name p.p_kind));
+                   ("at", Json.Int p.p_at);
+                   ("count", Json.Int p.p_count);
+                   ("first", Json.Str p.p_first);
+                   ("second", Json.Str p.p_second) ])
+             t.pairs) ) ]

@@ -103,6 +103,7 @@ let note_outcomes policy obs outs =
   List.iter
     (fun o ->
       Mips_obs.Metrics.incr metrics "supervise.jobs";
+      Mips_obs.Metrics.observe metrics "supervise.job_seconds" o.duration_s;
       List.iteri
         (fun i b ->
           Mips_obs.Metrics.incr metrics "supervise.retries";
@@ -132,7 +133,8 @@ let note_outcomes policy obs outs =
     outs
 
 let supervised_map ?(policy = default_policy) ?jobs
-    ?(obs = Mips_obs.Sink.null) ~label f xs =
+    ?(obs = Mips_obs.Sink.null) ?(tracer = Mips_obs.Span.no_tracer) ~label f
+    xs =
   (* breaker open: degrade to serial single-job execution instead of
      aborting — the remaining work still completes, just without fan-out *)
   let jobs = if circuit_open () then Some 1 else jobs in
@@ -140,7 +142,8 @@ let supervised_map ?(policy = default_policy) ?jobs
     Mips_obs.Metrics.incr metrics "supervise.degraded_maps";
   let items = List.mapi (fun i x -> (i, x)) xs in
   let outs =
-    Mips_par.map ?jobs
+    Mips_par.map_spans ?jobs ~tracer
+      ~name:(fun (_, x) -> label x)
       (fun (i, x) -> supervise_one policy ~label:(label x) ~index:i f x)
       items
   in

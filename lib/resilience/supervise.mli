@@ -56,13 +56,17 @@ val supervised_map :
   ?policy:policy ->
   ?jobs:int ->
   ?obs:Mips_obs.Sink.t ->
+  ?tracer:Mips_obs.Span.tracer ->
   label:('a -> string) ->
   ('a -> 'b) ->
   'a list ->
   'b outcome list
 (** Run [f] over [xs] on the pool under the policy.  Outcomes come back in
     submission order; [obs] receives [Job_retry], [Job_quarantined] and
-    [Circuit_open] events (emitted post-join, in submission order). *)
+    [Circuit_open] events (emitted post-join, in submission order).  With
+    [tracer], each job (including its retries) is timed as a span on its
+    worker's lane.  Every job's duration also lands in the
+    ["supervise.job_seconds"] histogram of {!metrics}. *)
 
 val oks : 'b outcome list -> 'b list
 (** Successful results, in order. *)

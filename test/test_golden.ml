@@ -88,7 +88,14 @@ let rec schema_lines indent = function
 let test_report_schema () =
   let json = Mips_analysis.Report.json_all ~include_heavy:false () in
   let text = String.concat "\n" (schema_lines "" json) ^ "\n" in
-  check_golden "report_schema.txt" text
+  check_golden "report_schema.txt" text;
+  (* the version field downstream consumers key on: present, first, and
+     matching the library constant *)
+  (match json with
+  | Json.Obj (("schema_version", Json.Int v) :: _) ->
+      Alcotest.(check int)
+        "schema_version value" Mips_analysis.Report.report_schema_version v
+  | _ -> Alcotest.fail "schema_version must be the first report key")
 
 let suite =
   [ ( "golden:cli-json",

@@ -340,6 +340,177 @@ let test_kernel_trace () =
   checki "procs via json" 2
     (List.length Json.(to_list_exn (member_exn "procs" j)))
 
+(* ---------- Histograms ---------- *)
+
+let test_hist_single_value () =
+  let m = Metrics.create () in
+  Metrics.observe m "h" 0.125;
+  match Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some v ->
+      checki "count" 1 v.Metrics.count;
+      (* single-valued histograms are exact: the bucket midpoint clamps
+         into [min, max], which here is a point *)
+      check (Alcotest.float 0.) "sum" 0.125 v.Metrics.sum;
+      check (Alcotest.float 0.) "p50" 0.125 v.Metrics.p50;
+      check (Alcotest.float 0.) "p90" 0.125 v.Metrics.p90;
+      check (Alcotest.float 0.) "p99" 0.125 v.Metrics.p99
+
+let test_hist_percentiles () =
+  let m = Metrics.create () in
+  for i = 1 to 1000 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  match Metrics.histogram m "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some v ->
+      checki "count" 1000 v.Metrics.count;
+      check (Alcotest.float 0.) "min" 1. v.Metrics.min_v;
+      check (Alcotest.float 0.) "max" 1000. v.Metrics.max_v;
+      (* base-2 buckets: every quantile within ~sqrt 2 relative error *)
+      let near q est = est >= q /. 1.5 && est <= q *. 1.5 in
+      checkb "p50 near 500" true (near 500. v.Metrics.p50);
+      checkb "p90 near 900" true (near 900. v.Metrics.p90);
+      checkb "p99 near 990" true (near 990. v.Metrics.p99);
+      checkb "quantiles monotone" true
+        (v.Metrics.p50 <= v.Metrics.p90 && v.Metrics.p90 <= v.Metrics.p99)
+
+let test_hist_odd_values () =
+  (* non-positive and non-finite samples land in the lowest bucket but
+     keep count and min/max truthful, and quantiles stay finite *)
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m "odd") [ 0.; -3.; Float.nan; 4. ];
+  match Metrics.histogram m "odd" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some v ->
+      checki "count" 4 v.Metrics.count;
+      check (Alcotest.float 0.) "min" (-3.) v.Metrics.min_v;
+      check (Alcotest.float 0.) "max" 4. v.Metrics.max_v;
+      checkb "p50 finite" true (Float.is_finite v.Metrics.p50);
+      checkb "p99 finite" true (Float.is_finite v.Metrics.p99)
+
+let test_hist_json_shape () =
+  let m = Metrics.create () in
+  Metrics.observe m "h" 2.;
+  let j = roundtrip (Metrics.to_json m) in
+  let h = Json.(member_exn "h" (member_exn "histograms" j)) in
+  checki "count" 1 Json.(to_int_exn (member_exn "count" h));
+  List.iter
+    (fun k -> checkb k true (Json.member k h <> None))
+    [ "sum"; "min"; "max"; "p50"; "p90"; "p99" ]
+
+(* dyadic rationals k/16: sums are exact in binary floating point, so
+   histogram equality after differently-associated merges is exact too *)
+let dyadic_list =
+  QCheck2.Gen.(list_size (int_bound 40) (map (fun k -> float_of_int k /. 16.) (int_range 1 64)))
+
+let mk_hist samples =
+  let m = Mips_obs.Metrics.create () in
+  List.iter (Mips_obs.Metrics.observe m "h") samples;
+  m
+
+let qcheck_hist_merge_assoc =
+  QCheck2.Test.make ~name:"histogram merge is associative" ~count:200
+    QCheck2.Gen.(triple dyadic_list dyadic_list dyadic_list)
+    (fun (l1, l2, l3) ->
+      let left = mk_hist l1 in
+      Mips_obs.Metrics.merge ~into:left (mk_hist l2);
+      Mips_obs.Metrics.merge ~into:left (mk_hist l3);
+      let bc = mk_hist l2 in
+      Mips_obs.Metrics.merge ~into:bc (mk_hist l3);
+      let right = mk_hist l1 in
+      Mips_obs.Metrics.merge ~into:right bc;
+      Mips_obs.Metrics.histograms left = Mips_obs.Metrics.histograms right
+      && Json.to_string (Mips_obs.Metrics.to_json left)
+         = Json.to_string (Mips_obs.Metrics.to_json right))
+
+let qcheck_json_float_roundtrip =
+  QCheck2.Test.make ~name:"json float round-trip" ~count:500 QCheck2.Gen.float
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      match Json.of_string_exn s with
+      | Json.Null -> Float.is_nan f || Float.abs f = Float.infinity
+      | j ->
+          let f' = Json.to_float_exn j in
+          (* %.17g fallback makes the repr lossless for finite floats *)
+          Float.equal f f' || (Float.is_nan f && Float.is_nan f'))
+
+(* ---------- Spans ---------- *)
+
+(* a deterministic fake clock: each read advances one second *)
+let ticking () =
+  let t = ref 0. in
+  fun () ->
+    let v = !t in
+    t := v +. 1.;
+    v
+
+let test_span_nesting () =
+  let sp = Span.create ~clock:(ticking ()) () in
+  Span.with_ sp "outer" (fun () -> Span.with_ sp "inner" (fun () -> ()));
+  Span.with_ sp "after" (fun () -> ());
+  match Span.spans sp with
+  | [ outer; inner; after ] ->
+      check Alcotest.string "outer name" "outer" outer.Span.sp_name;
+      checki "outer depth" 0 outer.Span.sp_depth;
+      check Alcotest.string "inner name" "inner" inner.Span.sp_name;
+      checki "inner depth" 1 inner.Span.sp_depth;
+      checki "after depth" 0 after.Span.sp_depth;
+      (* clock ticks once per enter/leave: outer spans reads 0..3 *)
+      check (Alcotest.float 0.) "outer start" 0. outer.Span.sp_start;
+      check (Alcotest.float 0.) "outer dur" 3. outer.Span.sp_dur;
+      check (Alcotest.float 0.) "inner start" 1. inner.Span.sp_start;
+      check (Alcotest.float 0.) "inner dur" 1. inner.Span.sp_dur;
+      checkb "inner inside outer" true
+        (inner.Span.sp_start >= outer.Span.sp_start
+        && inner.Span.sp_start +. inner.Span.sp_dur
+           <= outer.Span.sp_start +. outer.Span.sp_dur)
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+let test_span_exception_safe () =
+  let sp = Span.create ~clock:(ticking ()) () in
+  (try Span.with_ sp "boom" (fun () -> failwith "x") with Failure _ -> ());
+  match Span.spans sp with
+  | [ s ] -> check Alcotest.string "closed on raise" "boom" s.Span.sp_name
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_span_null_records_nothing () =
+  Span.with_ Span.null "ignored" (fun () -> ());
+  checki "null stays empty" 0 (List.length (Span.spans Span.null));
+  checkb "no_tracer disabled" false (Span.tracer_enabled Span.no_tracer)
+
+let test_tracer_chrome () =
+  let tracer = Span.tracer ~clock:(ticking ()) ~lanes:2 () in
+  Span.with_ (Span.lane tracer 0) "a" (fun () -> ());
+  Span.with_ (Span.lane tracer 1) "b" (fun () -> ());
+  let spans = Span.tracer_spans tracer in
+  checki "two spans" 2 (List.length spans);
+  let j = roundtrip (Span.to_chrome ~process:"test" spans) in
+  let events = Json.(to_list_exn (member_exn "traceEvents" j)) in
+  let xs =
+    List.filter
+      (fun e -> Json.member_exn "ph" e = Json.Str "X")
+      events
+  in
+  checki "one X event per span" 2 (List.length xs);
+  let tids =
+    List.sort_uniq compare
+      (List.map (fun e -> Json.(to_int_exn (member_exn "tid" e))) xs)
+  in
+  checki "one lane per collector" 2 (List.length tids);
+  List.iter
+    (fun e ->
+      checkb "ts rebased non-negative" true
+        (Json.to_float_exn (Json.member_exn "ts" e) >= 0.);
+      checkb "dur non-negative" true
+        (Json.to_float_exn (Json.member_exn "dur" e) >= 0.))
+    xs;
+  (* metadata names the process and each lane *)
+  let metas =
+    List.filter (fun e -> Json.member_exn "ph" e = Json.Str "M") events
+  in
+  checkb "has metadata events" true (List.length metas >= 3)
+
 let suite =
   [
     ( "obs",
@@ -366,5 +537,18 @@ let suite =
         Alcotest.test_case "raw interlocked stall pairs" `Quick
           test_raw_interlocked_stall_pairs;
         Alcotest.test_case "kernel trace" `Quick test_kernel_trace;
-      ] );
+        Alcotest.test_case "histogram single value exact" `Quick
+          test_hist_single_value;
+        Alcotest.test_case "histogram percentiles" `Quick test_hist_percentiles;
+        Alcotest.test_case "histogram odd values" `Quick test_hist_odd_values;
+        Alcotest.test_case "histogram json shape" `Quick test_hist_json_shape;
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "span exception safety" `Quick
+          test_span_exception_safe;
+        Alcotest.test_case "null span collector" `Quick
+          test_span_null_records_nothing;
+        Alcotest.test_case "tracer chrome export" `Quick test_tracer_chrome;
+      ]
+      @ Testutil.qsuite [ qcheck_hist_merge_assoc; qcheck_json_float_roundtrip ]
+    );
   ]
