@@ -26,7 +26,8 @@
    (also write the timings and engine speedups machine-readably),
    --jobs N (worker-pool size for the parallel paths), --baseline FILE
    (diff the fresh timings against a committed --json run and print
-   per-benchmark speedup ratios). *)
+   per-benchmark speedup ratios), --daemon (service-latency scenarios
+   against an in-process mipsd instead — see below). *)
 
 open Bechamel
 
@@ -446,6 +447,161 @@ let print_baseline_diff ~file baseline results =
       Printf.printf "%-34s %35.2fx\n" "geomean"
         (exp (logsum /. float_of_int (List.length common)))
 
+(* --- daemon latency bench (--daemon) ----------------------------------------- *)
+
+(* Service-level timings for mipsd: client-observed request latency against
+   an in-process daemon.  Two scenarios bound the two sides of admission
+   control — "nominal" (a pool wide enough for the offered load: every
+   request served, tail latency is the daemon's overhead on a real compile+
+   run) and "saturated" (one worker pinned by a hog tenant, zero queue:
+   every other request must come back as a typed Overloaded within a
+   bounded tail, the load-shedding promise measured rather than asserted).
+   Bechamel is the wrong harness here — the interesting numbers are
+   percentiles across concurrent clients, not the mean of a steady-state
+   loop — so the scenarios drive the Metrics histograms directly, the same
+   estimator the daemon itself exports. *)
+
+module Dserver = Mips_daemon.Server
+module Dclient = Mips_daemon.Client
+module Dprotocol = Mips_daemon.Protocol
+
+(* runs forever (until the fuel budget): the hog workload *)
+let spin_source =
+  "program spin;\n\
+   var i : integer;\n\
+   begin\n\
+  \  i := 0;\n\
+  \  while i < 2 do begin i := i + 1; i := i - 1 end\n\
+   end.\n"
+
+let daemon_run_req ?(tenant = "bench") ?(fuel = 500_000_000) source input =
+  Dprotocol.Run
+    { tenant; session = None; source; cg = Dprotocol.default_codegen; input;
+      fuel; engine = "ref" }
+
+type daemon_counts = {
+  mutable d_ok : int;
+  mutable d_shed : int;
+  mutable d_failed : int;
+}
+
+let daemon_scenario ~name ~jobs ~queue ~clients ~requests ~hog reqf =
+  let dir = Filename.temp_file "mipsd-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let socket = Filename.concat dir "bench.sock" in
+  let server =
+    Dserver.start
+      { (Dserver.default_config ~socket) with Dserver.jobs; queue; drain_s = 1. }
+  in
+  let metrics = Mips_obs.Metrics.create () in
+  let counts = { d_ok = 0; d_shed = 0; d_failed = 0 } in
+  let lock = Mutex.create () in
+  (* the hog occupies a worker for the whole scenario so every client
+     request in the saturated scenario finds the pool full *)
+  let hog_thread =
+    if not hog then None
+    else begin
+      let t =
+        Thread.create
+          (fun () ->
+            ignore
+              (Dclient.with_connection socket (fun c ->
+                   Result.map_error Mips_daemon.Frame.error_to_string
+                     (Dclient.request c
+                        (daemon_run_req ~tenant:"hog" ~fuel:60_000_000
+                           spin_source "")))))
+          ()
+      in
+      Thread.delay 0.3;
+      Some t
+    end
+  in
+  let client i =
+    (* one tenant per client: the scenario measures the daemon under its
+       intended multi-tenant load, not one tenant's concurrency quota *)
+    let req = reqf i in
+    for _ = 1 to requests do
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        Dclient.with_connection socket (fun c ->
+            Result.map_error Mips_daemon.Frame.error_to_string
+              (Dclient.request c req))
+      in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      Mutex.lock lock;
+      (match outcome with
+      | Ok (Dprotocol.Err (Dprotocol.Overloaded, _)) ->
+          counts.d_shed <- counts.d_shed + 1;
+          Mips_obs.Metrics.observe metrics "shed_ms" ms
+      | Ok (Dprotocol.Err _) | Error _ -> counts.d_failed <- counts.d_failed + 1
+      | Ok _ ->
+          counts.d_ok <- counts.d_ok + 1;
+          Mips_obs.Metrics.observe metrics "ok_ms" ms);
+      Mutex.unlock lock
+    done
+  in
+  let threads = List.init clients (fun i -> Thread.create client i) in
+  List.iter Thread.join threads;
+  Option.iter Thread.join hog_thread;
+  Dserver.stop ~drain:false server;
+  let hist_json name =
+    let open Mips_obs.Json in
+    match Mips_obs.Metrics.histogram metrics name with
+    | None -> Null
+    | Some h ->
+        Obj
+          [ ("p50", Float h.Mips_obs.Metrics.p50);
+            ("p90", Float h.Mips_obs.Metrics.p90);
+            ("p99", Float h.Mips_obs.Metrics.p99);
+            ("max", Float h.Mips_obs.Metrics.max_v) ]
+  in
+  Printf.printf
+    "%-10s jobs %d queue %2d  clients %d x %d   ok %3d  shed %3d  failed %3d\n%!"
+    name jobs queue clients requests counts.d_ok counts.d_shed counts.d_failed;
+  let open Mips_obs.Json in
+  Obj
+    [ ("name", Str name);
+      ("jobs", Int jobs);
+      ("queue", Int queue);
+      ("clients", Int clients);
+      ("requests_per_client", Int requests);
+      ("ok", Int counts.d_ok);
+      ("shed", Int counts.d_shed);
+      ("failed", Int counts.d_failed);
+      ("latency_ms", hist_json "ok_ms");
+      ("shed_latency_ms", hist_json "shed_ms") ]
+
+let run_daemon_bench json =
+  print_endline "=== mipsd service latency (client-observed) ===";
+  let fib = Mips_corpus.Corpus.find "fib" in
+  let reqf i =
+    daemon_run_req
+      ~tenant:(Printf.sprintf "bench%d" i)
+      fib.Mips_corpus.Corpus.source fib.Mips_corpus.Corpus.input
+  in
+  let nominal =
+    daemon_scenario ~name:"nominal" ~jobs:4 ~queue:16 ~clients:8 ~requests:12
+      ~hog:false reqf
+  in
+  let saturated =
+    daemon_scenario ~name:"saturated" ~jobs:1 ~queue:0 ~clients:8 ~requests:12
+      ~hog:true reqf
+  in
+  let doc =
+    Mips_obs.Json.Obj
+      [ ("schema", Mips_obs.Json.Str "mips-bench-daemon/1");
+        ("scenarios", Mips_obs.Json.List [ nominal; saturated ]) ]
+  in
+  match json with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Mips_obs.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n%!" file
+  | None -> ()
+
 let rec opt_value flag = function
   | [] -> None
   | f :: v :: _ when f = flag -> Some v
@@ -458,6 +614,10 @@ let () =
   let include_heavy = List.mem "--with-benchmarks" args in
   let json = opt_value "--json" args in
   let baseline = opt_value "--baseline" args in
+  if List.mem "--daemon" args then begin
+    run_daemon_bench json;
+    exit 0
+  end;
   (match opt_value "--jobs" args with
   | Some n -> (
       match int_of_string_opt n with

@@ -7,6 +7,9 @@ let usage = 2 (* bad arguments, missing or unwritable file *)
 let out_of_fuel = 3 (* the program did not halt within the fuel budget *)
 let divergence = 4 (* a soak variant diverged from the reference *)
 let checkpoint = 5 (* a checkpoint could not be read, or does not match *)
+let connect = 6 (* the mipsd socket could not be reached *)
+let overloaded = 7 (* the daemon shed the request (overload/quarantine/drain) *)
+let protocol = 8 (* a malformed, truncated or version-skewed frame *)
 
 let infos =
   let open Cmdliner.Cmd.Exit in
@@ -22,4 +25,14 @@ let infos =
     info checkpoint
       ~doc:"when a checkpoint file cannot be read (truncated, corrupt, \
             version skew) or does not match the requested run.";
+    info connect
+      ~doc:"when the mipsd daemon socket cannot be reached (daemon not \
+            running, wrong path, or a dead socket file).";
+    info overloaded
+      ~doc:"when the daemon refused the request without running it: \
+            admission queue full (load shed), the tenant's circuit breaker \
+            open, or the daemon draining for shutdown.";
+    info protocol
+      ~doc:"when the daemon connection broke protocol: a malformed, \
+            truncated, corrupt or version-skewed frame.";
   ]

@@ -231,13 +231,65 @@ let fault_rate_flag =
           "Per-step injection probability under $(b,--fault-seed) (default \
            0.001).")
 
+(* `run --remote` ships the request to a mipsd daemon instead of executing
+   locally.  Guest output, the fault line and the exit code behave exactly
+   like a local run; daemon-side failures map to the standardized codes
+   (6 connect, 7 shed, 8 protocol, 3 quota kill). *)
+let remote_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"SOCKET"
+        ~doc:
+          "Execute on the mipsd daemon listening on $(docv) instead of in \
+           process.  Local-only flags (--trace, --stats, --checkpoint, \
+           --resume, --fault-seed) do not combine with $(docv).")
+
+let remote_tenant_flag =
+  Arg.(
+    value & opt string "mipsc"
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:"Tenant to bill a $(b,--remote) run to (default $(b,mipsc)).")
+
+let run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~engine =
+  let req =
+    Mips_daemon.Protocol.Run
+      {
+        tenant;
+        session = None;
+        source = src;
+        cg = { Mips_daemon.Protocol.byte; early_out; level };
+        input;
+        fuel = 500_000_000;
+        engine = Mips_machine.Cpu.engine_name engine;
+      }
+  in
+  match Remote.request_or_die ~prog:"mipsc" socket req with
+  | Mips_daemon.Protocol.Ran r -> Remote.finish_run ~prog:"mipsc" r
+  | _ ->
+      Printf.eprintf "mipsc: unexpected response to run\n";
+      exit Exit_code.protocol
+
 let run_cmd =
   let run file byte early_out level input stats trace trace_format stats_json
       fault_seed fault_rate engine jobs checkpoint checkpoint_every resume
-      host_trace =
+      host_trace remote tenant =
     apply_jobs jobs;
     let config = config_of ~byte ~early_out in
     let src = read_source file in
+    (match remote with
+    | Some socket ->
+        if
+          stats || trace <> None || stats_json <> None || fault_seed <> None
+          || checkpoint <> None || resume <> None || host_trace <> None
+        then begin
+          Printf.eprintf
+            "mipsc: --remote does not combine with --stats/--trace/\
+             --stats-json/--fault-seed/--checkpoint/--resume/--host-trace\n";
+          exit Exit_code.usage
+        end;
+        run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~engine
+    | None -> ());
     let input =
       if input = "" then
         match Mips_corpus.Corpus.find file with
@@ -434,7 +486,7 @@ let run_cmd =
       $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag
       $ fault_seed_flag $ fault_rate_flag $ engine_flag $ jobs_flag
       $ checkpoint_flag $ checkpoint_every_flag 1_000_000 $ resume_flag
-      $ host_trace_flag)
+      $ host_trace_flag $ remote_flag $ remote_tenant_flag)
 
 let compile_cmd =
   let compile file byte early_out level =
@@ -792,12 +844,7 @@ let soak_cmd =
     in
     if json then
       print_endline
-        (Mips_obs.Json.to_string
-           (Mips_obs.Json.Obj
-              [ ("kernel", Mips_soak.Soak.summary_json s);
-                ( "differential",
-                  Mips_obs.Json.List (List.map Mips_soak.Soak.diff_json diffs)
-                ) ]))
+        (Mips_obs.Json.to_string (Mips_soak.Soak.result_json s diffs))
     else begin
       Printf.printf "=== kernel soak (seed %d, %d programs, %d steps) ===\n"
         seed s.Mips_soak.Soak.programs s.Mips_soak.Soak.steps;

@@ -1,0 +1,545 @@
+(* mipsd — the fault-tolerant multi-tenant simulation daemon.
+
+   mipsd serve --socket PATH       run the daemon (SIGTERM drains cleanly)
+   mipsd ping [--wait S]           liveness probe (the startup barrier)
+   mipsd status                    daemon status as JSON
+   mipsd run FILE                  compile + execute on the daemon
+   mipsd compile FILE              compile and print the listing
+   mipsd soak --session NAME       checkpointed kernel/differential soak
+   mipsd report                    the full evaluation report as JSON
+   mipsd collect SESSION           fetch a session's (possibly recovered) result
+   mipsd load FILE                 concurrent load generator with latencies
+   mipsd stop                      ask the daemon to shut down
+
+   Client commands exit with the standardized codes (see --help): 6 when
+   the socket cannot be reached, 7 when the daemon shed the request
+   (overload, quarantine, drain), 8 on a broken frame, 3 on a quota kill
+   or out-of-fuel run, 2 on a refused request.
+
+   Sessions: `run --session`/`soak --session` checkpoint under the
+   daemon's --state-dir; a daemon killed with SIGKILL mid-session and
+   restarted on the same directory resumes the work and completes it
+   bit-identically — `collect` then fetches the result. *)
+
+open Cmdliner
+module Server = Mips_daemon.Server
+module Client = Mips_daemon.Client
+module Tenants = Mips_daemon.Tenants
+module Protocol = Mips_daemon.Protocol
+module Frame = Mips_daemon.Frame
+
+let read_source path =
+  if Sys.file_exists path then
+    In_channel.with_open_text path In_channel.input_all
+  else
+    match Mips_corpus.Corpus.find path with
+    | e -> e.Mips_corpus.Corpus.source
+    | exception Not_found ->
+        Printf.eprintf "mipsd: no such file or corpus program: %s\n" path;
+        exit Exit_code.usage
+
+(* --- common flags ------------------------------------------------------------ *)
+
+let socket_flag =
+  Arg.(
+    value & opt string "mipsd.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix socket the daemon listens on (default $(b,mipsd.sock)).")
+
+let tenant_flag =
+  Arg.(
+    value & opt string "default"
+    & info [ "tenant" ] ~docv:"NAME"
+        ~doc:
+          "Tenant to bill the request to — quotas, concurrency and the \
+           circuit breaker are per tenant.")
+
+let session_flag =
+  Arg.(
+    value & opt (some string) None
+    & info [ "session" ] ~docv:"NAME"
+        ~doc:
+          "Name a resumable session: the daemon checkpoints the work under \
+           its state directory and a killed-and-restarted daemon finishes \
+           it bit-identically ($(b,mipsd collect) fetches the result).")
+
+let file_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Source file or corpus program name.")
+
+let byte_flag =
+  Arg.(
+    value & flag
+    & info [ "byte-addressed" ]
+        ~doc:"Target the byte-addressed comparison machine.")
+
+let early_flag =
+  Arg.(
+    value & flag
+    & info [ "early-out" ]
+        ~doc:"Early-out boolean evaluation instead of set-conditionally.")
+
+let level_flag =
+  Arg.(
+    value & opt int 3
+    & info [ "O" ] ~docv:"N"
+        ~doc:"Postpass level 0-3 (none/reorganize/pack/branch-delay).")
+
+let input_flag =
+  Arg.(
+    value & opt string ""
+    & info [ "input" ] ~docv:"TEXT"
+        ~doc:"Input stream for the getchar monitor call.")
+
+let engine_flag =
+  Arg.(
+    value
+    & opt (enum [ ("ref", "ref"); ("fast", "fast") ]) "ref"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Execution engine: $(b,ref) (default) or $(b,fast).")
+
+let cg_of ~byte ~early_out ~level =
+  { Protocol.byte; early_out; level }
+
+(* --- serve ------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let serve socket jobs queue max_tenants state_dir checkpoint_every
+      idle_evict drain max_fuel max_output max_concurrent max_wall
+      breaker_threshold breaker_cooldown test_crash =
+    let quota =
+      {
+        Tenants.max_fuel;
+        max_output;
+        max_concurrent;
+        max_wall_s = max_wall;
+        breaker_threshold;
+        breaker_cooldown_s = breaker_cooldown;
+      }
+    in
+    let config =
+      {
+        (Server.default_config ~socket) with
+        Server.jobs;
+        queue;
+        max_tenants;
+        quota;
+        state_dir;
+        checkpoint_every;
+        idle_evict_s = idle_evict;
+        drain_s = drain;
+        test_crash_after_checkpoints = test_crash;
+      }
+    in
+    let t =
+      try Server.start config
+      with Sys_error msg ->
+        Printf.eprintf "mipsd: %s\n" msg;
+        exit Exit_code.usage
+    in
+    let stop_signal _ = Server.request_stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+    Printf.eprintf "mipsd: listening on %s (%d jobs, queue %d, %d tenants%s)\n%!"
+      socket jobs queue max_tenants
+      (match state_dir with
+      | Some d -> Printf.sprintf ", sessions in %s" d
+      | None -> ", sessions disabled");
+    Server.wait_stopped t;
+    Printf.eprintf "mipsd: draining (deadline %.1fs)\n%!" drain;
+    Server.stop ~drain:true t;
+    Printf.eprintf "mipsd: stopped\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:Exit_code.infos
+       ~doc:
+         "Run the daemon: accept concurrent compile/run/soak/report/status \
+          requests over the socket, with per-tenant quotas, admission \
+          control, circuit breakers and crash-recoverable sessions.  \
+          SIGTERM (or $(b,mipsd stop)) drains in-flight work and exits.")
+    Term.(
+      const serve $ socket_flag
+      $ Arg.(
+          value & opt int 4
+          & info [ "jobs" ; "j" ] ~docv:"N"
+              ~doc:"Worker domains executing admitted requests (default 4).")
+      $ Arg.(
+          value & opt int 16
+          & info [ "queue" ] ~docv:"N"
+              ~doc:
+                "Admitted requests that may wait for a worker (default 16); \
+                 beyond this, load is shed with a typed $(i,overloaded) \
+                 refusal, never queued into unbounded latency.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "max-tenants" ] ~docv:"K"
+              ~doc:"Tenant registry bound (default 64).")
+      $ Arg.(
+          value & opt (some string) None
+          & info [ "state-dir" ] ~docv:"DIR"
+              ~doc:
+                "Session journal and checkpoint directory.  A daemon killed \
+                 (even with SIGKILL) and restarted on the same $(docv) \
+                 resumes every in-flight session and completes it \
+                 bit-identically.  Omitted: sessions are refused.")
+      $ Arg.(
+          value & opt int 50_000
+          & info [ "checkpoint-every" ] ~docv:"STEPS"
+              ~doc:
+                "Machine steps between session checkpoints (default 50000). \
+                 Slicing never changes results.")
+      $ Arg.(
+          value & opt float 300.
+          & info [ "idle-evict" ] ~docv:"S"
+              ~doc:
+                "Seconds a finished session may sit uncollected in memory \
+                 before eviction (default 300; journalled results remain \
+                 collectable from disk).")
+      $ Arg.(
+          value & opt float 10.
+          & info [ "drain" ] ~docv:"S"
+              ~doc:"Shutdown drain deadline in seconds (default 10).")
+      $ Arg.(
+          value & opt int Tenants.default_quota.Tenants.max_fuel
+          & info [ "max-fuel" ] ~docv:"STEPS"
+              ~doc:
+                "Per-request machine-step quota (default 500000000).  A \
+                 request asking for more is clamped and killed with a typed \
+                 $(i,quota) reason when the clamp binds.")
+      $ Arg.(
+          value & opt int Tenants.default_quota.Tenants.max_output
+          & info [ "max-output" ] ~docv:"BYTES"
+              ~doc:
+                "Per-request output/memory quota in bytes (default 4000000), \
+                 enforced during execution by a watchdog.")
+      $ Arg.(
+          value & opt int Tenants.default_quota.Tenants.max_concurrent
+          & info [ "max-concurrent" ] ~docv:"N"
+              ~doc:"In-flight requests per tenant (default 4).")
+      $ Arg.(
+          value & opt float Tenants.default_quota.Tenants.max_wall_s
+          & info [ "max-wall" ] ~docv:"S"
+              ~doc:"Wall-clock watchdog per request in seconds (default 120).")
+      $ Arg.(
+          value & opt int Tenants.default_quota.Tenants.breaker_threshold
+          & info [ "breaker-threshold" ] ~docv:"N"
+              ~doc:
+                "Consecutive failures that open a tenant's circuit breaker \
+                 (default 5) — the tenant is then quarantined without \
+                 degrading its neighbors.")
+      $ Arg.(
+          value & opt float Tenants.default_quota.Tenants.breaker_cooldown_s
+          & info [ "breaker-cooldown" ] ~docv:"S"
+              ~doc:
+                "Seconds an open breaker refuses before letting one probe \
+                 through (default 30).")
+      $ Arg.(
+          value & opt (some int) None
+          & info [ "test-crash-after" ] ~docv:"N"
+              ~doc:
+                "Test hook: abort a session's job after $(docv) checkpoint \
+                 writes — the in-process stand-in for SIGKILL used by the \
+                 crash-recovery tests.")
+      )
+
+(* --- client commands ---------------------------------------------------------- *)
+
+let ping_cmd =
+  let ping socket wait =
+    match wait with
+    | Some timeout_s ->
+        if Client.wait_ready ~timeout_s socket then print_endline "pong"
+        else begin
+          Printf.eprintf "mipsd: no daemon on %s after %.1fs\n" socket
+            timeout_s;
+          exit Exit_code.connect
+        end
+    | None -> (
+        match Remote.request_or_die ~prog:"mipsd" socket Protocol.Ping with
+        | Protocol.Pong -> print_endline "pong"
+        | _ ->
+            Printf.eprintf "mipsd: unexpected response to ping\n";
+            exit Exit_code.protocol)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~exits:Exit_code.infos
+       ~doc:
+         "Probe the daemon; with $(b,--wait) poll until it answers or the \
+          timeout expires (the startup barrier for scripts).")
+    Term.(
+      const ping $ socket_flag
+      $ Arg.(
+          value
+          & opt ~vopt:(Some 10.) (some float) None
+          & info [ "wait" ] ~docv:"S"
+              ~doc:"Poll for up to $(docv) seconds (default 10)."))
+
+let status_cmd =
+  let status socket =
+    match Remote.request_or_die ~prog:"mipsd" socket Protocol.Status with
+    | Protocol.Status_r json -> print_endline json
+    | _ ->
+        Printf.eprintf "mipsd: unexpected response to status\n";
+        exit Exit_code.protocol
+  in
+  Cmd.v
+    (Cmd.info "status" ~exits:Exit_code.infos
+       ~doc:
+         "Print the daemon's status as JSON: admission counters, per-tenant \
+          breaker states, session table and latency histograms.")
+    Term.(const status $ socket_flag)
+
+let run_cmd =
+  let run socket tenant session file byte early_out level input engine fuel =
+    let req =
+      Protocol.Run
+        {
+          tenant;
+          session;
+          source = read_source file;
+          cg = cg_of ~byte ~early_out ~level;
+          input;
+          fuel;
+          engine;
+        }
+    in
+    match Remote.request_or_die ~prog:"mipsd" socket req with
+    | Protocol.Ran r -> Remote.finish_run ~prog:"mipsd" r
+    | _ ->
+        Printf.eprintf "mipsd: unexpected response to run\n";
+        exit Exit_code.protocol
+  in
+  Cmd.v
+    (Cmd.info "run" ~exits:Exit_code.infos
+       ~doc:
+         "Compile and execute a program on the daemon.  Guest output goes \
+          to standard output and the guest's exit status becomes the exit \
+          code, exactly like a local $(b,mipsc run).")
+    Term.(
+      const run $ socket_flag $ tenant_flag $ session_flag $ file_arg
+      $ byte_flag $ early_flag $ level_flag $ input_flag $ engine_flag
+      $ Arg.(
+          value & opt int 500_000_000
+          & info [ "fuel" ] ~docv:"STEPS"
+              ~doc:
+                "Requested step budget (default 500000000; clamped to the \
+                 tenant's quota)."))
+
+let compile_cmd =
+  let compile socket tenant file byte early_out level =
+    let req =
+      Protocol.Compile
+        { tenant; source = read_source file;
+          cg = cg_of ~byte ~early_out ~level }
+    in
+    match Remote.request_or_die ~prog:"mipsd" socket req with
+    | Protocol.Listing s -> print_string s
+    | _ ->
+        Printf.eprintf "mipsd: unexpected response to compile\n";
+        exit Exit_code.protocol
+  in
+  Cmd.v
+    (Cmd.info "compile" ~exits:Exit_code.infos
+       ~doc:"Compile on the daemon and print the final machine listing.")
+    Term.(
+      const compile $ socket_flag $ tenant_flag $ file_arg $ byte_flag
+      $ early_flag $ level_flag)
+
+let soak_cmd =
+  let soak socket tenant session seed steps programs segments differential =
+    let req =
+      Protocol.Soak
+        { tenant; session; seed; steps; programs; segments; differential }
+    in
+    match Remote.request_or_die ~prog:"mipsd" socket req with
+    | Protocol.Soaked json -> print_endline json
+    | _ ->
+        Printf.eprintf "mipsd: unexpected response to soak\n";
+        exit Exit_code.protocol
+  in
+  Cmd.v
+    (Cmd.info "soak" ~exits:Exit_code.infos
+       ~doc:
+         "Run the seeded fault-injection soak on the daemon and print the \
+          same JSON $(b,mipsc soak --json) prints (byte-identical at equal \
+          parameters).  With $(b,--session) the run checkpoints and \
+          survives a daemon kill.")
+    Term.(
+      const soak $ socket_flag $ tenant_flag $ session_flag
+      $ Arg.(
+          value & opt int 1
+          & info [ "seed" ] ~docv:"N"
+              ~doc:"Master seed for programs and fault plan.")
+      $ Arg.(
+          value & opt int 2_000_000
+          & info [ "steps" ] ~docv:"K"
+              ~doc:"Kernel-run fuel in machine steps.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "programs" ] ~docv:"N"
+              ~doc:"Generated processes to spawn.")
+      $ Arg.(
+          value & opt int 48
+          & info [ "segments" ] ~docv:"N"
+              ~doc:"Size of each generated program.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "differential" ] ~docv:"N"
+              ~doc:
+                "Raw-vs-reorganized differential programs under transparent \
+                 faults (0 to disable)."))
+
+let report_cmd =
+  let report socket tenant =
+    match
+      Remote.request_or_die ~prog:"mipsd" socket (Protocol.Report { tenant })
+    with
+    | Protocol.Reported json -> print_string json
+    | _ ->
+        Printf.eprintf "mipsd: unexpected response to report\n";
+        exit Exit_code.protocol
+  in
+  Cmd.v
+    (Cmd.info "report" ~exits:Exit_code.infos
+       ~doc:
+         "Regenerate the paper evaluation on the daemon and print the same \
+          JSON $(b,mipsc report --json) prints.")
+    Term.(const report $ socket_flag $ tenant_flag)
+
+let collect_cmd =
+  let collect socket tenant session =
+    let req = Protocol.Collect { tenant; session } in
+    match Remote.request_or_die ~prog:"mipsd" socket req with
+    | Protocol.Ran r -> Remote.finish_run ~prog:"mipsd" r
+    | Protocol.Soaked json -> print_endline json
+    | Protocol.Listing s | Protocol.Reported s -> print_string s
+    | _ ->
+        Printf.eprintf "mipsd: unexpected response to collect\n";
+        exit Exit_code.protocol
+  in
+  Cmd.v
+    (Cmd.info "collect" ~exits:Exit_code.infos
+       ~doc:
+         "Fetch a session's result, blocking while it is still running.  \
+          Works across daemon restarts: a recovered session's result is \
+          identical to an uninterrupted one.")
+    Term.(
+      const collect $ socket_flag $ tenant_flag
+      $ Arg.(
+          required & pos 0 (some string) None
+          & info [] ~docv:"SESSION" ~doc:"Session name."))
+
+let stop_cmd =
+  let stop socket =
+    match Remote.request_or_die ~prog:"mipsd" socket Protocol.Shutdown with
+    | Protocol.Bye -> ()
+    | _ ->
+        Printf.eprintf "mipsd: unexpected response to shutdown\n";
+        exit Exit_code.protocol
+  in
+  Cmd.v
+    (Cmd.info "stop" ~exits:Exit_code.infos
+       ~doc:
+         "Ask the daemon to shut down: new work is refused with a typed \
+          $(i,shutting-down) answer and in-flight work drains under the \
+          deadline.")
+    Term.(const stop $ socket_flag)
+
+(* --- load generator ------------------------------------------------------------ *)
+
+let load_cmd =
+  let load socket file clients requests tenant_prefix fuel =
+    let source = read_source file in
+    let metrics = Mips_obs.Metrics.create () in
+    let mlock = Mutex.create () in
+    let ok = Atomic.make 0 and shed = Atomic.make 0 and failed = Atomic.make 0 in
+    let client i () =
+      let tenant = Printf.sprintf "%s-%d" tenant_prefix i in
+      for _ = 1 to requests do
+        let t0 = Unix.gettimeofday () in
+        let outcome =
+          match Client.connect socket with
+          | Error _ -> `Failed
+          | Ok c -> (
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              match
+                Client.request c
+                  (Protocol.Run
+                     { tenant; session = None; source;
+                       cg = Protocol.default_codegen; input = ""; fuel;
+                       engine = "ref" })
+              with
+              | Ok (Protocol.Ran _) -> `Ok
+              | Ok (Protocol.Err ((Protocol.Overloaded | Protocol.Quarantined
+                                  | Protocol.Quota _ | Protocol.Shutting_down), _)) ->
+                  `Shed
+              | Ok _ | Error _ -> `Failed)
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        (match outcome with
+        | `Ok ->
+            Atomic.incr ok;
+            Mutex.lock mlock;
+            Mips_obs.Metrics.observe metrics "latency" dt;
+            Mutex.unlock mlock
+        | `Shed -> Atomic.incr shed
+        | `Failed -> Atomic.incr failed)
+      done
+    in
+    let threads = List.init clients (fun i -> Thread.create (client i) ()) in
+    List.iter Thread.join threads;
+    let h = Mips_obs.Metrics.histogram metrics "latency" in
+    let ms f = Mips_obs.Json.Float (f *. 1000.) in
+    print_endline
+      (Mips_obs.Json.to_string
+         (Mips_obs.Json.Obj
+            [ ("clients", Mips_obs.Json.Int clients);
+              ("requests_per_client", Mips_obs.Json.Int requests);
+              ("ok", Mips_obs.Json.Int (Atomic.get ok));
+              ("shed", Mips_obs.Json.Int (Atomic.get shed));
+              ("failed", Mips_obs.Json.Int (Atomic.get failed));
+              ( "latency_ms",
+                match h with
+                | None -> Mips_obs.Json.Null
+                | Some h ->
+                    Mips_obs.Json.Obj
+                      [ ("p50", ms h.Mips_obs.Metrics.p50);
+                        ("p90", ms h.Mips_obs.Metrics.p90);
+                        ("p99", ms h.Mips_obs.Metrics.p99);
+                        ("max", ms h.Mips_obs.Metrics.max_v) ] ) ]));
+    if Atomic.get failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "load" ~exits:Exit_code.infos
+       ~doc:
+         "Concurrent load generator: $(b,--clients) threads each issue \
+          $(b,--requests) run requests (one tenant per client) and the \
+          latency distribution is printed as JSON.  Shed responses \
+          (overload/quota/quarantine) are counted, not errors — exits \
+          non-zero only on connection or protocol failures.")
+    Term.(
+      const load $ socket_flag $ file_arg
+      $ Arg.(
+          value & opt int 8
+          & info [ "clients" ] ~docv:"N" ~doc:"Concurrent clients (default 8).")
+      $ Arg.(
+          value & opt int 20
+          & info [ "requests" ] ~docv:"N"
+              ~doc:"Requests per client (default 20).")
+      $ Arg.(
+          value & opt string "load"
+          & info [ "tenant-prefix" ] ~docv:"NAME"
+              ~doc:"Tenants are named $(docv)-0 .. $(docv)-(N-1).")
+      $ Arg.(
+          value & opt int 500_000_000
+          & info [ "fuel" ] ~docv:"STEPS" ~doc:"Step budget per request."))
+
+let () =
+  let doc = "fault-tolerant multi-tenant simulation daemon" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "mipsd" ~version:"1.0.0" ~exits:Exit_code.infos ~doc)
+          [ serve_cmd; ping_cmd; status_cmd; run_cmd; compile_cmd; soak_cmd;
+            report_cmd; collect_cmd; stop_cmd; load_cmd ]))

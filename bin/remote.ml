@@ -1,0 +1,56 @@
+(* Client-side glue shared by the mipsd CLI and `mipsc run --remote`:
+   connect/request against a daemon socket with every failure mode mapped
+   to its standardized exit code (connect = 6, overloaded = 7,
+   protocol = 8; see Exit_code). *)
+
+module Client = Mips_daemon.Client
+module Frame = Mips_daemon.Frame
+module Protocol = Mips_daemon.Protocol
+
+let exit_of_reject = function
+  | Protocol.Overloaded | Protocol.Quarantined | Protocol.Shutting_down ->
+      Exit_code.overloaded
+  | Protocol.Quota _ -> Exit_code.out_of_fuel
+  | Protocol.Bad_request | Protocol.Unknown_session
+  | Protocol.Too_many_tenants ->
+      Exit_code.usage
+  | Protocol.Internal -> 1
+
+(* One synchronous round-trip; anything but a non-Err response exits the
+   process with the matching code. *)
+let request_or_die ~prog socket req =
+  match Client.connect socket with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" prog msg;
+      exit Exit_code.connect
+  | Ok c -> (
+      let resp =
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () -> Client.request c req)
+      in
+      match resp with
+      | Error e ->
+          Printf.eprintf "%s: protocol error: %s\n" prog
+            (Frame.error_to_string e);
+          exit Exit_code.protocol
+      | Ok (Protocol.Err (reject, detail)) ->
+          Printf.eprintf "%s: %s: %s\n" prog
+            (Protocol.reject_to_string reject)
+            detail;
+          exit (exit_of_reject reject)
+      | Ok resp -> resp)
+
+(* Print a remote run like a local one: guest output to stdout, the fault
+   line to stderr, out-of-fuel as exit 3, otherwise the guest's own exit
+   status. *)
+let finish_run ~prog (r : Protocol.run_reply) =
+  print_string r.Protocol.output;
+  (match r.Protocol.fault with
+  | Some f -> Printf.eprintf "fault: %s\n" f
+  | None -> ());
+  if not r.Protocol.halted then begin
+    Printf.eprintf "%s: out of fuel (execution did not complete)\n" prog;
+    exit Exit_code.out_of_fuel
+  end;
+  exit (Option.value ~default:0 r.Protocol.exit_status)

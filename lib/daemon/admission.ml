@@ -1,0 +1,151 @@
+(* One mutex + condition protect the whole executor: the queue, the
+   counters and every ticket slot.  Workers are domains, so admitted jobs
+   genuinely run in parallel; submitters are connection threads, and both
+   sides share the same lock discipline.  Wake-ups are broadcast — there
+   are few enough parties (jobs + waiters) that precision isn't worth a
+   second condition variable. *)
+
+type stats = { running : int; waiting : int; executed : int; rejected : int }
+
+type job = Job : (unit -> 'a) * 'a slot -> job
+and 'a slot = { mutable result : ('a, exn) result option }
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  jobs : int;
+  queue_cap : int;
+  mutable running : int;
+  mutable executed : int;
+  mutable rejected : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a ticket = { owner : t; slot : 'a slot }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.cond t.lock
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+        (* stopping and nothing queued *)
+        Mutex.unlock t.lock;
+        ()
+    | Some (Job (f, slot)) ->
+        t.running <- t.running + 1;
+        Mutex.unlock t.lock;
+        let result = try Ok (f ()) with e -> Error e in
+        Mutex.lock t.lock;
+        slot.result <- Some result;
+        t.running <- t.running - 1;
+        t.executed <- t.executed + 1;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        loop ()
+  in
+  loop ()
+
+let create ~jobs ~queue =
+  let t =
+    {
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      jobs = max 1 jobs;
+      queue_cap = max 0 queue;
+      running = 0;
+      executed = 0;
+      rejected = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (max 1 jobs) (fun _ -> Domain.spawn (worker t));
+  t
+
+let enqueue t ~bounded f =
+  locked t (fun () ->
+      if t.stopping then Error `Shutting_down
+      else if
+        (* the bound is on waiting work: [queue_cap] submissions may park
+           beyond the ones the workers are already running, so a zero
+           capacity still admits onto idle workers *)
+        bounded
+        && Queue.length t.queue + t.running >= t.queue_cap + t.jobs
+      then begin
+        t.rejected <- t.rejected + 1;
+        Error `Overloaded
+      end
+      else begin
+        let slot = { result = None } in
+        Queue.add (Job (f, slot)) t.queue;
+        Condition.broadcast t.cond;
+        Ok { owner = t; slot }
+      end)
+
+let submit t f = enqueue t ~bounded:true f
+
+let submit_unbounded t f =
+  match enqueue t ~bounded:false f with
+  | Ok _ as ok -> ok
+  | Error `Shutting_down -> Error `Shutting_down
+  | Error `Overloaded -> assert false
+
+let wait { owner = t; slot } =
+  locked t (fun () ->
+      let rec go () =
+        match slot.result with
+        | Some r -> r
+        | None ->
+            Condition.wait t.cond t.lock;
+            go ()
+      in
+      go ())
+
+let stats t =
+  locked t (fun () ->
+      {
+        running = t.running;
+        waiting = Queue.length t.queue;
+        executed = t.executed;
+        rejected = t.rejected;
+      })
+
+let drain t ~deadline_s =
+  locked t (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.cond);
+  let deadline = Unix.gettimeofday () +. deadline_s in
+  let rec poll () =
+    let idle =
+      locked t (fun () -> t.running = 0 && Queue.is_empty t.queue)
+    in
+    if idle then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.02;
+      poll ()
+    end
+  in
+  poll ()
+
+let shutdown t =
+  locked t (fun () ->
+      t.stopping <- true;
+      (* fail the tickets of jobs that will never run *)
+      Queue.iter
+        (fun (Job (_, slot)) ->
+          slot.result <- Some (Error (Failure "executor shut down")))
+        t.queue;
+      Queue.clear t.queue;
+      Condition.broadcast t.cond);
+  List.iter Domain.join t.workers

@@ -1,0 +1,55 @@
+(** Admission control: a fixed pool of worker domains behind a {e bounded}
+    queue.
+
+    The daemon's compute all funnels through here.  [jobs] domains execute
+    admitted work in parallel; at most [queue] submissions may wait
+    {e beyond} the ones already running (so [queue = 0] still admits work
+    onto idle workers).  A submission that finds the system full is
+    rejected {e immediately} with [`Overloaded] — load is shed with a typed
+    answer in bounded time, never parked on an unbounded queue where its
+    latency would grow without limit.  This is the service-level twin of the
+    {!Mips_par} pool: same fixed fan-out, but long-lived and
+    rejection-capable.
+
+    [submit] and [wait] are safe from any thread or domain.  Recovery work
+    resubmitted after a crash goes through [submit_unbounded]: it was
+    admitted before the daemon died, so it must not be shed by the queue
+    bound it already passed once. *)
+
+type t
+
+type stats = {
+  running : int;  (** jobs executing right now *)
+  waiting : int;  (** jobs admitted and queued *)
+  executed : int;  (** jobs completed over the daemon's lifetime *)
+  rejected : int;  (** submissions shed with [`Overloaded] *)
+}
+
+type 'a ticket
+(** A claim on one submitted job's result. *)
+
+val create : jobs:int -> queue:int -> t
+(** Spawn [jobs] worker domains (clamped to at least 1) behind a queue of
+    capacity [queue] (at least 0). *)
+
+val submit :
+  t -> (unit -> 'a) -> ('a ticket, [ `Overloaded | `Shutting_down ]) result
+(** Admit a job, or shed it.  Never blocks. *)
+
+val submit_unbounded : t -> (unit -> 'a) -> ('a ticket, [ `Shutting_down ]) result
+(** Admit bypassing the queue bound (crash-recovery resubmissions only). *)
+
+val wait : 'a ticket -> ('a, exn) result
+(** Block until the job finishes; an exception the job raised comes back
+    as [Error] with its original payload. *)
+
+val stats : t -> stats
+
+val drain : t -> deadline_s:float -> bool
+(** Stop admitting, then wait up to [deadline_s] for running and queued
+    jobs to finish; [false] when the deadline passed with work still in
+    flight. *)
+
+val shutdown : t -> unit
+(** [drain] with no grace, then join the worker domains.  Queued jobs that
+    never ran fail their tickets with [Failure]. *)

@@ -1,0 +1,56 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot create socket: %s" (Unix.error_message e))
+  | fd -> (
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok { fd; closed = false }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" path
+               (Unix.error_message e)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request t req =
+  if t.closed then Error (Frame.Io_error "connection is closed")
+  else
+    match Frame.write t.fd (Protocol.encode_request req) with
+    | Error e -> Error e
+    | Ok () -> (
+        match Frame.read t.fd with
+        | Error e -> Error e
+        | Ok payload -> Protocol.decode_response payload)
+
+let with_connection path f =
+  match connect path with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let wait_ready ?(timeout_s = 10.) path =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    let ok =
+      match connect path with
+      | Error _ -> false
+      | Ok t ->
+          Fun.protect ~finally:(fun () -> close t) @@ fun () ->
+          (match request t Protocol.Ping with
+          | Ok Protocol.Pong -> true
+          | _ -> false)
+    in
+    if ok then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  poll ()

@@ -1,0 +1,28 @@
+(** Blocking client for the [mipsd] socket protocol.
+
+    One connection, synchronous request/response: {!request} writes one
+    frame and blocks until the reply frame arrives.  All failures are
+    values — connect errors are strings, protocol failures are the typed
+    {!Frame.error}s — so callers (the [mipsd] CLI, [mipsc --remote], the
+    bench load generator) can map each one to its own exit code. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the daemon's Unix socket. *)
+
+val request : t -> Protocol.request -> (Protocol.response, Frame.error) result
+(** Send one request and block for the response.  After an error the
+    connection should be closed: frame sync may be lost. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_connection :
+  string -> (t -> ('a, string) result) -> ('a, string) result
+(** Connect, run, close (also on exception). *)
+
+val wait_ready : ?timeout_s:float -> string -> bool
+(** Poll the socket with [Ping] until the daemon answers [Pong] or the
+    timeout (default 10 s) expires — the startup barrier scripts use
+    between launching [mipsd serve] and sending load. *)

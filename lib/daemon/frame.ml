@@ -1,0 +1,131 @@
+(* Frame layout:
+
+     magic   "MPSD"                       4 bytes
+     version u16 little-endian            2 bytes
+     length  u32 little-endian            4 bytes   (payload only)
+     digest  MD5 of the payload          16 bytes
+     payload length bytes
+
+   The digest makes the decoder corruption-evident: a bit flipped anywhere
+   in the length or payload is a typed Corrupt, never a silently reframed
+   stream.  Header fields are validated strictly in order (magic, version,
+   length bound) so each failure mode has its own error. *)
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of int
+  | Corrupt of string
+  | Closed
+  | Io_error of string
+
+let error_to_string = function
+  | Truncated -> "frame truncated"
+  | Bad_magic -> "not a mipsd frame (bad magic)"
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Oversized n -> Printf.sprintf "frame payload of %d bytes over the limit" n
+  | Corrupt m -> "corrupt frame: " ^ m
+  | Closed -> "connection closed"
+  | Io_error m -> "frame I/O error: " ^ m
+
+let magic = "MPSD"
+let version = 1
+let digest_bytes = 16
+let header_bytes = String.length magic + 2 + 4 + digest_bytes
+let default_limit = 16 * 1024 * 1024
+
+let encode payload =
+  let n = String.length payload in
+  let b = Buffer.create (header_bytes + n) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr (version land 0xFF));
+  Buffer.add_char b (Char.chr ((version lsr 8) land 0xFF));
+  for k = 0 to 3 do
+    Buffer.add_char b (Char.chr ((n lsr (8 * k)) land 0xFF))
+  done;
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* header validation shared by [decode] and [read]: the first
+   [header_bytes] of a frame, already in hand.  Returns the payload
+   length. *)
+let check_header ?(limit = default_limit) h =
+  if String.length h < header_bytes then Error Truncated
+  else if String.sub h 0 (String.length magic) <> magic then Error Bad_magic
+  else
+    let at k = Char.code h.[String.length magic + k] in
+    let ver = at 0 lor (at 1 lsl 8) in
+    if ver <> version then Error (Bad_version ver)
+    else
+      let len =
+        at 2 lor (at 3 lsl 8) lor (at 4 lsl 16) lor (at 5 lsl 24)
+      in
+      if len > limit then Error (Oversized len) else Ok len
+
+let digest_of_header h = String.sub h (String.length magic + 6) digest_bytes
+
+let decode ?limit data =
+  if String.length data < header_bytes then Error Truncated
+  else
+    match check_header ?limit (String.sub data 0 header_bytes) with
+    | Error e -> Error e
+    | Ok len ->
+        if String.length data < header_bytes + len then Error Truncated
+        else
+          let payload = String.sub data header_bytes len in
+          if Digest.string payload <> digest_of_header data then
+            Error (Corrupt "payload digest mismatch")
+          else Ok (payload, header_bytes + len)
+
+(* --- descriptor transport -------------------------------------------------- *)
+
+(* Read exactly [n] bytes; [`Eof k] reports how many bytes arrived before
+   the peer hung up, so the caller can tell a clean close (k = 0 at a
+   frame boundary) from a mid-frame cut. *)
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> Error (`Eof off)
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (`Unix (Unix.error_message e))
+  in
+  go 0
+
+let read ?limit fd =
+  match read_exactly fd header_bytes with
+  | Error (`Eof 0) -> Error Closed
+  | Error (`Eof _) -> Error Truncated
+  | Error (`Unix m) -> Error (Io_error m)
+  | Ok header -> (
+      match check_header ?limit header with
+      | Error e -> Error e
+      | Ok len -> (
+          match read_exactly fd len with
+          | Error (`Eof _) -> Error Truncated
+          | Error (`Unix m) -> Error (Io_error m)
+          | Ok payload ->
+              if Digest.string payload <> digest_of_header header then
+                Error (Corrupt "payload digest mismatch")
+              else Ok payload))
+
+let write fd payload =
+  let data = encode payload in
+  let n = String.length data in
+  let buf = Bytes.unsafe_of_string data in
+  let rec go off =
+    if off = n then Ok ()
+    else
+      match Unix.write fd buf off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Io_error (Unix.error_message e))
+  in
+  go 0

@@ -1,0 +1,50 @@
+(** Length-prefixed, versioned, checksummed frames — the wire unit of the
+    [mipsd] protocol.
+
+    A frame is a fixed header (magic tag, format version, payload length,
+    payload digest) followed by the payload bytes.  Decoding is {e total}
+    in the style of {!Mips_resilience.Snapshot}: any byte string either
+    yields a payload or a typed {!error} — a foreign stream, version skew,
+    a hostile length, truncation and bit damage are all distinguishable,
+    and nothing raises.  The digest over the payload means a flipped bit
+    anywhere in a frame is reported as {!Corrupt} rather than silently
+    reframing the stream.
+
+    The [read]/[write] pair moves whole frames over a file descriptor
+    (blocking), mapping transport failures into the same error type:
+    {!Closed} is a clean peer hang-up at a frame boundary, {!Truncated} a
+    connection cut mid-frame. *)
+
+type error =
+  | Truncated  (** ran out of bytes before the frame was complete *)
+  | Bad_magic  (** not a mipsd stream at all *)
+  | Bad_version of int  (** a peer speaking an incompatible version *)
+  | Oversized of int  (** declared payload length beyond the limit *)
+  | Corrupt of string  (** structurally damaged (digest mismatch, ...) *)
+  | Closed  (** the peer hung up cleanly between frames *)
+  | Io_error of string  (** the descriptor could not be read or written *)
+
+val error_to_string : error -> string
+
+val version : int
+(** Current wire format version. *)
+
+val header_bytes : int
+(** Size of the fixed frame header. *)
+
+val default_limit : int
+(** Default maximum payload size (16 MiB) — a hostile length field is
+    rejected as {!Oversized} before any allocation happens. *)
+
+val encode : string -> string
+(** [encode payload] is the full frame for [payload]. *)
+
+val decode : ?limit:int -> string -> (string * int, error) result
+(** [decode data] parses one frame from the head of [data], returning the
+    payload and the number of bytes consumed.  Total: never raises. *)
+
+val read : ?limit:int -> Unix.file_descr -> (string, error) result
+(** Blocking read of exactly one frame. *)
+
+val write : Unix.file_descr -> string -> (unit, error) result
+(** Blocking write of [encode payload]; [Io_error] on a broken pipe. *)

@@ -1,0 +1,93 @@
+(** Requests and responses of the [mipsd] wire protocol.
+
+    One frame ({!Frame}) carries one encoded request or response; a
+    connection is synchronous — the client writes a request and blocks on
+    the response.  Payload codecs are built from the
+    {!Mips_resilience.Snapshot.Io} primitives and decoding is total:
+    malformed payloads come back as typed {!Frame.error}s ([Truncated] /
+    [Corrupt]), never as an escaped exception.
+
+    Failure is part of the vocabulary: a {!response} can be [Err] with a
+    typed {!reject} — overload shedding, quota kills, tenant quarantine
+    and shutdown refusals are all first-class, distinguishable answers
+    rather than hangs or dropped connections. *)
+
+type codegen = { byte : bool; early_out : bool; level : int  (** 0-3 *) }
+
+val default_codegen : codegen
+(** Word-addressed, set-conditionally booleans, postpass level 3. *)
+
+type request =
+  | Ping
+  | Compile of { tenant : string; source : string; cg : codegen }
+  | Run of {
+      tenant : string;
+      session : string option;
+          (** names a resumable, checkpointed session (see {!Server}) *)
+      source : string;
+      cg : codegen;
+      input : string;
+      fuel : int;
+      engine : string;  (** "ref" or "fast" *)
+    }
+  | Soak of {
+      tenant : string;
+      session : string option;
+      seed : int;
+      steps : int;
+      programs : int;
+      segments : int;
+      differential : int;
+    }
+  | Report of { tenant : string }
+  | Collect of { tenant : string; session : string }
+  | Status
+  | Shutdown
+
+type run_reply = {
+  output : string;
+  exit_status : int option;
+  halted : bool;
+  fault : string option;
+  cycles : int;
+  retries : int;
+}
+
+(** Why a request was refused — the typed half of every failure path. *)
+type reject =
+  | Bad_request  (** malformed or unvalidatable request *)
+  | Overloaded  (** admission queue full: load was shed, not queued *)
+  | Quota of string  (** killed with reason: "fuel", "memory", "deadline",
+                         "concurrency" *)
+  | Quarantined  (** the tenant's circuit breaker is open *)
+  | Too_many_tenants  (** the [--max-tenants] registry is full *)
+  | Unknown_session  (** collect of a session the daemon has no record of *)
+  | Shutting_down  (** the daemon is draining and accepts no new work *)
+  | Internal  (** an unexpected exception inside the handler *)
+
+val reject_to_string : reject -> string
+
+type response =
+  | Pong
+  | Listing of string  (** the final machine listing *)
+  | Ran of run_reply
+  | Soaked of string  (** the JSON text [mipsc soak --json] prints *)
+  | Reported of string  (** the JSON text [mipsc report --json] prints *)
+  | Status_r of string  (** daemon status as JSON text *)
+  | Bye  (** shutdown acknowledged *)
+  | Err of reject * string
+
+val tenant_of : request -> string option
+(** The tenant a request bills to; [None] for [Ping]/[Status]/[Shutdown]. *)
+
+val request_kind : request -> string
+(** Stable lowercase tag ("run", "soak", ...) for metrics and logs. *)
+
+val valid_name : string -> bool
+(** Tenant and session names: 1-64 chars of [A-Za-z0-9._-] — safe as file
+    name fragments in the session journal. *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, Frame.error) result
+val encode_response : response -> string
+val decode_response : string -> (response, Frame.error) result

@@ -1,0 +1,798 @@
+(* Concurrency layout: the accept loop and one thread per connection do
+   only I/O and bookkeeping; all compute goes through the Admission
+   executor's worker domains.  One server mutex + condition guard the
+   session table, the metrics registry and the stop flag; Tenants and
+   Admission carry their own locks.  The supervision machinery
+   (Soak.run_checkpointed's supervised differential chunks, the report
+   warm-up) folds into a process-global metrics registry that is not
+   domain-safe, so soak and report job bodies are serialized by
+   [heavy_lock] — runs and compiles, the latency-sensitive requests, stay
+   fully parallel. *)
+
+module Snapshot = Mips_resilience.Snapshot
+module Supervise = Mips_resilience.Supervise
+module Cpu = Mips_machine.Cpu
+module Hosted = Mips_machine.Hosted
+module Json = Mips_obs.Json
+
+type config = {
+  socket : string;
+  jobs : int;
+  queue : int;
+  max_tenants : int;
+  quota : Tenants.quota;
+  state_dir : string option;
+  checkpoint_every : int;
+  idle_evict_s : float;
+  drain_s : float;
+  max_frame : int;
+  test_crash_after_checkpoints : int option;
+}
+
+let default_config ~socket =
+  {
+    socket;
+    jobs = 4;
+    queue = 16;
+    max_tenants = 64;
+    quota = Tenants.default_quota;
+    state_dir = None;
+    checkpoint_every = 50_000;
+    idle_evict_s = 300.;
+    drain_s = 10.;
+    max_frame = Frame.default_limit;
+    test_crash_after_checkpoints = None;
+  }
+
+type session_state = Running | Finished of Protocol.response
+
+type session = {
+  s_tenant : string;
+  mutable s_state : session_state;
+  mutable s_touched : float;
+}
+
+type t = {
+  config : config;
+  lock : Mutex.t;
+  cond : Condition.t;
+  sessions : (string, session) Hashtbl.t;
+  metrics : Mips_obs.Metrics.t;
+  mutable evicted : int;
+  mutable stopping : bool;
+  mutable closing : bool;
+      (* [stopping] begins the drain — billable requests are refused with
+         Shutting_down but connections are still answered; [closing] (set
+         by [stop] only) ends the accept loop itself *)
+  tenants : Tenants.t;
+  exec : Admission.t;
+  heavy_lock : Mutex.t;  (* serializes soak/report (supervision registry) *)
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable janitor_thread : Thread.t option;
+}
+
+(* the in-process stand-in for SIGKILL (see config.test_crash_after_checkpoints) *)
+exception Crashed
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let now () = Unix.gettimeofday ()
+
+(* --- session journal -------------------------------------------------------- *)
+
+let session_file t id ext =
+  match t.config.state_dir with
+  | None -> None
+  | Some dir -> Some (Filename.concat dir ("session-" ^ id ^ ext))
+
+let write_meta t id req =
+  match session_file t id ".meta" with
+  | None -> ()
+  | Some path ->
+      Snapshot.write_file path
+        (Snapshot.encode
+           { Snapshot.kind = "mipsd-meta";
+             sections = [ ("request", Protocol.encode_request req) ] })
+
+let read_meta t id =
+  match session_file t id ".meta" with
+  | None -> None
+  | Some path -> (
+      if not (Sys.file_exists path) then None
+      else
+        let open Snapshot in
+        match
+          let* c = read_file path in
+          let* () =
+            if String.equal c.kind "mipsd-meta" then Ok ()
+            else Error (Corrupt "not a mipsd session meta file")
+          in
+          let* r = section c "request" in
+          match Protocol.decode_request r with
+          | Ok req -> Ok req
+          | Error e -> Error (Corrupt (Frame.error_to_string e))
+        with
+        | Ok req -> Some req
+        | Error _ -> None)
+
+let write_done t id ~tenant resp =
+  match session_file t id ".done" with
+  | None -> ()
+  | Some path ->
+      Snapshot.write_file path
+        (Snapshot.encode
+           { Snapshot.kind = "mipsd-done";
+             sections =
+               [ ("tenant", tenant);
+                 ("response", Protocol.encode_response resp) ] })
+
+let read_done t id =
+  match session_file t id ".done" with
+  | None -> None
+  | Some path -> (
+      if not (Sys.file_exists path) then None
+      else
+        let open Snapshot in
+        match
+          let* c = read_file path in
+          let* () =
+            if String.equal c.kind "mipsd-done" then Ok ()
+            else Error (Corrupt "not a mipsd session result file")
+          in
+          let* tenant = section c "tenant" in
+          let* r = section c "response" in
+          match Protocol.decode_response r with
+          | Ok resp -> Ok (tenant, resp)
+          | Error e -> Error (Corrupt (Frame.error_to_string e))
+        with
+        | Ok v -> Some v
+        | Error _ -> None)
+
+let remove_session_files t id exts =
+  List.iter
+    (fun ext ->
+      match session_file t id ext with
+      | Some path when Sys.file_exists path -> (
+          try Sys.remove path with Sys_error _ -> ())
+      | _ -> ())
+    exts
+
+(* --- job bodies ------------------------------------------------------------- *)
+
+let config_of { Protocol.byte; early_out; level = _ } =
+  let base =
+    if byte then Mips_ir.Config.byte_machine else Mips_ir.Config.default
+  in
+  if early_out then
+    { base with Mips_ir.Config.bool_strategy = Mips_ir.Config.Early_out }
+  else base
+
+let level_of = function
+  | 0 -> Mips_reorg.Pipeline.Naive
+  | 1 -> Mips_reorg.Pipeline.Reorganized
+  | 2 -> Mips_reorg.Pipeline.Packed
+  | _ -> Mips_reorg.Pipeline.Delay_filled
+
+let compile_job ~source ~cg () =
+  let config = config_of cg in
+  let p = Mips_artifact.compiled ~config ~level:(level_of cg.Protocol.level) source in
+  Protocol.Listing
+    (Format.asprintf "%a@.; %d instruction words@." Mips_machine.Program.pp_listing
+       p
+       (Mips_machine.Program.static_count p))
+
+(* A run request, optionally checkpointed under a session.  The quota
+   watchdog rides the checkpoint-slice callback: every
+   [config.checkpoint_every] steps the output-size and wall-clock budgets
+   are checked, and an overrun raises Supervise.Deadline — the same
+   deterministic-budget discipline the supervised pool uses — which lands
+   as a typed [Quota] kill. *)
+let run_job t ~req ~session ~source ~cg ~input ~fuel ~engine () =
+  let quota = Tenants.quota t.tenants in
+  let config = config_of cg in
+  let level = level_of cg.Protocol.level in
+  let program = Mips_artifact.compiled ~config ~level source in
+  let cpu =
+    Cpu.create ~config:(Mips_codegen.Compile.machine_config config) ()
+  in
+  Cpu.load_program cpu program;
+  let budget = min fuel quota.Tenants.max_fuel in
+  let req_digest = Digest.string (Protocol.encode_request req) in
+  let ckpt_path = Option.bind session (fun id -> session_file t id ".ckpt") in
+  let resume_state =
+    match ckpt_path with
+    | Some path when Sys.file_exists path -> (
+        let open Snapshot in
+        match
+          let* c = read_file path in
+          let* () =
+            if String.equal c.kind "mipsd-run" then Ok ()
+            else Error (Corrupt "not a mipsd run checkpoint")
+          in
+          let* m = section c "meta" in
+          let* () =
+            if String.equal m req_digest then Ok ()
+            else Error (Corrupt "checkpoint does not match this session")
+          in
+          let* h = section c "host" in
+          let* h = host_of_string h in
+          let* mach = section c "machine" in
+          let* () = restore_machine cpu mach in
+          Ok h
+        with
+        | Ok h -> Some h
+        | Error _ ->
+            (* a damaged checkpoint is not fatal: the run is a pure
+               function of its journalled parameters, so start over *)
+            None)
+    | _ -> None
+  in
+  let budget =
+    match resume_state with
+    | Some h -> h.Hosted.h_fuel_left
+    | None -> budget
+  in
+  let started = now () in
+  let checkpoints = ref 0 in
+  let save (h : Hosted.host_state) =
+    if String.length h.Hosted.h_output > quota.Tenants.max_output then
+      raise (Supervise.Deadline "memory");
+    if now () -. started > quota.Tenants.max_wall_s then
+      raise (Supervise.Deadline "deadline");
+    (match ckpt_path with
+    | None -> ()
+    | Some path ->
+        Snapshot.write_file path
+          (Snapshot.encode
+             { Snapshot.kind = "mipsd-run";
+               sections =
+                 [ ("meta", req_digest);
+                   ("machine", Snapshot.machine_to_string cpu);
+                   ("host", Snapshot.host_to_string h) ] }));
+    incr checkpoints;
+    match t.config.test_crash_after_checkpoints with
+    | Some n when session <> None && !checkpoints >= n -> raise Crashed
+    | _ -> ()
+  in
+  match
+    Hosted.run ~fuel:budget ~input ~engine ?resume:resume_state
+      ~checkpoint:(t.config.checkpoint_every, save) cpu
+  with
+  | exception Supervise.Deadline what ->
+      Protocol.Err
+        ( Protocol.Quota what,
+          Printf.sprintf "killed by the %s watchdog" what )
+  | res ->
+      let stats = Cpu.stats cpu in
+      if stats.Mips_machine.Stats.fuel_exhausted && fuel > quota.Tenants.max_fuel
+      then
+        Protocol.Err
+          ( Protocol.Quota "fuel",
+            Printf.sprintf "killed after %d steps (fuel quota)" budget )
+      else
+        Protocol.Ran
+          {
+            Protocol.output = res.Hosted.output;
+            exit_status = res.Hosted.exit_status;
+            halted = res.Hosted.halted;
+            fault =
+              Option.map
+                (fun (c, d) ->
+                  Printf.sprintf "%s (%d)" (Mips_machine.Cause.name c) d)
+                res.Hosted.fault;
+            cycles = stats.Mips_machine.Stats.cycles;
+            retries = res.Hosted.retries;
+          }
+
+(* Same knob settings as `mipsc soak` so a collected response is
+   byte-comparable with `mipsc soak --json` at equal parameters. *)
+let soak_job t ~session ~seed ~steps ~programs ~segments ~differential () =
+  let plan =
+    {
+      Mips_fault.Plan.seed;
+      flip_reg_rate = 0.002;
+      flip_data_rate = 0.002;
+      irq_rate = 0.002;
+      page_drop_rate = 0.002;
+      flaky_rate = 0.005;
+      max_injections = 0;
+    }
+  in
+  let checkpoint = Option.bind session (fun id -> session_file t id ".soak") in
+  let resume =
+    match checkpoint with
+    | Some path when Sys.file_exists path -> Some path
+    | _ -> None
+  in
+  Mutex.lock t.heavy_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.heavy_lock) @@ fun () ->
+  match
+    Mips_soak.Soak.run_checkpointed ~programs ~segments ~quantum:500 ~steps
+      ~diff_count:differential ~diff_jobs:1 ?checkpoint
+      ~checkpoint_every:t.config.checkpoint_every ?resume ~plan ~seed ()
+  with
+  | Ok (Mips_soak.Soak.Complete (s, diffs)) ->
+      Protocol.Soaked (Json.to_string (Mips_soak.Soak.result_json s diffs))
+  | Ok Mips_soak.Soak.Interrupted ->
+      (* only reachable through the in-process crash hook *)
+      raise Crashed
+  | Error e ->
+      Protocol.Err (Protocol.Internal, Snapshot.error_to_string e)
+
+let report_job t () =
+  Mutex.lock t.heavy_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.heavy_lock) @@ fun () ->
+  let j = Mips_analysis.Report.json_all ~jobs:1 () in
+  Protocol.Reported (Format.asprintf "%a@." Json.pp j)
+
+(* --- status ----------------------------------------------------------------- *)
+
+let status_json t =
+  let a = Admission.stats t.exec in
+  let resident, running, finished =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun _ s (r, ru, d) ->
+            match s.s_state with
+            | Running -> (r + 1, ru + 1, d)
+            | Finished _ -> (r + 1, ru, d + 1))
+          t.sessions (0, 0, 0))
+  in
+  Json.Obj
+    [ ("schema", Json.Str "mipsd-status/1");
+      ( "config",
+        Json.Obj
+          [ ("jobs", Json.Int t.config.jobs);
+            ("queue", Json.Int t.config.queue);
+            ("max_tenants", Json.Int t.config.max_tenants);
+            ("max_fuel", Json.Int t.config.quota.Tenants.max_fuel);
+            ("max_output", Json.Int t.config.quota.Tenants.max_output);
+            ("max_concurrent", Json.Int t.config.quota.Tenants.max_concurrent);
+            ("sessions_enabled", Json.Bool (t.config.state_dir <> None)) ] );
+      ( "admission",
+        Json.Obj
+          [ ("running", Json.Int a.Admission.running);
+            ("waiting", Json.Int a.Admission.waiting);
+            ("executed", Json.Int a.Admission.executed);
+            ("rejected_overloaded", Json.Int a.Admission.rejected) ] );
+      ("tenants", Tenants.json t.tenants ~now:(now ()));
+      ( "sessions",
+        Json.Obj
+          [ ("resident", Json.Int resident);
+            ("running", Json.Int running);
+            ("finished", Json.Int finished);
+            ("evicted_total", Json.Int t.evicted) ] );
+      ("metrics", locked t (fun () -> Mips_obs.Metrics.to_json t.metrics)) ]
+
+(* --- request handling -------------------------------------------------------- *)
+
+let observe t kind seconds =
+  locked t (fun () ->
+      Mips_obs.Metrics.incr t.metrics ("daemon.requests." ^ kind);
+      Mips_obs.Metrics.observe t.metrics
+        ("daemon.latency_seconds." ^ kind)
+        seconds)
+
+let count_reject t (reject : Protocol.reject) =
+  let name =
+    match reject with
+    | Protocol.Bad_request -> "bad_request"
+    | Protocol.Overloaded -> "overloaded"
+    | Protocol.Quota _ -> "quota"
+    | Protocol.Quarantined -> "quarantined"
+    | Protocol.Too_many_tenants -> "too_many_tenants"
+    | Protocol.Unknown_session -> "unknown_session"
+    | Protocol.Shutting_down -> "shutting_down"
+    | Protocol.Internal -> "internal"
+  in
+  locked t (fun () ->
+      Mips_obs.Metrics.incr t.metrics ("daemon.rejects." ^ name))
+
+(* a response that counts against the tenant's breaker: its own requests
+   failing, not the server refusing work (overload/shutdown) *)
+let counts_as_failure = function
+  | Protocol.Err ((Protocol.Overloaded | Protocol.Shutting_down), _) -> false
+  | Protocol.Err _ -> true
+  | _ -> false
+
+let finish_session t id ~tenant resp =
+  write_done t id ~tenant resp;
+  remove_session_files t id [ ".ckpt"; ".soak"; ".meta" ];
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.sessions id with
+      | Some s ->
+          s.s_state <- Finished resp;
+          s.s_touched <- now ()
+      | None -> ());
+      Condition.broadcast t.cond)
+
+let collect t ~tenant id =
+  let from_memory () =
+    locked t (fun () ->
+        let rec go () =
+          match Hashtbl.find_opt t.sessions id with
+          | None -> `Not_resident
+          | Some s when s.s_tenant <> tenant ->
+              `Reply
+                (Protocol.Err
+                   (Protocol.Bad_request, "session belongs to another tenant"))
+          | Some ({ s_state = Finished resp; _ } as s) ->
+              s.s_touched <- now ();
+              `Reply resp
+          | Some { s_state = Running; _ } ->
+              Condition.wait t.cond t.lock;
+              go ()
+        in
+        go ())
+  in
+  match from_memory () with
+  | `Reply resp -> resp
+  | `Not_resident -> (
+      match read_done t id with
+      | Some (owner, _) when owner <> tenant ->
+          Protocol.Err
+            (Protocol.Bad_request, "session belongs to another tenant")
+      | Some (_, resp) ->
+          locked t (fun () ->
+              if not (Hashtbl.mem t.sessions id) then
+                Hashtbl.add t.sessions id
+                  { s_tenant = tenant; s_state = Finished resp;
+                    s_touched = now () });
+          resp
+      | None -> Protocol.Err (Protocol.Unknown_session, id))
+
+(* register a fresh session (meta journalled before any work starts) *)
+let register_session t id ~tenant req =
+  locked t (fun () ->
+      Hashtbl.replace t.sessions id
+        { s_tenant = tenant; s_state = Running; s_touched = now () });
+  write_meta t id req
+
+let unregister_session t id =
+  locked t (fun () -> Hashtbl.remove t.sessions id);
+  remove_session_files t id [ ".meta" ]
+
+let session_known t id =
+  locked t (fun () -> Hashtbl.mem t.sessions id)
+  ||
+  match session_file t id ".done" with
+  | Some path when Sys.file_exists path -> true
+  | _ -> false
+
+let job_of t req =
+  match req with
+  | Protocol.Compile { source; cg; _ } -> Some (compile_job ~source ~cg)
+  | Protocol.Run { session; source; cg; input; fuel; engine; _ } ->
+      let engine =
+        match engine with "fast" -> Cpu.Fast | _ -> Cpu.Ref
+      in
+      Some (run_job t ~req ~session ~source ~cg ~input ~fuel ~engine)
+  | Protocol.Soak { session; seed; steps; programs; segments; differential; _ }
+    ->
+      Some (soak_job t ~session ~seed ~steps ~programs ~segments ~differential)
+  | Protocol.Report _ -> Some (report_job t)
+  | _ -> None
+
+let validate req =
+  let name_ok what = function
+    | Some n when not (Protocol.valid_name n) ->
+        Some (Printf.sprintf "invalid %s name %S" what n)
+    | _ -> None
+  in
+  let tenant_ok = name_ok "tenant" (Protocol.tenant_of req) in
+  let session_ok =
+    match req with
+    | Protocol.Run { session; _ } | Protocol.Soak { session; _ } ->
+        name_ok "session" session
+    | Protocol.Collect { session; _ } -> name_ok "session" (Some session)
+    | _ -> None
+  in
+  let bounds =
+    match req with
+    | Protocol.Run { fuel; engine; _ } ->
+        if fuel <= 0 then Some "fuel must be positive"
+        else if engine <> "ref" && engine <> "fast" then
+          Some (Printf.sprintf "unknown engine %S" engine)
+        else None
+    | Protocol.Soak { steps; programs; segments; differential; seed = _; _ } ->
+        if steps <= 0 || programs <= 0 || segments <= 0 || differential < 0
+        then Some "soak parameters must be positive"
+        else None
+    | _ -> None
+  in
+  match (tenant_ok, session_ok, bounds) with
+  | Some m, _, _ | None, Some m, _ | None, None, Some m -> Some m
+  | None, None, None -> None
+
+let session_of = function
+  | Protocol.Run { session; _ } | Protocol.Soak { session; _ } -> session
+  | _ -> None
+
+(* source size is the request-side memory quota: an oversized program is
+   refused before it is ever compiled *)
+let oversized t req =
+  match req with
+  | Protocol.Run { source; _ } | Protocol.Compile { source; _ } ->
+      String.length source > t.config.quota.Tenants.max_output
+  | _ -> false
+
+let handle t req =
+  let t0 = now () in
+  let resp =
+    match req with
+    | Protocol.Ping -> Protocol.Pong
+    | Protocol.Status -> Protocol.Status_r (Json.to_string (status_json t))
+    | Protocol.Shutdown ->
+        locked t (fun () ->
+            t.stopping <- true;
+            Condition.broadcast t.cond);
+        Protocol.Bye
+    | Protocol.Collect { tenant; session } -> (
+        match validate req with
+        | Some m -> Protocol.Err (Protocol.Bad_request, m)
+        | None -> collect t ~tenant session)
+    | Protocol.Compile _ | Protocol.Run _ | Protocol.Soak _ | Protocol.Report _
+      -> (
+        let tenant = Option.value ~default:"-" (Protocol.tenant_of req) in
+        match validate req with
+        | Some m -> Protocol.Err (Protocol.Bad_request, m)
+        | None ->
+            if locked t (fun () -> t.stopping) then
+              Protocol.Err
+                (Protocol.Shutting_down, "daemon is draining; retry later")
+            else if oversized t req then
+              Protocol.Err
+                ( Protocol.Quota "memory",
+                  "source exceeds the tenant memory quota" )
+            else if
+              (* session idempotency: re-submitting a known session waits
+                 for (or replays) its result instead of running it twice *)
+              (match session_of req with
+              | Some id -> session_known t id
+              | None -> false)
+            then collect t ~tenant (Option.get (session_of req))
+            else (
+              match Tenants.admit t.tenants ~now:(now ()) tenant with
+              | Error (reject, detail) -> Protocol.Err (reject, detail)
+              | Ok () ->
+                  let session = session_of req in
+                  (match session with
+                  | Some id -> register_session t id ~tenant req
+                  | None -> ());
+                  let job = Option.get (job_of t req) in
+                  let resp =
+                    match Admission.submit t.exec job with
+                    | Error `Overloaded ->
+                        Option.iter (unregister_session t) session;
+                        Protocol.Err
+                          ( Protocol.Overloaded,
+                            "admission queue full; load shed" )
+                    | Error `Shutting_down ->
+                        Option.iter (unregister_session t) session;
+                        Protocol.Err
+                          (Protocol.Shutting_down, "daemon is draining")
+                    | Ok ticket -> (
+                        match Admission.wait ticket with
+                        | Ok resp ->
+                            Option.iter
+                              (fun id -> finish_session t id ~tenant resp)
+                              session;
+                            resp
+                        | Error Crashed ->
+                            (* test hook: the session stays journalled, as
+                               after a real SIGKILL *)
+                            Protocol.Err
+                              (Protocol.Internal, "simulated crash")
+                        | Error e ->
+                            Protocol.Err (Protocol.Internal, Printexc.to_string e))
+                  in
+                  Tenants.release t.tenants ~now:(now ())
+                    ~failed:(counts_as_failure resp) tenant;
+                  resp))
+  in
+  observe t (Protocol.request_kind req) (now () -. t0);
+  (match resp with
+  | Protocol.Err (reject, _) -> count_reject t reject
+  | _ -> ());
+  resp
+
+(* --- connections ------------------------------------------------------------ *)
+
+let send fd resp = Frame.write fd (Protocol.encode_response resp)
+
+let connection t fd =
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rec loop () =
+    match Frame.read ~limit:t.config.max_frame fd with
+    | Error (Frame.Closed | Frame.Truncated | Frame.Io_error _) -> ()
+    | Error ((Frame.Bad_magic | Frame.Bad_version _ | Frame.Oversized _
+             | Frame.Corrupt _) as e) ->
+        (* typed refusal, then close: frame sync cannot be trusted *)
+        ignore
+          (send fd
+             (Protocol.Err (Protocol.Bad_request, Frame.error_to_string e)))
+    | Ok payload -> (
+        match Protocol.decode_request payload with
+        | Error e ->
+            (* the frame boundary held, so the connection survives *)
+            (match
+               send fd
+                 (Protocol.Err (Protocol.Bad_request, Frame.error_to_string e))
+             with
+            | Ok () -> loop ()
+            | Error _ -> ())
+        | Ok req -> (
+            let resp = handle t req in
+            match send fd resp with
+            | Error _ -> ()
+            | Ok () -> ( match req with Protocol.Shutdown -> () | _ -> loop ())))
+  in
+  loop ()
+
+let accept_loop t () =
+  let rec loop () =
+    if locked t (fun () -> t.closing) then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | fd, _ -> ignore (Thread.create (connection t) fd)
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* evict finished sessions idle past the deadline — only journalled ones,
+   whose results remain collectable from disk — and wake any timed
+   waiters *)
+let janitor t () =
+  let rec loop () =
+    if locked t (fun () -> t.stopping) then ()
+    else begin
+      Thread.delay 0.1;
+      if t.config.state_dir <> None then
+        locked t (fun () ->
+            let cutoff = now () -. t.config.idle_evict_s in
+            let stale =
+              Hashtbl.fold
+                (fun id s acc ->
+                  match s.s_state with
+                  | Finished _ when s.s_touched < cutoff -> id :: acc
+                  | _ -> acc)
+                t.sessions []
+            in
+            List.iter
+              (fun id ->
+                Hashtbl.remove t.sessions id;
+                t.evicted <- t.evicted + 1)
+              stale;
+            Condition.broadcast t.cond);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- recovery ---------------------------------------------------------------- *)
+
+(* Every journalled session without a recorded result is resubmitted: the
+   job resumes from its checkpoint when one survived, and re-runs from its
+   journalled parameters when not — both complete bit-identically to an
+   uninterrupted run, because every job is a deterministic function of its
+   parameters and the checkpoint codec is lossless. *)
+let recover t =
+  match t.config.state_dir with
+  | None -> ()
+  | Some dir ->
+      Sys.readdir dir |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun file ->
+             match Filename.chop_suffix_opt ~suffix:".meta" file with
+             | None -> ()
+             | Some base
+               when String.length base > 8
+                    && String.sub base 0 8 = "session-" -> (
+                 let id = String.sub base 8 (String.length base - 8) in
+                 match read_done t id with
+                 | Some _ -> remove_session_files t id [ ".meta" ]
+                 | None -> (
+                     match read_meta t id with
+                     | None -> ()
+                     | Some req -> (
+                         match (Protocol.tenant_of req, job_of t req) with
+                         | Some tenant, Some job -> (
+                             locked t (fun () ->
+                                 Hashtbl.replace t.sessions id
+                                   { s_tenant = tenant; s_state = Running;
+                                     s_touched = now () });
+                             match Admission.submit_unbounded t.exec job with
+                             | Error `Shutting_down -> ()
+                             | Ok ticket ->
+                                 ignore
+                                   (Thread.create
+                                      (fun () ->
+                                        match Admission.wait ticket with
+                                        | Ok resp ->
+                                            finish_session t id ~tenant resp
+                                        | Error _ -> ())
+                                      ()))
+                         | _ -> ())))
+             | Some _ -> ())
+
+(* --- lifecycle ---------------------------------------------------------------- *)
+
+let start config =
+  (match config.state_dir with
+  | Some dir when not (Sys.file_exists dir) -> (
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (e, _, _) ->
+        raise
+          (Sys_error
+             (Printf.sprintf "cannot create state directory %s: %s" dir
+                (Unix.error_message e))))
+  | _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if Sys.file_exists config.socket then Sys.remove config.socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX config.socket);
+     Unix.listen listen_fd 64
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise
+       (Sys_error
+          (Printf.sprintf "cannot bind %s: %s" config.socket
+             (Unix.error_message e))));
+  let t =
+    {
+      config;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      sessions = Hashtbl.create 32;
+      metrics = Mips_obs.Metrics.create ();
+      evicted = 0;
+      stopping = false;
+      closing = false;
+      tenants = Tenants.create ~quota:config.quota ~max_tenants:config.max_tenants ();
+      exec = Admission.create ~jobs:config.jobs ~queue:config.queue;
+      heavy_lock = Mutex.create ();
+      listen_fd;
+      accept_thread = None;
+      janitor_thread = None;
+    }
+  in
+  recover t;
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t.janitor_thread <- Some (Thread.create (janitor t) ());
+  t
+
+let request_stop t =
+  locked t (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.cond)
+
+let stop_requested t = locked t (fun () -> t.stopping)
+
+let wait_stopped t =
+  while not (stop_requested t) do
+    Thread.delay 0.1
+  done
+
+let stop ?(drain = true) t =
+  request_stop t;
+  if drain then ignore (Admission.drain t.exec ~deadline_s:t.config.drain_s);
+  Admission.shutdown t.exec;
+  locked t (fun () -> t.closing <- true);
+  Option.iter Thread.join t.accept_thread;
+  Option.iter Thread.join t.janitor_thread;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  if Sys.file_exists t.config.socket then (
+    try Sys.remove t.config.socket with Sys_error _ -> ());
+  (* fail any collect waiters still parked on running sessions *)
+  locked t (fun () -> Condition.broadcast t.cond)

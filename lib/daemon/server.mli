@@ -1,0 +1,82 @@
+(** The [mipsd] server: a long-lived, fault-tolerant, multi-tenant
+    simulation service on a Unix socket.
+
+    Robustness is layered end to end:
+
+    - {b Framing}: every connection speaks {!Frame}/{!Protocol}; malformed
+      or truncated input yields a typed error response (or a clean close),
+      never a crash — the decoder is total.
+    - {b Admission control}: compute runs on a fixed pool of worker
+      domains behind a bounded queue ({!Admission}); once the pool
+      saturates, new work is shed immediately with a typed [Overloaded]
+      response rather than queued into unbounded latency.
+    - {b Quotas}: each tenant gets fuel/memory/concurrency/wall-clock
+      budgets ({!Tenants.quota}).  Fuel and memory are enforced {e during}
+      execution by a watchdog callback on the checkpoint-slice boundary —
+      the {!Mips_resilience.Supervise.Deadline} discipline — and an
+      offender is killed with a typed [Quota] reason; its neighbors'
+      responses are byte-identical to solo runs.
+    - {b Quarantine}: a per-tenant circuit breaker opens after repeated
+      failures, refusing that tenant with [Quarantined] while everyone
+      else proceeds at full service.
+    - {b Crash recovery}: [run]/[soak] requests naming a session are
+      checkpointed to the state directory ({!Mips_resilience.Snapshot}
+      containers, written atomically).  A SIGKILL'd daemon restarted on
+      the same directory resumes every in-flight checkpointed session and
+      completes it {e bit-identically} to an uninterrupted run; finished
+      results are journalled and survive restarts until collected.
+    - {b Eviction}: finished sessions idle past a deadline are dropped
+      from memory (their journalled results remain collectable from disk).
+    - {b Clean shutdown}: SIGTERM (or a [Shutdown] request) stops
+      admission with typed [Shutting_down] refusals and drains in-flight
+      work under a deadline. *)
+
+type config = {
+  socket : string;  (** Unix socket path (an existing file is replaced) *)
+  jobs : int;  (** worker domains executing admitted requests *)
+  queue : int;  (** admitted requests that may wait for a worker *)
+  max_tenants : int;
+  quota : Tenants.quota;
+  state_dir : string option;
+      (** session journal + checkpoint directory; [None] disables sessions *)
+  checkpoint_every : int;  (** machine steps between session checkpoints *)
+  idle_evict_s : float;  (** idle seconds before a finished session leaves
+                             memory (journalled sessions only) *)
+  drain_s : float;  (** shutdown drain deadline *)
+  max_frame : int;  (** request frame payload limit *)
+  test_crash_after_checkpoints : int option;
+      (** test hook: abort a session's job after N checkpoint writes — the
+          in-process stand-in for SIGKILL (CI kills the real process) *)
+}
+
+val default_config : socket:string -> config
+(** 4 jobs, queue 16, 64 tenants, {!Tenants.default_quota}, no state dir,
+    checkpoints every 50k steps, eviction after 300 s, 10 s drain,
+    {!Frame.default_limit} frames. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket, recover journalled sessions from the state directory
+    (resubmitting every session without a recorded result — resumed from
+    its checkpoint when one exists, re-run from its journalled parameters
+    when not), and spawn the accept loop.  Returns immediately.
+    @raise Sys_error when the socket cannot be bound or the state
+    directory cannot be used. *)
+
+val request_stop : t -> unit
+(** Begin shutdown: new billable requests are refused with
+    [Shutting_down].  Idempotent; also triggered by a [Shutdown] frame. *)
+
+val stop_requested : t -> bool
+
+val wait_stopped : t -> unit
+(** Block until {!request_stop} (or a [Shutdown] frame, or {!stop}). *)
+
+val stop : ?drain:bool -> t -> unit
+(** Drain in-flight work (up to [config.drain_s]; [~drain:false] skips the
+    grace period), stop the workers, close and unlink the socket. *)
+
+val status_json : t -> Mips_obs.Json.t
+(** What a [Status] request returns: admission counters, tenant/breaker
+    states, session table, request counters and latency histograms. *)

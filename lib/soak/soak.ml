@@ -225,6 +225,11 @@ let summary_json s =
       ("fuel_exhausted", Json.Bool s.fuel_exhausted);
       ("total_cycles", Json.Int s.total_cycles) ]
 
+let result_json s diffs =
+  Json.Obj
+    [ ("kernel", summary_json s);
+      ("differential", Json.List (List.map diff_json diffs)) ]
+
 (* --- checkpointed soak ----------------------------------------------------- *)
 
 (* A killed-and-resumed soak must be bit-identical to an uninterrupted one,

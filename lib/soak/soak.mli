@@ -91,6 +91,12 @@ val run_soak :
 
 val summary_json : summary -> Mips_obs.Json.t
 
+val result_json : summary -> diff list -> Mips_obs.Json.t
+(** The complete soak result as one object —
+    [{"kernel": ..., "differential": [...]}] — exactly what
+    [mipsc soak --json] prints and what a [mipsd] soak session returns, so
+    the two outputs are byte-comparable. *)
+
 (** {2 Checkpointed soak}
 
     The resilient variant of {!run_soak} + {!differential_sweep}: the run
