@@ -8,13 +8,16 @@
    sized so a timing run stays tractable (the full dynamic experiments run
    once in part 1; timing re-runs use reduced workloads where noted).
 
-   Part 2 also times the two execution engines (reference interpreter vs
-   the predecoded fast engine) over the quick corpus on a warm machine, and
-   derives the per-program and geometric-mean speedups.  Each engine row has
-   a profiled twin — engine_refprof_<prog> and engine_fastprof_<prog> — with
-   the guest profiler's per-PC counters armed; the printed overhead ratios
-   bound the cost of profiling, and the plain rows against the committed
-   baseline guard the zero-cost-when-disabled promise.
+   Part 2 also times the three execution engines (reference interpreter,
+   predecoded fast engine, trace-JIT) over the quick corpus on a warm
+   machine, and derives the per-program and geometric-mean speedups over
+   the reference.  The ref and fast rows have profiled twins —
+   engine_refprof_<prog> and engine_fastprof_<prog> — with the guest
+   profiler's per-PC counters armed; the printed overhead ratios bound the
+   cost of profiling, and the plain rows against the committed baseline
+   guard the zero-cost-when-disabled promise.  A separate allocation table
+   measures minor-heap words per simulated instruction for each engine —
+   the guardrail for the jit's allocation-free steady-state dispatch.
 
    Part 2 finally times the full report three ways — cold serial, warm
    artifact cache, and cold with the default worker pool — and derives the
@@ -48,6 +51,10 @@ let compile_entry name =
    compiled on the first run) — the predecode pass is the bet the paper
    makes about one-time software work, and its cost is benchmarked
    separately below. *)
+(* installed before the benches are constructed: the rows warm their
+   machines (and compile hot traces) at setup time *)
+let () = Mips_jit.install ()
+
 let engine_bench ?(profiled = false) prog engine =
   let module Cpu = Mips_machine.Cpu in
   Test.make
@@ -61,22 +68,38 @@ let engine_bench ?(profiled = false) prog engine =
         let cpu = Cpu.create () in
         Cpu.load_program cpu p;
         Cpu.set_profiling cpu profiled;
-        fun () ->
+        let run () =
           Cpu.set_pc cpu p.Mips_machine.Program.entry;
           List.iter (fun (a, v) -> Cpu.write_data cpu a v)
             p.Mips_machine.Program.data;
           let res =
             Mips_machine.Hosted.run ~input:e.Mips_corpus.Corpus.input ~engine cpu
           in
-          assert res.Mips_machine.Hosted.halted))
+          assert res.Mips_machine.Hosted.halted
+        in
+        (* Warm to the steady state before Bechamel samples: the jit keeps
+           compiling until every entry whose counter ticks once per run has
+           crossed [hot_threshold], so churn persists for that many runs —
+           without this, the row measures compilation, not dispatch. *)
+        let warm =
+          match engine with
+          | Cpu.Jit -> Mips_jit.hot_threshold + 2
+          | Cpu.Ref | Cpu.Fast -> 2
+        in
+        for _ = 1 to warm do run () done;
+        run))
 
 let engine_benches =
   (* the profiled twins measure the guardrail the guest profiler promises:
-     per-PC counters on vs off, same program, same warm machine *)
+     per-PC counters on vs off, same program, same warm machine.  The jit
+     row has no profiled twin: armed per-PC counters push the trace
+     dispatcher back onto the fast stepper, so the twin would re-measure
+     engine_fastprof under another name *)
   List.concat_map
     (fun prog ->
       [ engine_bench prog Mips_machine.Cpu.Ref;
         engine_bench prog Mips_machine.Cpu.Fast;
+        engine_bench prog Mips_machine.Cpu.Jit;
         engine_bench ~profiled:true prog Mips_machine.Cpu.Ref;
         engine_bench ~profiled:true prog Mips_machine.Cpu.Fast ])
     quick_corpus
@@ -188,7 +211,6 @@ let bench_tests =
          (* the one-time lowering pass the fast engine amortizes *)
          (let p = Mips_codegen.Compile.compile (compile_entry "queens") in
           fun () -> ignore (Mips_machine.Predecode.of_program p))) ]
-  @ engine_benches
 
 (* The full-report rows: the end-to-end harness cost, three ways.  These are
    ~1s-per-run workloads, so they get their own heavier Bechamel config
@@ -259,38 +281,51 @@ let run_benchmarks groups =
         tests)
     groups
 
-(* ref-vs-fast per program, plus the geometric mean over the corpus *)
+(* ref-vs-fast and ref-vs-jit per program, plus the geometric means over
+   the corpus *)
 let engine_speedups results =
   let lookup n = List.assoc_opt n results in
   let rows =
     List.filter_map
       (fun prog ->
-        match (lookup ("engine_ref_" ^ prog), lookup ("engine_fast_" ^ prog)) with
-        | Some r, Some f when f > 0. -> Some (prog, r, f, r /. f)
+        match
+          ( lookup ("engine_ref_" ^ prog),
+            lookup ("engine_fast_" ^ prog),
+            lookup ("engine_jit_" ^ prog) )
+        with
+        | Some r, Some f, Some j when f > 0. && j > 0. ->
+            Some (prog, r, f, j, r /. f, r /. j)
         | _ -> None)
       quick_corpus
   in
-  let geomean =
+  let geomean proj =
     match rows with
     | [] -> None
     | _ ->
         let logsum =
-          List.fold_left (fun acc (_, _, _, s) -> acc +. log s) 0. rows
+          List.fold_left (fun acc row -> acc +. log (proj row)) 0. rows
         in
         Some (exp (logsum /. float_of_int (List.length rows)))
   in
-  (rows, geomean)
+  ( rows,
+    geomean (fun (_, _, _, _, sf, _) -> sf),
+    geomean (fun (_, _, _, _, _, sj) -> sj) )
 
-let print_speedups (rows, geomean) =
+let print_speedups (rows, fast_gm, jit_gm) =
   print_endline "";
-  print_endline "=== engine speedup (reference / fast, warm machine) ===";
+  print_endline "=== engine speedup over reference (warm machine) ===";
   List.iter
-    (fun (prog, r, f, s) ->
-      Printf.printf "%-12s ref %12.0f ns   fast %12.0f ns   speedup %5.2fx\n"
-        prog r f s)
+    (fun (prog, r, f, j, sf, sj) ->
+      Printf.printf
+        "%-12s ref %12.0f ns   fast %10.0f ns (%5.2fx)   jit %10.0f ns \
+         (%6.2fx)\n"
+        prog r f sf j sj)
     rows;
-  match geomean with
-  | Some g -> Printf.printf "%-12s %45s %5.2fx\n" "geomean" "" g
+  (match fast_gm with
+  | Some g -> Printf.printf "%-12s fast geomean %5.2fx\n" "geomean" g
+  | None -> ());
+  match jit_gm with
+  | Some g -> Printf.printf "%-12s jit  geomean %6.2fx\n" "" g
   | None -> ()
 
 (* profiling overhead per engine: profiled / unprofiled on the same program,
@@ -322,6 +357,58 @@ let print_profiling_overheads = function
           Printf.printf "%-12s ref %5.2fx   fast %5.2fx\n" prog ref_oh fast_oh)
         rows
 
+(* Minor-heap allocation per simulated instruction, per engine, on a warm
+   machine: one measured run between two [Gc.minor_words] readings, divided
+   by the instruction words that run executed.  The interpreters may
+   allocate a small constant per step; the jit's promise is that its
+   steady-state trace dispatch allocates nothing, so its row must sit at
+   the noise floor — the fixed per-run cost of [Hosted.run] amortized over
+   the whole program, far below one word per instruction. *)
+let alloc_per_instr () =
+  let module Cpu = Mips_machine.Cpu in
+  List.concat_map
+    (fun prog ->
+      let e = Mips_corpus.Corpus.find prog in
+      let p = Mips_codegen.Compile.compile e.Mips_corpus.Corpus.source in
+      List.map
+        (fun engine ->
+          let cpu = Cpu.create () in
+          Cpu.load_program cpu p;
+          let run () =
+            Cpu.set_pc cpu p.Mips_machine.Program.entry;
+            List.iter (fun (a, v) -> Cpu.write_data cpu a v)
+              p.Mips_machine.Program.data;
+            let res =
+              Mips_machine.Hosted.run ~input:e.Mips_corpus.Corpus.input ~engine
+                cpu
+            in
+            assert res.Mips_machine.Hosted.halted
+          in
+          (* warm to steady state: fast closures built, and for the jit
+             every once-per-run entry over [hot_threshold] compiled *)
+          let warm =
+            match engine with
+            | Cpu.Jit -> Mips_jit.hot_threshold + 2
+            | Cpu.Ref | Cpu.Fast -> 2
+          in
+          for _ = 1 to warm do run () done;
+          let w0 = (Cpu.stats cpu).Mips_machine.Stats.words in
+          let m0 = Gc.minor_words () in
+          run ();
+          let m1 = Gc.minor_words () in
+          let dw = (Cpu.stats cpu).Mips_machine.Stats.words - w0 in
+          ( Printf.sprintf "alloc_%s_%s" (Cpu.engine_name engine) prog,
+            if dw > 0 then (m1 -. m0) /. float_of_int dw else Float.nan ))
+        [ Cpu.Ref; Cpu.Fast; Cpu.Jit ])
+    quick_corpus
+
+let print_alloc rows =
+  print_endline "";
+  print_endline "=== minor-heap allocation (words / simulated instruction) ===";
+  List.iter
+    (fun (name, w) -> Printf.printf "%-34s %14.3f w/instr\n" name w)
+    rows
+
 (* serial-vs-warm-vs-parallel on the full report: the harness speedup the
    artifact cache buys (and, on multi-core hosts, the worker pool) *)
 let report_speedups results =
@@ -347,7 +434,7 @@ let print_report_speedups = function
       | None -> ());
       Printf.printf "%-34s %17.2fx\n" "speedup (serial / warm)" speedup
 
-let json_of_results results (rows, geomean) overheads report_sp =
+let json_of_results results (rows, fast_gm, jit_gm) overheads alloc report_sp =
   let open Mips_obs.Json in
   Obj
     [ ("schema", Str "mips-bench/1");
@@ -371,15 +458,25 @@ let json_of_results results (rows, geomean) overheads report_sp =
           [ ( "programs",
               List
                 (List.map
-                   (fun (prog, r, f, s) ->
+                   (fun (prog, r, f, j, sf, sj) ->
                      Obj
                        [ ("program", Str prog);
                          ("ref_ns_per_run", Float r);
                          ("fast_ns_per_run", Float f);
-                         ("speedup", Float s) ])
+                         ("jit_ns_per_run", Float j);
+                         ("speedup", Float sf);
+                         ("jit_speedup", Float sj) ])
                    rows) );
-            ( "geomean",
-              match geomean with Some g -> Float g | None -> Null ) ] );
+            ("geomean", match fast_gm with Some g -> Float g | None -> Null);
+            ( "jit_geomean",
+              match jit_gm with Some g -> Float g | None -> Null ) ] );
+      ( "alloc",
+        List
+          (List.map
+             (fun (name, w) ->
+               Obj
+                 [ ("name", Str name); ("minor_words_per_instr", Float w) ])
+             alloc) );
       ( "report_speedup",
         match report_sp with
         | None -> Null
@@ -417,6 +514,27 @@ let load_baseline file =
           Printf.eprintf "bench: baseline %s has no results array\n" file;
           exit 2)
 
+(* (name, minor_words_per_instr) out of a baseline's alloc section; absent
+   in pre-jit baselines, which yields no comparison rather than an error *)
+let load_baseline_alloc file =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  match Mips_obs.Json.of_string text with
+  | Error _ -> []
+  | Ok json -> (
+      match Mips_obs.Json.member "alloc" json with
+      | Some (Mips_obs.Json.List rows) ->
+          List.filter_map
+            (fun row ->
+              match
+                ( Mips_obs.Json.member "name" row,
+                  Mips_obs.Json.member "minor_words_per_instr" row )
+              with
+              | Some (Mips_obs.Json.Str name), Some v ->
+                  Some (name, Mips_obs.Json.to_float_exn v)
+              | _ -> None)
+            rows
+      | _ -> [])
+
 (* fresh timings against the committed ones: ratio > 1 means this tree is
    faster than the baseline on that row *)
 let print_baseline_diff ~file baseline results =
@@ -446,6 +564,19 @@ let print_baseline_diff ~file baseline results =
       in
       Printf.printf "%-34s %35.2fx\n" "geomean"
         (exp (logsum /. float_of_int (List.length common)))
+
+let print_alloc_baseline_diff ~file baseline alloc =
+  match baseline with
+  | [] -> ()
+  | _ ->
+      Printf.printf "\n=== allocation vs baseline %s (w/instr) ===\n" file;
+      List.iter
+        (fun (name, w) ->
+          match List.assoc_opt name baseline with
+          | Some base ->
+              Printf.printf "%-34s %12.3f -> %12.3f\n" name base w
+          | None -> Printf.printf "%-34s %25s %.3f (new)\n" name "" w)
+        alloc
 
 (* --- daemon latency bench (--daemon) ----------------------------------------- *)
 
@@ -608,6 +739,7 @@ let rec opt_value flag = function
   | _ :: rest -> opt_value flag rest
 
 let () =
+  Mips_jit.install ();
   let args = Array.to_list Sys.argv in
   let tables = (not (List.mem "--bench" args)) || List.mem "--tables" args in
   let bench = (not (List.mem "--tables" args)) || List.mem "--bench" args in
@@ -636,25 +768,36 @@ let () =
     print_endline "";
     print_endline "=== Bechamel timings (one per experiment) ===";
     let micro_cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    (* the speedup table is the headline number: give its rows a larger
+       sampling window than the other micro benches, or the slow reference
+       rows (queens: ~0.2 s/run) get two samples and the per-row noise on a
+       shared host swamps the geomean *)
+    let engine_cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) () in
     let report_cfg = Benchmark.cfg ~limit:8 ~quota:(Time.second 5.0) () in
     let results =
-      run_benchmarks [ (micro_cfg, bench_tests); (report_cfg, report_tests ()) ]
+      run_benchmarks
+        [ (micro_cfg, bench_tests); (engine_cfg, engine_benches);
+          (report_cfg, report_tests ()) ]
     in
     let speedups = engine_speedups results in
     print_speedups speedups;
     let overheads = profiling_overheads results in
     print_profiling_overheads overheads;
+    let alloc = alloc_per_instr () in
+    print_alloc alloc;
     let report_sp = report_speedups results in
     print_report_speedups report_sp;
     (match baseline with
-    | Some file -> print_baseline_diff ~file (load_baseline file) results
+    | Some file ->
+        print_baseline_diff ~file (load_baseline file) results;
+        print_alloc_baseline_diff ~file (load_baseline_alloc file) alloc
     | None -> ());
     match json with
     | Some file ->
         let oc = open_out file in
         output_string oc
           (Mips_obs.Json.to_string
-             (json_of_results results speedups overheads report_sp));
+             (json_of_results results speedups overheads alloc report_sp));
         output_char oc '\n';
         close_out oc;
         Printf.printf "\nwrote %s\n%!" file

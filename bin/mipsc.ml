@@ -175,11 +175,24 @@ let engine_flag =
   Arg.(
     value
     & opt
-        (enum [ ("ref", Mips_machine.Cpu.Ref); ("fast", Mips_machine.Cpu.Fast) ])
+        (enum
+           [ ("ref", Mips_machine.Cpu.Ref); ("fast", Mips_machine.Cpu.Fast);
+             ("jit", Mips_machine.Cpu.Jit) ])
         Mips_machine.Cpu.Ref
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Execution engine: $(b,ref) (the reference interpreter, default)            or $(b,fast) (the predecoded closure engine — bit-identical            results, including statistics).")
+          "Execution engine: $(b,ref) (the reference interpreter, default),            $(b,fast) (the predecoded closure engine — bit-identical            results, including statistics) or $(b,jit) (the trace \
+           compiler: hot basic blocks become fused closures — bit-identical \
+           results, fastest steady state).")
+
+let fuel_flag =
+  Arg.(
+    value
+    & opt int 500_000_000
+    & info [ "fuel" ] ~docv:"STEPS"
+        ~doc:
+          "Maximum machine steps to execute; the run exits with the \
+           out-of-fuel status when the budget is exhausted.")
 
 (* checkpoint/restore flags for `run` and `soak` *)
 let checkpoint_flag =
@@ -251,7 +264,8 @@ let remote_tenant_flag =
     & info [ "tenant" ] ~docv:"NAME"
         ~doc:"Tenant to bill a $(b,--remote) run to (default $(b,mipsc)).")
 
-let run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~engine =
+let run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~fuel
+    ~engine =
   let req =
     Mips_daemon.Protocol.Run
       {
@@ -260,7 +274,7 @@ let run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~engine =
         source = src;
         cg = { Mips_daemon.Protocol.byte; early_out; level };
         input;
-        fuel = 500_000_000;
+        fuel;
         engine = Mips_machine.Cpu.engine_name engine;
       }
   in
@@ -272,8 +286,8 @@ let run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~engine =
 
 let run_cmd =
   let run file byte early_out level input stats trace trace_format stats_json
-      fault_seed fault_rate engine jobs checkpoint checkpoint_every resume
-      host_trace remote tenant =
+      fault_seed fault_rate engine fuel jobs checkpoint checkpoint_every
+      resume host_trace remote tenant =
     apply_jobs jobs;
     let config = config_of ~byte ~early_out in
     let src = read_source file in
@@ -288,7 +302,8 @@ let run_cmd =
              --stats-json/--fault-seed/--checkpoint/--resume/--host-trace\n";
           exit Exit_code.usage
         end;
-        run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~engine
+        run_remote ~socket ~tenant ~src ~byte ~early_out ~level ~input ~fuel
+          ~engine
     | None -> ());
     let input =
       if input = "" then
@@ -314,7 +329,6 @@ let run_cmd =
               irq_rate = fault_rate /. 2. })
         fault_seed
     in
-    let fuel = 500_000_000 in
     let tracer = make_tracer ~lanes:1 host_trace in
     let sp = Mips_obs.Span.lane tracer 0 in
     let res, cpu =
@@ -484,7 +498,8 @@ let run_cmd =
     Term.(
       const run $ file_arg $ byte_flag $ early_flag $ level_flag $ input_flag
       $ stats_flag $ trace_flag $ trace_format_flag $ stats_json_flag
-      $ fault_seed_flag $ fault_rate_flag $ engine_flag $ jobs_flag
+      $ fault_seed_flag $ fault_rate_flag $ engine_flag $ fuel_flag
+      $ jobs_flag
       $ checkpoint_flag $ checkpoint_every_flag 1_000_000 $ resume_flag
       $ host_trace_flag $ remote_flag $ remote_tenant_flag)
 
@@ -631,7 +646,7 @@ let profile_cmd =
      attribution is exact — it sums back to the run's Stats totals — and
      profiling never perturbs the Stats themselves. *)
   let profile_run_cmd =
-    let prun file byte early_out level interlock input engine hot flame
+    let prun file byte early_out level interlock input engine fuel hot flame
         speedscope json host_trace =
       let config = config_of ~byte ~early_out in
       let src = read_source file in
@@ -663,8 +678,8 @@ let profile_cmd =
       Mips_machine.Cpu.set_profiling cpu true;
       let res =
         Mips_obs.Span.with_ sp "simulate" (fun () ->
-            Mips_machine.Hosted.run_program_on ~fuel:500_000_000 ~input ~engine
-              cpu program)
+            Mips_machine.Hosted.run_program_on ~fuel ~input ~engine cpu
+              program)
       in
       let stats = Mips_machine.Cpu.stats cpu in
       let prof =
@@ -720,7 +735,7 @@ let profile_cmd =
                   "Profile raw program-order code on the hardware-interlock \
                    machine: real stall cycles land in the attribution and \
                    load+use pairs appear in the fusion table.")
-        $ input_flag $ engine_flag
+        $ input_flag $ engine_flag $ fuel_flag
         $ Arg.(
             value & opt int 10
             & info [ "hot" ] ~docv:"N"
@@ -795,9 +810,16 @@ let corpus_cmd =
 
 let soak_cmd =
   let soak seed steps programs segments quantum watchdog flip_rate
-      data_flip_rate irq_rate page_drop_rate flaky_rate differential json jobs
-      checkpoint checkpoint_every resume stats_json host_trace =
+      data_flip_rate irq_rate page_drop_rate flaky_rate differential engine
+      json jobs checkpoint checkpoint_every resume stats_json host_trace =
     apply_jobs jobs;
+    (* --engine=ref keeps the historical split: interpreted kernel phase,
+       fast-engine differential variants (matching Soak.run_checkpointed) *)
+    let diff_engine =
+      match engine with
+      | Mips_machine.Cpu.Ref -> Mips_machine.Cpu.Fast
+      | e -> e
+    in
     let tracer = make_tracer ~lanes:1 host_trace in
     let sp = Mips_obs.Span.lane tracer 0 in
     let plan =
@@ -819,16 +841,16 @@ let soak_cmd =
       if checkpoint = None && resume = None then
         ( Mips_obs.Span.with_ sp "kernel_soak" (fun () ->
               Mips_soak.Soak.run_soak ~programs ?segments ~quantum ?watchdog
-                ~steps ~plan ~seed ()),
+                ~steps ~engine ~plan ~seed ()),
           Mips_obs.Span.with_ sp "differential" (fun () ->
               Mips_soak.Soak.differential_sweep ?segments ~seed
-                ~count:differential ()) )
+                ~engine:diff_engine ~count:differential ()) )
       else
         match
           Mips_obs.Span.with_ sp "soak_checkpointed" (fun () ->
               Mips_soak.Soak.run_checkpointed ~programs ?segments ~quantum
                 ?watchdog ~steps ~diff_count:differential ?checkpoint
-                ~checkpoint_every ?resume ~plan ~seed ())
+                ~checkpoint_every ?resume ~engine ~plan ~seed ())
         with
         | Ok (Mips_soak.Soak.Complete (s, diffs)) -> (s, diffs)
         | Ok Mips_soak.Soak.Interrupted ->
@@ -943,6 +965,7 @@ let soak_cmd =
               ~doc:
                 "Also run $(docv) raw-vs-reorganized differential programs \
                  under transparent faults (0 to disable).")
+      $ engine_flag
       $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the summary as JSON.")
       $ jobs_flag $ checkpoint_flag $ checkpoint_every_flag 250_000
       $ resume_flag
@@ -1085,6 +1108,7 @@ let report_cmd =
       $ host_trace_flag)
 
 let () =
+  Mips_jit.install ();
   let doc = "compiler, reorganizer and simulator for the MIPS tradeoffs reproduction" in
   (* `profile FILE ...` predates `profile` growing subcommands; a cmdliner
      group resolves the token right after the group name as a subcommand,

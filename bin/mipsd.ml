@@ -95,9 +95,11 @@ let input_flag =
 let engine_flag =
   Arg.(
     value
-    & opt (enum [ ("ref", "ref"); ("fast", "fast") ]) "ref"
+    & opt (enum [ ("ref", "ref"); ("fast", "fast"); ("jit", "jit") ]) "ref"
     & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"Execution engine: $(b,ref) (default) or $(b,fast).")
+        ~doc:
+          "Execution engine: $(b,ref) (default), $(b,fast) or $(b,jit) (the \
+           trace compiler; bit-identical results).")
 
 let cg_of ~byte ~early_out ~level =
   { Protocol.byte; early_out; level }
@@ -347,10 +349,12 @@ let compile_cmd =
       $ early_flag $ level_flag)
 
 let soak_cmd =
-  let soak socket tenant session seed steps programs segments differential =
+  let soak socket tenant session seed steps programs segments differential
+      engine =
     let req =
       Protocol.Soak
-        { tenant; session; seed; steps; programs; segments; differential }
+        { tenant; session; seed; steps; programs; segments; differential;
+          engine }
     in
     match Remote.request_or_die ~prog:"mipsd" socket req with
     | Protocol.Soaked json -> print_endline json
@@ -388,7 +392,8 @@ let soak_cmd =
           & info [ "differential" ] ~docv:"N"
               ~doc:
                 "Raw-vs-reorganized differential programs under transparent \
-                 faults (0 to disable)."))
+                 faults (0 to disable).")
+      $ engine_flag)
 
 let report_cmd =
   let report socket tenant =

@@ -29,6 +29,7 @@ type request =
       programs : int;
       segments : int;
       differential : int;
+      engine : string;
     }
   | Report of { tenant : string }
   | Collect of { tenant : string; session : string }
@@ -135,7 +136,8 @@ let encode_request req =
       Io.W.str b input;
       Io.W.int b fuel;
       Io.W.str b engine
-  | Soak { tenant; session; seed; steps; programs; segments; differential } ->
+  | Soak { tenant; session; seed; steps; programs; segments; differential;
+           engine } ->
       Io.W.u8 b 3;
       Io.W.str b tenant;
       Io.W.opt Io.W.str b session;
@@ -143,7 +145,8 @@ let encode_request req =
       Io.W.int b steps;
       Io.W.int b programs;
       Io.W.int b segments;
-      Io.W.int b differential
+      Io.W.int b differential;
+      Io.W.str b engine
   | Report { tenant } ->
       Io.W.u8 b 4;
       Io.W.str b tenant
@@ -195,7 +198,10 @@ let decode_request data =
           let programs = Io.R.int r in
           let segments = Io.R.int r in
           let differential = Io.R.int r in
-          Soak { tenant; session; seed; steps; programs; segments; differential }
+          let engine = Io.R.str r in
+          Soak
+            { tenant; session; seed; steps; programs; segments; differential;
+              engine }
       | 4 -> Report { tenant = Io.R.str r }
       | 5 ->
           let tenant = Io.R.str r in

@@ -28,7 +28,7 @@ type request =
       cg : codegen;
       input : string;
       fuel : int;
-      engine : string;  (** "ref" or "fast" *)
+      engine : string;  (** "ref", "fast" or "jit" *)
     }
   | Soak of {
       tenant : string;
@@ -38,6 +38,7 @@ type request =
       programs : int;
       segments : int;
       differential : int;
+      engine : string;  (** "ref", "fast" or "jit" *)
     }
   | Report of { tenant : string }
   | Collect of { tenant : string; session : string }

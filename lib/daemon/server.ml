@@ -289,7 +289,8 @@ let run_job t ~req ~session ~source ~cg ~input ~fuel ~engine () =
 
 (* Same knob settings as `mipsc soak` so a collected response is
    byte-comparable with `mipsc soak --json` at equal parameters. *)
-let soak_job t ~session ~seed ~steps ~programs ~segments ~differential () =
+let soak_job t ~session ~seed ~steps ~programs ~segments ~differential
+    ~engine () =
   let plan =
     {
       Mips_fault.Plan.seed;
@@ -312,7 +313,8 @@ let soak_job t ~session ~seed ~steps ~programs ~segments ~differential () =
   match
     Mips_soak.Soak.run_checkpointed ~programs ~segments ~quantum:500 ~steps
       ~diff_count:differential ~diff_jobs:1 ?checkpoint
-      ~checkpoint_every:t.config.checkpoint_every ?resume ~plan ~seed ()
+      ~checkpoint_every:t.config.checkpoint_every ?resume ~engine ~plan ~seed
+      ()
   with
   | Ok (Mips_soak.Soak.Complete (s, diffs)) ->
       Protocol.Soaked (Json.to_string (Mips_soak.Soak.result_json s diffs))
@@ -467,12 +469,21 @@ let job_of t req =
   | Protocol.Compile { source; cg; _ } -> Some (compile_job ~source ~cg)
   | Protocol.Run { session; source; cg; input; fuel; engine; _ } ->
       let engine =
-        match engine with "fast" -> Cpu.Fast | _ -> Cpu.Ref
+        match Cpu.engine_of_string engine with
+        | Some e -> e
+        | None -> Cpu.Ref
       in
       Some (run_job t ~req ~session ~source ~cg ~input ~fuel ~engine)
-  | Protocol.Soak { session; seed; steps; programs; segments; differential; _ }
-    ->
-      Some (soak_job t ~session ~seed ~steps ~programs ~segments ~differential)
+  | Protocol.Soak
+      { session; seed; steps; programs; segments; differential; engine; _ } ->
+      let engine =
+        match Cpu.engine_of_string engine with
+        | Some e -> e
+        | None -> Cpu.Ref
+      in
+      Some
+        (soak_job t ~session ~seed ~steps ~programs ~segments ~differential
+           ~engine)
   | Protocol.Report _ -> Some (report_job t)
   | _ -> None
 
@@ -494,12 +505,15 @@ let validate req =
     match req with
     | Protocol.Run { fuel; engine; _ } ->
         if fuel <= 0 then Some "fuel must be positive"
-        else if engine <> "ref" && engine <> "fast" then
+        else if Cpu.engine_of_string engine = None then
           Some (Printf.sprintf "unknown engine %S" engine)
         else None
-    | Protocol.Soak { steps; programs; segments; differential; seed = _; _ } ->
+    | Protocol.Soak
+        { steps; programs; segments; differential; engine; seed = _; _ } ->
         if steps <= 0 || programs <= 0 || segments <= 0 || differential < 0
         then Some "soak parameters must be positive"
+        else if Cpu.engine_of_string engine = None then
+          Some (Printf.sprintf "unknown engine %S" engine)
         else None
     | _ -> None
   in
@@ -727,6 +741,8 @@ let recover t =
 (* --- lifecycle ---------------------------------------------------------------- *)
 
 let start config =
+  (* the daemon executes --engine=jit requests in-process *)
+  Mips_jit.install ();
   (match config.state_dir with
   | Some dir when not (Sys.file_exists dir) -> (
       try Unix.mkdir dir 0o755

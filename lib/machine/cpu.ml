@@ -48,7 +48,10 @@ type t = {
   mutable seg : Segmap.t;
   mutable byte_select : int;
   epcs : int array;
-  mutable pending : (int * int) option;  (* load landing one word late *)
+  (* load landing one word late, flattened to two scalar cells so neither
+     engine allocates an option per load ([pend_r] = -1 means none) *)
+  mutable pend_r : int;
+  mutable pend_v : int;
   mutable last_load_writes : Reg.Set.t;  (* interlock-mode stall detection *)
   imem : int Word.t array;
   notes : Note.t array;
@@ -83,6 +86,22 @@ type t = {
   mutable prof_on : bool;
   mutable prof : profile;
   mutable prof_fetch : int;
+  (* trace-JIT engine state, armed lazily by the jit run loop (lib/jit) and
+     empty otherwise.  [jit_code] holds one compiled-trace closure per entry
+     pc (fuel in, fuel remaining out); [jit_len] its straight-line length in
+     words; [jit_counts] the per-PC hotness counters; [jit_cover] maps every
+     imem address back to the trace entries whose compiled body includes it,
+     so a code write can invalidate exactly the traces it affects.  [jit_k]
+     and [jit_pv] are fault-recovery scratch: the body index reached and the
+     in-flight delayed-load value of the trace being executed. *)
+  mutable jit_on : bool;
+  mutable jit_code : (t -> int -> int) array;
+  mutable jit_len : int array;
+  mutable jit_counts : int array;
+  mutable jit_cover : int list array;
+  mutable jit_nospec : Bytes.t;
+  mutable jit_k : int;
+  mutable jit_pv : int;
 }
 
 and fault_kind =
@@ -96,6 +115,10 @@ type event = Stepped | Dispatched of Cause.t
    compiled since it last changed.  Recognized with [==]; never called with
    the intent of executing an instruction. *)
 let stale (_ : t) = ()
+
+(* Jit-engine sentinel: marks a [jit_code] slot with no compiled trace.
+   Recognized with [==]; returns its fuel untouched if ever called. *)
+let jit_stale (_ : t) (fuel : int) = fuel
 
 (* Shared placeholder for machines not being profiled: zero-length arrays,
    never written while [prof_on] is false. *)
@@ -118,7 +141,8 @@ let create ?(config = default_config) () =
     seg = Segmap.make ~pid:0 ~mask_bits:0;
     byte_select = 0;
     epcs = Array.make 3 0;
-    pending = None;
+    pend_r = -1;
+    pend_v = 0;
     last_load_writes = Reg.Set.empty;
     imem = Array.make config.imem_words Word.Nop;
     notes = Array.make config.imem_words Note.plain;
@@ -144,7 +168,51 @@ let create ?(config = default_config) () =
     prof_on = false;
     prof = no_profile;
     prof_fetch = -1;
+    jit_on = false;
+    jit_code = [||];
+    jit_len = [||];
+    jit_counts = [||];
+    jit_cover = [||];
+    jit_nospec = Bytes.empty;
+    jit_k = 0;
+    jit_pv = 0;
   }
+
+(* Arm/reset/invalidate the jit trace cache.  [jit_invalidate] is
+   conservative by construction: every trace whose body covers address [a]
+   is discarded and its entry's hotness counter cleared, so a recompile
+   observes the new word.  Note writes invalidate too — traces bake the
+   per-word [notes] into their batched reference accounting. *)
+let jit_arm t =
+  if not t.jit_on then begin
+    t.jit_code <- Array.make t.cfg.imem_words jit_stale;
+    t.jit_len <- Array.make t.cfg.imem_words 0;
+    t.jit_counts <- Array.make t.cfg.imem_words 0;
+    t.jit_cover <- Array.make t.cfg.imem_words [];
+    t.jit_nospec <- Bytes.make t.cfg.imem_words '\000';
+    t.jit_on <- true
+  end
+
+let jit_invalidate t a =
+  match t.jit_cover.(a) with
+  | [] -> ()
+  | entries ->
+      List.iter
+        (fun e ->
+          t.jit_code.(e) <- jit_stale;
+          t.jit_len.(e) <- 0;
+          t.jit_counts.(e) <- 0)
+        entries;
+      t.jit_cover.(a) <- []
+
+let jit_reset t =
+  if t.jit_on then begin
+    Array.fill t.jit_code 0 (Array.length t.jit_code) jit_stale;
+    Array.fill t.jit_len 0 (Array.length t.jit_len) 0;
+    Array.fill t.jit_counts 0 (Array.length t.jit_counts) 0;
+    Array.fill t.jit_cover 0 (Array.length t.jit_cover) [];
+    Bytes.fill t.jit_nospec 0 (Bytes.length t.jit_nospec) '\000'
+  end
 
 let config t = t.cfg
 let stats t = t.stats
@@ -202,9 +270,12 @@ let read_code t a = t.imem.(a)
 
 let write_code t a w =
   t.imem.(a) <- w;
-  t.xcode.(a) <- stale
+  t.xcode.(a) <- stale;
+  if t.jit_on then jit_invalidate t a
 let read_note t a = t.notes.(a)
-let write_note t a n = t.notes.(a) <- n
+let write_note t a n =
+  t.notes.(a) <- n;
+  if t.jit_on then jit_invalidate t a
 let read_data t a = t.dmem.(a)
 let write_data t a v = t.dmem.(a) <- Word32.norm v
 let faulted t = t.fault
@@ -227,7 +298,7 @@ type pipeline_state = {
 let pipeline_state t =
   {
     ps_byte_select = t.byte_select;
-    ps_pending = t.pending;
+    ps_pending = (if t.pend_r >= 0 then Some (t.pend_r, t.pend_v) else None);
     ps_last_load_writes =
       Reg.Set.fold (fun r m -> m lor (1 lsl Reg.to_int r)) t.last_load_writes 0;
     ps_fault = t.fault;
@@ -238,7 +309,11 @@ let pipeline_state t =
 
 let set_pipeline_state t ps =
   t.byte_select <- ps.ps_byte_select;
-  t.pending <- ps.ps_pending;
+  (match ps.ps_pending with
+  | Some (r, v) ->
+      t.pend_r <- r;
+      t.pend_v <- v
+  | None -> t.pend_r <- -1);
   t.last_load_writes <-
     (let s = ref Reg.Set.empty in
      for i = 0 to 15 do
@@ -263,6 +338,7 @@ let faulted_addr t =
 let load_program ?(at = 0) ?(data_at = 0) t (p : Program.t) =
   Array.blit p.code 0 t.imem at (Array.length p.code);
   Array.fill t.xcode at (Array.length p.code) stale;
+  jit_reset t;
   Array.blit p.notes 0 t.notes at (Array.length p.notes);
   List.iter (fun (a, v) -> t.dmem.(data_at + a) <- Word32.norm v) p.data;
   set_pc t (at + p.entry)
@@ -452,10 +528,10 @@ let compute_branch t b =
   | Branch.Trap code -> raise (Trap_dispatch code)
 
 let commit_pending t =
-  (match t.pending with
-  | Some (r, v) -> t.regs.(r) <- v
-  | None -> ());
-  t.pending <- None
+  if t.pend_r >= 0 then begin
+    t.regs.(t.pend_r) <- t.pend_v;
+    t.pend_r <- -1
+  end
 
 let dispatch t cause detail ~epcs:(e0, e1, e2) =
   commit_pending t;
@@ -706,7 +782,11 @@ let step_core t =
                      byte;
                      char_data = note.Note.char_data;
                    });
-            if t.cfg.interlock then t.regs.(r) <- v else t.pending <- Some (r, v)
+            if t.cfg.interlock then t.regs.(r) <- v
+            else begin
+              t.pend_r <- r;
+              t.pend_v <- v
+            end
         | Some (Store_commit _) | None -> ());
         t.last_load_writes <-
           (if t.cfg.interlock then Word.load_writes word else Reg.Set.empty);
@@ -1090,11 +1170,19 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
     | MXload_w (d, _) ->
         Stats.count_ref t.stats ~load:true t.notes.(at);
         let v = t.dmem.(t.sc_a) in
-        if interlock then t.regs.(d) <- v else t.pending <- Some (d, v)
+        if interlock then t.regs.(d) <- v
+        else begin
+          t.pend_r <- d;
+          t.pend_v <- v
+        end
     | MXload_b (d, _) ->
         Stats.count_ref t.stats ~load:true t.notes.(at);
         let v = Word32.get_byte t.dmem.(t.sc_a lsr 2) (t.sc_a land 3) in
-        if interlock then t.regs.(d) <- v else t.pending <- Some (d, v)
+        if interlock then t.regs.(d) <- v
+        else begin
+          t.pend_r <- d;
+          t.pend_v <- v
+        end
     | MXnone | MXstore_w _ | MXstore_b _ -> ());
     (* [last_load_writes] / stall attribution state only matter on the
        interlocked machine; in delayed-load mode they are always empty *)
@@ -1140,11 +1228,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.nops <- s.Stats.nops + 1;
-          (match t.pending with
-          | Some (r, v) ->
-              t.regs.(r) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
           t.p1 <- c;
@@ -1158,11 +1246,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
-          (match t.pending with
-          | Some (r, pv) ->
-              t.regs.(r) <- pv;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(d) <- v;
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
@@ -1176,11 +1264,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
-          (match t.pending with
-          | Some (r, v) ->
-              t.regs.(r) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(d) <- c0;
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
@@ -1195,13 +1283,14 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.mem_busy_cycles <- s.Stats.mem_busy_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
-          (match t.pending with
-          | Some (r, v) ->
-              t.regs.(r) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           Stats.count_ref s ~load:true t.notes.(at);
-          t.pending <- Some (d, t.dmem.(a));
+          t.pend_r <- d;
+          t.pend_v <- t.dmem.(a);
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
           t.p1 <- c;
@@ -1218,11 +1307,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
           t.dmem.(a) <- v;
           Stats.count_ref s ~load:false t.notes.(at);
-          (match t.pending with
-          | Some (r, pv) ->
-              t.regs.(r) <- pv;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
           t.p1 <- c;
@@ -1236,11 +1325,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
-          (match t.pending with
-          | Some (r, v) ->
-              t.regs.(r) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           if taken then begin
             s.Stats.branches_taken <- s.Stats.branches_taken + 1;
             let b = t.p1 in
@@ -1262,11 +1351,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
-          (match t.pending with
-          | Some (r, v) ->
-              t.regs.(r) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           s.Stats.branches_taken <- s.Stats.branches_taken + 1;
           let b = t.p1 in
           t.p0 <- b;
@@ -1280,11 +1369,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
-          (match t.pending with
-          | Some (r, v) ->
-              t.regs.(r) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(link) <- t.p2;
           s.Stats.branches_taken <- s.Stats.branches_taken + 1;
           let b = t.p1 in
@@ -1300,11 +1389,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
-          (match t.pending with
-          | Some (rr, v) ->
-              t.regs.(rr) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           s.Stats.branches_taken <- s.Stats.branches_taken + 1;
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
@@ -1319,11 +1408,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.free_cycles <- s.Stats.free_cycles + 1;
           s.Stats.weighted.(0) <- s.Stats.weighted.(0) +. 1.;
           s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
-          (match t.pending with
-          | Some (rr, v) ->
-              t.regs.(rr) <- v;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(link) <- t.p2 + 1;
           s.Stats.branches_taken <- s.Stats.branches_taken + 1;
           let b = t.p1 and c = t.p2 in
@@ -1342,11 +1431,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.packed_words <- s.Stats.packed_words + 1;
           s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
           s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
-          (match t.pending with
-          | Some (r, pv) ->
-              t.regs.(r) <- pv;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(d) <- v;
           if taken then begin
             s.Stats.branches_taken <- s.Stats.branches_taken + 1;
@@ -1372,11 +1461,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.packed_words <- s.Stats.packed_words + 1;
           s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
           s.Stats.branch_pieces <- s.Stats.branch_pieces + 1;
-          (match t.pending with
-          | Some (r, pv) ->
-              t.regs.(r) <- pv;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(d) <- v;
           s.Stats.branches_taken <- s.Stats.branches_taken + 1;
           let b = t.p1 in
@@ -1394,11 +1483,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.packed_words <- s.Stats.packed_words + 1;
           s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
           s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
-          (match t.pending with
-          | Some (r, pv) ->
-              t.regs.(r) <- pv;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(da) <- v;
           t.regs.(dm) <- c0;
           let b = t.p1 and c = t.p2 in
@@ -1417,14 +1506,15 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.packed_words <- s.Stats.packed_words + 1;
           s.Stats.alu_pieces <- s.Stats.alu_pieces + 1;
           s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
-          (match t.pending with
-          | Some (r, pv) ->
-              t.regs.(r) <- pv;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(da) <- v;
           Stats.count_ref s ~load:true t.notes.(at);
-          t.pending <- Some (dm, t.dmem.(a));
+          t.pend_r <- dm;
+          t.pend_v <- t.dmem.(a);
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
           t.p1 <- c;
@@ -1444,11 +1534,11 @@ let compile_word (cfg : config) (at : int) (w : int Word.t) : t -> unit =
           s.Stats.mem_pieces <- s.Stats.mem_pieces + 1;
           t.dmem.(a) <- sv;
           Stats.count_ref s ~load:false t.notes.(at);
-          (match t.pending with
-          | Some (r, pv) ->
-              t.regs.(r) <- pv;
-              t.pending <- None
-          | None -> ());
+          (let pr = t.pend_r in
+           if pr >= 0 then begin
+             t.regs.(pr) <- t.pend_v;
+             t.pend_r <- -1
+           end);
           t.regs.(da) <- v;
           let b = t.p1 and c = t.p2 in
           t.p0 <- b;
@@ -1508,15 +1598,20 @@ let step_fast t =
 
 (* ---------------------------------------------------------------------- *)
 
-type engine = Ref | Fast
+type engine = Ref | Fast | Jit
 
-let engine_name = function Ref -> "ref" | Fast -> "fast"
+let engine_name = function Ref -> "ref" | Fast -> "fast" | Jit -> "jit"
 let engine_of_string = function
   | "ref" -> Some Ref
   | "fast" -> Some Fast
+  | "jit" -> Some Jit
   | _ -> None
 
-let stepper = function Ref -> step | Fast -> step_fast
+(* Per-step contexts (the kernel's scheduler loop, arbitrary interleaving)
+   get the fast engine for [Jit]: trace dispatch only exists at whole-run
+   granularity, and [step_fast] is the jit loop's own single-step fallback,
+   so the state evolution is identical. *)
+let stepper = function Ref -> step | Fast | Jit -> step_fast
 
 let run_with stepf ?(fuel = 10_000_000) t handler =
   let rec loop fuel =
@@ -1539,4 +1634,19 @@ let run_with stepf ?(fuel = 10_000_000) t handler =
 
 let run ?fuel t handler = run_with step ?fuel t handler
 let run_fast ?fuel t handler = run_with step_fast ?fuel t handler
-let run_engine ?fuel ~engine t handler = run_with (stepper engine) ?fuel t handler
+
+(* The jit run loop lives in [Mips_jit] (lib/jit), which depends on this
+   module; it registers itself here at [install] time.  Requesting the jit
+   engine without having linked it is a programming error, and failing loud
+   beats silently falling back to a slower engine. *)
+let jit_runner :
+    (?fuel:int -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool) ref =
+  ref (fun ?fuel:_ _ _ ->
+      failwith "Cpu.run_engine: jit engine not installed (call Mips_jit.install)")
+
+let set_jit_runner f = jit_runner := f
+
+let run_engine ?fuel ~engine t handler =
+  match engine with
+  | Jit -> !jit_runner ?fuel t handler
+  | Ref | Fast -> run_with (stepper engine) ?fuel t handler

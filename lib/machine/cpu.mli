@@ -42,7 +42,108 @@ val byte_addressed_config : config
 
 val interlocked_config : config
 
-type t
+(** Guest-profiling buffers; see {!section-profiling} below. *)
+type profile = {
+  pr_counts : int array;
+      (** executed words per physical pc (indexed to [imem_words]) *)
+  pr_stalls : int array;
+      (** stall cycles charged at pc: load-use at the consumer, interlock
+          branch latency at the branch *)
+  pr_shadow : int array;
+      (** executions of pc inside a taken branch's delay shadow *)
+  pr_edges : (int * int, int) Hashtbl.t;
+      (** (branch pc, target) -> times the branch was taken to target *)
+  mutable pr_shadow_pending : int;
+  mutable pr_other_cycles : int;
+      (** cycles charged without a resolved fetch pc *)
+}
+
+(** The machine state, exposed concretely so the compiled execution engines
+    (the per-word closures below and the trace compiler in [lib/jit]) can
+    read and write it without accessor calls on the hot path.  Everything
+    here is reachable through the named accessors too; code outside the
+    engines should prefer those. *)
+type t = {
+  cfg : config;
+  regs : int array;
+  mutable p0 : int;
+  mutable p1 : int;
+  mutable p2 : int;
+  mutable sr : Surprise.t;
+  mutable seg : Segmap.t;
+  mutable byte_select : int;
+  epcs : int array;
+  (* load landing one word late, flattened to two scalar cells so neither
+     engine allocates an option per load ([pend_r] = -1 means none) *)
+  mutable pend_r : int;
+  mutable pend_v : int;
+  mutable last_load_writes : Reg.Set.t;  (* interlock-mode stall detection *)
+  imem : int Word.t array;
+  notes : Note.t array;
+  dmem : int array;
+  pagemap : Pagemap.t;
+  mutable interrupt_line : bool;
+  mutable fault : fault_kind option;
+  stats : Stats.t;
+  mutable trace : Mips_obs.Sink.t;
+  mutable trace_on : bool;  (* = trace.enabled, flattened for the hot path *)
+  mutable plan : Mips_fault.Plan.t;
+  mutable inject_on : bool;  (* = Plan.enabled plan, flattened likewise *)
+  mutable flaky_armed : bool;  (* next data reference transiently faults *)
+  (* previous executed word, for load-use stall attribution by pair *)
+  mutable prev_pc : int;
+  mutable prev_word : int Word.t;
+  (* taken-branch shadow countdown; maintained only while tracing *)
+  mutable delay_pending : int;
+  (* fast engine: per-word compiled closures, kept in sync with [imem]
+     ([stale] marks a slot whose word changed since it was last compiled) *)
+  xcode : (t -> unit) array;
+  (* fast-engine scratch slots: compute-phase results parked here so the
+     commit phase can pick them up without allocating effect records *)
+  mutable sc_a : int;  (* resolved physical address (byte ops: phys*4+lane) *)
+  mutable sc_b : int;  (* store value, read in the compute phase *)
+  mutable sc_v : int;  (* ALU result *)
+  mutable sc_taken : bool;  (* conditional-branch decision *)
+  mutable sc_target : int;  (* indirect-branch target, read pre-commit *)
+  (* guest profiling: [prof_on] is the single hot-path flag test; [prof]
+     points at [no_profile] while disabled; [prof_fetch] is the physical
+     fetch address the last step resolved (-1 when it never did) *)
+  mutable prof_on : bool;
+  mutable prof : profile;
+  mutable prof_fetch : int;
+  (* trace-JIT engine state, armed lazily by the jit run loop (lib/jit) and
+     empty otherwise.  [jit_code] holds one compiled-trace closure per entry
+     pc (fuel in, fuel remaining out); [jit_len] its straight-line length in
+     words; [jit_counts] the per-PC hotness counters; [jit_cover] maps every
+     imem address back to the trace entries whose compiled body includes it,
+     so a code write can invalidate exactly the traces it affects.
+     [jit_nospec] marks branch pcs whose speculation kept failing (one byte
+     per imem word; traces recompiled after a blacklisting treat the branch
+     as a trace terminator).  [jit_k] and [jit_pv] are fault-recovery
+     scratch: the body index reached and the in-flight delayed-load value
+     of the trace being executed. *)
+  mutable jit_on : bool;
+  mutable jit_code : (t -> int -> int) array;
+  mutable jit_len : int array;
+  mutable jit_counts : int array;
+  mutable jit_cover : int list array;
+  mutable jit_nospec : Bytes.t;
+  mutable jit_k : int;
+  mutable jit_pv : int;
+}
+
+(** What the external mapping unit latched at the most recent [Page_fault]
+    dispatch. *)
+and fault_kind =
+  | Missing_page of Pagemap.space * int
+      (** page-map miss at this global virtual address *)
+  | Segment_violation of int
+      (** a reference between the two valid segment regions, at this
+          process virtual address ("treated as a page fault" by the
+          hardware; the OS decides to grow the segment or kill) *)
+  | Transient_ref
+      (** an injected flaky-memory fault: the data reference never happened
+          and the word is restartable as-is — software should simply retry *)
 
 (** Why [step] or [run] stopped making forward progress. *)
 type event =
@@ -74,7 +175,7 @@ val set_fault_plan : t -> Mips_fault.Plan.t -> unit
     memory, so restarting the word through the EPC chain re-executes it
     exactly.  Attaching a plan disarms any pending flaky fault. *)
 
-(** {2 Guest profiling}
+(** {2:profiling Guest profiling}
 
     Per-PC execution profiling for both engines behind a single flag test
     (the same pattern as the trace and fault hooks).  The buffers are
@@ -85,21 +186,6 @@ val set_fault_plan : t -> Mips_fault.Plan.t -> unit
     sum(pr_counts) + sum(pr_stalls) + pr_other_cycles = cycles.  The
     buffers are not part of the architectural state: checkpoints do not
     carry them. *)
-
-type profile = {
-  pr_counts : int array;
-      (** executed words per physical pc (indexed to [imem_words]) *)
-  pr_stalls : int array;
-      (** stall cycles charged at pc: load-use at the consumer, interlock
-          branch latency at the branch *)
-  pr_shadow : int array;
-      (** executions of pc inside a taken branch's delay shadow *)
-  pr_edges : (int * int, int) Hashtbl.t;
-      (** (branch pc, target) -> times the branch was taken to target *)
-  mutable pr_shadow_pending : int;
-  mutable pr_other_cycles : int;
-      (** cycles charged without a resolved fetch pc *)
-}
 
 val set_profiling : t -> bool -> unit
 (** Arm (with fresh buffers) or disarm profiling. *)
@@ -194,29 +280,23 @@ val step_fast : t -> event
 val run_fast : ?fuel:int -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool
 (** As {!run}, but stepping with {!step_fast}. *)
 
-type engine = Ref | Fast
+type engine = Ref | Fast | Jit
 
 val engine_name : engine -> string
 val engine_of_string : string -> engine option
 
 val stepper : engine -> t -> event
-(** The step function an engine uses: [stepper Ref == step]. *)
+(** The step function an engine uses at single-step granularity:
+    [stepper Ref == step]; [Fast] and [Jit] both step with {!step_fast}
+    (trace dispatch only exists at whole-run granularity, and the fast
+    engine is the jit loop's own fallback, so the state evolution is
+    identical). *)
 
 val run_engine :
   ?fuel:int -> engine:engine -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool
-
-(** What the external mapping unit latched at the most recent [Page_fault]
-    dispatch. *)
-type fault_kind =
-  | Missing_page of Pagemap.space * int
-      (** page-map miss at this global virtual address *)
-  | Segment_violation of int
-      (** a reference between the two valid segment regions, at this
-          process virtual address ("treated as a page fault" by the
-          hardware; the OS decides to grow the segment or kill) *)
-  | Transient_ref
-      (** an injected flaky-memory fault: the data reference never happened
-          and the word is restartable as-is — software should simply retry *)
+(** Run under the named engine.  [Jit] requires the trace compiler to have
+    been linked and installed ([Mips_jit.install]); requesting it without
+    fails loudly rather than silently running a slower engine. *)
 
 val faulted : t -> fault_kind option
 
@@ -249,4 +329,93 @@ val set_pipeline_state : t -> pipeline_state -> unit
 (** Restore the hidden execution state.  The previous-word text is
     re-derived from instruction memory at [ps_prev_pc], so code must be
     reloaded before this is called.  {!set_fault_plan} disarms the flaky
-    flag — attach the plan {e before} restoring pipeline state. *)
+    flag — attach the plan {e before} restoring pipeline state.  The jit
+    trace cache is {e not} part of the restorable state: it is a derived
+    cache, rebuilt from hotness counters after a restore. *)
+
+(** {2 Engine internals}
+
+    Shared machinery between the predecoded fast engine (this module) and
+    the trace compiler ([lib/jit]).  Nothing here is meant for ordinary
+    clients. *)
+
+exception Fault of Cause.t * int
+(** A fault detected during the compute phase of a word.  The engines catch
+    it and route it through {!dispatch}; the faulting word contributes no
+    cycle. *)
+
+exception Trap_dispatch of int
+(** A [Trap] reached during the compute phase.  Unlike {!Fault}, the trap
+    word's cycle has already been counted when this is raised. *)
+
+val translate_word : t -> Pagemap.space -> write:bool -> int -> int
+(** Virtual-to-physical word translation under the current privilege and
+    mapping state; raises {!Fault} (latching {!fault_kind}) on misses. *)
+
+val data_bounds_check : t -> int -> unit
+(** Raises [Fault (Illegal, 1)] when the physical word is out of range. *)
+
+val commit_pending : t -> unit
+(** Land the delayed-load latch ([pend_r]/[pend_v]) into the register file. *)
+
+val dispatch : t -> Cause.t -> int -> epcs:int * int * int -> event
+(** Accept an exception: commit the pending load, save the given chain into
+    the EPCs, push the surprise register, redirect to physical 0, count the
+    exception and emit the trace event.  Always returns [Dispatched]. *)
+
+(** Resolved ALU piece: destination picked apart from the value computation. *)
+type alu_exec =
+  | AXnone
+  | AXreg of int * (t -> int)  (** destination register, value *)
+  | AXspecial of Alu.special * (t -> int)
+  | AXrfe
+
+(** Resolved memory piece.  The [t -> int] computes the resolved physical
+    address at compute time (byte variants encode [(phys lsl 2) lor lane]);
+    faults raise from inside it. *)
+type mem_exec =
+  | MXnone
+  | MXlimm of int * int  (** destination register, constant *)
+  | MXload_w of int * (t -> int)
+  | MXload_b of int * (t -> int)
+  | MXstore_w of int * (t -> int)  (** source register, address *)
+  | MXstore_b of int * (t -> int)
+
+(** Resolved branch piece.  Targets of indirect branches are register reads
+    and must happen at compute time (pre-commit); direct targets are
+    immediate. *)
+type br_exec =
+  | BXnone
+  | BXcbr of (t -> bool) * int
+  | BXjump of int
+  | BXjal of int * int  (** target, link register *)
+  | BXjind of int  (** target register *)
+  | BXjalind of int * int  (** target register, link register *)
+  | BXtrap of int
+
+val compile_alu : Alu.t -> alu_exec
+val compile_mem : config -> Mem.t option -> mem_exec
+val compile_branch : int Branch.t option -> br_exec
+
+(** {2 Jit hooks}
+
+    The trace compiler lives in [lib/jit] (which depends on this module);
+    these are its attachment points. *)
+
+val jit_arm : t -> unit
+(** Allocate the per-machine trace-cache arrays ([jit_code] and friends)
+    and set [jit_on], making {!write_code}/{!write_note} invalidate covered
+    traces from then on.  Idempotent. *)
+
+val jit_stale : t -> int -> int
+(** The empty-slot sentinel for [jit_code]; recognized with [==]. *)
+
+val jit_invalidate : t -> int -> unit
+(** Discard every compiled trace whose body covers the given address. *)
+
+val jit_reset : t -> unit
+(** Discard all traces and hotness counters (program (re)load). *)
+
+val set_jit_runner :
+  (?fuel:int -> t -> (t -> Cause.t -> [ `Resume | `Halt ]) -> bool) -> unit
+(** Register the whole-run jit loop that {!run_engine} dispatches [Jit] to. *)

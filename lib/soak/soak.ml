@@ -73,7 +73,7 @@ type diff = {
 }
 
 let differential ?segments ?fuel ?(flaky_rate = 0.01) ?(irq_rate = 0.005)
-    ~seed () =
+    ?(engine = Cpu.Fast) ~seed () =
   let asm = Progen.generate ?segments ~seed () in
   let reorganized = Mips_reorg.Pipeline.compile asm in
   let raw = Mips_reorg.Pipeline.compile_raw asm in
@@ -82,15 +82,18 @@ let differential ?segments ?fuel ?(flaky_rate = 0.01) ?(irq_rate = 0.005)
     { Plan.quiet with Plan.seed = seed + 0x5011; flaky_rate; irq_rate }
   in
   let reference, _ = run_variant ?fuel ~interlocked:false ~plan:None reorganized in
+  let en = Cpu.engine_name engine in
   let variants =
     [ ("raw-interlocked", raw, true, None, Cpu.Ref);
       ("reorganized-faults", reorganized, false, Some plan_cfg, Cpu.Ref);
       ("raw-interlocked-faults", raw, true, Some plan_cfg, Cpu.Ref);
-      (* the same schedules under the predecoded fast engine: anything a
-         program can observe must be identical, fault plan or not *)
-      ("reorganized-fast", reorganized, false, None, Cpu.Fast);
-      ("raw-interlocked-fast", raw, true, None, Cpu.Fast);
-      ("reorganized-fast-faults", reorganized, false, Some plan_cfg, Cpu.Fast) ]
+      (* the same schedules under the alternate engine (predecoded fast by
+         default, trace-jit on request): anything a program can observe
+         must be identical, fault plan or not *)
+      ("reorganized-" ^ en, reorganized, false, None, engine);
+      ("raw-interlocked-" ^ en, raw, true, None, engine);
+      ("reorganized-" ^ en ^ "-faults", reorganized, false, Some plan_cfg,
+       engine) ]
   in
   let mismatches, retries, injected =
     List.fold_left
@@ -110,10 +113,11 @@ let differential ?segments ?fuel ?(flaky_rate = 0.01) ?(irq_rate = 0.005)
    generator and fault plan carry their own seeded streams), so a sweep is
    embarrassingly parallel; results come back in seed order regardless of
    the pool size. *)
-let differential_sweep ?jobs ?segments ?fuel ?flaky_rate ?irq_rate ~seed ~count
-    () =
+let differential_sweep ?jobs ?segments ?fuel ?flaky_rate ?irq_rate ?engine
+    ~seed ~count () =
   Mips_par.map ?jobs
-    (fun s -> differential ?segments ?fuel ?flaky_rate ?irq_rate ~seed:s ())
+    (fun s ->
+      differential ?segments ?fuel ?flaky_rate ?irq_rate ?engine ~seed:s ())
     (List.init count (fun i -> seed + i))
 
 let diff_json d =
@@ -160,10 +164,10 @@ let bump assoc key =
 
 let run_soak ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
     ?(data_frames = 16) ?(code_frames = 16) ?backing_limit
-    ?(steps = 2_000_000) ~plan ~seed () =
+    ?(steps = 2_000_000) ?engine ~plan ~seed () =
   let k =
     Mips_os.Kernel.create ~data_frames ~code_frames ~quantum ?watchdog
-      ?backing_limit ~fault_plan:(Plan.make plan) ()
+      ?backing_limit ~fault_plan:(Plan.make plan) ?engine ()
   in
   for i = 0 to programs - 1 do
     let pseed = (seed * 0x1000) + i in
@@ -259,6 +263,7 @@ type params = {
   p_steps : int;
   p_plan : Plan.config;
   p_diff_count : int;
+  p_engine : Cpu.engine;
 }
 
 let params_to_string p =
@@ -281,6 +286,7 @@ let params_to_string p =
   float b p.p_plan.Plan.flaky_rate;
   int b p.p_plan.Plan.max_injections;
   int b p.p_diff_count;
+  str b (Cpu.engine_name p.p_engine);
   contents b
 
 let summary_to_string s =
@@ -409,14 +415,16 @@ let run_checkpointed ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
     ?(data_frames = 16) ?(code_frames = 16) ?backing_limit
     ?(steps = 2_000_000) ?(diff_count = 0) ?diff_jobs ?(diff_chunk = 4)
     ?checkpoint ?(checkpoint_every = 250_000) ?resume
-    ?(obs = Mips_obs.Sink.null) ?max_slices ~plan ~seed () =
+    ?(obs = Mips_obs.Sink.null) ?max_slices ?(engine = Cpu.Ref) ~plan ~seed
+    () =
   let open Snapshot in
   let checkpoint_every = max 1 checkpoint_every in
   let params =
     { p_seed = seed; p_programs = programs; p_segments = segments;
       p_quantum = quantum; p_watchdog = watchdog; p_data_frames = data_frames;
       p_code_frames = code_frames; p_backing_limit = backing_limit;
-      p_steps = steps; p_plan = plan; p_diff_count = diff_count }
+      p_steps = steps; p_plan = plan; p_diff_count = diff_count;
+      p_engine = engine }
   in
   let params_str = params_to_string params in
   let write_ckpt ~phase ~progress sections =
@@ -439,7 +447,7 @@ let run_checkpointed ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
   let make_kernel () =
     let k =
       Mips_os.Kernel.create ~data_frames ~code_frames ~quantum ?watchdog
-        ?backing_limit ~fault_plan:(Plan.make plan) ()
+        ?backing_limit ~fault_plan:(Plan.make plan) ~engine ()
     in
     for i = 0 to programs - 1 do
       let pseed = (seed * 0x1000) + i in
@@ -547,7 +555,12 @@ let run_checkpointed ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
         let outs =
           Supervise.supervised_map ?jobs:diff_jobs ~obs
             ~label:(fun s -> Printf.sprintf "diff:%d" s)
-            (fun s -> differential ?segments ~seed:s ())
+            (fun s ->
+              (* Ref means "historical default": the kernel interprets, the
+                 differential still exercises the fast engine — keeps the
+                 checkpointed JSON byte-identical to the two-phase path. *)
+              let engine = match engine with Cpu.Ref -> Cpu.Fast | e -> e in
+              differential ?segments ~engine ~seed:s ())
             seeds
         in
         let ds =

@@ -39,18 +39,23 @@ type diff = {
 
 val differential :
   ?segments:int -> ?fuel:int -> ?flaky_rate:float -> ?irq_rate:float ->
-  seed:int -> unit -> diff
+  ?engine:Mips_machine.Cpu.engine -> seed:int -> unit -> diff
 (** Generate program [seed]; run reorganized/no-interlock (fault-free
     reference), raw/interlocked, reorganized/no-interlock + faults, and
     raw/interlocked + faults — then the same schedules again under the
     predecoded fast engine ({!Mips_machine.Cpu.Fast}), clean and faulted —
     and compare every variant against the reference.  This makes the
     generator the differential oracle for the fast engine's equivalence
-    contract.  Defaults: [flaky_rate = 0.01], [irq_rate = 0.005]. *)
+    contract.  [engine] substitutes another engine (e.g.
+    {!Mips_machine.Cpu.Jit}) for the alternate-engine variants; the
+    variant names carry the engine's {!Mips_machine.Cpu.engine_name}, so
+    the default keeps the historical "reorganized-fast" names.
+    Defaults: [flaky_rate = 0.01], [irq_rate = 0.005]. *)
 
 val differential_sweep :
   ?jobs:int -> ?segments:int -> ?fuel:int -> ?flaky_rate:float ->
-  ?irq_rate:float -> seed:int -> count:int -> unit -> diff list
+  ?irq_rate:float -> ?engine:Mips_machine.Cpu.engine -> seed:int ->
+  count:int -> unit -> diff list
 (** [count] differential runs at seeds [seed .. seed+count-1], fanned out
     over the {!Mips_par} worker pool and returned in seed order — each run
     is a pure function of its seed, so the list is identical for any pool
@@ -82,7 +87,8 @@ type summary = {
 val run_soak :
   ?programs:int -> ?segments:int -> ?quantum:int -> ?watchdog:int ->
   ?data_frames:int -> ?code_frames:int -> ?backing_limit:int ->
-  ?steps:int -> plan:Mips_fault.Plan.config -> seed:int -> unit -> summary
+  ?steps:int -> ?engine:Mips_machine.Cpu.engine ->
+  plan:Mips_fault.Plan.config -> seed:int -> unit -> summary
 (** Spawn [programs] generated processes (seeds derived from [seed]) under
     a hardened kernel with the given fault plan and run for at most [steps]
     machine steps (default 2,000,000).  Deterministic: equal arguments give
@@ -120,6 +126,7 @@ val run_checkpointed :
   ?diff_count:int -> ?diff_jobs:int -> ?diff_chunk:int ->
   ?checkpoint:string -> ?checkpoint_every:int -> ?resume:string ->
   ?obs:Mips_obs.Sink.t -> ?max_slices:int ->
+  ?engine:Mips_machine.Cpu.engine ->
   plan:Mips_fault.Plan.config -> seed:int -> unit ->
   (resilient_result, Mips_resilience.Snapshot.error) result
 (** Run the soak, checkpointing to [checkpoint] every [checkpoint_every]
@@ -131,4 +138,6 @@ val run_checkpointed :
     [max_slices] interrupts the kernel phase after that many slices —
     a deterministic in-process kill for tests.  With [diff_count = 0] the
     result's diff list is empty and [Complete (s, [])] carries the same
-    summary {!run_soak} returns. *)
+    summary {!run_soak} returns.  [engine] (default [Ref]) drives both the
+    kernel phase and the differential phase's alternate-engine variants,
+    and is part of the byte-compared checkpoint parameters. *)

@@ -121,9 +121,11 @@ let gen_request =
          let* programs = 1 -- 32 in
          let* segments = 1 -- 256 in
          let* differential = 0 -- 64 in
+         let* engine = oneofl [ "ref"; "fast"; "jit" ] in
          return
            (Protocol.Soak
-              { tenant; session; seed; steps; programs; segments; differential }))
+              { tenant; session; seed; steps; programs; segments; differential;
+                engine }))
       ])
 
 let gen_reject =
@@ -184,7 +186,7 @@ let test_request_truncations () =
           engine = "ref" };
       Protocol.Soak
         { tenant = "t"; session = None; seed = 1; steps = 100; programs = 2;
-          segments = 8; differential = 2 } ]
+          segments = 8; differential = 2; engine = "ref" } ]
   in
   List.iter
     (fun req ->
@@ -643,10 +645,45 @@ let test_server_soak_matches_local () =
     request socket
       (Protocol.Soak
          { tenant = "t0"; session = None; seed; steps; programs; segments;
-           differential })
+           differential; engine = "ref" })
   with
   | Protocol.Soaked json ->
       check "daemon soak equals local soak JSON" true (String.equal expected json)
+  | resp -> Alcotest.failf "soak: %s" (kind_of resp)
+
+let test_server_soak_jit_matches_local () =
+  (* the engine choice travels the wire: a remote jit soak is byte-identical
+     to the same soak run in-process with [~engine:Cpu.Jit] — trace
+     compilation on the daemon side must not perturb a single byte of the
+     differential/soak summary *)
+  let seed = 11 and steps = 150_000 and programs = 4 and segments = 24 in
+  let differential = 2 in
+  let plan =
+    { Mips_fault.Plan.seed; flip_reg_rate = 0.002; flip_data_rate = 0.002;
+      irq_rate = 0.002; page_drop_rate = 0.002; flaky_rate = 0.005;
+      max_injections = 0 }
+  in
+  let expected =
+    match
+      Mips_soak.Soak.run_checkpointed ~programs ~segments ~quantum:500 ~steps
+        ~diff_count:differential ~diff_jobs:1
+        ~engine:Mips_machine.Cpu.Jit ~plan ~seed ()
+    with
+    | Ok (Mips_soak.Soak.Complete (s, diffs)) ->
+        Mips_obs.Json.to_string (Mips_soak.Soak.result_json s diffs)
+    | Ok Mips_soak.Soak.Interrupted -> Alcotest.fail "local soak interrupted"
+    | Error e -> Alcotest.failf "local soak: %s" (Mips_resilience.Snapshot.error_to_string e)
+  in
+  with_server @@ fun socket _t ->
+  match
+    request socket
+      (Protocol.Soak
+         { tenant = "t0"; session = None; seed; steps; programs; segments;
+           differential; engine = "jit" })
+  with
+  | Protocol.Soaked json ->
+      check "daemon jit soak equals local jit soak JSON" true
+        (String.equal expected json)
   | resp -> Alcotest.failf "soak: %s" (kind_of resp)
 
 let test_server_validation_and_status () =
@@ -718,6 +755,8 @@ let suite =
         tc_slow "unknown session and ownership"
           test_server_unknown_session_and_ownership;
         tc_slow "daemon soak equals local soak" test_server_soak_matches_local;
+        tc_slow "daemon jit soak equals local jit soak"
+          test_server_soak_jit_matches_local;
         tc_slow "validation and status" test_server_validation_and_status;
         tc_slow "shutdown refuses with a typed answer"
           test_server_shutdown_refusal ] ) ]

@@ -107,7 +107,12 @@ let test_differential () =
           in
           let r = run_one ~config ~plan ~engine:Cpu.Ref program in
           let f = run_one ~config ~plan ~engine:Cpu.Fast program in
-          explain_diff vname seed r f)
+          explain_diff vname seed r f;
+          (* the jit engine under the same oracle: compiled traces where
+             eligible, fallback everywhere else (interlocked and byte
+             configs, armed fault plans), same bit-exact contract *)
+          let j = run_one ~config ~plan ~engine:Cpu.Jit program in
+          explain_diff (vname ^ "-jit") seed r j)
         (variants seed))
     seeds
 
@@ -189,11 +194,118 @@ let test_kernel_differential () =
   let ref_report, ref_stats = kernel_report Cpu.Ref seeds in
   let fast_report, fast_stats = kernel_report Cpu.Fast seeds in
   check_string "kernel report identical" ref_report fast_report;
-  check_string "kernel machine stats identical" ref_stats fast_stats
+  check_string "kernel machine stats identical" ref_stats fast_stats;
+  let jit_report, jit_stats = kernel_report Cpu.Jit seeds in
+  check_string "kernel report identical (jit)" ref_report jit_report;
+  check_string "kernel machine stats identical (jit)" ref_stats jit_stats
+
+(* --- trace-JIT specific tests ---------------------------------------------- *)
+
+(* A hot loop compiled into a trace, then patched — once in the middle of
+   the compiled body, once at its entry.  The write must invalidate the
+   trace ([Cpu.write_code] consults the coverage map), so the machine
+   behaves as if the trace never existed.  The oracle is a reference
+   machine driven through the identical heat/patch/rerun sequence; the
+   expected accumulator values are also asserted directly. *)
+let test_jit_smc_hot_block () =
+  let open Mips_isa in
+  let movi8 c d = Word.A (Alu.Movi8 (c, Reg.r d)) in
+  let rr i = Operand.reg (Reg.r i) in
+  let i4 = Operand.imm4 in
+  let add a b d = Word.A (Alu.Binop (Alu.Add, a, b, Reg.r d)) in
+  let code =
+    [| movi8 0 1; (* 0: i := 0 *)
+       movi8 0 2; (* 1: acc := 0 *)
+       movi8 200 3; (* 2: bound *)
+       add (rr 2) (i4 1) 2; (* 3: loop entry: acc += 1 *)
+       add (rr 2) (i4 2) 2; (* 4: acc += 2  (mid-trace patch point) *)
+       add (rr 1) (i4 1) 1; (* 5: i += 1 *)
+       Word.B (Branch.Cbr (Cond.Lt, rr 1, rr 3, 3)); (* 6 *)
+       Word.Nop; (* 7: delay slot *)
+       movi8 0 10; (* 8: exit status *)
+       Word.B (Branch.Trap Monitor.exit_) (* 9 *) |]
+  in
+  let drive engine =
+    let cpu = Cpu.create () in
+    Cpu.load_program cpu (Program.make code);
+    let go () =
+      Cpu.set_pc cpu 0;
+      let res = Hosted.run ~engine cpu in
+      check "smc run halted" true res.Hosted.halted;
+      ( Cpu.get_reg cpu (Mips_isa.Reg.r 2),
+        Json.to_string (Stats.to_json (Cpu.stats cpu)) )
+    in
+    let heat = go () in
+    let steady = go () in
+    (* patch inside the compiled body, not at its entry *)
+    Cpu.write_code cpu 4 (add (rr 2) (i4 5) 2);
+    let mid = go () in
+    (* patch the trace entry itself *)
+    Cpu.write_code cpu 3 (movi8 9 2);
+    let entry = go () in
+    [ heat; steady; mid; entry ]
+  in
+  let ref_runs = drive Cpu.Ref and jit_runs = drive Cpu.Jit in
+  (match jit_runs with
+  | [ (a, _); (b, _); (c, _); (d, _) ] ->
+      check_int "acc after heat" 600 a;
+      check_int "acc steady-state" 600 b;
+      check_int "acc after mid-trace patch" 1200 c;
+      check_int "acc after entry patch" 14 d
+  | _ -> assert false);
+  List.iteri
+    (fun i ((racc, rstats), (jacc, jstats)) ->
+      check_int (Printf.sprintf "smc run %d acc" i) racc jacc;
+      check_string (Printf.sprintf "smc run %d stats" i) rstats jstats)
+    (List.combine ref_runs jit_runs)
+
+(* Checkpoint/resume under the jit engine: interrupt a run mid-flight,
+   restore the snapshot on a fresh machine (empty trace cache), resume
+   under jit, and the completed run must be bit-identical to an
+   uninterrupted reference run. *)
+let test_jit_checkpoint_resume () =
+  let module Snapshot = Mips_resilience.Snapshot in
+  List.iter
+    (fun seed ->
+      let program = Mips_reorg.Pipeline.compile (Progen.generate ~seed ()) in
+      let uninterrupted =
+        let cpu = Cpu.create () in
+        let res = Hosted.run_program_on ~fuel:200_000 ~engine:Cpu.Ref cpu program in
+        (snapshot cpu res, Snapshot.machine_to_string cpu)
+      in
+      let saved = ref None in
+      let cpu = Cpu.create () in
+      Cpu.load_program cpu program;
+      let _first =
+        Hosted.run ~fuel:200_000 ~engine:Cpu.Jit
+          ~checkpoint:
+            ( 5_000,
+              fun h ->
+                if !saved = None then
+                  saved := Some (h, Snapshot.machine_to_string cpu) )
+          cpu
+      in
+      match !saved with
+      | None -> ()  (* program finished before the first boundary *)
+      | Some (h, machine) -> (
+          let cpu' = Cpu.create () in
+          match Snapshot.restore_machine cpu' machine with
+          | Error e -> Alcotest.fail (Snapshot.error_to_string e)
+          | Ok () ->
+              let res =
+                Hosted.run ~fuel:h.Hosted.h_fuel_left ~resume:h ~engine:Cpu.Jit
+                  cpu'
+              in
+              let got = (snapshot cpu' res, Snapshot.machine_to_string cpu') in
+              if got <> uninterrupted then
+                Alcotest.failf "seed %d: jit resume diverged from reference" seed))
+    [ 7; 19; 41 ]
 
 let suite =
   [ ( "engine:differential",
-      [ tc_slow "56 seeds x 4 variants, both engines" test_differential;
+      [ tc_slow "56 seeds x 4 variants, all engines" test_differential;
         tc "interleaved step/step_fast" test_interleaved_steps;
         tc "write_code invalidates compiled slot" test_write_code_invalidation;
-        tc "kernel scheduling identical" test_kernel_differential ] ) ]
+        tc "kernel scheduling identical" test_kernel_differential;
+        tc "jit: SMC patch of hot compiled block" test_jit_smc_hot_block;
+        tc "jit: checkpoint/resume bit-identical" test_jit_checkpoint_resume ] ) ]

@@ -2,6 +2,10 @@
    (bool/int checks, QCheck-to-alcotest adaptation, test-case wrapping)
    lives here once. *)
 
+(* The jit engine's runner is process-global (Cpu.set_jit_runner):
+   installed once here so every suite can select Cpu.Jit. *)
+let () = Mips_jit.install ()
+
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
