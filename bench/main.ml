@@ -703,6 +703,77 @@ let daemon_scenario ~name ~jobs ~queue ~clients ~requests ~hog reqf =
       ("latency_ms", hist_json "ok_ms");
       ("shed_latency_ms", hist_json "shed_ms") ]
 
+(* the retry path under wire faults: a serial client calling through the
+   chaos proxy at a given per-frame fault rate.  The interesting rows are
+   the client-observed percentiles — what retrying with backoff costs at
+   0%, 1% and 10% wire damage — plus the retry count, both from the same
+   instruments the production client exports. *)
+let chaos_scenario ~name ~rate ~requests =
+  let dir = Filename.temp_file "mipsd-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let socket = Filename.concat dir "bench.sock" in
+  let server =
+    Dserver.start
+      { (Dserver.default_config ~socket) with Dserver.jobs = 2; drain_s = 1. }
+  in
+  let proxy =
+    Mips_daemon.Chaos.start
+      { Mips_daemon.Chaos.listen = Filename.concat dir "chaos.sock";
+        upstream = socket; seed = 7; rate; stall_s = 0.01 }
+  in
+  let policy =
+    { Dclient.attempts = 60; base_backoff_s = 0.005; max_backoff_s = 0.05;
+      deadline_s = 60. }
+  in
+  let fib = Mips_corpus.Corpus.find "fib" in
+  let req =
+    daemon_run_req fib.Mips_corpus.Corpus.source fib.Mips_corpus.Corpus.input
+  in
+  let metrics = Mips_obs.Metrics.create () in
+  let counts = { d_ok = 0; d_shed = 0; d_failed = 0 } in
+  for _ = 1 to requests do
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Dclient.call ~policy ~metrics (Filename.concat dir "chaos.sock") req
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    match outcome with
+    | Ok (Dprotocol.Err _) | Error _ -> counts.d_failed <- counts.d_failed + 1
+    | Ok _ ->
+        counts.d_ok <- counts.d_ok + 1;
+        Mips_obs.Metrics.observe metrics "ok_ms" ms
+  done;
+  let faults = Mips_daemon.Chaos.counts proxy in
+  Mips_daemon.Chaos.stop proxy;
+  Dserver.stop ~drain:false server;
+  let retries = Mips_obs.Metrics.count metrics "client.retries" in
+  Printf.printf
+    "%-10s rate %4.2f  requests %3d   ok %3d  failed %3d  retries %3d  injected %3d\n%!"
+    name rate requests counts.d_ok counts.d_failed retries
+    (Mips_daemon.Chaos.injected faults);
+  let open Mips_obs.Json in
+  let hist =
+    match Mips_obs.Metrics.histogram metrics "ok_ms" with
+    | None -> Null
+    | Some h ->
+        Obj
+          [ ("p50", Float h.Mips_obs.Metrics.p50);
+            ("p90", Float h.Mips_obs.Metrics.p90);
+            ("p99", Float h.Mips_obs.Metrics.p99);
+            ("max", Float h.Mips_obs.Metrics.max_v) ]
+  in
+  Obj
+    [ ("name", Str name);
+      ("fault_rate", Float rate);
+      ("requests", Int requests);
+      ("ok", Int counts.d_ok);
+      ("failed", Int counts.d_failed);
+      ("retries", Int retries);
+      ("frames", Int faults.Mips_daemon.Chaos.frames);
+      ("injected", Int (Mips_daemon.Chaos.injected faults));
+      ("latency_ms", hist) ]
+
 let run_daemon_bench json =
   print_endline "=== mipsd service latency (client-observed) ===";
   let fib = Mips_corpus.Corpus.find "fib" in
@@ -719,10 +790,15 @@ let run_daemon_bench json =
     daemon_scenario ~name:"saturated" ~jobs:1 ~queue:0 ~clients:8 ~requests:12
       ~hog:true reqf
   in
+  let chaos_0 = chaos_scenario ~name:"chaos_0" ~rate:0.0 ~requests:30 in
+  let chaos_1 = chaos_scenario ~name:"chaos_1" ~rate:0.01 ~requests:30 in
+  let chaos_10 = chaos_scenario ~name:"chaos_10" ~rate:0.10 ~requests:30 in
   let doc =
     Mips_obs.Json.Obj
-      [ ("schema", Mips_obs.Json.Str "mips-bench-daemon/1");
-        ("scenarios", Mips_obs.Json.List [ nominal; saturated ]) ]
+      [ ("schema", Mips_obs.Json.Str "mips-bench-daemon/2");
+        ("scenarios",
+         Mips_obs.Json.List
+           [ nominal; saturated; chaos_0; chaos_1; chaos_10 ]) ]
   in
   match json with
   | Some file ->

@@ -10,6 +10,8 @@ let checkpoint = 5 (* a checkpoint could not be read, or does not match *)
 let connect = 6 (* the mipsd socket could not be reached *)
 let overloaded = 7 (* the daemon shed the request (overload/quarantine/drain) *)
 let protocol = 8 (* a malformed, truncated or version-skewed frame *)
+let timed_out = 9 (* the retry budget (deadline or attempts) was exhausted *)
+let quarantined = 10 (* fsck moved unrecoverable sessions into quarantine/ *)
 
 let infos =
   let open Cmdliner.Cmd.Exit in
@@ -35,4 +37,10 @@ let infos =
     info protocol
       ~doc:"when the daemon connection broke protocol: a malformed, \
             truncated, corrupt or version-skewed frame.";
+    info timed_out
+      ~doc:"when the retrying client exhausted its deadline or attempt \
+            budget without ever receiving a response.";
+    info quarantined
+      ~doc:"when fsck found unrecoverable sessions and moved them into \
+            the quarantine/ directory.";
   ]

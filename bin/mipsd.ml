@@ -9,6 +9,8 @@
    mipsd report                    the full evaluation report as JSON
    mipsd collect SESSION           fetch a session's (possibly recovered) result
    mipsd load FILE                 concurrent load generator with latencies
+   mipsd chaos --upstream PATH     wire-level fault-injection proxy
+   mipsd fsck STATE_DIR            check and repair the session journal
    mipsd stop                      ask the daemon to shut down
 
    Client commands exit with the standardized codes (see --help): 6 when
@@ -104,12 +106,38 @@ let engine_flag =
 let cg_of ~byte ~early_out ~level =
   { Protocol.byte; early_out; level }
 
+(* Retry policy for client commands: mutating requests ride the Tagged
+   idempotency envelope, so resending after a wire fault (or across a
+   daemon restart) is safe — the daemon answers retries from its replay
+   window or its session journal instead of executing twice. *)
+let policy_term =
+  let make retries deadline =
+    { Client.default_policy with Client.attempts = retries;
+      deadline_s = deadline }
+  in
+  Term.(
+    const make
+    $ Arg.(
+        value & opt int Client.default_policy.Client.attempts
+        & info [ "retries" ] ~docv:"N"
+            ~doc:
+              "Connection/request attempts before giving up (default 10).  \
+               Retries are idempotent: a request executed once is never \
+               executed twice.")
+    $ Arg.(
+        value & opt float Client.default_policy.Client.deadline_s
+        & info [ "deadline" ] ~docv:"S"
+            ~doc:
+              "Total wall-clock budget across all attempts (default 60).  \
+               Exhaustion exits 9."))
+
 (* --- serve ------------------------------------------------------------------- *)
 
 let serve_cmd =
   let serve socket jobs queue max_tenants state_dir checkpoint_every
       idle_evict drain max_fuel max_output max_concurrent max_wall
-      breaker_threshold breaker_cooldown test_crash =
+      breaker_threshold breaker_cooldown replay_window test_crash
+      test_crash_at_op =
     let quota =
       {
         Tenants.max_fuel;
@@ -131,7 +159,9 @@ let serve_cmd =
         checkpoint_every;
         idle_evict_s = idle_evict;
         drain_s = drain;
+        replay_window;
         test_crash_after_checkpoints = test_crash;
+        test_crash_at_op;
       }
     in
     let t =
@@ -237,28 +267,44 @@ let serve_cmd =
                 "Seconds an open breaker refuses before letting one probe \
                  through (default 30).")
       $ Arg.(
+          value & opt int 128
+          & info [ "replay-window" ] ~docv:"N"
+              ~doc:
+                "Recorded responses kept per tenant for request-ID \
+                 deduplication (default 128) — what makes client retries \
+                 idempotent.")
+      $ Arg.(
           value & opt (some int) None
           & info [ "test-crash-after" ] ~docv:"N"
               ~doc:
                 "Test hook: abort a session's job after $(docv) checkpoint \
                  writes — the in-process stand-in for SIGKILL used by the \
                  crash-recovery tests.")
+      $ Arg.(
+          value & opt (some int) None
+          & info [ "test-crash-at-op" ] ~docv:"N"
+              ~doc:
+                "Test hook: simulate a kill immediately before journal \
+                 operation $(docv) — the crash-point harness sweeps this \
+                 to visit every journal write boundary.")
       )
 
 (* --- client commands ---------------------------------------------------------- *)
 
 let ping_cmd =
-  let ping socket wait =
+  let ping socket policy wait =
     match wait with
-    | Some timeout_s ->
-        if Client.wait_ready ~timeout_s socket then print_endline "pong"
-        else begin
-          Printf.eprintf "mipsd: no daemon on %s after %.1fs\n" socket
-            timeout_s;
-          exit Exit_code.connect
-        end
+    | Some timeout_s -> (
+        match Client.wait_ready ~timeout_s socket with
+        | Ok () -> print_endline "pong"
+        | Error (`Timed_out elapsed) ->
+            Printf.eprintf "mipsd: no daemon on %s after %.1fs\n" socket
+              elapsed;
+            exit Exit_code.connect)
     | None -> (
-        match Remote.request_or_die ~prog:"mipsd" socket Protocol.Ping with
+        match
+          Remote.request_or_die ~policy ~prog:"mipsd" socket Protocol.Ping
+        with
         | Protocol.Pong -> print_endline "pong"
         | _ ->
             Printf.eprintf "mipsd: unexpected response to ping\n";
@@ -270,7 +316,7 @@ let ping_cmd =
          "Probe the daemon; with $(b,--wait) poll until it answers or the \
           timeout expires (the startup barrier for scripts).")
     Term.(
-      const ping $ socket_flag
+      const ping $ socket_flag $ policy_term
       $ Arg.(
           value
           & opt ~vopt:(Some 10.) (some float) None
@@ -278,8 +324,10 @@ let ping_cmd =
               ~doc:"Poll for up to $(docv) seconds (default 10)."))
 
 let status_cmd =
-  let status socket =
-    match Remote.request_or_die ~prog:"mipsd" socket Protocol.Status with
+  let status socket policy =
+    match
+      Remote.request_or_die ~policy ~prog:"mipsd" socket Protocol.Status
+    with
     | Protocol.Status_r json -> print_endline json
     | _ ->
         Printf.eprintf "mipsd: unexpected response to status\n";
@@ -290,10 +338,11 @@ let status_cmd =
        ~doc:
          "Print the daemon's status as JSON: admission counters, per-tenant \
           breaker states, session table and latency histograms.")
-    Term.(const status $ socket_flag)
+    Term.(const status $ socket_flag $ policy_term)
 
 let run_cmd =
-  let run socket tenant session file byte early_out level input engine fuel =
+  let run socket policy tenant session file byte early_out level input engine
+      fuel =
     let req =
       Protocol.Run
         {
@@ -306,7 +355,7 @@ let run_cmd =
           engine;
         }
     in
-    match Remote.request_or_die ~prog:"mipsd" socket req with
+    match Remote.request_or_die ~policy ~prog:"mipsd" socket req with
     | Protocol.Ran r -> Remote.finish_run ~prog:"mipsd" r
     | _ ->
         Printf.eprintf "mipsd: unexpected response to run\n";
@@ -319,7 +368,8 @@ let run_cmd =
           to standard output and the guest's exit status becomes the exit \
           code, exactly like a local $(b,mipsc run).")
     Term.(
-      const run $ socket_flag $ tenant_flag $ session_flag $ file_arg
+      const run $ socket_flag $ policy_term $ tenant_flag $ session_flag
+      $ file_arg
       $ byte_flag $ early_flag $ level_flag $ input_flag $ engine_flag
       $ Arg.(
           value & opt int 500_000_000
@@ -329,13 +379,13 @@ let run_cmd =
                  tenant's quota)."))
 
 let compile_cmd =
-  let compile socket tenant file byte early_out level =
+  let compile socket policy tenant file byte early_out level =
     let req =
       Protocol.Compile
         { tenant; source = read_source file;
           cg = cg_of ~byte ~early_out ~level }
     in
-    match Remote.request_or_die ~prog:"mipsd" socket req with
+    match Remote.request_or_die ~policy ~prog:"mipsd" socket req with
     | Protocol.Listing s -> print_string s
     | _ ->
         Printf.eprintf "mipsd: unexpected response to compile\n";
@@ -345,18 +395,19 @@ let compile_cmd =
     (Cmd.info "compile" ~exits:Exit_code.infos
        ~doc:"Compile on the daemon and print the final machine listing.")
     Term.(
-      const compile $ socket_flag $ tenant_flag $ file_arg $ byte_flag
+      const compile $ socket_flag $ policy_term $ tenant_flag $ file_arg
+      $ byte_flag
       $ early_flag $ level_flag)
 
 let soak_cmd =
-  let soak socket tenant session seed steps programs segments differential
-      engine =
+  let soak socket policy tenant session seed steps programs segments
+      differential engine =
     let req =
       Protocol.Soak
         { tenant; session; seed; steps; programs; segments; differential;
           engine }
     in
-    match Remote.request_or_die ~prog:"mipsd" socket req with
+    match Remote.request_or_die ~policy ~prog:"mipsd" socket req with
     | Protocol.Soaked json -> print_endline json
     | _ ->
         Printf.eprintf "mipsd: unexpected response to soak\n";
@@ -370,7 +421,7 @@ let soak_cmd =
           parameters).  With $(b,--session) the run checkpoints and \
           survives a daemon kill.")
     Term.(
-      const soak $ socket_flag $ tenant_flag $ session_flag
+      const soak $ socket_flag $ policy_term $ tenant_flag $ session_flag
       $ Arg.(
           value & opt int 1
           & info [ "seed" ] ~docv:"N"
@@ -396,9 +447,10 @@ let soak_cmd =
       $ engine_flag)
 
 let report_cmd =
-  let report socket tenant =
+  let report socket policy tenant =
     match
-      Remote.request_or_die ~prog:"mipsd" socket (Protocol.Report { tenant })
+      Remote.request_or_die ~policy ~prog:"mipsd" socket
+        (Protocol.Report { tenant })
     with
     | Protocol.Reported json -> print_string json
     | _ ->
@@ -410,12 +462,12 @@ let report_cmd =
        ~doc:
          "Regenerate the paper evaluation on the daemon and print the same \
           JSON $(b,mipsc report --json) prints.")
-    Term.(const report $ socket_flag $ tenant_flag)
+    Term.(const report $ socket_flag $ policy_term $ tenant_flag)
 
 let collect_cmd =
-  let collect socket tenant session =
+  let collect socket policy tenant session =
     let req = Protocol.Collect { tenant; session } in
-    match Remote.request_or_die ~prog:"mipsd" socket req with
+    match Remote.request_or_die ~policy ~prog:"mipsd" socket req with
     | Protocol.Ran r -> Remote.finish_run ~prog:"mipsd" r
     | Protocol.Soaked json -> print_endline json
     | Protocol.Listing s | Protocol.Reported s -> print_string s
@@ -430,14 +482,16 @@ let collect_cmd =
           Works across daemon restarts: a recovered session's result is \
           identical to an uninterrupted one.")
     Term.(
-      const collect $ socket_flag $ tenant_flag
+      const collect $ socket_flag $ policy_term $ tenant_flag
       $ Arg.(
           required & pos 0 (some string) None
           & info [] ~docv:"SESSION" ~doc:"Session name."))
 
 let stop_cmd =
-  let stop socket =
-    match Remote.request_or_die ~prog:"mipsd" socket Protocol.Shutdown with
+  let stop socket policy =
+    match
+      Remote.request_or_die ~policy ~prog:"mipsd" socket Protocol.Shutdown
+    with
     | Protocol.Bye -> ()
     | _ ->
         Printf.eprintf "mipsd: unexpected response to shutdown\n";
@@ -449,7 +503,103 @@ let stop_cmd =
          "Ask the daemon to shut down: new work is refused with a typed \
           $(i,shutting-down) answer and in-flight work drains under the \
           deadline.")
-    Term.(const stop $ socket_flag)
+    Term.(const stop $ socket_flag $ policy_term)
+
+(* --- chaos proxy --------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let chaos listen upstream seed rate stall =
+    let t =
+      try
+        Mips_daemon.Chaos.start
+          { Mips_daemon.Chaos.listen; upstream; seed; rate; stall_s = stall }
+      with Sys_error msg ->
+        Printf.eprintf "mipsd: %s\n" msg;
+        exit Exit_code.usage
+    in
+    let stop = ref false in
+    let stop_signal _ = stop := true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop_signal);
+    Printf.eprintf
+      "mipsd: chaos proxy %s -> %s (seed %d, rate %.3f, stall %.2fs)\n%!"
+      listen upstream seed rate stall;
+    while not !stop do
+      Thread.delay 0.1
+    done;
+    let c = Mips_daemon.Chaos.counts t in
+    Mips_daemon.Chaos.stop t;
+    print_endline (Mips_obs.Json.to_string (Mips_daemon.Chaos.counts_json c))
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~exits:Exit_code.infos
+       ~doc:
+         "Wire-level fault-injection proxy: relay frames between clients \
+          and a daemon, damaging a seeded fraction in flight (bit flips, \
+          truncations, mid-frame stalls, duplicate deliveries, abrupt \
+          disconnects).  A client retrying through the proxy must finish \
+          byte-identically to a clean run or fail typed — never hang, \
+          never double-execute.  SIGTERM prints the injection counts as \
+          JSON and exits.")
+    Term.(
+      const chaos
+      $ Arg.(
+          value & opt string "chaos.sock"
+          & info [ "listen" ] ~docv:"PATH"
+              ~doc:"Socket the proxy serves (default $(b,chaos.sock)).")
+      $ Arg.(
+          value & opt string "mipsd.sock"
+          & info [ "upstream" ] ~docv:"PATH"
+              ~doc:"The real daemon's socket (default $(b,mipsd.sock)).")
+      $ Arg.(
+          value & opt int 1
+          & info [ "seed" ] ~docv:"N"
+              ~doc:"Fault-schedule seed (default 1): same seed, same faults.")
+      $ Arg.(
+          value & opt float 0.01
+          & info [ "rate" ] ~docv:"P"
+              ~doc:"Per-frame fault probability in both directions \
+                    (default 0.01).")
+      $ Arg.(
+          value & opt float 0.05
+          & info [ "stall" ] ~docv:"S"
+              ~doc:"Mid-frame stall duration in seconds (default 0.05)."))
+
+(* --- journal fsck -------------------------------------------------------------- *)
+
+let fsck_cmd =
+  let fsck dir json =
+    match Mips_daemon.Journal.fsck dir with
+    | Error msg ->
+        Printf.eprintf "mipsd: %s\n" msg;
+        exit Exit_code.usage
+    | Ok r ->
+        if json then
+          print_endline
+            (Mips_obs.Json.to_string (Mips_daemon.Journal.report_json r))
+        else Format.printf "%a@." Mips_daemon.Journal.pp_report r;
+        if r.Mips_daemon.Journal.quarantined > 0 then
+          exit Exit_code.quarantined
+  in
+  Cmd.v
+    (Cmd.info "fsck" ~exits:Exit_code.infos
+       ~doc:
+         "Check and repair a daemon state directory after torn writes: \
+          stale working files of finished sessions and corrupt \
+          checkpoints of recoverable ones are removed, unrecoverable \
+          sessions are moved into $(b,quarantine/).  Exits 10 when \
+          anything was quarantined, 0 otherwise.  The daemon runs the \
+          same repair on startup, so fsck is for inspection and scripted \
+          health checks.")
+    Term.(
+      const fsck
+      $ Arg.(
+          required & pos 0 (some string) None
+          & info [] ~docv:"STATE_DIR"
+              ~doc:"The daemon's --state-dir to check.")
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Print the report as JSON."))
 
 (* --- load generator ------------------------------------------------------------ *)
 
@@ -547,4 +697,5 @@ let () =
        (Cmd.group
           (Cmd.info "mipsd" ~version:"1.0.0" ~exits:Exit_code.infos ~doc)
           [ serve_cmd; ping_cmd; status_cmd; run_cmd; compile_cmd; soak_cmd;
-            report_cmd; collect_cmd; stop_cmd; load_cmd ]))
+            report_cmd; collect_cmd; stop_cmd; load_cmd; chaos_cmd;
+            fsck_cmd ]))

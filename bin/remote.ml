@@ -1,7 +1,8 @@
 (* Client-side glue shared by the mipsd CLI and `mipsc run --remote`:
-   connect/request against a daemon socket with every failure mode mapped
-   to its standardized exit code (connect = 6, overloaded = 7,
-   protocol = 8; see Exit_code). *)
+   request against a daemon socket through the idempotent retrying client,
+   with every failure mode mapped to its standardized exit code
+   (connect = 6, overloaded = 7, protocol = 8, timed out = 9; see
+   Exit_code). *)
 
 module Client = Mips_daemon.Client
 module Frame = Mips_daemon.Frame
@@ -14,32 +15,32 @@ let exit_of_reject = function
   | Protocol.Bad_request | Protocol.Unknown_session
   | Protocol.Too_many_tenants ->
       Exit_code.usage
+  | Protocol.Garbled ->
+      (* only reachable through raw Client.request: Client.call retries
+         these until its budget runs out *)
+      Exit_code.protocol
   | Protocol.Internal -> 1
 
-(* One synchronous round-trip; anything but a non-Err response exits the
-   process with the matching code. *)
-let request_or_die ~prog socket req =
-  match Client.connect socket with
-  | Error msg ->
-      Printf.eprintf "%s: %s\n" prog msg;
-      exit Exit_code.connect
-  | Ok c -> (
-      let resp =
-        Fun.protect
-          ~finally:(fun () -> Client.close c)
-          (fun () -> Client.request c req)
-      in
-      match resp with
-      | Error e ->
-          Printf.eprintf "%s: protocol error: %s\n" prog
-            (Frame.error_to_string e);
-          exit Exit_code.protocol
-      | Ok (Protocol.Err (reject, detail)) ->
-          Printf.eprintf "%s: %s: %s\n" prog
-            (Protocol.reject_to_string reject)
-            detail;
-          exit (exit_of_reject reject)
-      | Ok resp -> resp)
+(* One logical request under the retry policy; anything but a non-Err
+   response exits the process with the matching code.  Mutating requests
+   ride the Tagged envelope, so a retry after a lost response never
+   double-executes. *)
+let request_or_die ?policy ~prog socket req =
+  match Client.call ?policy socket req with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" prog (Client.call_error_to_string e);
+      exit
+        (match e.Client.failure with
+        | Client.Connect _ ->
+            (* the daemon was never reached: "is it running?" *)
+            Exit_code.connect
+        | Client.Transport _ | Client.Garbled _ -> Exit_code.timed_out)
+  | Ok (Protocol.Err (reject, detail)) ->
+      Printf.eprintf "%s: %s: %s\n" prog
+        (Protocol.reject_to_string reject)
+        detail;
+      exit (exit_of_reject reject)
+  | Ok resp -> resp
 
 (* Print a remote run like a local one: guest output to stdout, the fault
    line to stderr, out-of-fuel as exit 3, otherwise the guest's own exit

@@ -1,0 +1,249 @@
+(* A frame-aware chaos proxy: it sits on its own Unix socket, speaks
+   whole frames on both sides, and damages a seeded fraction of them in
+   flight.  Because it re-frames rather than splicing bytes, every fault
+   is a *wire* fault the real stack must absorb — a flipped bit trips the
+   frame digest, a truncation looks like a cut connection, a stall
+   exercises receive deadlines, a duplicate delivery probes the server's
+   replay window, a disconnect loses the response after the work was done.
+
+   Fault handling keeps the proxy itself hang-free: a stall resumes the
+   relay afterwards (the frame still arrives intact), while every other
+   injected fault ends the proxied connection once the damage is
+   delivered — the retrying client reconnects anyway, and this way the
+   proxy never waits on a server that (rightly) refused to answer a
+   mangled frame.  All randomness comes from one splitmix64 stream under
+   a mutex, so a seed fully determines the fault schedule for a serial
+   client. *)
+
+type config = {
+  listen : string;
+  upstream : string;
+  seed : int;
+  rate : float;
+  stall_s : float;
+}
+
+let default_config ~listen ~upstream =
+  { listen; upstream; seed = 1; rate = 0.01; stall_s = 0.05 }
+
+type counts = {
+  frames : int;
+  flipped : int;
+  truncated : int;
+  stalled : int;
+  duplicated : int;
+  disconnected : int;
+}
+
+let injected c =
+  c.flipped + c.truncated + c.stalled + c.duplicated + c.disconnected
+
+type t = {
+  config : config;
+  rng : Mips_fault.Rng.t;
+  lock : Mutex.t;
+  mutable c : counts;
+  mutable closing : bool;
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+}
+
+let counts t = Mutex.protect t.lock (fun () -> t.c)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd data =
+  let n = Bytes.length data in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd data off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  go 0
+
+type fault = Clean | Flip | Truncate | Stall | Duplicate | Disconnect
+
+(* one decision per frame; [Duplicate] only makes sense client->server
+   (a duplicated response would desynchronise the relay), so on the
+   response path it degrades to a stall *)
+let decide t ~to_server =
+  Mutex.protect t.lock (fun () ->
+      t.c <- { t.c with frames = t.c.frames + 1 };
+      if Mips_fault.Rng.float t.rng >= t.config.rate then Clean
+      else
+        let bump f = t.c <- f t.c in
+        match Mips_fault.Rng.int t.rng 5 with
+        | 0 ->
+            bump (fun c -> { c with flipped = c.flipped + 1 });
+            Flip
+        | 1 ->
+            bump (fun c -> { c with truncated = c.truncated + 1 });
+            Truncate
+        | 2 ->
+            bump (fun c -> { c with stalled = c.stalled + 1 });
+            Stall
+        | 3 when to_server ->
+            bump (fun c -> { c with duplicated = c.duplicated + 1 });
+            Duplicate
+        | 3 ->
+            bump (fun c -> { c with stalled = c.stalled + 1 });
+            Stall
+        | _ ->
+            bump (fun c -> { c with disconnected = c.disconnected + 1 });
+            Disconnect)
+
+let rand_int t n = Mutex.protect t.lock (fun () -> Mips_fault.Rng.int t.rng n)
+
+(* deliver one payload as a (possibly damaged) frame; [`Live] keeps the
+   connection, [`Fault] means the damage was delivered and the proxied
+   connection must now end, [`Dup] that an extra copy went out *)
+let deliver t dst payload ~to_server =
+  let raw = Bytes.of_string (Frame.encode payload) in
+  match decide t ~to_server with
+  | Clean -> if write_all dst raw then `Live else `Dead
+  | Flip ->
+      let bit = rand_int t (8 * Bytes.length raw) in
+      let byte = bit / 8 in
+      Bytes.set raw byte
+        (Char.chr (Char.code (Bytes.get raw byte) lxor (1 lsl (bit mod 8))));
+      ignore (write_all dst raw);
+      `Fault
+  | Truncate ->
+      let keep = 1 + rand_int t (Bytes.length raw - 1) in
+      ignore (write_all dst (Bytes.sub raw 0 keep));
+      `Fault
+  | Stall ->
+      let half = max 1 (Bytes.length raw / 2) in
+      if not (write_all dst (Bytes.sub raw 0 half)) then `Dead
+      else begin
+        Thread.delay t.config.stall_s;
+        if
+          write_all dst (Bytes.sub raw half (Bytes.length raw - half))
+        then `Live
+        else `Dead
+      end
+  | Duplicate ->
+      if write_all dst raw && write_all dst raw then `Dup else `Dead
+  | Disconnect ->
+      (* nothing delivered: cut immediately, no refusal to wait for *)
+      `Cut
+
+(* wait briefly for the typed [Garbled] refusal (or the duplicate's
+   replayed response) so it can reach the client before we cut; a server
+   that will never answer a mangled frame only costs this bounded wait *)
+let drain_response fd ~budget_s =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO budget_s
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let r = Frame.read fd in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  r
+
+let connection t client upstream =
+  let rec relay () =
+    match Frame.read client with
+    | Error _ -> ()
+    | Ok req -> (
+        match deliver t upstream req ~to_server:true with
+        | `Dead | `Cut -> ()
+        | `Fault -> (
+            (* let the server's refusal (if any) through, then cut *)
+            match drain_response upstream ~budget_s:2. with
+            | Ok resp -> ignore (write_all client (Bytes.of_string (Frame.encode resp)))
+            | Error _ -> ())
+        | (`Live | `Dup) as sent -> (
+            match Frame.read upstream with
+            | Error _ -> ()
+            | Ok resp -> (
+                let fate = deliver t client resp ~to_server:false in
+                (* the duplicate's own response is answered from the
+                   replay window; discard it to restore alternation *)
+                (if sent = `Dup then
+                   match drain_response upstream ~budget_s:5. with
+                   | Ok _ | Error _ -> ());
+                match fate with
+                | `Live | `Dup -> relay ()
+                | `Fault | `Dead | `Cut -> ())))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_quiet client;
+      close_quiet upstream)
+    relay
+
+let accept_loop t () =
+  let rec loop () =
+    if Mutex.protect t.lock (fun () -> t.closing) then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | client, _ -> (
+              match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+              | exception Unix.Unix_error _ -> close_quiet client
+              | up -> (
+                  match Unix.connect up (Unix.ADDR_UNIX t.config.upstream) with
+                  | () -> (
+                      try ignore (Thread.create (fun () -> connection t client up) ())
+                      with _ ->
+                        close_quiet client;
+                        close_quiet up)
+                  | exception Unix.Unix_error _ ->
+                      close_quiet up;
+                      close_quiet client))
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start config =
+  if Sys.file_exists config.listen then Sys.remove config.listen;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX config.listen);
+     Unix.listen listen_fd 64
+   with Unix.Unix_error (e, _, _) ->
+     close_quiet listen_fd;
+     raise
+       (Sys_error
+          (Printf.sprintf "cannot bind %s: %s" config.listen
+             (Unix.error_message e))));
+  let t =
+    {
+      config;
+      rng = Mips_fault.Rng.create config.seed;
+      lock = Mutex.create ();
+      c =
+        { frames = 0; flipped = 0; truncated = 0; stalled = 0;
+          duplicated = 0; disconnected = 0 };
+      closing = false;
+      listen_fd;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let stop t =
+  Mutex.protect t.lock (fun () -> t.closing <- true);
+  Option.iter Thread.join t.accept_thread;
+  close_quiet t.listen_fd;
+  if Sys.file_exists t.config.listen then (
+    try Sys.remove t.config.listen with Sys_error _ -> ())
+
+let counts_json c =
+  Mips_obs.Json.Obj
+    [ ("schema", Mips_obs.Json.Str "mipsd-chaos/1");
+      ("frames", Mips_obs.Json.Int c.frames);
+      ("injected", Mips_obs.Json.Int (injected c));
+      ("flipped", Mips_obs.Json.Int c.flipped);
+      ("truncated", Mips_obs.Json.Int c.truncated);
+      ("stalled", Mips_obs.Json.Int c.stalled);
+      ("duplicated", Mips_obs.Json.Int c.duplicated);
+      ("disconnected", Mips_obs.Json.Int c.disconnected) ]

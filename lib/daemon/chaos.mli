@@ -1,0 +1,54 @@
+(** A wire-level fault-injection proxy for [mipsd].
+
+    The proxy listens on its own Unix socket and relays whole frames to
+    the real daemon, damaging a seeded fraction of them in flight: single
+    bit flips (tripping the frame digest), truncations (a connection cut
+    mid-frame), mid-frame stalls (exercising receive deadlines),
+    duplicate deliveries (probing the server's replay window) and abrupt
+    disconnects (losing a response after the work was done).
+
+    Every fault is one the production stack claims to absorb: a client
+    using {!Client.call} against a chaos socket must complete with
+    byte-identical results to a clean run, or fail with a typed error —
+    never hang, never double-execute.  Randomness is one splitmix64
+    stream, so [seed] determines the fault schedule for a serial client.
+
+    Run standalone as [mipsd chaos]. *)
+
+type config = {
+  listen : string;  (** socket the proxy serves (replaced if present) *)
+  upstream : string;  (** the real daemon's socket *)
+  seed : int;
+  rate : float;  (** per-frame fault probability, both directions *)
+  stall_s : float;  (** mid-frame stall duration *)
+}
+
+val default_config : listen:string -> upstream:string -> config
+(** seed 1, 1% fault rate, 50 ms stalls. *)
+
+type counts = {
+  frames : int;  (** frames relayed (both directions) *)
+  flipped : int;
+  truncated : int;
+  stalled : int;
+  duplicated : int;
+  disconnected : int;
+}
+
+val injected : counts -> int
+(** Total faults injected. *)
+
+val counts_json : counts -> Mips_obs.Json.t
+(** Schema ["mipsd-chaos/1"]. *)
+
+type t
+
+val start : config -> t
+(** Bind [config.listen] and start relaying.  Returns immediately.
+    @raise Sys_error when the socket cannot be bound. *)
+
+val counts : t -> counts
+
+val stop : t -> unit
+(** Stop accepting, close and unlink the listen socket.  In-flight
+    relayed connections finish on their own threads. *)

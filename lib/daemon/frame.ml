@@ -18,6 +18,7 @@ type error =
   | Oversized of int
   | Corrupt of string
   | Closed
+  | Timed_out
   | Io_error of string
 
 let error_to_string = function
@@ -27,6 +28,7 @@ let error_to_string = function
   | Oversized n -> Printf.sprintf "frame payload of %d bytes over the limit" n
   | Corrupt m -> "corrupt frame: " ^ m
   | Closed -> "connection closed"
+  | Timed_out -> "frame read timed out"
   | Io_error m -> "frame I/O error: " ^ m
 
 let magic = "MPSD"
@@ -93,6 +95,11 @@ let read_exactly fd n =
       | 0 -> Error (`Eof off)
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* a receive deadline (SO_RCVTIMEO) expired mid-read: the typed
+             answer the retrying client turns into a backed-off reattempt
+             instead of hanging on a stalled peer *)
+          Error `Timeout
       | exception Unix.Unix_error (e, _, _) ->
           Error (`Unix (Unix.error_message e))
   in
@@ -102,6 +109,7 @@ let read ?limit fd =
   match read_exactly fd header_bytes with
   | Error (`Eof 0) -> Error Closed
   | Error (`Eof _) -> Error Truncated
+  | Error `Timeout -> Error Timed_out
   | Error (`Unix m) -> Error (Io_error m)
   | Ok header -> (
       match check_header ?limit header with
@@ -109,6 +117,7 @@ let read ?limit fd =
       | Ok len -> (
           match read_exactly fd len with
           | Error (`Eof _) -> Error Truncated
+          | Error `Timeout -> Error Timed_out
           | Error (`Unix m) -> Error (Io_error m)
           | Ok payload ->
               if Digest.string payload <> digest_of_header header then

@@ -22,6 +22,10 @@ type error =
   | Oversized of int  (** declared payload length beyond the limit *)
   | Corrupt of string  (** structurally damaged (digest mismatch, ...) *)
   | Closed  (** the peer hung up cleanly between frames *)
+  | Timed_out
+      (** a receive deadline (SO_RCVTIMEO) expired mid-frame — the peer
+          stalled; distinguishable from {!Io_error} so the retrying client
+          can back off instead of giving up *)
   | Io_error of string  (** the descriptor could not be read or written *)
 
 val error_to_string : error -> string

@@ -35,6 +35,12 @@ type request =
   | Collect of { tenant : string; session : string }
   | Status
   | Shutdown
+  | Tagged of { id : string; req : request }
+      (* the idempotency envelope: a client-generated request ID the server
+         deduplicates against its per-tenant replay window, so a retried
+         mutating request is answered from the recorded first execution
+         instead of running twice.  One level only: a Tagged inside a
+         Tagged is Corrupt. *)
 
 type run_reply = {
   output : string;
@@ -47,6 +53,7 @@ type run_reply = {
 
 type reject =
   | Bad_request
+  | Garbled
   | Overloaded
   | Quota of string
   | Quarantined
@@ -57,6 +64,7 @@ type reject =
 
 let reject_to_string = function
   | Bad_request -> "bad request"
+  | Garbled -> "garbled frame"
   | Overloaded -> "overloaded"
   | Quota what -> "quota exceeded: " ^ what
   | Quarantined -> "tenant quarantined"
@@ -75,7 +83,7 @@ type response =
   | Bye
   | Err of reject * string
 
-let tenant_of = function
+let rec tenant_of = function
   | Ping | Status | Shutdown -> None
   | Compile { tenant; _ }
   | Run { tenant; _ }
@@ -83,8 +91,9 @@ let tenant_of = function
   | Report { tenant }
   | Collect { tenant; _ } ->
       Some tenant
+  | Tagged { req; _ } -> tenant_of req
 
-let request_kind = function
+let rec request_kind = function
   | Ping -> "ping"
   | Compile _ -> "compile"
   | Run _ -> "run"
@@ -93,6 +102,15 @@ let request_kind = function
   | Collect _ -> "collect"
   | Status -> "status"
   | Shutdown -> "shutdown"
+  | Tagged { req; _ } -> request_kind req
+
+(* billable requests are the ones worth deduplicating: everything else is
+   a cheap idempotent read the retry layer can simply re-issue *)
+let mutating = function
+  | Compile _ | Run _ | Soak _ | Report _ -> true
+  | Ping | Status | Shutdown | Collect _ | Tagged _ -> false
+
+let untag = function Tagged { id; req } -> (Some id, req) | req -> (None, req)
 
 let valid_name s =
   let n = String.length s in
@@ -118,8 +136,7 @@ let r_codegen r =
     raise (Mips_resilience.Snapshot.Bad (Printf.sprintf "bad level %d" level));
   { byte; early_out; level }
 
-let encode_request req =
-  let b = Io.W.create () in
+let rec w_request b req =
   (match req with
   | Ping -> Io.W.u8 b 0
   | Compile { tenant; source; cg } ->
@@ -155,7 +172,15 @@ let encode_request req =
       Io.W.str b tenant;
       Io.W.str b session
   | Status -> Io.W.u8 b 6
-  | Shutdown -> Io.W.u8 b 7);
+  | Shutdown -> Io.W.u8 b 7
+  | Tagged { id; req } ->
+      Io.W.u8 b 8;
+      Io.W.str b id;
+      Io.W.str b (encode_request req))
+
+and encode_request req =
+  let b = Io.W.create () in
+  w_request b req;
   Io.W.contents b
 
 (* run a decoder body under the totality contract; trailing bytes after a
@@ -171,7 +196,7 @@ let total f data =
 
 let bad fmt = Printf.ksprintf (fun m -> Mips_resilience.Snapshot.Bad m) fmt
 
-let decode_request data =
+let rec decode_request data =
   total
     (fun r ->
       match Io.R.u8 r with
@@ -209,6 +234,16 @@ let decode_request data =
           Collect { tenant; session }
       | 6 -> Status
       | 7 -> Shutdown
+      | 8 -> (
+          let id = Io.R.str r in
+          if not (valid_name id) then raise (bad "invalid request id %S" id);
+          match decode_request (Io.R.str r) with
+          | Ok (Tagged _) -> raise (bad "nested request id")
+          | Ok req -> Tagged { id; req }
+          | Error e ->
+              (* the envelope's length prefix held, so a broken inner body
+                 is corruption of this frame, not outer truncation *)
+              raise (bad "inner request: %s" (Frame.error_to_string e)))
       | t -> raise (bad "bad request tag %d" t))
     data
 
@@ -223,6 +258,7 @@ let w_reject b = function
   | Unknown_session -> Io.W.u8 b 5
   | Shutting_down -> Io.W.u8 b 6
   | Internal -> Io.W.u8 b 7
+  | Garbled -> Io.W.u8 b 8
 
 let r_reject r =
   match Io.R.u8 r with
@@ -234,6 +270,7 @@ let r_reject r =
   | 5 -> Unknown_session
   | 6 -> Shutting_down
   | 7 -> Internal
+  | 8 -> Garbled
   | t -> raise (bad "bad reject tag %d" t)
 
 let encode_response resp =

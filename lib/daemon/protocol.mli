@@ -44,6 +44,12 @@ type request =
   | Collect of { tenant : string; session : string }
   | Status
   | Shutdown
+  | Tagged of { id : string; req : request }
+      (** the idempotency envelope: [id] is a client-generated request ID
+          ({!valid_name}); the server answers a replayed [id] from its
+          per-tenant replay window instead of executing the request twice,
+          which is what makes blind retry after a wire fault safe.  One
+          level deep only — a nested [Tagged] decodes as [Corrupt]. *)
 
 type run_reply = {
   output : string;
@@ -57,6 +63,11 @@ type run_reply = {
 (** Why a request was refused — the typed half of every failure path. *)
 type reject =
   | Bad_request  (** malformed or unvalidatable request *)
+  | Garbled
+      (** what arrived was not a valid frame (bad magic, digest mismatch,
+          hostile length): the request was never even decoded.  The one
+          rejection a well-behaved sender may blindly retry — its request
+          was damaged in flight, not refused *)
   | Overloaded  (** admission queue full: load was shed, not queued *)
   | Quota of string  (** killed with reason: "fuel", "memory", "deadline",
                          "concurrency" *)
@@ -82,7 +93,18 @@ val tenant_of : request -> string option
 (** The tenant a request bills to; [None] for [Ping]/[Status]/[Shutdown]. *)
 
 val request_kind : request -> string
-(** Stable lowercase tag ("run", "soak", ...) for metrics and logs. *)
+(** Stable lowercase tag ("run", "soak", ...) for metrics and logs;
+    [Tagged] reports its inner request's kind. *)
+
+val mutating : request -> bool
+(** Requests whose double execution would be observable (and billable):
+    [Compile]/[Run]/[Soak]/[Report].  These are the ones the client tags
+    with a request ID and the server deduplicates; the rest are idempotent
+    reads a retry can simply re-issue. *)
+
+val untag : request -> string option * request
+(** Strip one [Tagged] envelope: [(Some id, inner)] for a tagged request,
+    [(None, req)] otherwise. *)
 
 val valid_name : string -> bool
 (** Tenant and session names: 1-64 chars of [A-Za-z0-9._-] — safe as file

@@ -26,7 +26,9 @@ type config = {
   idle_evict_s : float;
   drain_s : float;
   max_frame : int;
+  replay_window : int;
   test_crash_after_checkpoints : int option;
+  test_crash_at_op : int option;
 }
 
 let default_config ~socket =
@@ -41,7 +43,9 @@ let default_config ~socket =
     idle_evict_s = 300.;
     drain_s = 10.;
     max_frame = Frame.default_limit;
+    replay_window = 128;
     test_crash_after_checkpoints = None;
+    test_crash_at_op = None;
   }
 
 type session_state = Running | Finished of Protocol.response
@@ -52,11 +56,22 @@ type session = {
   mutable s_touched : float;
 }
 
+(* One entry per deduplicated request ID ("tenant:id").  Pending
+   coalesces: a retry arriving while the first delivery is still executing
+   waits on the server condition instead of re-executing. *)
+type replay_state = R_pending | R_done of Protocol.response
+type replay_entry = { mutable r_state : replay_state }
+
 type t = {
   config : config;
   lock : Mutex.t;
   cond : Condition.t;
   sessions : (string, session) Hashtbl.t;
+  replay : (string, replay_entry) Hashtbl.t;  (* key: "tenant:id" *)
+  replay_order : (string, string Queue.t) Hashtbl.t;
+      (* per-tenant FIFO of recorded keys, bounding the window *)
+  crash_ops : int Atomic.t;  (* journal operations performed so far *)
+  crash_fired : bool Atomic.t;
   metrics : Mips_obs.Metrics.t;
   mutable evicted : int;
   mutable stopping : bool;
@@ -81,6 +96,22 @@ let locked t f =
 
 let now () = Unix.gettimeofday ()
 
+(* Crash-point hook: every journal operation (write or removal) bumps one
+   counter, and [test_crash_at_op = Some n] turns operation [n] into a
+   simulated kill {e immediately before} it lands — sweeping n = 1, 2, ...
+   enumerates every write boundary the journal has.  The counter runs
+   unconditionally so a clean run's total bounds the sweep. *)
+let journal_op t =
+  let k = Atomic.fetch_and_add t.crash_ops 1 + 1 in
+  match t.config.test_crash_at_op with
+  | Some n when k = n ->
+      Atomic.set t.crash_fired true;
+      raise Crashed
+  | _ -> ()
+
+let journal_ops t = Atomic.get t.crash_ops
+let crash_point_fired t = Atomic.get t.crash_fired
+
 (* --- session journal -------------------------------------------------------- *)
 
 let session_file t id ext =
@@ -92,6 +123,7 @@ let write_meta t id req =
   match session_file t id ".meta" with
   | None -> ()
   | Some path ->
+      journal_op t;
       Snapshot.write_file path
         (Snapshot.encode
            { Snapshot.kind = "mipsd-meta";
@@ -122,6 +154,7 @@ let write_done t id ~tenant resp =
   match session_file t id ".done" with
   | None -> ()
   | Some path ->
+      journal_op t;
       Snapshot.write_file path
         (Snapshot.encode
            { Snapshot.kind = "mipsd-done";
@@ -155,8 +188,9 @@ let remove_session_files t id exts =
   List.iter
     (fun ext ->
       match session_file t id ext with
-      | Some path when Sys.file_exists path -> (
-          try Sys.remove path with Sys_error _ -> ())
+      | Some path when Sys.file_exists path ->
+          journal_op t;
+          (try Sys.remove path with Sys_error _ -> ())
       | _ -> ())
     exts
 
@@ -245,6 +279,7 @@ let run_job t ~req ~session ~source ~cg ~input ~fuel ~engine () =
     (match ckpt_path with
     | None -> ()
     | Some path ->
+        journal_op t;
         Snapshot.write_file path
           (Snapshot.encode
              { Snapshot.kind = "mipsd-run";
@@ -313,8 +348,9 @@ let soak_job t ~session ~seed ~steps ~programs ~segments ~differential
   match
     Mips_soak.Soak.run_checkpointed ~programs ~segments ~quantum:500 ~steps
       ~diff_count:differential ~diff_jobs:1 ?checkpoint
-      ~checkpoint_every:t.config.checkpoint_every ?resume ~engine ~plan ~seed
-      ()
+      ~checkpoint_every:t.config.checkpoint_every ?resume
+      ~before_write:(fun () -> journal_op t)
+      ~engine ~plan ~seed ()
   with
   | Ok (Mips_soak.Soak.Complete (s, diffs)) ->
       Protocol.Soaked (Json.to_string (Mips_soak.Soak.result_json s diffs))
@@ -382,6 +418,7 @@ let count_reject t (reject : Protocol.reject) =
   let name =
     match reject with
     | Protocol.Bad_request -> "bad_request"
+    | Protocol.Garbled -> "garbled"
     | Protocol.Overloaded -> "overloaded"
     | Protocol.Quota _ -> "quota"
     | Protocol.Quarantined -> "quarantined"
@@ -533,10 +570,17 @@ let oversized t req =
       String.length source > t.config.quota.Tenants.max_output
   | _ -> false
 
-let handle t req =
-  let t0 = now () in
-  let resp =
+(* [handle_inner] executes an (untagged) request.  A [Crashed] escaping a
+   connection-thread journal site lands here as the same typed answer the
+   admission-worker path produces, so the crash-point harness sees one
+   behaviour wherever the op counter fires. *)
+let handle_inner t req =
+  try
     match req with
+    | Protocol.Tagged _ ->
+        (* unreachable: [handle] strips one level and the decoder rejects
+           nesting — but the compiler cannot know that *)
+        Protocol.Err (Protocol.Bad_request, "unexpected request envelope")
     | Protocol.Ping -> Protocol.Pong
     | Protocol.Status -> Protocol.Status_r (Json.to_string (status_json t))
     | Protocol.Shutdown ->
@@ -606,8 +650,87 @@ let handle t req =
                   Tenants.release t.tenants ~now:(now ())
                     ~failed:(counts_as_failure resp) tenant;
                   resp))
+  with Crashed -> Protocol.Err (Protocol.Internal, "simulated crash")
+
+(* A recorded response must be attributable to the request itself: results
+   and the tenant's own rejections (quota kills, bad parameters) replay
+   identically, but server-side refusals — shed load, drain, an open
+   breaker, an internal fault — describe a moment, not the request, and a
+   retry deserves a fresh attempt. *)
+let should_record = function
+  | Protocol.Err
+      ( ( Protocol.Overloaded | Protocol.Shutting_down | Protocol.Quarantined
+        | Protocol.Too_many_tenants | Protocol.Internal | Protocol.Garbled ),
+        _ ) ->
+      false
+  | _ -> true
+
+let handle t req =
+  let t0 = now () in
+  let id, inner = Protocol.untag req in
+  let resp =
+    match id with
+    | Some id when Protocol.mutating inner -> (
+        let tenant = Option.value ~default:"-" (Protocol.tenant_of inner) in
+        let key = tenant ^ ":" ^ id in
+        let claim =
+          locked t (fun () ->
+              let rec go () =
+                match Hashtbl.find_opt t.replay key with
+                | Some { r_state = R_done resp } ->
+                    Mips_obs.Metrics.incr t.metrics "daemon.replay.hits";
+                    `Hit resp
+                | Some { r_state = R_pending } ->
+                    (* the first delivery is still executing: coalesce *)
+                    Condition.wait t.cond t.lock;
+                    go ()
+                | None ->
+                    Hashtbl.replace t.replay key { r_state = R_pending };
+                    `Execute
+              in
+              go ())
+        in
+        match claim with
+        | `Hit resp -> resp
+        | `Execute ->
+            let resp =
+              match handle_inner t inner with
+              | resp -> resp
+              | exception e ->
+                  (* never strand a Pending entry: a coalesced retry must
+                     be able to re-execute *)
+                  locked t (fun () ->
+                      Hashtbl.remove t.replay key;
+                      Condition.broadcast t.cond);
+                  raise e
+            in
+            locked t (fun () ->
+                (if should_record resp then begin
+                   (match Hashtbl.find_opt t.replay key with
+                   | Some e -> e.r_state <- R_done resp
+                   | None ->
+                       Hashtbl.replace t.replay key { r_state = R_done resp });
+                   Mips_obs.Metrics.incr t.metrics "daemon.replay.recorded";
+                   let q =
+                     match Hashtbl.find_opt t.replay_order tenant with
+                     | Some q -> q
+                     | None ->
+                         let q = Queue.create () in
+                         Hashtbl.replace t.replay_order tenant q;
+                         q
+                   in
+                   Queue.push key q;
+                   while Queue.length q > max 1 t.config.replay_window do
+                     Hashtbl.remove t.replay (Queue.pop q);
+                     Mips_obs.Metrics.incr t.metrics "daemon.replay.evicted"
+                   done
+                 end
+                 else Hashtbl.remove t.replay key);
+                Condition.broadcast t.cond);
+            resp)
+    | _ -> handle_inner t inner
   in
-  observe t (Protocol.request_kind req) (now () -. t0);
+  observe t (Protocol.request_kind inner) (now () -. t0);
   (match resp with
   | Protocol.Err (reject, _) -> count_reject t reject
   | _ -> ());
@@ -622,13 +745,17 @@ let connection t fd =
   @@ fun () ->
   let rec loop () =
     match Frame.read ~limit:t.config.max_frame fd with
-    | Error (Frame.Closed | Frame.Truncated | Frame.Io_error _) -> ()
+    | Error (Frame.Closed | Frame.Truncated | Frame.Timed_out
+            | Frame.Io_error _) ->
+        ()
     | Error ((Frame.Bad_magic | Frame.Bad_version _ | Frame.Oversized _
              | Frame.Corrupt _) as e) ->
-        (* typed refusal, then close: frame sync cannot be trusted *)
+        (* typed refusal, then close: frame sync cannot be trusted.
+           [Garbled], not [Bad_request] — no request was decoded, so a
+           retrying sender knows its (well-formed) frame was damaged in
+           flight and may blindly resend *)
         ignore
-          (send fd
-             (Protocol.Err (Protocol.Bad_request, Frame.error_to_string e)))
+          (send fd (Protocol.Err (Protocol.Garbled, Frame.error_to_string e)))
     | Ok payload -> (
         match Protocol.decode_request payload with
         | Error e ->
@@ -655,7 +782,10 @@ let accept_loop t () =
       | [], _, _ -> ()
       | _ -> (
           match Unix.accept t.listen_fd with
-          | fd, _ -> ignore (Thread.create (connection t) fd)
+          | fd, _ -> (
+              (* a failed thread spawn must not leak the accepted fd *)
+              try ignore (Thread.create (connection t) fd)
+              with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
           | exception Unix.Unix_error _ -> ())
       | exception Unix.Unix_error _ -> ());
       loop ()
@@ -731,8 +861,9 @@ let recover t =
                                    (Thread.create
                                       (fun () ->
                                         match Admission.wait ticket with
-                                        | Ok resp ->
-                                            finish_session t id ~tenant resp
+                                        | Ok resp -> (
+                                            try finish_session t id ~tenant resp
+                                            with Crashed -> ())
                                         | Error _ -> ())
                                       ()))
                          | _ -> ())))
@@ -752,6 +883,15 @@ let start config =
              (Printf.sprintf "cannot create state directory %s: %s" dir
                 (Unix.error_message e))))
   | _ -> ());
+  (* fsck before anything reads the journal: recovery then only ever sees
+     a journal whose invariant holds, and a damaged one degrades to a
+     smaller journal plus a quarantine/ directory instead of a daemon
+     that cannot start *)
+  let fsck_report =
+    match config.state_dir with
+    | Some dir -> ( match Journal.fsck dir with Ok r -> Some r | Error _ -> None)
+    | None -> None
+  in
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   if Sys.file_exists config.socket then Sys.remove config.socket;
@@ -771,6 +911,10 @@ let start config =
       lock = Mutex.create ();
       cond = Condition.create ();
       sessions = Hashtbl.create 32;
+      replay = Hashtbl.create 64;
+      replay_order = Hashtbl.create 16;
+      crash_ops = Atomic.make 0;
+      crash_fired = Atomic.make false;
       metrics = Mips_obs.Metrics.create ();
       evicted = 0;
       stopping = false;
@@ -783,6 +927,12 @@ let start config =
       janitor_thread = None;
     }
   in
+  (match fsck_report with
+  | Some r ->
+      Mips_obs.Metrics.set t.metrics "daemon.fsck.repaired" r.Journal.repaired;
+      Mips_obs.Metrics.set t.metrics "daemon.fsck.quarantined"
+        r.Journal.quarantined
+  | None -> ());
   recover t;
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t.janitor_thread <- Some (Thread.create (janitor t) ());

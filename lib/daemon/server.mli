@@ -25,6 +25,16 @@
       the same directory resumes every in-flight checkpointed session and
       completes it {e bit-identically} to an uninterrupted run; finished
       results are journalled and survive restarts until collected.
+    - {b Idempotent replay}: a {!Protocol.Tagged} request is deduplicated
+      against a bounded per-tenant replay window — a retry of an executed
+      request is answered from the recorded response, and a retry racing
+      the first delivery coalesces onto it, so the {!Client.call} retry
+      loop can resend blindly after any wire fault without double
+      execution.
+    - {b Journal fsck}: the session journal is checked and repaired
+      ({!Journal.fsck}) before recovery reads it — torn writes are healed,
+      unrecoverable sessions are quarantined, and the daemon always
+      starts.
     - {b Eviction}: finished sessions idle past a deadline are dropped
       from memory (their journalled results remain collectable from disk).
     - {b Clean shutdown}: SIGTERM (or a [Shutdown] request) stops
@@ -44,17 +54,32 @@ type config = {
                              memory (journalled sessions only) *)
   drain_s : float;  (** shutdown drain deadline *)
   max_frame : int;  (** request frame payload limit *)
+  replay_window : int;
+      (** recorded responses kept per tenant for request-ID deduplication;
+          the oldest is evicted first *)
   test_crash_after_checkpoints : int option;
       (** test hook: abort a session's job after N checkpoint writes — the
           in-process stand-in for SIGKILL (CI kills the real process) *)
+  test_crash_at_op : int option;
+      (** test hook: turn journal operation N (counting every journal
+          write and removal, across all sessions) into a simulated kill
+          just before it lands — the crash-point harness sweeps N to
+          visit every write boundary *)
 }
 
 val default_config : socket:string -> config
 (** 4 jobs, queue 16, 64 tenants, {!Tenants.default_quota}, no state dir,
     checkpoints every 50k steps, eviction after 300 s, 10 s drain,
-    {!Frame.default_limit} frames. *)
+    {!Frame.default_limit} frames, a 128-entry replay window. *)
 
 type t
+
+val journal_ops : t -> int
+(** Journal operations (writes and removals) performed so far — a clean
+    run's total bounds the crash-point sweep. *)
+
+val crash_point_fired : t -> bool
+(** Whether [test_crash_at_op] has triggered. *)
 
 val start : config -> t
 (** Bind the socket, recover journalled sessions from the state directory

@@ -415,8 +415,8 @@ let run_checkpointed ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
     ?(data_frames = 16) ?(code_frames = 16) ?backing_limit
     ?(steps = 2_000_000) ?(diff_count = 0) ?diff_jobs ?(diff_chunk = 4)
     ?checkpoint ?(checkpoint_every = 250_000) ?resume
-    ?(obs = Mips_obs.Sink.null) ?max_slices ?(engine = Cpu.Ref) ~plan ~seed
-    () =
+    ?(obs = Mips_obs.Sink.null) ?max_slices ?(before_write = fun () -> ())
+    ?(engine = Cpu.Ref) ~plan ~seed () =
   let open Snapshot in
   let checkpoint_every = max 1 checkpoint_every in
   let params =
@@ -437,6 +437,7 @@ let run_checkpointed ?(programs = 4) ?segments ?(quantum = 500) ?watchdog
               sections =
                 ("params", params_str) :: ("phase", phase) :: sections }
         in
+        before_write ();
         write_file path data;
         Mips_obs.Metrics.incr Supervise.metrics "checkpoint.writes";
         if Mips_obs.Sink.enabled obs then

@@ -126,6 +126,7 @@ val run_checkpointed :
   ?diff_count:int -> ?diff_jobs:int -> ?diff_chunk:int ->
   ?checkpoint:string -> ?checkpoint_every:int -> ?resume:string ->
   ?obs:Mips_obs.Sink.t -> ?max_slices:int ->
+  ?before_write:(unit -> unit) ->
   ?engine:Mips_machine.Cpu.engine ->
   plan:Mips_fault.Plan.config -> seed:int -> unit ->
   (resilient_result, Mips_resilience.Snapshot.error) result
@@ -136,7 +137,11 @@ val run_checkpointed :
     process died.  [resume] restores from a checkpoint written by the
     {e same} parameters (byte-compared; mismatch is [Corrupt]).
     [max_slices] interrupts the kernel phase after that many slices —
-    a deterministic in-process kill for tests.  With [diff_count = 0] the
+    a deterministic in-process kill for tests.  [before_write] runs
+    immediately before each checkpoint file write — the crash-point hook
+    [mipsd]'s recovery harness uses to enumerate every journal write
+    boundary (an exception raised there aborts the run {e before} the
+    write lands).  With [diff_count = 0] the
     result's diff list is empty and [Complete (s, [])] carries the same
     summary {!run_soak} returns.  [engine] (default [Ref]) drives both the
     kernel phase and the differential phase's alternate-engine variants,

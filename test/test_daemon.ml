@@ -94,7 +94,7 @@ let gen_codegen =
       (fun byte early_out level -> { Protocol.byte; early_out; level })
       bool bool (0 -- 3))
 
-let gen_request =
+let gen_plain_request =
   QCheck.Gen.(
     oneof
       [ return Protocol.Ping;
@@ -128,10 +128,20 @@ let gen_request =
                 engine }))
       ])
 
+(* at most one Tagged envelope deep: the codec rejects nesting *)
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [ gen_plain_request;
+        map2
+          (fun id req -> Protocol.Tagged { id; req })
+          gen_name gen_plain_request ])
+
 let gen_reject =
   QCheck.Gen.(
     oneof
       [ return Protocol.Bad_request;
+        return Protocol.Garbled;
         return Protocol.Overloaded;
         map (fun s -> Protocol.Quota s) gen_name;
         return Protocol.Quarantined;
@@ -537,8 +547,8 @@ let test_server_bad_frames_do_not_kill () =
   (match Frame.read fd with
   | Ok payload -> (
       match Protocol.decode_response payload with
-      | Ok (Protocol.Err (Protocol.Bad_request, _)) -> ()
-      | _ -> Alcotest.fail "garbage not answered with Bad_request")
+      | Ok (Protocol.Err (Protocol.Garbled, _)) -> ()
+      | _ -> Alcotest.fail "garbage not answered with Garbled")
   | Error e ->
       Alcotest.failf "no typed answer to garbage: %s" (Frame.error_to_string e));
   Unix.close fd;
@@ -558,8 +568,8 @@ let test_server_bad_frames_do_not_kill () =
   (match Frame.read fd with
   | Ok payload -> (
       match Protocol.decode_response payload with
-      | Ok (Protocol.Err (Protocol.Bad_request, _)) -> ()
-      | _ -> Alcotest.fail "corrupt frame not answered with Bad_request")
+      | Ok (Protocol.Err (Protocol.Garbled, _)) -> ()
+      | _ -> Alcotest.fail "corrupt frame not answered with Garbled")
   | Error _ -> ());
   Unix.close fd;
   (* after all of that the daemon still serves *)
